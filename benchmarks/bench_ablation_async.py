@@ -1,0 +1,70 @@
+"""Ablation: synchronous (BSP) vs. asynchronous GRAPE.
+
+The paper announces an asynchronous GRAPE as future work (Section 8); we
+built it (repro.core.async_engine).  This bench compares the two modes on
+a skewed workload — one oversized fragment — where asynchrony should
+help: under BSP every superstep waits for the straggler, while the async
+scheduler lets small fragments proceed.
+"""
+
+import pytest
+
+from _common import record
+from repro.core.async_engine import AsyncGrapeEngine
+from repro.core.engine import GrapeEngine
+from repro.partition.base import build_edge_cut_fragments
+from repro.pie_programs import SSSPProgram
+from repro.workloads import traffic_like
+
+
+def skewed_fragmentation(graph, num_fragments):
+    """Deliberately unbalanced: fragment 0 owns half the graph."""
+    nodes = sorted(graph.nodes())
+    half = len(nodes) // 2
+    assignment = {}
+    for i, v in enumerate(nodes):
+        if i < half:
+            assignment[v] = 0
+        else:
+            assignment[v] = 1 + (i - half) % (num_fragments - 1)
+    return build_edge_cut_fragments(graph, assignment, num_fragments,
+                                    strategy_name="skewed")
+
+
+def run_comparison():
+    graph = traffic_like(scale=0.3)
+    fragmentation = skewed_fragmentation(graph, 8)
+    source = 0
+
+    sync = GrapeEngine(8).run(SSSPProgram(), source,
+                              fragmentation=fragmentation)
+    async_run = AsyncGrapeEngine(8).run(SSSPProgram(), source,
+                                        fragmentation=fragmentation)
+    assert sync.answer == pytest.approx(async_run.answer)
+    return graph, sync, async_run
+
+
+def test_ablation_async_vs_sync(benchmark):
+    graph, sync, async_run = benchmark.pedantic(run_comparison, rounds=1,
+                                                iterations=1)
+    # Same answers; async does no more total compute than sync re-runs.
+    assert async_run.metrics.total_compute_s <= \
+        sync.metrics.total_compute_s * 2.0
+
+    text = "\n".join([
+        f"Async vs sync GRAPE, SSSP on skewed partition "
+        f"({graph.num_nodes} nodes, fragment 0 owns half)",
+        f"sync:  {sync.supersteps} supersteps, "
+        f"time={sync.metrics.parallel_time_s:.4f}s, "
+        f"compute={sync.metrics.total_compute_s:.4f}s",
+        f"async: {async_run.activations} activations, "
+        f"time={async_run.metrics.parallel_time_s:.4f}s, "
+        f"compute={async_run.metrics.total_compute_s:.4f}s",
+    ])
+    record("ablation_async", text)
+
+
+if __name__ == "__main__":
+    _g, sync, async_run = run_comparison()
+    print("sync:", sync.metrics)
+    print("async:", async_run.metrics)

@@ -1,0 +1,68 @@
+"""Ablation: partition strategy quality vs. GRAPE query cost.
+
+DESIGN.md calls out the partition menu (paper Section 6).  This bench
+measures edge-cut quality per strategy and its downstream effect on GRAPE
+SSSP communication — the better the cut, the fewer border updates cross
+fragments.
+"""
+
+import pytest
+
+from _common import TRAFFIC_SCALE, record
+from repro.core.engine import GrapeEngine
+from repro.partition.base import cut_edges
+from repro.partition.strategies import (GridPartition, HashPartition,
+                                        MetisLikePartition, RangePartition,
+                                        StreamingPartition)
+from repro.pie_programs import SSSPProgram
+from repro.workloads import sample_sources, traffic_like
+
+STRATEGIES = [HashPartition(), RangePartition(), GridPartition(),
+              StreamingPartition(), MetisLikePartition()]
+N_WORKERS = 8
+
+
+def run_ablation():
+    graph = traffic_like(scale=TRAFFIC_SCALE)
+    sources = sample_sources(graph, 2, seed=3)
+    results = []
+    for strategy in STRATEGIES:
+        engine = GrapeEngine(N_WORKERS, partition=strategy)
+        fragmentation = engine.make_fragmentation(graph)
+        cut = cut_edges(graph, {v: fragmentation.gp.owner(v)
+                                for v in graph.nodes()})
+        comm = 0.0
+        time_s = 0.0
+        for source in sources:
+            run = engine.run(SSSPProgram(), query=source,
+                             fragmentation=fragmentation)
+            comm += run.metrics.comm_megabytes
+            time_s += run.metrics.parallel_time_s
+        results.append((strategy.name, cut, comm / len(sources),
+                        time_s / len(sources)))
+    return graph, results
+
+
+def test_ablation_partition_strategies(benchmark):
+    graph, results = benchmark.pedantic(run_ablation, rounds=1,
+                                        iterations=1)
+    by_name = {name: (cut, comm, t) for name, cut, comm, t in results}
+    # The locality-aware strategies must cut fewer edges than hash...
+    assert by_name["metis"][0] < by_name["hash"][0]
+    assert by_name["streaming"][0] < by_name["hash"][0]
+    # ...and fewer cut edges means less shipped data.
+    assert by_name["metis"][1] < by_name["hash"][1]
+
+    lines = [f"Partition ablation: GRAPE SSSP on traffic "
+             f"({graph.num_nodes} nodes), n={N_WORKERS}",
+             f"{'strategy':<12} {'cut edges':>10} {'comm(MB)':>10} "
+             f"{'time(s)':>10}"]
+    for name, cut, comm, t in results:
+        lines.append(f"{name:<12} {cut:>10} {comm:>10.4f} {t:>10.4f}")
+    record("ablation_partition", "\n".join(lines))
+
+
+if __name__ == "__main__":
+    _graph, results = run_ablation()
+    for row in results:
+        print(row)

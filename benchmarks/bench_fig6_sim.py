@@ -1,0 +1,48 @@
+"""Fig. 6(g-h): graph simulation time vs. workers on labeled graphs.
+
+Paper: patterns |Q| = (8, 15) over liveJournal and DBpedia; GRAPE 2.5-3.2x
+faster than Giraph/GraphLab and 1.3-1.7x faster than Blogel.
+"""
+
+import pytest
+
+from _common import (KNOWLEDGE_SCALE, NUM_PATTERN_QUERIES, SIM_PATTERN,
+                     SOCIAL_SCALE, WORKER_SWEEP, record)
+from repro.bench import format_series, speedup_summary, sweep_workers
+from repro.workloads import generate_patterns, knowledge_like, social_like
+
+SYSTEMS = ["grape", "giraph", "graphlab", "blogel"]
+
+
+def run_dataset(graph):
+    patterns = generate_patterns(graph, NUM_PATTERN_QUERIES,
+                                 SIM_PATTERN[0], SIM_PATTERN[1], seed=3)
+    return sweep_workers(SYSTEMS, "sim", graph, patterns, WORKER_SWEEP)
+
+
+@pytest.mark.parametrize("name,factory,scale", [
+    ("livejournal", social_like, SOCIAL_SCALE),
+    ("dbpedia", knowledge_like, KNOWLEDGE_SCALE),
+])
+def test_fig6_sim(benchmark, name, factory, scale):
+    graph = factory(scale=scale)
+    rows = benchmark.pedantic(run_dataset, args=(graph,),
+                              rounds=1, iterations=1)
+    by_key = {(r.system, r.num_workers): r for r in rows}
+    for n in WORKER_SWEEP:
+        assert by_key[("grape", n)].avg_time_s <= \
+            by_key[("giraph", n)].avg_time_s
+
+    text = "\n".join([
+        f"Fig 6 Sim on {name} ({graph.num_nodes} nodes, "
+        f"{graph.num_edges} edges), pattern |Q|={SIM_PATTERN}",
+        format_series(rows, "time"),
+        "",
+        speedup_summary(rows),
+    ])
+    record(f"fig6_sim_{name}", text)
+
+
+if __name__ == "__main__":
+    graph = social_like(scale=SOCIAL_SCALE)
+    print(format_series(run_dataset(graph), "time", "Fig 6 Sim"))

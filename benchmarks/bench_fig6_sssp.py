@@ -1,0 +1,53 @@
+"""Fig. 6(a-c): SSSP response time vs. number of workers.
+
+Three datasets (traffic / liveJournal / DBpedia stand-ins), four systems,
+n swept over the worker counts.  Paper shape: GRAPE fastest everywhere;
+the gap over vertex-centric systems is largest on the high-diameter
+traffic graph (Fig. 6(a)) and modest on small-diameter social graphs.
+"""
+
+import pytest
+
+from _common import (NUM_SSSP_QUERIES, SOCIAL_SCALE, TRAFFIC_SCALE,
+                     KNOWLEDGE_SCALE, WORKER_SWEEP, record)
+from repro.bench import format_series, speedup_summary, sweep_workers
+from repro.workloads import (knowledge_like, sample_sources, social_like,
+                             traffic_like)
+
+SYSTEMS = ["grape", "giraph", "graphlab", "blogel"]
+
+
+def run_dataset(graph, seed):
+    sources = sample_sources(graph, NUM_SSSP_QUERIES, seed=seed)
+    return sweep_workers(SYSTEMS, "sssp", graph, sources, WORKER_SWEEP)
+
+
+@pytest.mark.parametrize("name,factory,scale", [
+    ("traffic", traffic_like, TRAFFIC_SCALE),
+    ("livejournal", social_like, SOCIAL_SCALE),
+    ("dbpedia", knowledge_like, KNOWLEDGE_SCALE),
+])
+def test_fig6_sssp(benchmark, name, factory, scale):
+    graph = factory(scale=scale)
+    rows = benchmark.pedantic(run_dataset, args=(graph, 1),
+                              rounds=1, iterations=1)
+    by_key = {(r.system, r.num_workers): r for r in rows}
+    for n in WORKER_SWEEP:
+        assert by_key[("grape", n)].avg_time_s <= \
+            by_key[("giraph", n)].avg_time_s
+
+    text = "\n".join([
+        f"Fig 6 SSSP on {name} ({graph.num_nodes} nodes, "
+        f"{graph.num_edges} edges)",
+        format_series(rows, "time"),
+        "",
+        speedup_summary(rows),
+    ])
+    record(f"fig6_sssp_{name}", text)
+
+
+if __name__ == "__main__":
+    for name, factory, scale in [("traffic", traffic_like, TRAFFIC_SCALE)]:
+        graph = factory(scale=scale)
+        rows = run_dataset(graph, 1)
+        print(format_series(rows, "time", f"Fig 6 SSSP {name}"))

@@ -1,0 +1,50 @@
+"""Fig. 6(i-j): subgraph isomorphism time vs. workers.
+
+Paper: patterns |Q| = (6, 10); GRAPE ~1.5-2x faster than all baselines,
+finishing in 2 supersteps while the others flood partial-match messages.
+"""
+
+import pytest
+
+from _common import (KNOWLEDGE_SCALE, NUM_PATTERN_QUERIES, SOCIAL_SCALE,
+                     SUBISO_PATTERN, WORKER_SWEEP, record)
+from repro.bench import format_series, speedup_summary, sweep_workers
+from repro.workloads import generate_patterns, knowledge_like, social_like
+
+SYSTEMS = ["grape", "giraph", "graphlab", "blogel"]
+
+
+def run_dataset(graph):
+    patterns = generate_patterns(graph, NUM_PATTERN_QUERIES,
+                                 SUBISO_PATTERN[0], SUBISO_PATTERN[1],
+                                 seed=5)
+    return sweep_workers(SYSTEMS, "subiso", graph, patterns, WORKER_SWEEP)
+
+
+@pytest.mark.parametrize("name,factory,scale", [
+    ("livejournal", social_like, SOCIAL_SCALE),
+    ("dbpedia", knowledge_like, KNOWLEDGE_SCALE),
+])
+def test_fig6_subiso(benchmark, name, factory, scale):
+    graph = factory(scale=scale)
+    rows = benchmark.pedantic(run_dataset, args=(graph,),
+                              rounds=1, iterations=1)
+    by_key = {(r.system, r.num_workers): r for r in rows}
+    for n in WORKER_SWEEP:
+        # GRAPE needs far fewer supersteps (paper: 2 vs 4-6).
+        assert by_key[("grape", n)].avg_supersteps < \
+            by_key[("giraph", n)].avg_supersteps
+
+    text = "\n".join([
+        f"Fig 6 SubIso on {name} ({graph.num_nodes} nodes, "
+        f"{graph.num_edges} edges), pattern |Q|={SUBISO_PATTERN}",
+        format_series(rows, "time"),
+        "",
+        speedup_summary(rows),
+    ])
+    record(f"fig6_subiso_{name}", text)
+
+
+if __name__ == "__main__":
+    graph = knowledge_like(scale=KNOWLEDGE_SCALE)
+    print(format_series(run_dataset(graph), "time", "Fig 6 SubIso"))

@@ -1,0 +1,102 @@
+"""Writing your own PIE program: single-source reachability.
+
+The paper's recipe for a new query class (Section 3): take a sequential
+algorithm (here DFS reachability), add a message preamble — one Boolean
+status variable per node, candidate set = the out-border copies,
+``aggregateMsg = min`` over ``true ≺ false`` (a node once reachable stays
+reachable) — and an incremental version that just resumes the traversal
+from newly reached border nodes.  The engine supplies partitioning,
+message routing, termination detection and the correctness guarantee.
+
+Run:  python examples/custom_pie_program.py
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+from repro import GrapeEngine
+from repro.core.aggregators import MaxAggregator
+from repro.core.pie import ParamUpdates, PIEProgram
+from repro.graph.graph import Node
+from repro.partition.base import Fragment, Fragmentation
+from repro.workloads import social_like
+
+
+@dataclass
+class ReachState:
+    reached: Set[Node] = field(default_factory=set)
+
+
+class ReachabilityProgram(PIEProgram):
+    """Query: source node.  Answer: the set of reachable nodes."""
+
+    name = "Reach"
+    # true > false and a node never becomes unreachable: max is monotonic.
+    aggregator = MaxAggregator()
+    route_to = "owner"
+
+    def init_state(self, query: Node, fragment: Fragment) -> ReachState:
+        return ReachState()
+
+    def _traverse(self, fragment: Fragment, state: ReachState,
+                  frontier) -> None:
+        """The sequential DFS, untouched: used by PEval and IncEval."""
+        stack = [v for v in frontier if fragment.graph.has_node(v)]
+        while stack:
+            v = stack.pop()
+            if v in state.reached:
+                continue
+            state.reached.add(v)
+            stack.extend(w for w in fragment.graph.successors(v)
+                         if w not in state.reached)
+
+    def peval(self, query: Node, fragment: Fragment,
+              state: ReachState) -> None:
+        if fragment.graph.has_node(query):
+            self._traverse(fragment, state, [query])
+
+    def inceval(self, query: Node, fragment: Fragment, state: ReachState,
+                message: ParamUpdates) -> None:
+        newly = [v for (v, _name), flag in message.items() if flag]
+        self._traverse(fragment, state, newly)
+
+    def read_update_params(self, query: Node, fragment: Fragment,
+                           state: ReachState) -> ParamUpdates:
+        # C_i = F_i.O: reached border copies are news for their owners.
+        return {(v, "reached"): True for v in fragment.outer
+                if v in state.reached}
+
+    def assemble(self, query: Node, fragmentation: Fragmentation,
+                 states: Dict[int, ReachState]) -> Set[Node]:
+        answer: Set[Node] = set()
+        for frag in fragmentation:
+            answer |= states[frag.fid].reached & frag.owned
+        return answer
+
+
+def main():
+    graph = social_like(scale=0.1, seed=21)
+    source = max(graph.nodes(), key=graph.out_degree)
+
+    engine = GrapeEngine(num_workers=5, check_monotonic=True)
+    result = engine.run(ReachabilityProgram(), source, graph=graph)
+
+    # Verify against a plain sequential traversal of the whole graph.
+    expected, stack = set(), [source]
+    while stack:
+        v = stack.pop()
+        if v in expected:
+            continue
+        expected.add(v)
+        stack.extend(graph.successors(v))
+    assert result.answer == expected
+
+    print(f"graph: {graph.num_nodes} nodes, {graph.num_edges} edges")
+    print(f"{len(result.answer)} nodes reachable from {source!r}")
+    print(f"supersteps: {result.supersteps}, "
+          f"messages: {result.metrics.comm_messages}, "
+          f"monotonicity verified ✓")
+
+
+if __name__ == "__main__":
+    main()

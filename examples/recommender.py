@@ -1,0 +1,59 @@
+"""Collaborative filtering end-to-end: train a recommender on GRAPE.
+
+The paper's Section 5.3 case study: SGD matrix factorization as PEval,
+ISGD as IncEval, the coordinator reconciling shared factor vectors by
+timestamp.  This example does the full workflow — train/test split,
+distributed training, held-out RMSE — on a movieLens-like rating graph.
+
+Run:  python examples/recommender.py
+"""
+
+from repro import Graph, GrapeEngine
+from repro.pie_programs import CFProgram, CFQuery
+from repro.sequential.cf import (FactorModel, extract_ratings, rmse,
+                                 split_train_test)
+from repro.workloads import ratings_like
+
+
+def main():
+    full, _true_user_f, _true_item_f = ratings_like(scale=0.3, seed=4)
+    ratings = extract_ratings(full)
+    train, test = split_train_test(ratings, train_fraction=0.9, seed=1)
+    print(f"ratings: {len(ratings)} total -> {len(train)} train, "
+          f"{len(test)} test")
+
+    # The training graph: one directed edge per training rating.
+    train_graph = Graph(directed=True)
+    for user, item, rating in train:
+        train_graph.add_node(user, "user")
+        train_graph.add_node(item, "item")
+        train_graph.add_edge(user, item, weight=rating)
+
+    query = CFQuery(num_factors=8, max_epochs=15, learning_rate=0.05,
+                    regularization=0.05, seed=3)
+    engine = GrapeEngine(num_workers=4)
+    result = engine.run(CFProgram(), query, graph=train_graph)
+
+    model = FactorModel(query.num_factors, seed=query.seed)
+    model.factors = dict(result.answer)
+
+    untrained = FactorModel(query.num_factors, seed=query.seed)
+    print(f"\ntest RMSE before training: {rmse(test, untrained):.3f}")
+    print(f"test RMSE after training:  {rmse(test, model):.3f}")
+    print(f"training RMSE:             {rmse(train, model):.3f}")
+    print(f"\nsupersteps: {result.supersteps}, "
+          f"factors shipped: {result.metrics.comm_megabytes:.3f} MB")
+
+    # Recommend: top items for one user by predicted rating.
+    user = train[0][0]
+    items = {p for _u, p, _r in ratings}
+    rated = {p for u, p, _r in ratings if u == user}
+    scored = sorted(((model.predict(user, p), p)
+                     for p in items - rated), reverse=True)
+    print(f"\ntop-3 recommendations for {user}:")
+    for score, item in scored[:3]:
+        print(f"  {item}  (predicted rating {score:+.2f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Pattern matching on a social graph: Sim, SubIso, and the optimizations.
+
+Demonstrates the paper's Section 5.1 and Exp-2/Exp-3:
+
+* graph simulation and subgraph isomorphism through the same engine;
+* the incremental ablation (GRAPE vs GRAPE-NI);
+* plugging a sequential optimization (neighborhood index) into PEval
+  without touching the engine.
+
+Run:  python examples/social_pattern_matching.py
+"""
+
+from repro import GrapeEngine
+from repro.optim.indexing import IndexedSimCandidates
+from repro.pie_programs import SimProgram, SubIsoProgram
+from repro.workloads import generate_pattern, social_like
+
+
+def main():
+    graph = social_like(scale=0.15)
+    pattern = generate_pattern(graph, 4, 5, seed=11)
+    print(f"social graph: {graph.num_nodes} users, "
+          f"{graph.num_edges} follows")
+    print(f"pattern: {pattern.num_nodes} query nodes, "
+          f"{pattern.num_edges} query edges\n")
+
+    engine = GrapeEngine(num_workers=6)
+    fragmentation = engine.make_fragmentation(graph)
+
+    # --- graph simulation -------------------------------------------
+    sim = engine.run(SimProgram(), pattern, fragmentation=fragmentation)
+    total = sum(len(vs) for vs in sim.answer.values())
+    print(f"Sim: {total} (query node, user) matches "
+          f"in {sim.supersteps} supersteps, "
+          f"{sim.metrics.comm_bytes} bytes shipped")
+
+    # --- the incremental ablation (Exp-2) ----------------------------
+    ni_engine = GrapeEngine(num_workers=6, incremental=False)
+    ni = ni_engine.run(SimProgram(), pattern,
+                       fragmentation=fragmentation)
+    assert ni.answer == sim.answer
+    print(f"GRAPE-NI (no IncEval) total compute: "
+          f"{ni.metrics.total_compute_s * 1000:.2f} ms vs "
+          f"GRAPE {sim.metrics.total_compute_s * 1000:.2f} ms")
+
+    # --- index-optimized sequential algorithm (Exp-3) ----------------
+    indexed = engine.run(SimProgram(candidate_index=IndexedSimCandidates()),
+                         pattern, fragmentation=fragmentation)
+    assert indexed.answer == sim.answer
+    print(f"index-optimized Sim compute: "
+          f"{indexed.metrics.total_compute_s * 1000:.2f} ms "
+          "(same answer)")
+
+    # --- subgraph isomorphism ----------------------------------------
+    iso = engine.run(SubIsoProgram(match_limit=500), pattern,
+                     fragmentation=fragmentation)
+    print(f"\nSubIso: {len(iso.answer)} exact matches "
+          f"in {iso.supersteps} superstep(s)")
+    if iso.answer:
+        sample = iso.answer[0]
+        print("example match:", {u: v for u, v in sorted(
+            sample.items(), key=lambda kv: str(kv[0]))})
+
+
+if __name__ == "__main__":
+    main()

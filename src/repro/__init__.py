@@ -1,0 +1,38 @@
+"""repro — a Python reproduction of GRAPE (Fan et al., SIGMOD 2017).
+
+GRAPE parallelizes *whole sequential graph algorithms*: plug a batch
+algorithm (``PEval``), an incremental algorithm (``IncEval``) and a
+combiner (``Assemble``) into the engine, and it runs a simultaneous
+fixpoint across graph fragments with correctness guaranteed under a
+monotonic condition.
+
+Quickstart::
+
+    from repro import Graph, GrapeEngine
+    from repro.pie_programs import SSSPProgram
+
+    g = Graph(directed=True)
+    g.add_edge("a", "b", weight=2.0)
+    g.add_edge("b", "c", weight=1.0)
+
+    engine = GrapeEngine(num_workers=4)
+    result = engine.run(SSSPProgram(), query="a", graph=g)
+    print(result.answer)            # {"a": 0.0, "b": 2.0, "c": 3.0}
+    print(result.metrics)           # supersteps / time / communication
+"""
+
+from repro.core.api import default_registry
+from repro.core.engine import GrapeEngine, GrapeResult
+from repro.core.pie import PIEProgram
+from repro.graph.graph import Graph
+from repro.partition.base import Fragmentation
+from repro.partition.strategies import get_strategy
+from repro.runtime.metrics import CostModel, RunMetrics
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph", "GrapeEngine", "GrapeResult", "PIEProgram", "Fragmentation",
+    "get_strategy", "CostModel", "RunMetrics", "default_registry",
+    "__version__",
+]

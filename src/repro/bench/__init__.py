@@ -1,0 +1,12 @@
+"""Benchmark harness and reporting for the paper's evaluation."""
+
+from repro.bench.harness import (QUERY_CLASSES, SYSTEMS, BenchResult,
+                                 run_queries, sweep_workers)
+from repro.bench.reporting import (format_results_table, format_series,
+                                   speedup_summary)
+
+__all__ = [
+    "SYSTEMS", "QUERY_CLASSES", "BenchResult", "run_queries",
+    "sweep_workers", "format_results_table", "format_series",
+    "speedup_summary",
+]

@@ -1,0 +1,93 @@
+"""Tabular reporting for experiment results.
+
+Formats the rows the paper's tables and figure series report: per-system
+response time, communication (MB) and supersteps, plus relative speedups
+(the "GRAPE is X times faster" summary lines).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.bench.harness import BenchResult
+
+__all__ = ["format_results_table", "format_series", "speedup_summary"]
+
+
+def format_results_table(rows: Sequence[BenchResult],
+                         title: Optional[str] = None) -> str:
+    """Table 1-style output: one line per (system, n)."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = (f"{'system':<10} {'class':<7} {'n':>3} {'time(s)':>12} "
+              f"{'comm(MB)':>12} {'supersteps':>11}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in rows:
+        lines.append(f"{r.system:<10} {r.query_class:<7} "
+                     f"{r.num_workers:>3} {r.avg_time_s:>12.4f} "
+                     f"{r.avg_comm_mb:>12.4f} {r.avg_supersteps:>11.1f}")
+    return "\n".join(lines)
+
+
+def format_series(rows: Sequence[BenchResult], metric: str = "time",
+                  title: Optional[str] = None) -> str:
+    """Fig. 6/8/9-style output: systems as rows, worker counts as columns.
+
+    ``metric`` is "time", "comm" or "supersteps".
+    """
+    getter = {
+        "time": lambda r: r.avg_time_s,
+        "comm": lambda r: r.avg_comm_mb,
+        "supersteps": lambda r: r.avg_supersteps,
+    }[metric]
+    ns = sorted({r.num_workers for r in rows})
+    systems = list(dict.fromkeys(r.system for r in rows))
+    cells: Dict[tuple, float] = {(r.system, r.num_workers): getter(r)
+                                 for r in rows}
+    unit = {"time": "s", "comm": "MB", "supersteps": ""}[metric]
+    lines: List[str] = []
+    caption = f"[{metric}{(' ' + unit) if unit else ''}]"
+    lines.append(f"{title}  {caption}" if title else caption)
+    header = f"{'system':<10}" + "".join(f"{f'n={n}':>12}" for n in ns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for system in systems:
+        row = f"{system:<10}"
+        for n in ns:
+            value = cells.get((system, n))
+            row += f"{value:>12.4f}" if value is not None else f"{'-':>12}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def speedup_summary(rows: Sequence[BenchResult],
+                    reference: str = "grape") -> str:
+    """The paper's summary style: "GRAPE is X, Y and Z times faster"."""
+    by_system: Dict[str, List[BenchResult]] = {}
+    for r in rows:
+        by_system.setdefault(r.system, []).append(r)
+    if reference not in by_system:
+        return f"(no {reference} rows to compare against)"
+    ref_by_n = {r.num_workers: r for r in by_system[reference]}
+    lines = []
+    for system, srows in by_system.items():
+        if system == reference:
+            continue
+        ratios = []
+        comm_ratios = []
+        for r in srows:
+            ref = ref_by_n.get(r.num_workers)
+            if ref is None or ref.avg_time_s == 0:
+                continue
+            ratios.append(r.avg_time_s / ref.avg_time_s)
+            if r.avg_comm_mb > 0:
+                comm_ratios.append(ref.avg_comm_mb / r.avg_comm_mb)
+        if ratios:
+            avg = sum(ratios) / len(ratios)
+            comm = (f"; ships {100 * sum(comm_ratios) / len(comm_ratios):.1f}%"
+                    f" of its data" if comm_ratios else "")
+            lines.append(f"{reference} is {avg:.1f}x faster than "
+                         f"{system} on average{comm}")
+    return "\n".join(lines) if lines else "(nothing to compare)"

@@ -1,0 +1,85 @@
+"""The GRAPE API library (paper Sections 3.5 and 6).
+
+Developers register PIE programs as stored procedures; end users look them
+up by query-class name and "play".  The registry is the in-process
+equivalent of the paper's plug/play panels.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List
+
+from repro.core.pie import PIEProgram
+
+__all__ = ["PIERegistry", "default_registry"]
+
+
+class PIERegistry:
+    """Named collection of PIE program factories.
+
+    Factories (rather than instances) are stored so that each lookup gets
+    a fresh program — programs may carry per-run configuration such as a
+    candidate index or match limit.
+    """
+
+    def __init__(self):
+        self._factories: Dict[str, Callable[..., PIEProgram]] = {}
+
+    def register(self, name: str,
+                 factory: Callable[..., PIEProgram]) -> None:
+        """Register a program factory under a query-class name."""
+        key = name.lower()
+        if key in self._factories:
+            raise ValueError(f"query class {name!r} already registered")
+        self._factories[key] = factory
+
+    def create(self, name: str, **kwargs) -> PIEProgram:
+        """Instantiate the program registered for ``name``."""
+        try:
+            factory = self._factories[name.lower()]
+        except KeyError:
+            raise ValueError(
+                f"no PIE program registered for {name!r}; "
+                f"available: {sorted(self._factories)}") from None
+        return factory(**kwargs)
+
+    def names(self) -> List[str]:
+        return sorted(self._factories)
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._factories
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._factories))
+
+
+def _build_default_registry() -> PIERegistry:
+    # Imported lazily to avoid a circular import at package init.
+    from repro.pie_programs.bfs import BFSProgram
+    from repro.pie_programs.cc import CCProgram
+    from repro.pie_programs.cf import CFProgram
+    from repro.pie_programs.pagerank import PageRankProgram
+    from repro.pie_programs.sim import SimProgram
+    from repro.pie_programs.sssp import SSSPProgram
+    from repro.pie_programs.subiso import SubIsoProgram
+
+    registry = PIERegistry()
+    registry.register("sssp", SSSPProgram)
+    registry.register("sim", SimProgram)
+    registry.register("subiso", SubIsoProgram)
+    registry.register("cc", CCProgram)
+    registry.register("cf", CFProgram)
+    registry.register("bfs", BFSProgram)
+    registry.register("pagerank", PageRankProgram)
+    return registry
+
+
+_default: PIERegistry | None = None
+
+
+def default_registry() -> PIERegistry:
+    """The library shipped with GRAPE: SSSP, Sim, SubIso, CC and CF."""
+    global _default
+    if _default is None:
+        _default = _build_default_registry()
+    return _default

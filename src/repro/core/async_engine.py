@@ -1,0 +1,229 @@
+"""Asynchronous GRAPE (the paper's announced future work, Section 8).
+
+The paper closes with "an asynchronous version of GRAPE is also under
+development" — this module builds it.  Instead of BSP supersteps with a
+global barrier, fragments are activated individually as soon as messages
+for them exist (GraphLab-style asynchrony), under the same PIE contract:
+
+* ``PEval`` runs once per fragment, as before;
+* thereafter a scheduler pops the fragment with the earliest-ready
+  pending message, runs ``IncEval`` on *just that fragment*, folds its
+  changed update parameters into the coordinator table, and enqueues the
+  destinations — no barrier, no idle waiting for stragglers;
+* termination: the queue drains (no pending messages anywhere).
+
+Correctness: for programs satisfying the monotonic condition, the
+asynchronous fixpoint equals the synchronous one — update parameters
+move along the same partial order whatever the activation order, and the
+engine only stops when no parameter can change (the Assurance Theorem's
+argument does not use the barrier).  Tests assert async ≡ sync answers
+for SSSP, CC and Sim.
+
+Timing uses a discrete-event simulation: every fragment activation is
+really executed and measured; it is scheduled on its physical worker at
+``max(worker_free, message_ready)``; messages become ready after a
+transfer delay from the sender's finish time.  The response time is the
+latest finish — so stragglers only delay their own dependents, the
+advertised benefit of asynchrony on skewed workloads.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.core.monotonic import MonotonicityChecker
+from repro.core.pie import ParamKey, ParamUpdates, PIEProgram
+from repro.graph.graph import Graph
+from repro.partition.base import Fragmentation, PartitionStrategy
+from repro.partition.strategies import HashPartition
+from repro.runtime.metrics import CostModel, RunMetrics, message_bytes
+
+__all__ = ["AsyncGrapeEngine", "AsyncGrapeResult"]
+
+
+@dataclass
+class AsyncGrapeResult:
+    """Outcome of one asynchronous GRAPE run."""
+
+    answer: Any
+    metrics: RunMetrics
+    fragmentation: Fragmentation
+    states: Dict[int, Any]
+    #: number of individual fragment activations (the async analogue of
+    #: supersteps x active fragments)
+    activations: int = 0
+
+
+class AsyncGrapeEngine:
+    """Barrier-free evaluation of PIE programs.
+
+    Shares the PIE contract with :class:`~repro.core.engine.GrapeEngine`
+    (``peval``/``inceval``/``read_update_params``/``assemble`` and the
+    aggregator); explicit designated/key-value channels are not supported
+    (they encode BSP synchrony by construction).
+
+    Parameters mirror the synchronous engine where they make sense.
+    """
+
+    def __init__(self, num_workers: int, *,
+                 num_fragments: Optional[int] = None,
+                 partition: Optional[PartitionStrategy] = None,
+                 cost_model: Optional[CostModel] = None,
+                 check_monotonic: bool = False,
+                 max_activations: int = 1_000_000):
+        if num_workers < 1:
+            raise ValueError("need at least one worker")
+        self.num_workers = num_workers
+        self.num_fragments = num_fragments or num_workers
+        if self.num_fragments < self.num_workers:
+            raise ValueError("virtual workers m must be >= physical n")
+        self.partition = partition or HashPartition()
+        self.cost_model = cost_model or CostModel()
+        self.check_monotonic = check_monotonic
+        self.max_activations = max_activations
+
+    # ------------------------------------------------------------------
+    def make_fragmentation(self, graph: Graph) -> Fragmentation:
+        return self.partition.partition(graph, self.num_fragments)
+
+    def _worker_of(self, fid: int) -> int:
+        return fid % self.num_workers
+
+    # ------------------------------------------------------------------
+    def run(self, program: PIEProgram, query: Any,
+            graph: Optional[Graph] = None,
+            fragmentation: Optional[Fragmentation] = None,
+            ) -> AsyncGrapeResult:
+        """Compute ``Q(G)`` without barriers."""
+        if fragmentation is None:
+            if graph is None:
+                raise ValueError("pass either graph or fragmentation")
+            fragmentation = self.make_fragmentation(graph)
+
+        frags = fragmentation.fragments
+        gp = fragmentation.gp
+        agg = program.aggregator
+        checker = MonotonicityChecker(agg, enabled=self.check_monotonic)
+        metrics = RunMetrics()
+
+        states: Dict[int, Any] = {f.fid: program.init_state(query, f)
+                                  for f in frags}
+        payloads = program.preprocess(query, fragmentation)
+        if payloads:
+            for fid, payload in payloads.items():
+                metrics.comm_bytes += message_bytes(payload)
+                metrics.comm_messages += 1
+                program.apply_preprocess(query, frags[fid], states[fid],
+                                         payload)
+
+        reported: Dict[int, ParamUpdates] = {f.fid: {} for f in frags}
+        global_table: Dict[ParamKey, Any] = {}
+        pending: Dict[int, ParamUpdates] = {}     # fid -> message content
+        ready_at: Dict[int, float] = {}           # fid -> earliest start
+        worker_free = [0.0] * self.num_workers
+        activations = 0
+
+        def account_dirty(fid: int, finish: float) -> None:
+            """Diff fragment fid's parameters, fold into the table, and
+            enqueue destination fragments."""
+            current = program.read_update_params(query, frags[fid],
+                                                 states[fid])
+            prev = reported[fid]
+            changed = {k: v for k, v in current.items()
+                       if k not in prev or prev[k] != v}
+            reported[fid] = current
+            if not changed:
+                return
+            metrics.comm_bytes += message_bytes(changed)
+            metrics.comm_messages += 1
+            dirty: Set[ParamKey] = set()
+            for key, value in changed.items():
+                if key in global_table:
+                    old = global_table[key]
+                    merged = agg.combine(old, value)
+                    if agg.is_progress(old, merged):
+                        checker.observe(key, merged)
+                        global_table[key] = merged
+                        dirty.add(key)
+                else:
+                    global_table[key] = value
+                    dirty.add(key)
+            new_batches: Dict[int, ParamUpdates] = {}
+            for key in dirty:
+                node, _name = key
+                if node not in gp:
+                    continue
+                if program.route_to == "owner":
+                    dests = (gp.owner(node),)
+                else:
+                    dests = gp.holders(node)
+                for dest in dests:
+                    if dest == fid:
+                        continue
+                    if reported[dest].get(key) == global_table[key]:
+                        continue
+                    new_batches.setdefault(dest, {})[key] = \
+                        global_table[key]
+            for dest, batch in new_batches.items():
+                transfer = (message_bytes(batch)
+                            * self.cost_model.seconds_per_byte
+                            + self.cost_model.sync_latency_s)
+                metrics.comm_bytes += message_bytes(batch)
+                metrics.comm_messages += 1
+                pending.setdefault(dest, {}).update(batch)
+                ready_at[dest] = max(ready_at.get(dest, 0.0),
+                                     finish + transfer)
+
+        # ---------------- PEval: every fragment once -------------------
+        for frag in frags:
+            wid = self._worker_of(frag.fid)
+            start_clock = worker_free[wid]
+            t0 = time.perf_counter()
+            program.peval(query, frag, states[frag.fid])
+            elapsed = time.perf_counter() - t0
+            metrics.total_compute_s += elapsed
+            finish = start_clock + elapsed
+            worker_free[wid] = finish
+            activations += 1
+            account_dirty(frag.fid, finish)
+
+        # ---------------- asynchronous IncEval loop --------------------
+        while pending:
+            if activations >= self.max_activations:
+                raise RuntimeError(
+                    f"no fixpoint after {self.max_activations} "
+                    "activations; check the monotonic condition")
+            # Schedule the fragment that can start earliest.
+            def start_time(fid: int) -> float:
+                return max(worker_free[self._worker_of(fid)],
+                           ready_at.get(fid, 0.0))
+
+            fid = min(pending, key=lambda f: (start_time(f), f))
+            message = pending.pop(fid)
+            ready_at.pop(fid, None)
+            wid = self._worker_of(fid)
+            start_clock = start_time(fid)
+
+            t0 = time.perf_counter()
+            program.inceval(query, frags[fid], states[fid], message)
+            elapsed = time.perf_counter() - t0
+            metrics.total_compute_s += elapsed
+            finish = start_clock + elapsed
+            worker_free[wid] = finish
+            activations += 1
+            account_dirty(fid, finish)
+
+        # ---------------- Assemble -------------------------------------
+        t0 = time.perf_counter()
+        answer = program.assemble(query, fragmentation, states)
+        assemble_s = time.perf_counter() - t0
+        metrics.total_compute_s += assemble_s
+        metrics.parallel_time_s = max(worker_free) + assemble_s
+        metrics.supersteps = activations  # async analogue
+
+        return AsyncGrapeResult(answer=answer, metrics=metrics,
+                                fragmentation=fragmentation,
+                                states=states, activations=activations)

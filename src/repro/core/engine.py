@@ -1,0 +1,380 @@
+"""The GRAPE parallel engine (paper Sections 3.1 and 6).
+
+Given a PIE program, a query and a partitioned graph, the engine runs the
+paper's three phases as a simultaneous fixpoint over fragments:
+
+1. **PEval** — superstep 1: every worker evaluates the batch sequential
+   algorithm on its fragment and reports its update parameters
+   ``C_i.x̄`` to the coordinator;
+2. **IncEval** — iterated supersteps: the coordinator folds reports into a
+   per-parameter global table using the program's ``aggregateMsg``
+   aggregator, composes a message ``M_j`` for every fragment holding a
+   changed border node (destinations deduced from the fragmentation graph
+   ``G_P``), and each worker with a non-empty message incrementally
+   computes ``Q(F_i ⊕ M_i)``;
+3. **Assemble** — when no update parameter changed and no explicit
+   messages are pending, the coordinator pulls partial results and
+   combines them.
+
+Besides update parameters, the engine carries the paper's two explicit
+message channels (Section 3.5): *designated* worker-to-worker messages and
+*key-value* pairs shuffled by key at the coordinator — these power the
+Simulation Theorem compilers (:mod:`repro.core.bsp_sim`,
+:mod:`repro.core.mapreduce_sim`, :mod:`repro.core.pram_sim`).
+
+Communication is accounted both ways (changed-parameter reports up to the
+coordinator, composed messages down), in serialized bytes.  Supersteps,
+per-superstep max-worker compute time and traffic are folded into
+:class:`~repro.runtime.metrics.RunMetrics` by the simulated cluster.
+
+The engine also implements:
+
+* the paper's **GRAPE-NI** ablation (Exp-2): ``incremental=False`` applies
+  messages and re-runs ``PEval`` instead of ``IncEval``;
+* **monotonicity checking** (Assurance Theorem instrumentation);
+* **fault tolerance** (Section 6): per-superstep checkpoints through an
+  :class:`~repro.runtime.fault.Arbitrator`; injected worker failures roll
+  the failed superstep back and replay it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.core.monotonic import MonotonicityChecker
+from repro.core.pie import ParamKey, ParamUpdates, PIEProgram
+from repro.graph.graph import Graph
+from repro.partition.base import Fragmentation, PartitionStrategy
+from repro.partition.strategies import HashPartition
+from repro.runtime.cluster import SimulatedCluster
+from repro.runtime.fault import Arbitrator, FailureInjector, WorkerFailure
+from repro.runtime.metrics import CostModel, RunMetrics, message_bytes
+
+__all__ = ["GrapeEngine", "GrapeResult"]
+
+
+@dataclass
+class GrapeResult:
+    """Outcome of one GRAPE run."""
+
+    answer: Any
+    metrics: RunMetrics
+    fragmentation: Fragmentation
+    states: Dict[int, Any]
+    recoveries: int = 0
+
+    @property
+    def supersteps(self) -> int:
+        return self.metrics.supersteps
+
+
+class GrapeEngine:
+    """Parallel evaluation of PIE programs on the simulated cluster.
+
+    Parameters
+    ----------
+    num_workers:
+        Physical workers ``n``.
+    num_fragments:
+        Virtual workers ``m`` (defaults to ``num_workers``); when larger,
+        several fragments share a physical worker (paper Section 3.1).
+    partition:
+        Partition strategy ``P``; defaults to hash edge-cut.  Ignored when
+        a prebuilt fragmentation is passed to :meth:`run`.
+    incremental:
+        ``False`` selects the GRAPE-NI ablation mode.
+    check_monotonic:
+        Verify the monotonic condition at runtime (small overhead).
+    max_supersteps:
+        Safety bound on supersteps.
+    failure_injector:
+        Optional fault-injection plan; failures trigger checkpoint
+        recovery instead of aborting.
+    """
+
+    def __init__(self, num_workers: int, *,
+                 num_fragments: Optional[int] = None,
+                 partition: Optional[PartitionStrategy] = None,
+                 cost_model: Optional[CostModel] = None,
+                 executor: str = "serial",
+                 incremental: bool = True,
+                 check_monotonic: bool = False,
+                 max_supersteps: int = 100_000,
+                 failure_injector: Optional[FailureInjector] = None):
+        self.num_workers = num_workers
+        self.num_fragments = num_fragments or num_workers
+        if self.num_fragments < self.num_workers:
+            raise ValueError("virtual workers m must be >= physical n")
+        self.partition = partition or HashPartition()
+        self.cost_model = cost_model
+        self.executor = executor
+        self.incremental = incremental
+        self.check_monotonic = check_monotonic
+        self.max_supersteps = max_supersteps
+        self.failure_injector = failure_injector
+
+    # ------------------------------------------------------------------
+    def make_fragmentation(self, graph: Graph) -> Fragmentation:
+        """Partition ``graph`` once, reusable across queries (paper:
+        "G is partitioned once for all queries Q posed on G")."""
+        return self.partition.partition(graph, self.num_fragments)
+
+    # ------------------------------------------------------------------
+    def run(self, program: PIEProgram, query: Any,
+            graph: Optional[Graph] = None,
+            fragmentation: Optional[Fragmentation] = None) -> GrapeResult:
+        """Compute ``Q(G)`` with the given PIE program."""
+        if fragmentation is None:
+            if graph is None:
+                raise ValueError("pass either graph or fragmentation")
+            fragmentation = self.make_fragmentation(graph)
+
+        ft_enabled = self.failure_injector is not None
+        cluster = SimulatedCluster(self.num_workers,
+                                   cost_model=self.cost_model,
+                                   executor=self.executor,
+                                   failure_injector=self.failure_injector)
+        arbitrator = Arbitrator()
+        checker = MonotonicityChecker(program.aggregator,
+                                      enabled=self.check_monotonic)
+
+        frags = fragmentation.fragments
+        m = len(frags)
+        states: Dict[int, Any] = {f.fid: program.init_state(query, f)
+                                  for f in frags}
+
+        # Optional pre-PEval data shipping (e.g. SubIso d_Q-neighborhoods).
+        pre_bytes = 0
+        payloads = program.preprocess(query, fragmentation)
+        if payloads:
+            for fid, payload in payloads.items():
+                pre_bytes += message_bytes(payload)
+                program.apply_preprocess(query, frags[fid], states[fid],
+                                         payload)
+
+        # Coordinator bookkeeping: last values each fragment reported, the
+        # per-parameter global table, pending explicit-channel messages.
+        reported: Dict[int, ParamUpdates] = {f.fid: {} for f in frags}
+        global_table: Dict[ParamKey, Any] = {}
+
+        def snapshot_state():
+            return {"states": states, "reported": reported,
+                    "table": global_table}
+
+        def restore(snap):
+            states.clear()
+            states.update(snap["states"])
+            reported.clear()
+            reported.update(snap["reported"])
+            global_table.clear()
+            global_table.update(snap["table"])
+
+        # ---------------- superstep 1: PEval ---------------------------
+        if ft_enabled:
+            arbitrator.checkpoint(snapshot_state())
+
+        def make_peval_task(fid: int):
+            return lambda: program.peval(query, frags[fid], states[fid])
+
+        self._run_step_with_recovery(
+            cluster, arbitrator,
+            tasks=[make_peval_task(f.fid) for f in frags],
+            bytes_in=pre_bytes, msgs_in=1 if payloads else 0,
+            restore=restore)
+
+        up_bytes, up_msgs, dirty = self._collect_reports(
+            program, query, frags, states, reported, global_table,
+            checker, first_round=True)
+        messages = self._compose_messages(program, fragmentation, reported,
+                                          dirty, global_table)
+        designated, keyvalue, ch_bytes, ch_msgs = self._drain_channels(
+            program, query, frags, states)
+        up_bytes += ch_bytes
+        up_msgs += ch_msgs
+        if ft_enabled:
+            arbitrator.checkpoint(snapshot_state())
+
+        # ---------------- IncEval supersteps ---------------------------
+        rounds = 1
+        while (messages or designated or keyvalue) \
+                and rounds < self.max_supersteps:
+            rounds += 1
+            down_bytes = sum(message_bytes(msg) for msg in messages.values())
+            down_bytes += sum(message_bytes(p) for p in designated.values())
+            down_bytes += sum(message_bytes(g) for g in keyvalue.values())
+            down_msgs = len(messages) + len(designated) + len(keyvalue)
+
+            active = set(messages) | set(designated) | set(keyvalue)
+
+            def make_inc_task(fid: int):
+                if fid not in active:
+                    return lambda: None  # inactive worker this superstep
+                msg = messages.get(fid, {})
+                des = designated.get(fid)
+                kvs = keyvalue.get(fid)
+
+                def work():
+                    if des:
+                        program.deliver_designated(query, frags[fid],
+                                                   states[fid], des)
+                    if kvs:
+                        program.deliver_keyvalue(query, frags[fid],
+                                                 states[fid], kvs)
+                    if self.incremental:
+                        program.inceval(query, frags[fid], states[fid], msg)
+                    else:
+                        # GRAPE-NI: apply message, redo PEval from scratch.
+                        program.apply_message(query, frags[fid], states[fid],
+                                              msg)
+                        program.peval(query, frags[fid], states[fid])
+                return work
+
+            self._run_step_with_recovery(
+                cluster, arbitrator,
+                tasks=[make_inc_task(f.fid) for f in frags],
+                bytes_in=up_bytes + down_bytes,
+                msgs_in=up_msgs + down_msgs,
+                restore=restore)
+
+            up_bytes, up_msgs, dirty = self._collect_reports(
+                program, query, frags, states, reported, global_table,
+                checker, first_round=False)
+            messages = self._compose_messages(program, fragmentation,
+                                              reported, dirty, global_table)
+            designated, keyvalue, ch_bytes, ch_msgs = self._drain_channels(
+                program, query, frags, states)
+            up_bytes += ch_bytes
+            up_msgs += ch_msgs
+            if ft_enabled:
+                arbitrator.checkpoint(snapshot_state())
+
+        if messages or designated or keyvalue:
+            raise RuntimeError(
+                f"no fixpoint after {self.max_supersteps} supersteps; "
+                "check the monotonic condition of the PIE program")
+
+        # ---------------- Assemble -------------------------------------
+        start = time.perf_counter()
+        answer = program.assemble(query, fragmentation, states)
+        assemble_s = time.perf_counter() - start
+        cluster.metrics.parallel_time_s += assemble_s
+        cluster.metrics.total_compute_s += assemble_s
+        # Trailing reports of the final round are part of communication.
+        cluster.metrics.comm_bytes += up_bytes
+        cluster.metrics.comm_messages += up_msgs
+
+        return GrapeResult(answer=answer, metrics=cluster.metrics,
+                           fragmentation=fragmentation, states=states,
+                           recoveries=arbitrator.recoveries)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _run_step_with_recovery(cluster, arbitrator, tasks, bytes_in,
+                                msgs_in, restore):
+        """Run one superstep; on injected failure, restore the checkpoint
+        and replay (the arbitrator's task-transfer protocol)."""
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                cluster.run_superstep(tasks, bytes_shipped=bytes_in,
+                                      num_messages=msgs_in)
+                return
+            except WorkerFailure:
+                if attempts > 25:
+                    raise
+                if arbitrator.has_checkpoint:
+                    restore(arbitrator.restore())
+                # else: replay from the current (pre-PEval) state.
+
+    # ------------------------------------------------------------------
+    def _collect_reports(self, program, query, frags, states, reported,
+                         global_table, checker, *, first_round: bool):
+        """Diff each fragment's update parameters against its last report,
+        fold changes into the global table, return (bytes, msgs, dirty)."""
+        agg = program.aggregator
+        dirty: Set[ParamKey] = set()
+        up_bytes = 0
+        up_msgs = 0
+        for frag in frags:
+            current = program.read_update_params(query, frag,
+                                                 states[frag.fid])
+            prev = reported[frag.fid]
+            changed = {k: v for k, v in current.items()
+                       if k not in prev or prev[k] != v}
+            reported[frag.fid] = current
+            if not changed:
+                continue
+            up_bytes += message_bytes(changed)
+            up_msgs += 1
+            for key, value in changed.items():
+                if key in global_table:
+                    old = global_table[key]
+                    merged = agg.combine(old, value)
+                    if agg.is_progress(old, merged) or (
+                            first_round and merged != old):
+                        checker.observe(key, merged)
+                        global_table[key] = merged
+                        dirty.add(key)
+                else:
+                    global_table[key] = value
+                    dirty.add(key)
+        return up_bytes, up_msgs, dirty
+
+    @staticmethod
+    def _compose_messages(program, fragmentation, reported, dirty,
+                          global_table):
+        """Group changed parameters into one message per destination
+        fragment, deducing destinations from ``G_P`` (paper 3.2(3))."""
+        gp = fragmentation.gp
+        messages: Dict[int, ParamUpdates] = {}
+        for key in dirty:
+            node, _name = key
+            value = global_table[key]
+            if node not in gp:
+                continue
+            if program.route_to == "owner":
+                dests = (gp.owner(node),)
+            else:
+                dests = gp.holders(node)
+            for dest in dests:
+                # Skip fragments already holding this exact value.
+                if reported[dest].get(key) == value:
+                    continue
+                messages.setdefault(dest, {})[key] = value
+        return messages
+
+    def _drain_channels(self, program, query, frags, states):
+        """Collect designated and key-value messages from every worker.
+
+        Key-value pairs are grouped by key and assigned to workers by key
+        hash — the coordinator's MapReduce-style shuffle (Section 3.5).
+        Returns ``(designated, keyvalue, bytes, message_count)`` where both
+        channel dicts map destination fid to deliverable content.
+        """
+        m = len(frags)
+        designated: Dict[int, List[Any]] = {}
+        grouped: Dict[Hashable, List[Any]] = {}
+        ch_bytes = 0
+        ch_msgs = 0
+        for frag in frags:
+            des, kvs = program.drain_messages(query, frag, states[frag.fid])
+            for dest, items in des.items():
+                if not 0 <= dest < m:
+                    raise ValueError(f"designated dest {dest} out of range")
+                if items:
+                    designated.setdefault(dest, []).extend(items)
+                    ch_bytes += message_bytes(items)
+                    ch_msgs += 1
+            for key, value in kvs:
+                grouped.setdefault(key, []).append(value)
+                ch_msgs += 1
+            if kvs:
+                ch_bytes += message_bytes(kvs)
+        keyvalue: Dict[int, Dict[Hashable, List[Any]]] = {}
+        for key, values in grouped.items():
+            dest = hash(key) % m
+            keyvalue.setdefault(dest, {})[key] = values
+        return designated, keyvalue, ch_bytes, ch_msgs

@@ -1,0 +1,61 @@
+"""Runtime verification of the monotonic condition (paper Section 4.1).
+
+The Assurance Theorem guarantees termination and correctness when every
+update parameter (a) draws values from a finite domain and (b) is only ever
+updated along a partial order.  Condition (b) is checkable at runtime: the
+engine records every shipped value per parameter and asserts that each
+successive value strictly advances the program's aggregator order.
+
+This gives PIE authors the paper's safety net in executable form: a
+non-monotonic ``IncEval`` fails fast with a :exc:`MonotonicityViolation`
+instead of silently diverging.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.core.aggregators import Aggregator
+from repro.core.pie import ParamKey
+
+__all__ = ["MonotonicityViolation", "MonotonicityChecker"]
+
+
+class MonotonicityViolation(RuntimeError):
+    """An update parameter moved against its declared partial order."""
+
+
+class MonotonicityChecker:
+    """Tracks update-parameter histories and enforces the partial order."""
+
+    def __init__(self, aggregator: Aggregator, enabled: bool = True):
+        self._aggregator = aggregator
+        self._last: Dict[ParamKey, Any] = {}
+        self.enabled = enabled
+        self.updates_checked = 0
+
+    def observe(self, key: ParamKey, value: Any) -> None:
+        """Record a shipped value; raise if it regresses the order."""
+        if not self.enabled:
+            return
+        self.updates_checked += 1
+        prev = self._last.get(key, _ABSENT)
+        if prev is not _ABSENT:
+            progressed = self._aggregator.is_progress(prev, value)
+            unchanged = not progressed and not \
+                self._aggregator.is_progress(value, prev) and prev == value
+            if not progressed and not unchanged:
+                raise MonotonicityViolation(
+                    f"parameter {key!r} moved from {prev!r} to {value!r}, "
+                    f"which does not advance the aggregator's partial order")
+        self._last[key] = value
+
+
+class _Absent:
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "<absent>"
+
+
+_ABSENT = _Absent()

@@ -1,0 +1,171 @@
+"""The PIE programming model: ``PEval``, ``IncEval``, ``Assemble``.
+
+Paper Section 3: to parallelize a query class ``Q`` with GRAPE, a user
+provides three *sequential* functions plus a small message preamble.  This
+module defines that contract as an abstract base class; the concrete PIE
+programs in :mod:`repro.pie_programs` wrap the untouched sequential
+algorithms of :mod:`repro.sequential`.
+
+The message machinery mirrors the paper:
+
+* every program declares status variables over a *candidate set* ``C_i``
+  of border nodes (``F_i.I`` or ``F_i.O``, optionally ``d``-hop extended);
+* after each round the engine reads the variables back
+  (:meth:`PIEProgram.read_update_params`), diffs them against the previous
+  round, and ships only changed values — "GRAPE minimizes communication
+  costs by passing only updated variable values";
+* incoming values are resolved by the program's
+  :attr:`~PIEProgram.aggregator` and handed to ``IncEval`` as the message
+  ``M_i``.
+
+Update-parameter keys are ``(node, name)`` pairs: ``node`` is the border
+node the value is attached to (used for routing through ``G_P``), ``name``
+distinguishes multiple variables on one node (e.g. Sim's per-query-node
+booleans).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Dict, Hashable, Optional, Set, Tuple
+
+from repro.core.aggregators import Aggregator, DefaultExceptionAggregator
+from repro.graph.graph import Graph, Node
+from repro.partition.base import Fragment, Fragmentation
+
+__all__ = ["PIEProgram", "ParamKey", "ParamUpdates"]
+
+# (border node, variable name) -> value
+ParamKey = Tuple[Node, Hashable]
+ParamUpdates = Dict[ParamKey, Any]
+
+
+class PIEProgram(abc.ABC):
+    """A PIE program for one query class ``Q``.
+
+    Subclasses implement the three sequential functions and the message
+    preamble.  All per-fragment mutable data lives in an opaque *state*
+    object created by :meth:`init_state`; the engine never inspects it
+    beyond deep-copying for checkpoints.
+    """
+
+    #: human-readable query-class name ("SSSP", "Sim", ...)
+    name: str = "abstract"
+
+    #: conflict resolution for update parameters (the message segment's
+    #: ``aggregateMsg``); paper default is the exception handler.
+    aggregator: Aggregator = DefaultExceptionAggregator()
+
+    # ------------------------------------------------------------------
+    # Message preamble
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def init_state(self, query: Any, fragment: Fragment) -> Any:
+        """Declare and initialize status variables for a fragment.
+
+        Runs once per fragment before ``PEval`` (the paper's variable
+        declaration in the message preamble).
+        """
+
+    @abc.abstractmethod
+    def read_update_params(self, query: Any, fragment: Fragment,
+                           state: Any) -> ParamUpdates:
+        """Current values of the update parameters ``C_i.x̄``.
+
+        The engine diffs successive reads to find changed values; only
+        those are shipped.
+        """
+
+    # ------------------------------------------------------------------
+    # The three sequential functions
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def peval(self, query: Any, fragment: Fragment, state: Any) -> None:
+        """Partial evaluation: compute ``Q(F_i)`` on the local fragment."""
+
+    @abc.abstractmethod
+    def inceval(self, query: Any, fragment: Fragment, state: Any,
+                message: ParamUpdates) -> None:
+        """Incremental evaluation: compute ``Q(F_i ⊕ M_i)``.
+
+        ``message`` maps update-parameter keys to their aggregated new
+        values; the implementation applies them and propagates changes
+        (reusing the previous round's partial result in ``state``).
+        """
+
+    @abc.abstractmethod
+    def assemble(self, query: Any, fragmentation: Fragmentation,
+                 states: Dict[int, Any]) -> Any:
+        """Combine partial results into ``Q(G)``."""
+
+    # ------------------------------------------------------------------
+    # Optional hooks
+    # ------------------------------------------------------------------
+    def apply_message(self, query: Any, fragment: Fragment, state: Any,
+                      message: ParamUpdates) -> None:
+        """Write message values into the state *without* propagating.
+
+        Used by the non-incremental ablation mode (the paper's GRAPE-NI,
+        Exp-2), which applies the message then re-runs ``PEval`` from
+        scratch instead of calling ``IncEval``.  Default: delegate to
+        ``inceval`` (programs for which re-running PEval makes no sense).
+        """
+        self.inceval(query, fragment, state, message)
+
+    def preprocess(self, query: Any,
+                   fragmentation: Fragmentation) -> Optional[Dict[int, Any]]:
+        """Optional data shipping before ``PEval``.
+
+        SubIso uses this to send each fragment the ``d_Q``-neighborhood of
+        its in-border nodes (paper Section 5.1).  Returns a per-fragment
+        payload dict, or ``None`` when nothing is shipped; payload bytes
+        are charged as communication.
+        """
+        return None
+
+    def apply_preprocess(self, query: Any, fragment: Fragment, state: Any,
+                         payload: Any) -> None:
+        """Incorporate a :meth:`preprocess` payload into fragment state."""
+        raise NotImplementedError(
+            f"{type(self).__name__} shipped a preprocess payload but does "
+            "not implement apply_preprocess")
+
+    #: How changed update parameters are routed through ``G_P``:
+    #: ``"holders"`` sends to every fragment containing the border node
+    #: (Sim, CC, CF); ``"owner"`` sends to the owning fragment only (SSSP,
+    #: whose ``F_i.O`` copies have no local out-edges).
+    route_to: str = "holders"
+
+    def drain_messages(self, query: Any, fragment: Fragment,
+                       state: Any) -> Tuple[Dict[int, list], list]:
+        """Drain explicitly addressed messages (paper Section 3.5).
+
+        GRAPE supports, besides update parameters, (a) *designated*
+        messages from one worker to another and (b) *key-value* pairs
+        grouped by key at the coordinator (the MapReduce channel used by
+        the Simulation Theorem compilers).
+
+        Returns ``(designated, keyvalue)`` where ``designated`` maps a
+        destination fragment id to a list of payloads and ``keyvalue`` is
+        a list of ``(key, value)`` pairs.  Default: nothing.
+        """
+        return {}, []
+
+    def deliver_designated(self, query: Any, fragment: Fragment, state: Any,
+                           payloads: list) -> None:
+        """Receive designated messages addressed to this worker."""
+        raise NotImplementedError(
+            f"{type(self).__name__} received designated messages but does "
+            "not implement deliver_designated")
+
+    def deliver_keyvalue(self, query: Any, fragment: Fragment, state: Any,
+                         groups: Dict[Hashable, list]) -> None:
+        """Receive key-value groups assigned to this worker by the
+        coordinator's shuffle (keys hashed across workers)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} received key-value messages but does "
+            "not implement deliver_keyvalue")
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

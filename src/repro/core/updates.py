@@ -1,0 +1,191 @@
+"""Continuous queries under graph updates (paper Section 6's "lightweight
+transaction controller ... to support not only queries but also updates").
+
+GRAPE's incremental machinery is exactly what answer maintenance needs: a
+batch of edge insertions is a set of local changes, IncEval propagates
+their effects through the affected area, and the usual fixpoint restores
+a correct answer — without recomputing from scratch.
+
+:class:`ContinuousQuerySession` holds a standing query against a
+partitioned graph.  :meth:`insert_edges` applies an insertion batch to
+the fragments (maintaining border sets and ``G_P``), lets the PIE program
+fold the new edges into its per-fragment state through the
+:meth:`~repro.core.pie.PIEProgram.on_graph_update` hook, and resumes the
+message fixpoint from the current state.
+
+Supported for monotonic, insertion-friendly query classes: SSSP (new
+edges only shorten paths) and CC (new edges only merge components).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.engine import GrapeEngine
+from repro.core.monotonic import MonotonicityChecker
+from repro.core.pie import ParamKey, ParamUpdates, PIEProgram
+from repro.graph.graph import Graph, Node
+from repro.partition.base import Fragmentation
+from repro.runtime.metrics import CostModel, RunMetrics, message_bytes
+
+__all__ = ["ContinuousQuerySession", "apply_insertions"]
+
+EdgeInsertion = Tuple[Node, Node, float]
+
+_DEFAULT_COST = CostModel()
+
+
+def apply_insertions(fragmentation: Fragmentation,
+                     edges: Iterable[EdgeInsertion],
+                     ) -> Dict[int, List[EdgeInsertion]]:
+    """Apply edge insertions to a fragmentation in place.
+
+    Each edge ``(u, v, w)`` is stored at the owner of ``u`` (matching the
+    edge-cut construction); a copy of ``v`` joins that fragment's outer
+    set when owned elsewhere, and border sets plus the ``G_P`` holder
+    index are maintained.  New nodes are assigned to a fragment by hash.
+
+    Returns the per-fragment lists of inserted edges (for the program's
+    update hook).  Undirected graphs get the symmetric orientation stored
+    at ``v``'s owner as well.
+    """
+    graph = fragmentation.graph
+    gp = fragmentation.gp
+    m = fragmentation.num_fragments
+    touched: Dict[int, List[EdgeInsertion]] = {}
+
+    def ensure_node(x: Node) -> int:
+        if x in gp:
+            return gp.owner(x)
+        fid = hash(x) % m
+        graph.add_node(x)
+        frag = fragmentation[fid]
+        frag.graph.add_node(x)
+        frag.owned.add(x)
+        gp._owner[x] = fid
+        gp._holders[x] = frozenset((fid,))
+        return fid
+
+    def add_holder(x: Node, fid: int) -> None:
+        gp._holders[x] = gp.holders(x) | {fid}
+
+    def store(u: Node, v: Node, w: float) -> None:
+        fu, fv = gp.owner(u), gp.owner(v)
+        frag = fragmentation[fu]
+        frag.graph.add_node(v, graph.node_label(v))
+        frag.graph.add_edge(u, v, weight=w)
+        add_holder(v, fu)
+        add_holder(u, fu)
+        if fu != fv:
+            frag.outer.add(v)
+            fragmentation[fv].inner.add(v)
+        touched.setdefault(fu, []).append((u, v, w))
+
+    for u, v, w in edges:
+        ensure_node(u)
+        ensure_node(v)
+        if graph.has_edge(u, v):
+            # Only monotone updates are maintainable: a weight decrease is
+            # an insertion-like improvement; an increase would require
+            # non-monotonic re-evaluation, so it is rejected.
+            current = graph.edge_weight(u, v)
+            if w > current:
+                raise ValueError(
+                    f"edge ({u!r}, {v!r}) exists with weight {current}; "
+                    "weight increases are not insertion-maintainable")
+            if w == current:
+                continue
+        graph.add_edge(u, v, weight=w)
+        store(u, v, w)
+        if not graph.directed:
+            store(v, u, w)
+    return touched
+
+
+class ContinuousQuerySession:
+    """A standing query whose answer is maintained under insertions."""
+
+    def __init__(self, engine: GrapeEngine, program: PIEProgram, query: Any,
+                 graph: Graph):
+        if not hasattr(program, "on_graph_update"):
+            raise TypeError(
+                f"{type(program).__name__} does not implement "
+                "on_graph_update; continuous queries need it")
+        self.engine = engine
+        self.program = program
+        self.query = query
+        self.fragmentation = engine.make_fragmentation(graph)
+        result = engine.run(program, query,
+                            fragmentation=self.fragmentation)
+        self.states = result.states
+        self.answer = result.answer
+        self.metrics = result.metrics
+        # Baseline the coordinator tables from the converged state.
+        self._reported: Dict[int, ParamUpdates] = {}
+        self._table: Dict[ParamKey, Any] = {}
+        for frag in self.fragmentation:
+            params = program.read_update_params(query, frag,
+                                                self.states[frag.fid])
+            self._reported[frag.fid] = params
+            for key, value in params.items():
+                if key in self._table:
+                    self._table[key] = program.aggregator.combine(
+                        self._table[key], value)
+                else:
+                    self._table[key] = value
+
+    # ------------------------------------------------------------------
+    def insert_edges(self, edges: Iterable[EdgeInsertion]) -> Any:
+        """Apply an insertion batch and refresh the answer incrementally.
+
+        Returns the updated answer; ``self.metrics`` accumulates the
+        maintenance cost (supersteps, bytes) on top of the initial run.
+        """
+        program, query = self.program, self.query
+        checker = MonotonicityChecker(program.aggregator,
+                                      enabled=self.engine.check_monotonic)
+        touched = apply_insertions(self.fragmentation, edges)
+
+        start = time.perf_counter()
+        for fid, inserted in touched.items():
+            program.on_graph_update(query, self.fragmentation[fid],
+                                    self.states[fid], inserted)
+        local_s = time.perf_counter() - start
+
+        frags = self.fragmentation.fragments
+        up_bytes, up_msgs, dirty = self.engine._collect_reports(
+            program, query, frags, self.states, self._reported,
+            self._table, checker, first_round=False)
+        messages = self.engine._compose_messages(
+            program, self.fragmentation, self._reported, dirty,
+            self._table)
+        self.metrics.record_superstep([local_s], up_bytes, up_msgs,
+                                      self.engine.cost_model
+                                      or _DEFAULT_COST)
+
+        rounds = 0
+        while messages:
+            rounds += 1
+            if rounds > self.engine.max_supersteps:
+                raise RuntimeError("maintenance did not reach a fixpoint")
+            down_bytes = sum(message_bytes(msg)
+                             for msg in messages.values())
+            times = []
+            for fid, msg in messages.items():
+                t0 = time.perf_counter()
+                program.inceval(query, frags[fid], self.states[fid], msg)
+                times.append(time.perf_counter() - t0)
+            up_bytes, up_msgs, dirty = self.engine._collect_reports(
+                program, query, frags, self.states, self._reported,
+                self._table, checker, first_round=False)
+            messages = self.engine._compose_messages(
+                program, self.fragmentation, self._reported, dirty,
+                self._table)
+            self.metrics.record_superstep(
+                times, down_bytes + up_bytes, len(messages) + up_msgs,
+                self.engine.cost_model or _DEFAULT_COST)
+
+        self.answer = program.assemble(query, self.fragmentation,
+                                       self.states)
+        return self.answer

@@ -1,0 +1,7 @@
+"""Graph substrate: data structures, builders, generators and I/O."""
+
+from repro.graph.graph import Graph, Node, Edge
+from repro.graph.csr import CSRGraph
+from repro.graph import builders, generators, io
+
+__all__ = ["Graph", "Node", "Edge", "CSRGraph", "builders", "generators", "io"]

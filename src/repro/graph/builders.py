@@ -1,0 +1,94 @@
+"""Convenience constructors for :class:`repro.graph.Graph`."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Mapping, Sequence, Tuple
+
+from repro.graph.graph import Graph, Node
+
+__all__ = [
+    "from_edges",
+    "from_weighted_edges",
+    "from_adjacency",
+    "path_graph",
+    "cycle_graph",
+    "complete_graph",
+    "star_graph",
+]
+
+
+def from_edges(edges: Iterable[Tuple[Node, Node]], directed: bool = True,
+               node_labels: Mapping[Node, Any] | None = None) -> Graph:
+    """Build a graph from ``(u, v)`` pairs with unit weights."""
+    g = Graph(directed=directed)
+    for u, v in edges:
+        g.add_edge(u, v)
+    if node_labels:
+        for v, lbl in node_labels.items():
+            g.add_node(v, lbl)
+    return g
+
+
+def from_weighted_edges(edges: Iterable[Tuple[Node, Node, float]],
+                        directed: bool = True) -> Graph:
+    """Build a graph from ``(u, v, weight)`` triples."""
+    g = Graph(directed=directed)
+    for u, v, w in edges:
+        g.add_edge(u, v, weight=w)
+    return g
+
+
+def from_adjacency(adj: Mapping[Node, Sequence[Node]],
+                   directed: bool = True) -> Graph:
+    """Build a graph from a ``node -> neighbors`` mapping.
+
+    Isolated nodes (empty neighbor lists) are preserved.
+    """
+    g = Graph(directed=directed)
+    for u, nbrs in adj.items():
+        g.add_node(u)
+        for v in nbrs:
+            g.add_edge(u, v)
+    return g
+
+
+def path_graph(n: int, directed: bool = False) -> Graph:
+    """Path ``0 - 1 - ... - (n-1)``."""
+    g = Graph(directed=directed)
+    for v in range(n):
+        g.add_node(v)
+    for v in range(n - 1):
+        g.add_edge(v, v + 1)
+    return g
+
+
+def cycle_graph(n: int, directed: bool = False) -> Graph:
+    """Cycle over ``n`` nodes; requires ``n >= 3``."""
+    if n < 3:
+        raise ValueError("cycle requires at least 3 nodes")
+    g = path_graph(n, directed=directed)
+    g.add_edge(n - 1, 0)
+    return g
+
+
+def complete_graph(n: int, directed: bool = False) -> Graph:
+    g = Graph(directed=directed)
+    for v in range(n):
+        g.add_node(v)
+    for u in range(n):
+        for v in range(n):
+            if u == v:
+                continue
+            if not directed and u > v:
+                continue
+            g.add_edge(u, v)
+    return g
+
+
+def star_graph(n_leaves: int, directed: bool = False) -> Graph:
+    """Hub node ``0`` connected to leaves ``1..n_leaves``."""
+    g = Graph(directed=directed)
+    g.add_node(0)
+    for v in range(1, n_leaves + 1):
+        g.add_edge(0, v)
+    return g

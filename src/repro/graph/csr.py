@@ -1,0 +1,138 @@
+"""Compressed sparse row (CSR) snapshot of a :class:`repro.graph.Graph`.
+
+GRAPE's optimization story (paper Section 6) relies on the fact that
+fragment-local computation may use any representation effective for the
+sequential algorithm.  ``CSRGraph`` is a frozen, numpy-backed adjacency used
+by the heavier numeric kernels (e.g. collaborative filtering mini-batches)
+and by the benchmark harness when a read-only traversal is hot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.graph import Graph, Node
+
+__all__ = ["CSRGraph"]
+
+
+class CSRGraph:
+    """Immutable CSR adjacency with parallel reverse (CSC) structure.
+
+    Attributes
+    ----------
+    indptr, indices, weights:
+        Standard CSR arrays over dense node ids ``0..n-1``.
+    rev_indptr, rev_indices, rev_weights:
+        The transposed (incoming-edge) structure.
+    id_of, node_of:
+        Mappings between original node objects and dense ids.
+    """
+
+    __slots__ = ("n", "directed", "indptr", "indices", "weights",
+                 "rev_indptr", "rev_indices", "rev_weights",
+                 "id_of", "node_of", "labels")
+
+    def __init__(self, n: int, directed: bool,
+                 indptr: np.ndarray, indices: np.ndarray, weights: np.ndarray,
+                 rev_indptr: np.ndarray, rev_indices: np.ndarray,
+                 rev_weights: np.ndarray,
+                 id_of: Dict[Node, int], node_of: List[Node],
+                 labels: List):
+        self.n = n
+        self.directed = directed
+        self.indptr = indptr
+        self.indices = indices
+        self.weights = weights
+        self.rev_indptr = rev_indptr
+        self.rev_indices = rev_indices
+        self.rev_weights = rev_weights
+        self.id_of = id_of
+        self.node_of = node_of
+        self.labels = labels
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(cls, g: Graph) -> "CSRGraph":
+        node_of = list(g.nodes())
+        id_of = {v: i for i, v in enumerate(node_of)}
+        n = len(node_of)
+        labels = [g.node_label(v) for v in node_of]
+
+        out_deg = np.zeros(n + 1, dtype=np.int64)
+        in_deg = np.zeros(n + 1, dtype=np.int64)
+        # For undirected graphs Graph stores both orientations already; use
+        # successors directly so CSR mirrors the symmetric adjacency.
+        rows: List[Tuple[int, int, float]] = []
+        for v in node_of:
+            vid = id_of[v]
+            for u, w in g.successors_with_weights(v):
+                rows.append((vid, id_of[u], w))
+                out_deg[vid + 1] += 1
+                in_deg[id_of[u] + 1] += 1
+
+        indptr = np.cumsum(out_deg)
+        rev_indptr = np.cumsum(in_deg)
+        m = len(rows)
+        indices = np.empty(m, dtype=np.int64)
+        weights = np.empty(m, dtype=np.float64)
+        rev_indices = np.empty(m, dtype=np.int64)
+        rev_weights = np.empty(m, dtype=np.float64)
+
+        fill = indptr[:-1].copy() if n else np.empty(0, dtype=np.int64)
+        rev_fill = rev_indptr[:-1].copy() if n else np.empty(0, dtype=np.int64)
+        for src, dst, w in rows:
+            pos = fill[src]
+            indices[pos] = dst
+            weights[pos] = w
+            fill[src] += 1
+            rpos = rev_fill[dst]
+            rev_indices[rpos] = src
+            rev_weights[rpos] = w
+            rev_fill[dst] += 1
+
+        return cls(n, g.directed, indptr, indices, weights,
+                   rev_indptr, rev_indices, rev_weights,
+                   id_of, node_of, labels)
+
+    # ------------------------------------------------------------------
+    def out_neighbors(self, vid: int) -> np.ndarray:
+        return self.indices[self.indptr[vid]:self.indptr[vid + 1]]
+
+    def out_weights(self, vid: int) -> np.ndarray:
+        return self.weights[self.indptr[vid]:self.indptr[vid + 1]]
+
+    def in_neighbors(self, vid: int) -> np.ndarray:
+        return self.rev_indices[self.rev_indptr[vid]:self.rev_indptr[vid + 1]]
+
+    def in_weights(self, vid: int) -> np.ndarray:
+        return self.rev_weights[self.rev_indptr[vid]:self.rev_indptr[vid + 1]]
+
+    def out_degree(self, vid: int) -> int:
+        return int(self.indptr[vid + 1] - self.indptr[vid])
+
+    def in_degree(self, vid: int) -> int:
+        return int(self.rev_indptr[vid + 1] - self.rev_indptr[vid])
+
+    @property
+    def num_directed_edges(self) -> int:
+        return int(self.indices.shape[0])
+
+    def to_graph(self) -> Graph:
+        """Round-trip back to a mutable :class:`Graph`."""
+        g = Graph(directed=self.directed)
+        for vid in range(self.n):
+            g.add_node(self.node_of[vid], self.labels[vid])
+        for vid in range(self.n):
+            start, end = self.indptr[vid], self.indptr[vid + 1]
+            for k in range(start, end):
+                u = self.node_of[vid]
+                v = self.node_of[int(self.indices[k])]
+                if not g.has_edge(u, v):
+                    g.add_edge(u, v, weight=float(self.weights[k]))
+        return g
+
+    def __repr__(self) -> str:
+        return f"CSRGraph(n={self.n}, m={self.num_directed_edges})"

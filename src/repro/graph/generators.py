@@ -1,0 +1,219 @@
+"""Seeded synthetic graph generators.
+
+These stand in for the paper's datasets (Section 7 and Appendix B):
+
+* :func:`grid_road_graph` — the *traffic* stand-in: a 2-D grid with random
+  diagonal shortcuts and positive weights; very large diameter and tiny
+  average degree, the regime where vertex-centric SSSP needs thousands of
+  supersteps.
+* :func:`preferential_attachment` — the *liveJournal*/*DBpedia* stand-in:
+  heavy-tailed degrees, small diameter.
+* :func:`uniform_random_graph` — Erdős–Rényi-style G(n, m).
+* :func:`bipartite_ratings_graph` — the *movieLens* stand-in for CF, with
+  planted latent factors so SGD has real structure to recover.
+* :func:`labeled_graph` — wraps any generator with labels drawn from an
+  alphabet, as in the paper's synthetic generator (|L| = 50 labels).
+
+All generators take an explicit ``seed`` and are fully deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+__all__ = [
+    "uniform_random_graph",
+    "preferential_attachment",
+    "grid_road_graph",
+    "bipartite_ratings_graph",
+    "assign_labels",
+    "labeled_graph",
+    "random_dag",
+]
+
+
+def uniform_random_graph(num_nodes: int, num_edges: int, *, directed: bool = True,
+                         seed: int = 0, max_weight: float = 1.0) -> Graph:
+    """G(n, m): ``num_edges`` distinct edges sampled uniformly.
+
+    Self-loops are excluded.  Weights are uniform in ``(0, max_weight]``.
+    """
+    if num_nodes < 2 and num_edges > 0:
+        raise ValueError("need at least 2 nodes to place edges")
+    rng = random.Random(seed)
+    g = Graph(directed=directed)
+    for v in range(num_nodes):
+        g.add_node(v)
+    placed = 0
+    limit = num_nodes * (num_nodes - 1)
+    if not directed:
+        limit //= 2
+    target = min(num_edges, limit)
+    while placed < target:
+        u = rng.randrange(num_nodes)
+        v = rng.randrange(num_nodes)
+        if u == v or g.has_edge(u, v):
+            continue
+        w = rng.uniform(0.0, max_weight) or max_weight
+        g.add_edge(u, v, weight=w)
+        placed += 1
+    return g
+
+
+def preferential_attachment(num_nodes: int, edges_per_node: int = 4, *,
+                            directed: bool = True, seed: int = 0,
+                            max_weight: float = 1.0) -> Graph:
+    """Barabási–Albert-style power-law graph.
+
+    Each new node attaches ``edges_per_node`` edges to existing nodes chosen
+    proportionally to degree, giving the heavy-tailed degree distribution of
+    social networks such as liveJournal.
+    """
+    if num_nodes < edges_per_node + 1:
+        raise ValueError("num_nodes must exceed edges_per_node")
+    rng = random.Random(seed)
+    g = Graph(directed=directed)
+    # Seed clique over the first edges_per_node + 1 nodes.
+    core = edges_per_node + 1
+    for v in range(core):
+        g.add_node(v)
+    repeated: List[int] = []  # node repeated once per incident edge
+    for u in range(core):
+        for v in range(u + 1, core):
+            g.add_edge(u, v, weight=rng.uniform(0.1, max_weight))
+            repeated.extend((u, v))
+    for v in range(core, num_nodes):
+        g.add_node(v)
+        chosen = set()
+        while len(chosen) < edges_per_node:
+            chosen.add(rng.choice(repeated))
+        for u in chosen:
+            g.add_edge(v, u, weight=rng.uniform(0.1, max_weight))
+            repeated.extend((u, v))
+    return g
+
+
+def grid_road_graph(rows: int, cols: int, *, shortcut_prob: float = 0.05,
+                    seed: int = 0, directed: bool = True,
+                    max_weight: float = 10.0) -> Graph:
+    """Road-network stand-in: ``rows x cols`` grid plus random diagonals.
+
+    Every grid edge is added in both directions (roads are two-way) with a
+    positive random weight.  Diameter is Θ(rows + cols), matching the key
+    property of the paper's *traffic* dataset.
+    """
+    rng = random.Random(seed)
+    g = Graph(directed=directed)
+
+    def nid(r: int, c: int) -> int:
+        return r * cols + c
+
+    for r in range(rows):
+        for c in range(cols):
+            g.add_node(nid(r, c))
+    for r in range(rows):
+        for c in range(cols):
+            w = rng.uniform(1.0, max_weight)
+            if c + 1 < cols:
+                g.add_edge(nid(r, c), nid(r, c + 1), weight=w)
+                if directed:
+                    g.add_edge(nid(r, c + 1), nid(r, c), weight=w)
+            if r + 1 < rows:
+                w2 = rng.uniform(1.0, max_weight)
+                g.add_edge(nid(r, c), nid(r + 1, c), weight=w2)
+                if directed:
+                    g.add_edge(nid(r + 1, c), nid(r, c), weight=w2)
+            if (r + 1 < rows and c + 1 < cols
+                    and rng.random() < shortcut_prob):
+                w3 = rng.uniform(1.0, max_weight)
+                g.add_edge(nid(r, c), nid(r + 1, c + 1), weight=w3)
+                if directed:
+                    g.add_edge(nid(r + 1, c + 1), nid(r, c), weight=w3)
+    return g
+
+
+def bipartite_ratings_graph(num_users: int, num_items: int, num_ratings: int,
+                            *, num_factors: int = 8, noise: float = 0.2,
+                            seed: int = 0) -> Tuple[Graph, np.ndarray, np.ndarray]:
+    """movieLens stand-in: bipartite user->item graph with planted factors.
+
+    Users are nodes ``("u", i)``; items are ``("p", j)``.  Ratings (edge
+    weights) are generated from planted latent vectors plus Gaussian noise,
+    so CF via SGD has genuine low-rank structure to recover.  Item popularity
+    is Zipf-distributed, as in real rating data.
+
+    Returns ``(graph, true_user_factors, true_item_factors)``.
+    """
+    rng = np.random.default_rng(seed)
+    user_f = rng.normal(0.0, 1.0, size=(num_users, num_factors))
+    item_f = rng.normal(0.0, 1.0, size=(num_items, num_factors))
+
+    ranks = np.arange(1, num_items + 1, dtype=np.float64)
+    item_probs = (1.0 / ranks)
+    item_probs /= item_probs.sum()
+
+    g = Graph(directed=True)
+    for i in range(num_users):
+        g.add_node(("u", i), label="user")
+    for j in range(num_items):
+        g.add_node(("p", j), label="item")
+
+    placed = set()
+    max_possible = num_users * num_items
+    target = min(num_ratings, max_possible)
+    while len(placed) < target:
+        u = int(rng.integers(num_users))
+        p = int(rng.choice(num_items, p=item_probs))
+        if (u, p) in placed:
+            continue
+        placed.add((u, p))
+        rating = float(user_f[u] @ item_f[p] + rng.normal(0.0, noise))
+        g.add_edge(("u", u), ("p", p), weight=rating, label="rating")
+    return g, user_f, item_f
+
+
+def assign_labels(g: Graph, alphabet: Sequence, *, seed: int = 0) -> Graph:
+    """Assign node labels uniformly from ``alphabet`` (in place)."""
+    rng = random.Random(seed)
+    for v in g.nodes():
+        g.set_node_label(v, rng.choice(list(alphabet)))
+    return g
+
+
+def labeled_graph(num_nodes: int, num_edges: int, *, num_labels: int = 50,
+                  seed: int = 0, directed: bool = True) -> Graph:
+    """The paper's synthetic generator: |L| labels drawn uniformly.
+
+    Used in the Fig. 9 scalability experiments (alphabet of 50 labels).
+    """
+    g = uniform_random_graph(num_nodes, num_edges, directed=directed,
+                             seed=seed)
+    return assign_labels(g, [f"l{i}" for i in range(num_labels)],
+                         seed=seed + 1)
+
+
+def random_dag(num_nodes: int, num_edges: int, *, seed: int = 0) -> Graph:
+    """Random DAG: edges only go from lower to higher node id."""
+    rng = random.Random(seed)
+    g = Graph(directed=True)
+    for v in range(num_nodes):
+        g.add_node(v)
+    placed = 0
+    limit = num_nodes * (num_nodes - 1) // 2
+    target = min(num_edges, limit)
+    while placed < target:
+        u = rng.randrange(num_nodes)
+        v = rng.randrange(num_nodes)
+        if u == v:
+            continue
+        u, v = min(u, v), max(u, v)
+        if g.has_edge(u, v):
+            continue
+        g.add_edge(u, v)
+        placed += 1
+    return g

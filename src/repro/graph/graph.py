@@ -1,0 +1,287 @@
+"""Core graph data structure used throughout the GRAPE reproduction.
+
+The paper (Section 2) works with graphs ``G = (V, E, L)``, directed or
+undirected, where every node and edge may carry a label.  Edges may in
+addition carry a numeric weight (used by SSSP and collaborative filtering).
+
+``Graph`` is a mutable adjacency-list structure tuned for the access
+patterns of the sequential algorithms in :mod:`repro.sequential`:
+
+* ``successors(v)`` / ``predecessors(v)`` in O(out-degree) / O(in-degree);
+* O(1) membership tests for nodes and edges;
+* cheap induced-subgraph extraction (used by fragment construction).
+
+For read-heavy numeric kernels a frozen CSR snapshot is available via
+:meth:`Graph.to_csr` (see :mod:`repro.graph.csr`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Iterable, Iterator, Optional, Set, Tuple
+
+Node = Hashable
+Edge = Tuple[Node, Node]
+
+__all__ = ["Graph", "Node", "Edge"]
+
+
+class Graph:
+    """A directed or undirected labeled, weighted graph.
+
+    Undirected graphs are stored as symmetric directed graphs: adding edge
+    ``(u, v)`` also records ``(v, u)``, and both orientations share the same
+    label and weight.  ``num_edges`` counts each undirected edge once.
+
+    Parameters
+    ----------
+    directed:
+        Whether edges are one-way.  Defaults to ``True`` (the paper's SSSP,
+        Sim and SubIso use directed graphs; CC uses undirected).
+    """
+
+    __slots__ = ("directed", "_succ", "_pred", "_node_labels", "_edge_labels",
+                 "_edge_weights", "_num_undirected_edges")
+
+    def __init__(self, directed: bool = True):
+        self.directed = directed
+        # node -> dict(successor -> weight)
+        self._succ: Dict[Node, Dict[Node, float]] = {}
+        self._pred: Dict[Node, Dict[Node, float]] = {}
+        self._node_labels: Dict[Node, Any] = {}
+        self._edge_labels: Dict[Edge, Any] = {}
+        self._edge_weights: Dict[Edge, float] = {}
+        self._num_undirected_edges = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, v: Node, label: Any = None) -> None:
+        """Add node ``v`` (idempotent); set its label if given."""
+        if v not in self._succ:
+            self._succ[v] = {}
+            self._pred[v] = {}
+        if label is not None:
+            self._node_labels[v] = label
+
+    def add_edge(self, u: Node, v: Node, weight: float = 1.0,
+                 label: Any = None) -> None:
+        """Add edge ``(u, v)``; endpoints are created if missing.
+
+        Re-adding an existing edge overwrites its weight and label.
+        """
+        self.add_node(u)
+        self.add_node(v)
+        is_new = v not in self._succ[u]
+        self._succ[u][v] = weight
+        self._pred[v][u] = weight
+        self._edge_weights[(u, v)] = weight
+        if label is not None:
+            self._edge_labels[(u, v)] = label
+        if not self.directed:
+            self._succ[v][u] = weight
+            self._pred[u][v] = weight
+            self._edge_weights[(v, u)] = weight
+            if label is not None:
+                self._edge_labels[(v, u)] = label
+            if is_new:
+                self._num_undirected_edges += 1
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        """Remove edge ``(u, v)``; raises ``KeyError`` if absent."""
+        del self._succ[u][v]
+        del self._pred[v][u]
+        self._edge_weights.pop((u, v), None)
+        self._edge_labels.pop((u, v), None)
+        if not self.directed:
+            self._succ[v].pop(u, None)
+            self._pred[u].pop(v, None)
+            self._edge_weights.pop((v, u), None)
+            self._edge_labels.pop((v, u), None)
+            self._num_undirected_edges -= 1
+
+    def remove_node(self, v: Node) -> None:
+        """Remove ``v`` and every incident edge."""
+        for u in list(self._pred[v]):
+            self.remove_edge(u, v)
+        for w in list(self._succ.get(v, ())):
+            self.remove_edge(v, w)
+        self._succ.pop(v, None)
+        self._pred.pop(v, None)
+        self._node_labels.pop(v, None)
+
+    def set_node_label(self, v: Node, label: Any) -> None:
+        if v not in self._succ:
+            raise KeyError(v)
+        self._node_labels[v] = label
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self._succ)
+
+    @property
+    def num_edges(self) -> int:
+        """Directed edge count; undirected edges are counted once."""
+        if self.directed:
+            return len(self._edge_weights)
+        return self._num_undirected_edges
+
+    def nodes(self) -> Iterator[Node]:
+        return iter(self._succ)
+
+    def edges(self) -> Iterator[Tuple[Node, Node, float]]:
+        """Iterate ``(u, v, weight)``; undirected edges appear once."""
+        if self.directed:
+            for u, nbrs in self._succ.items():
+                for v, w in nbrs.items():
+                    yield u, v, w
+        else:
+            seen: Set[frozenset] = set()
+            for u, nbrs in self._succ.items():
+                for v, w in nbrs.items():
+                    key = frozenset((u, v)) if u != v else frozenset((u,))
+                    if key not in seen:
+                        seen.add(key)
+                        yield u, v, w
+
+    def has_node(self, v: Node) -> bool:
+        return v in self._succ
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        return u in self._succ and v in self._succ[u]
+
+    def successors(self, v: Node) -> Iterator[Node]:
+        return iter(self._succ[v])
+
+    def predecessors(self, v: Node) -> Iterator[Node]:
+        return iter(self._pred[v])
+
+    def neighbors(self, v: Node) -> Iterator[Node]:
+        """Successors and predecessors, without duplicates."""
+        if not self.directed:
+            return iter(self._succ[v])
+        merged = dict.fromkeys(self._succ[v])
+        merged.update(dict.fromkeys(self._pred[v]))
+        return iter(merged)
+
+    def out_degree(self, v: Node) -> int:
+        return len(self._succ[v])
+
+    def in_degree(self, v: Node) -> int:
+        return len(self._pred[v])
+
+    def degree(self, v: Node) -> int:
+        if self.directed:
+            return len(self._succ[v]) + len(self._pred[v])
+        return len(self._succ[v])
+
+    def node_label(self, v: Node, default: Any = None) -> Any:
+        return self._node_labels.get(v, default)
+
+    def edge_label(self, u: Node, v: Node, default: Any = None) -> Any:
+        return self._edge_labels.get((u, v), default)
+
+    def edge_weight(self, u: Node, v: Node) -> float:
+        return self._succ[u][v]
+
+    def successors_with_weights(self, v: Node) -> Iterator[Tuple[Node, float]]:
+        return iter(self._succ[v].items())
+
+    def predecessors_with_weights(self, v: Node) -> Iterator[Tuple[Node, float]]:
+        return iter(self._pred[v].items())
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def induced_subgraph(self, nodes: Iterable[Node]) -> "Graph":
+        """Subgraph induced by ``nodes`` (paper Section 2).
+
+        Contains every edge of ``self`` whose endpoints are both in
+        ``nodes``, with labels and weights preserved.
+        """
+        keep = set(nodes)
+        sub = Graph(directed=self.directed)
+        for v in keep:
+            if v not in self._succ:
+                raise KeyError(v)
+            sub.add_node(v, self._node_labels.get(v))
+        for u in keep:
+            for v, w in self._succ[u].items():
+                if v in keep and not sub.has_edge(u, v):
+                    sub.add_edge(u, v, weight=w,
+                                 label=self._edge_labels.get((u, v)))
+        return sub
+
+    def subgraph_with_edges(self, nodes: Iterable[Node],
+                            edges: Iterable[Edge]) -> "Graph":
+        """Subgraph with explicit node and edge sets (not induced)."""
+        sub = Graph(directed=self.directed)
+        for v in nodes:
+            sub.add_node(v, self._node_labels.get(v))
+        for u, v in edges:
+            sub.add_edge(u, v, weight=self._succ[u][v],
+                         label=self._edge_labels.get((u, v)))
+        return sub
+
+    def reverse(self) -> "Graph":
+        """Graph with all edges reversed (labels/weights preserved)."""
+        rev = Graph(directed=self.directed)
+        for v in self._succ:
+            rev.add_node(v, self._node_labels.get(v))
+        for u, v, w in self.edges():
+            rev.add_edge(v, u, weight=w, label=self._edge_labels.get((u, v)))
+        return rev
+
+    def copy(self) -> "Graph":
+        dup = Graph(directed=self.directed)
+        for v in self._succ:
+            dup.add_node(v, self._node_labels.get(v))
+        for u, v, w in self.edges():
+            dup.add_edge(u, v, weight=w, label=self._edge_labels.get((u, v)))
+        return dup
+
+    def to_csr(self):
+        """Frozen CSR snapshot; see :class:`repro.graph.csr.CSRGraph`."""
+        from repro.graph.csr import CSRGraph
+        return CSRGraph.from_graph(self)
+
+    # ------------------------------------------------------------------
+    # Dunder conveniences
+    # ------------------------------------------------------------------
+    def __contains__(self, v: Node) -> bool:
+        return v in self._succ
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._succ)
+
+    def __repr__(self) -> str:
+        kind = "directed" if self.directed else "undirected"
+        return (f"Graph({kind}, nodes={self.num_nodes}, "
+                f"edges={self.num_edges})")
+
+    def __eq__(self, other: object) -> bool:
+        """Structural equality: same nodes, edges, labels and weights."""
+        if not isinstance(other, Graph):
+            return NotImplemented
+        if self.directed != other.directed:
+            return False
+        if set(self._succ) != set(other._succ):
+            return False
+        for u, nbrs in self._succ.items():
+            if nbrs != other._succ[u]:
+                return False
+        for v in self._succ:
+            if self._node_labels.get(v) != other._node_labels.get(v):
+                return False
+        for e, lbl in self._edge_labels.items():
+            if other._edge_labels.get(e) != lbl:
+                return False
+        return True
+
+    def __hash__(self):  # mutable: identity hash
+        return id(self)

@@ -1,0 +1,14 @@
+"""Graph-level optimizations: indexing, compression, message grouping."""
+
+from repro.optim.compression import (bisimulation_compress, chain_compress,
+                                     decompress_sim)
+from repro.optim.grouping import (grouped_bytes, grouping_savings,
+                                  ungrouped_bytes)
+from repro.optim.indexing import (IndexedSimCandidates, NeighborhoodIndex,
+                                  TwoHopIndex)
+
+__all__ = [
+    "NeighborhoodIndex", "IndexedSimCandidates", "TwoHopIndex",
+    "bisimulation_compress", "decompress_sim", "chain_compress",
+    "grouped_bytes", "ungrouped_bytes", "grouping_savings",
+]

@@ -1,0 +1,140 @@
+"""Query-preserving compression (paper Section 6, citing [20]).
+
+Each worker may compress its fragment offline such that any query of the
+class can be answered on the compressed graph without decompression.
+
+For graph simulation the right equivalence is **bisimulation**: nodes in
+the same bisimulation class match exactly the same query nodes, so the
+maximum simulation on the quotient graph lifts to the original by class
+membership.  :func:`bisimulation_compress` computes the coarsest partition
+by iterated signature refinement (Paige–Tarjan style, hash-signature
+variant) and builds the quotient.
+
+For traversal queries, :func:`chain_compress` contracts induced weighted
+paths (degree-2 chains) into single edges, preserving pairwise distances
+between the retained junction nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.graph.graph import Graph, Node
+
+__all__ = ["bisimulation_compress", "decompress_sim", "chain_compress"]
+
+
+def bisimulation_compress(graph: Graph) -> Tuple[Graph, Dict[Node, Node]]:
+    """Quotient ``graph`` by its coarsest bisimulation.
+
+    Returns ``(compressed, representative_of)`` where ``representative_of``
+    maps each node to its class representative (a node of the compressed
+    graph).  Node labels are preserved; a class edge exists when any member
+    has the edge.
+    """
+    # Initial blocks: by label.
+    block_of: Dict[Node, int] = {}
+    blocks: Dict[object, int] = {}
+    for v in graph.nodes():
+        key = graph.node_label(v)
+        if key not in blocks:
+            blocks[key] = len(blocks)
+        block_of[v] = blocks[key]
+
+    # Refine until stable: signature = (own block, set of successor blocks).
+    while True:
+        signatures: Dict[Node, tuple] = {}
+        for v in graph.nodes():
+            succ_blocks = frozenset(block_of[w] for w in graph.successors(v))
+            signatures[v] = (block_of[v], succ_blocks)
+        remap: Dict[tuple, int] = {}
+        new_block_of: Dict[Node, int] = {}
+        for v in graph.nodes():
+            sig = signatures[v]
+            if sig not in remap:
+                remap[sig] = len(remap)
+            new_block_of[v] = remap[sig]
+        if len(remap) == len(set(block_of.values())):
+            block_of = new_block_of
+            break
+        block_of = new_block_of
+
+    # Representative: the minimal member (stable, deterministic).
+    members: Dict[int, List[Node]] = {}
+    for v, b in block_of.items():
+        members.setdefault(b, []).append(v)
+    rep_of_block = {b: min(vs, key=repr) for b, vs in members.items()}
+    representative_of = {v: rep_of_block[b] for v, b in block_of.items()}
+
+    compressed = Graph(directed=graph.directed)
+    for b, rep in rep_of_block.items():
+        compressed.add_node(rep, graph.node_label(rep))
+    for u, v, w in graph.edges():
+        ru, rv = representative_of[u], representative_of[v]
+        if not compressed.has_edge(ru, rv):
+            compressed.add_edge(ru, rv, weight=w)
+    return compressed, representative_of
+
+
+def decompress_sim(sim_on_compressed: Dict[Node, Set[Node]],
+                   representative_of: Dict[Node, Node],
+                   ) -> Dict[Node, Set[Node]]:
+    """Lift a simulation relation on the quotient back to the original."""
+    members: Dict[Node, List[Node]] = {}
+    for v, rep in representative_of.items():
+        members.setdefault(rep, []).append(v)
+    out: Dict[Node, Set[Node]] = {}
+    for u, reps in sim_on_compressed.items():
+        expanded: Set[Node] = set()
+        for rep in reps:
+            expanded.update(members.get(rep, (rep,)))
+        out[u] = expanded
+    return out
+
+
+def chain_compress(graph: Graph) -> Tuple[Graph, Dict[Node, Tuple[Node, float]]]:
+    """Contract degree-2 chains for traversal queries.
+
+    Returns ``(compressed, offsets)``: interior chain nodes are removed,
+    the chain becomes one edge whose weight is the path length, and
+    ``offsets[v] = (chain_head, distance_from_head)`` reconstructs interior
+    distances (``dist(s, v) = dist(s, head) + offset``).
+
+    Only applies to directed graphs where interior nodes have exactly one
+    predecessor and one successor.
+    """
+    interior = [v for v in graph.nodes()
+                if graph.in_degree(v) == 1 and graph.out_degree(v) == 1
+                and next(graph.predecessors(v)) != v]
+    interior_set = set(interior)
+    compressed = Graph(directed=graph.directed)
+    offsets: Dict[Node, Tuple[Node, float]] = {}
+
+    for v in graph.nodes():
+        if v not in interior_set:
+            compressed.add_node(v, graph.node_label(v))
+
+    visited: Set[Node] = set()
+    for head in compressed.nodes():
+        if not graph.has_node(head):
+            continue
+        for nxt, w in graph.successors_with_weights(head):
+            if nxt not in interior_set:
+                if not compressed.has_edge(head, nxt) or \
+                        compressed.edge_weight(head, nxt) > w:
+                    compressed.add_edge(head, nxt, weight=w)
+                continue
+            # Walk the chain to its junction tail.
+            total = w
+            cur = nxt
+            while cur in interior_set and cur not in visited:
+                visited.add(cur)
+                offsets[cur] = (head, total)
+                nxt2, w2 = next(graph.successors_with_weights(cur))
+                total += w2
+                cur = nxt2
+            if cur not in interior_set:
+                if not compressed.has_edge(head, cur) or \
+                        compressed.edge_weight(head, cur) > total:
+                    compressed.add_edge(head, cur, weight=total)
+    return compressed, offsets

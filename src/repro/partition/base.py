@@ -1,0 +1,331 @@
+"""Fragments, fragmentations and the partition-strategy interface.
+
+Paper, Section 2: a strategy ``P`` partitions ``G`` into fragments
+``F = (F_1, ..., F_m)``; each ``F_i`` is a subgraph of ``G`` residing at
+worker ``P_i``; the union of fragments covers every node and edge.
+
+For an **edge-cut** partition each node has a unique *owner* fragment.  A
+fragment stores its owned nodes plus read-only *copies* of the out-border
+nodes it has edges into:
+
+* ``F_i.I`` — owned nodes with an incoming edge from another fragment
+  (paper: "nodes v in V_i such that there is an edge (v', v) incoming from a
+  node v' in F_j, i != j");
+* ``F_i.O`` — non-owned nodes that some owned node has an edge to.
+
+For a **vertex-cut** partition edges are assigned to fragments and nodes are
+replicated wherever they have incident edges; every replicated node is a
+border node (entry/exit vertices in the paper's terminology).
+
+The :class:`FragmentationGraph` (``G_P``) indexes, for every border node,
+which fragments hold it — GRAPE uses it to deduce message destinations.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Sequence, Set, Tuple
+
+from repro.graph.graph import Graph, Node
+
+__all__ = [
+    "Fragment",
+    "FragmentationGraph",
+    "Fragmentation",
+    "PartitionStrategy",
+    "build_edge_cut_fragments",
+    "build_vertex_cut_fragments",
+    "cut_edges",
+    "replication_factor",
+]
+
+
+class Fragment:
+    """One fragment ``F_i`` of a partitioned graph.
+
+    Attributes
+    ----------
+    fid:
+        Fragment index ``i`` in ``[0, m)``.
+    graph:
+        The local subgraph: owned nodes, their out-edges, and copies of
+        out-border endpoint nodes (edge-cut); or the assigned edges with
+        replicated endpoints (vertex-cut).
+    owned:
+        Nodes this fragment is the primary owner of.
+    inner:
+        ``F_i.I`` — owned border nodes reachable from other fragments.
+    outer:
+        ``F_i.O`` — copied nodes owned elsewhere.
+    """
+
+    __slots__ = ("fid", "graph", "owned", "inner", "outer")
+
+    def __init__(self, fid: int, graph: Graph, owned: Set[Node],
+                 inner: Set[Node], outer: Set[Node]):
+        self.fid = fid
+        self.graph = graph
+        self.owned = owned
+        self.inner = inner
+        self.outer = outer
+
+    @property
+    def border_nodes(self) -> Set[Node]:
+        """``F_i.I ∪ F_i.O`` (paper Section 2)."""
+        return self.inner | self.outer
+
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.num_edges
+
+    def __repr__(self) -> str:
+        return (f"Fragment(fid={self.fid}, owned={len(self.owned)}, "
+                f"inner={len(self.inner)}, outer={len(self.outer)})")
+
+
+class FragmentationGraph:
+    """The index ``G_P``: which fragments hold each border node.
+
+    For a border node ``v``, ``G_P(v)`` retrieves the pairs ``i -> j`` with
+    ``v ∈ F_i.O`` and ``v ∈ F_j.I``.  We store the equivalent primitive
+    facts and derive the pairs:
+
+    * ``owner[v]`` — the owning fragment (edge-cut) or master (vertex-cut);
+    * ``holders[v]`` — every fragment whose local graph contains ``v``.
+    """
+
+    def __init__(self, owner: Mapping[Node, int],
+                 holders: Mapping[Node, FrozenSet[int]]):
+        self._owner = dict(owner)
+        self._holders = {v: frozenset(fs) for v, fs in holders.items()}
+
+    def owner(self, v: Node) -> int:
+        return self._owner[v]
+
+    def holders(self, v: Node) -> FrozenSet[int]:
+        """All fragments whose local graph contains ``v``."""
+        return self._holders.get(v, frozenset((self._owner[v],)))
+
+    def border_nodes(self) -> Iterable[Node]:
+        """Nodes present in more than one fragment."""
+        for v, fs in self._holders.items():
+            if len(fs) > 1:
+                yield v
+
+    def pairs(self, v: Node) -> List[Tuple[int, int]]:
+        """The paper's ``G_P(v)``: pairs ``(i, j)`` with ``v ∈ F_i.O`` and
+        ``v ∈ F_j.I`` (i.e. copy at ``i``, owned at ``j``)."""
+        own = self._owner[v]
+        return [(i, own) for i in self.holders(v) if i != own]
+
+    def destinations(self, v: Node, from_fragment: int) -> FrozenSet[int]:
+        """Fragments (other than the sender) that must learn about a
+        change to a status variable of ``v``."""
+        return frozenset(f for f in self.holders(v) if f != from_fragment)
+
+    def __contains__(self, v: Node) -> bool:
+        return v in self._owner
+
+
+class Fragmentation:
+    """A complete partition of ``G``: fragments plus the ``G_P`` index."""
+
+    def __init__(self, graph: Graph, fragments: Sequence[Fragment],
+                 strategy_name: str = "unknown"):
+        self.graph = graph
+        self.fragments = list(fragments)
+        self.strategy_name = strategy_name
+        owner: Dict[Node, int] = {}
+        holders: Dict[Node, Set[int]] = {}
+        for frag in self.fragments:
+            for v in frag.owned:
+                owner[v] = frag.fid
+            for v in frag.graph.nodes():
+                holders.setdefault(v, set()).add(frag.fid)
+        self.gp = FragmentationGraph(
+            owner, {v: frozenset(fs) for v, fs in holders.items()})
+
+    @property
+    def num_fragments(self) -> int:
+        return len(self.fragments)
+
+    def fragment_of(self, v: Node) -> Fragment:
+        """The fragment owning ``v``."""
+        return self.fragments[self.gp.owner(v)]
+
+    def __iter__(self):
+        return iter(self.fragments)
+
+    def __len__(self) -> int:
+        return len(self.fragments)
+
+    def __getitem__(self, fid: int) -> Fragment:
+        return self.fragments[fid]
+
+    def validate(self) -> None:
+        """Check the partition invariants of paper Section 2.
+
+        Raises ``AssertionError`` when the fragmentation does not cover the
+        graph or the border sets are inconsistent with ``G_P``.
+        """
+        seen_nodes: Set[Node] = set()
+        for frag in self.fragments:
+            seen_nodes.update(frag.owned)
+        assert seen_nodes == set(self.graph.nodes()), "owned sets must cover V"
+
+        covered_edges: Set[Tuple[Node, Node]] = set()
+        for frag in self.fragments:
+            for u, v, _w in frag.graph.edges():
+                covered_edges.add((u, v))
+                if not self.graph.directed:
+                    covered_edges.add((v, u))
+        for u, v, _w in self.graph.edges():
+            assert (u, v) in covered_edges, f"edge {(u, v)} not covered"
+
+        for frag in self.fragments:
+            for v in frag.inner:
+                assert v in frag.owned, "F_i.I must be owned nodes"
+            for v in frag.outer:
+                assert v not in frag.owned, "F_i.O must be foreign nodes"
+                assert self.gp.owner(v) != frag.fid
+
+
+class PartitionStrategy(abc.ABC):
+    """A graph partition strategy ``P`` (paper Table 2).
+
+    Concrete strategies implement :meth:`assign` returning a node-to-
+    fragment map; :meth:`partition` materializes edge-cut fragments from it.
+    Vertex-cut strategies override :meth:`partition` directly.
+    """
+
+    name = "abstract"
+
+    @abc.abstractmethod
+    def assign(self, graph: Graph, num_fragments: int) -> Dict[Node, int]:
+        """Map every node of ``graph`` to a fragment id in ``[0, m)``."""
+
+    def partition(self, graph: Graph, num_fragments: int) -> Fragmentation:
+        if num_fragments < 1:
+            raise ValueError("need at least one fragment")
+        assignment = self.assign(graph, num_fragments)
+        return build_edge_cut_fragments(graph, assignment, num_fragments,
+                                        strategy_name=self.name)
+
+
+def build_edge_cut_fragments(graph: Graph, assignment: Mapping[Node, int],
+                             num_fragments: int,
+                             strategy_name: str = "custom") -> Fragmentation:
+    """Materialize edge-cut fragments from a node assignment.
+
+    Every edge ``(u, v)`` is stored at the fragment owning ``u``; if ``v``
+    is owned elsewhere, a copy of ``v`` joins ``F_i.O`` and ``v`` joins the
+    owner's ``F_j.I``.
+    """
+    missing = [v for v in graph.nodes() if v not in assignment]
+    if missing:
+        raise ValueError(f"assignment missing {len(missing)} nodes")
+
+    owned: List[Set[Node]] = [set() for _ in range(num_fragments)]
+    for v, fid in assignment.items():
+        if not 0 <= fid < num_fragments:
+            raise ValueError(f"fragment id {fid} out of range")
+        owned[fid].add(v)
+
+    locals_: List[Graph] = [Graph(directed=graph.directed)
+                            for _ in range(num_fragments)]
+    inner: List[Set[Node]] = [set() for _ in range(num_fragments)]
+    outer: List[Set[Node]] = [set() for _ in range(num_fragments)]
+
+    for fid in range(num_fragments):
+        for v in owned[fid]:
+            locals_[fid].add_node(v, graph.node_label(v))
+
+    for u, v, w in graph.edges():
+        fu, fv = assignment[u], assignment[v]
+        label = graph.edge_label(u, v)
+        locals_[fu].add_node(v, graph.node_label(v))
+        locals_[fu].add_edge(u, v, weight=w, label=label)
+        if fu != fv:
+            outer[fu].add(v)
+        if not graph.directed and fu != fv:
+            # the symmetric orientation lives at fv as well
+            locals_[fv].add_node(u, graph.node_label(u))
+            locals_[fv].add_edge(v, u, weight=w, label=label)
+            outer[fv].add(u)
+
+    # F_i.I: owned nodes with an incoming cross edge.
+    for u, v, _w in graph.edges():
+        fu, fv = assignment[u], assignment[v]
+        if fu != fv:
+            inner[fv].add(v)
+            if not graph.directed:
+                inner[fu].add(u)
+
+    fragments = [Fragment(fid, locals_[fid], owned[fid], inner[fid],
+                          outer[fid]) for fid in range(num_fragments)]
+    return Fragmentation(graph, fragments, strategy_name=strategy_name)
+
+
+def build_vertex_cut_fragments(graph: Graph,
+                               edge_assignment: Mapping[Tuple[Node, Node], int],
+                               num_fragments: int,
+                               strategy_name: str = "vertex-cut") -> Fragmentation:
+    """Materialize vertex-cut fragments from an edge assignment.
+
+    Each node is replicated in every fragment holding one of its edges; its
+    *master* (owner) is the lowest such fragment id.  Replicated nodes are
+    both entry and exit vertices, so they populate ``inner`` on the master
+    and ``outer`` on the replicas.
+    """
+    locals_: List[Graph] = [Graph(directed=graph.directed)
+                            for _ in range(num_fragments)]
+    present: Dict[Node, Set[int]] = {}
+
+    for u, v, w in graph.edges():
+        fid = edge_assignment[(u, v)]
+        if not 0 <= fid < num_fragments:
+            raise ValueError(f"fragment id {fid} out of range")
+        locals_[fid].add_node(u, graph.node_label(u))
+        locals_[fid].add_node(v, graph.node_label(v))
+        locals_[fid].add_edge(u, v, weight=w, label=graph.edge_label(u, v))
+        present.setdefault(u, set()).add(fid)
+        present.setdefault(v, set()).add(fid)
+
+    # Isolated nodes go to fragment 0.
+    for v in graph.nodes():
+        if v not in present:
+            locals_[0].add_node(v, graph.node_label(v))
+            present[v] = {0}
+
+    owned: List[Set[Node]] = [set() for _ in range(num_fragments)]
+    inner: List[Set[Node]] = [set() for _ in range(num_fragments)]
+    outer: List[Set[Node]] = [set() for _ in range(num_fragments)]
+    for v, fids in present.items():
+        master = min(fids)
+        owned[master].add(v)
+        if len(fids) > 1:
+            inner[master].add(v)
+            for fid in fids:
+                if fid != master:
+                    outer[fid].add(v)
+
+    fragments = [Fragment(fid, locals_[fid], owned[fid], inner[fid],
+                          outer[fid]) for fid in range(num_fragments)]
+    return Fragmentation(graph, fragments, strategy_name=strategy_name)
+
+
+def cut_edges(graph: Graph, assignment: Mapping[Node, int]) -> int:
+    """Number of edges crossing fragments under a node assignment."""
+    return sum(1 for u, v, _w in graph.edges()
+               if assignment[u] != assignment[v])
+
+
+def replication_factor(fragmentation: Fragmentation) -> float:
+    """Average number of fragments holding each node (1.0 = no copies)."""
+    total = sum(frag.num_nodes for frag in fragmentation)
+    n = fragmentation.graph.num_nodes
+    return total / n if n else 1.0

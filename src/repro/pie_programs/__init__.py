@@ -1,0 +1,17 @@
+"""The PIE program library: SSSP, Sim, SubIso, CC and CF (paper §3, §5)."""
+
+from repro.pie_programs.bfs import BFSProgram, BFSState
+from repro.pie_programs.cc import CCProgram, CCState
+from repro.pie_programs.cf import CFProgram, CFQuery, CFState
+from repro.pie_programs.sim import SimProgram, SimState
+from repro.pie_programs.sssp import SSSPProgram, SSSPState
+from repro.pie_programs.pagerank import (PageRankProgram, PageRankQuery,
+                                          PageRankState)
+from repro.pie_programs.subiso import SubIsoProgram, SubIsoState
+
+__all__ = [
+    "SSSPProgram", "SSSPState", "SimProgram", "SimState",
+    "SubIsoProgram", "SubIsoState", "CCProgram", "CCState",
+    "CFProgram", "CFQuery", "CFState", "BFSProgram", "BFSState",
+    "PageRankProgram", "PageRankQuery", "PageRankState",
+]

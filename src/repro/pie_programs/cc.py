@@ -1,0 +1,86 @@
+"""PIE program for connected components (paper Section 5.2).
+
+``PEval`` computes fragment-local components with a linear traversal and
+links every member to a component root; ``IncEval`` lowers component ids in
+``O(|AFF|)`` by following the root links (the paper's bounded incremental
+step); ``Assemble`` buckets nodes by final component id.
+
+Message preamble: integer ``v.cid`` per node, candidate set = the border
+nodes, ``aggregateMsg = min``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Set
+
+from repro.core.aggregators import MinAggregator
+from repro.core.pie import ParamUpdates, PIEProgram
+from repro.graph.graph import Node
+from repro.partition.base import Fragment, Fragmentation
+from repro.sequential.wcc import LocalComponents
+
+__all__ = ["CCProgram", "CCState"]
+
+
+@dataclass
+class CCState:
+    """Per-fragment state: the local component structure."""
+
+    comps: Optional[LocalComponents] = None
+
+
+class CCProgram(PIEProgram):
+    """Query: ignored (CC is a whole-graph computation).
+
+    Answer: ``{component id: set of nodes}``.
+    """
+
+    name = "CC"
+    aggregator = MinAggregator()
+    route_to = "holders"
+
+    def init_state(self, query, fragment: Fragment) -> CCState:
+        return CCState()
+
+    def peval(self, query, fragment: Fragment, state: CCState) -> None:
+        old_cids = state.comps.cid if state.comps is not None else None
+        state.comps = LocalComponents(fragment.graph)
+        if old_cids:
+            # NI-mode re-run / failure replay: never regress below ids
+            # already learned from other fragments (monotonicity).
+            for v, c in old_cids.items():
+                if c < state.comps.cid.get(v, c):
+                    state.comps.lower_cid(v, c)
+
+    def inceval(self, query, fragment: Fragment, state: CCState,
+                message: ParamUpdates) -> None:
+        for (v, _name), cid in message.items():
+            state.comps.lower_cid(v, cid)
+
+    def apply_message(self, query, fragment: Fragment, state: CCState,
+                      message: ParamUpdates) -> None:
+        # NI mode: record incoming ids; the PEval re-run folds them in.
+        for (v, _name), cid in message.items():
+            if state.comps is not None and cid < state.comps.cid.get(v, cid):
+                state.comps.cid[v] = cid
+
+    def on_graph_update(self, query, fragment: Fragment, state: CCState,
+                        inserted) -> None:
+        """Inserted edges merge local components (weighted union)."""
+        for u, v, _w in inserted:
+            state.comps.add_edge(u, v)
+
+    def read_update_params(self, query, fragment: Fragment,
+                           state: CCState) -> ParamUpdates:
+        cids = state.comps.cid
+        return {(v, "cid"): cids[v] for v in fragment.border_nodes}
+
+    def assemble(self, query, fragmentation: Fragmentation,
+                 states: Dict[int, CCState]) -> Dict[Node, Set[Node]]:
+        buckets: Dict[Node, Set[Node]] = {}
+        for frag in fragmentation:
+            cids = states[frag.fid].comps.cid
+            for v in frag.owned:
+                buckets.setdefault(cids[v], set()).add(v)
+        return buckets

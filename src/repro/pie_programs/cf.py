@@ -1,0 +1,163 @@
+"""PIE program for collaborative filtering (paper Section 5.3).
+
+``PEval`` is a mini-batch SGD epoch (Koren et al.); ``IncEval`` is ISGD
+(Vinagre et al.), re-fitting only ratings incident to border factors that
+arrived in the message; ``Assemble`` unions the factor vectors.
+
+Message preamble: ``v.x = (t, v.f)`` — a timestamp and factor vector per
+shared (border) node, candidate set = the border nodes, aggregated by
+``max`` on ``(t, v.f)`` (newest epoch wins; the vector order breaks
+same-epoch ties deterministically).
+
+Termination follows the paper: "a predetermined maximum number of
+supersteps ... or when the error is smaller than a threshold" — both are
+query parameters; once a fragment stops updating, its parameters stop
+changing and the fixpoint is reached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.core.aggregators import MaxAggregator
+from repro.core.pie import ParamUpdates, PIEProgram
+from repro.graph.graph import Node
+from repro.partition.base import Fragment, Fragmentation
+from repro.sequential.cf import FactorModel, Rating, rmse, sgd_epoch
+from repro.sequential.inc_cf import isgd_update
+
+__all__ = ["CFQuery", "CFProgram", "CFState"]
+
+
+@dataclass(frozen=True)
+class CFQuery:
+    """CF training configuration.
+
+    Attributes
+    ----------
+    num_factors: latent dimension of ``u.f`` / ``p.f``.
+    learning_rate, regularization: the λ's of update equations (1)–(2).
+    max_epochs: superstep budget (paper's GraphLab-style termination).
+    target_rmse: optional early-stop threshold on local training RMSE.
+    seed: factor initialization seed.
+    """
+
+    num_factors: int = 8
+    learning_rate: float = 0.02
+    regularization: float = 0.05
+    max_epochs: int = 10
+    target_rmse: Optional[float] = None
+    seed: int = 0
+
+
+@dataclass
+class CFState:
+    """Per-fragment state: local model, training slice, epoch counter."""
+
+    model: Optional[FactorModel] = None
+    ratings: List[Rating] = field(default_factory=list)
+    epoch: int = 0
+    converged: bool = False
+
+
+class CFProgram(PIEProgram):
+    """Query: :class:`CFQuery`.  Answer: ``{node: factor vector}``."""
+
+    name = "CF"
+    # Lexicographic max on (timestamp, vector): newest epoch wins and the
+    # vector order breaks same-epoch ties deterministically, so every real
+    # change advances the partial order (fragments may desync by a round).
+    aggregator = MaxAggregator()
+    route_to = "holders"
+
+    def init_state(self, query: CFQuery, fragment: Fragment) -> CFState:
+        state = CFState()
+        state.model = FactorModel(query.num_factors, seed=query.seed)
+        # Training slice: every rating edge stored in this fragment
+        # (edge-cut places each user's ratings at the user's owner).
+        state.ratings = [(u, p, w) for u, p, w in fragment.graph.edges()]
+        return state
+
+    # ------------------------------------------------------------------
+    def _check_convergence(self, query: CFQuery, state: CFState) -> None:
+        if state.epoch >= query.max_epochs:
+            state.converged = True
+        elif query.target_rmse is not None and state.ratings:
+            if rmse(state.ratings, state.model) <= query.target_rmse:
+                state.converged = True
+
+    def peval(self, query: CFQuery, fragment: Fragment,
+              state: CFState) -> None:
+        if state.converged:
+            return
+        state.epoch += 1
+        sgd_epoch(state.ratings, state.model, lr=query.learning_rate,
+                  reg=query.regularization, timestamp=state.epoch,
+                  shuffle_seed=query.seed + state.epoch)
+        self._check_convergence(query, state)
+
+    def inceval(self, query: CFQuery, fragment: Fragment, state: CFState,
+                message: ParamUpdates) -> None:
+        if state.converged:
+            return
+        affected: Set[Node] = set()
+        for (v, _name), (t, vec) in message.items():
+            ts = state.model.timestamps.get(v, -1)
+            # Newer wins; coordinator-resolved ties (same epoch, different
+            # winning vector) are adopted too, else lockstep fragments
+            # would never exchange factors.
+            if t > ts:
+                state.model.set(v, np.asarray(vec, dtype=float), t)
+                affected.add(v)
+            elif t == ts:
+                current = state.model.get(v)
+                candidate = np.asarray(vec, dtype=float)
+                if not np.array_equal(current, candidate):
+                    state.model.set(v, candidate, t)
+                    affected.add(v)
+        state.epoch += 1
+        isgd_update(state.ratings, state.model, affected,
+                    lr=query.learning_rate, reg=query.regularization,
+                    timestamp=state.epoch)
+        self._check_convergence(query, state)
+
+    def apply_message(self, query: CFQuery, fragment: Fragment,
+                      state: CFState, message: ParamUpdates) -> None:
+        # NI mode: install newest border factors; PEval re-runs an epoch.
+        for (v, _name), (t, vec) in message.items():
+            if t > state.model.timestamps.get(v, -1):
+                state.model.set(v, np.asarray(vec, dtype=float), t)
+
+    # ------------------------------------------------------------------
+    def read_update_params(self, query: CFQuery, fragment: Fragment,
+                           state: CFState) -> ParamUpdates:
+        """(t, v.f) for border nodes touched by local training.
+
+        Values are plain tuples so the engine's equality diffing and the
+        timestamp aggregator work on comparable data.
+        """
+        params: ParamUpdates = {}
+        for v in fragment.border_nodes:
+            t = state.model.timestamps.get(v)
+            if t:  # untouched nodes (t absent or 0) carry no information
+                vec = tuple(float(x) for x in state.model.factors[v])
+                params[(v, "f")] = (t, vec)
+        return params
+
+    def assemble(self, query: CFQuery, fragmentation: Fragmentation,
+                 states: Dict[int, CFState]) -> Dict[Node, np.ndarray]:
+        """Union of factor vectors; border conflicts resolved by newest
+        timestamp, matching the message aggregator."""
+        answer: Dict[Node, np.ndarray] = {}
+        best_t: Dict[Node, int] = {}
+        for frag in fragmentation:
+            model = states[frag.fid].model
+            for v, vec in model.factors.items():
+                t = model.timestamps.get(v, 0)
+                if v not in answer or t > best_t[v]:
+                    answer[v] = np.asarray(vec, dtype=float)
+                    best_t[v] = t
+        return answer

@@ -1,0 +1,159 @@
+"""PIE program for PageRank (power iteration).
+
+Another stock GRAPE-lineage application (libgrape-lite's ``pagerank``).
+Like CF, PageRank's update parameters are not naturally monotonic, so
+termination follows the paper's CF recipe: a fixed iteration budget
+and/or an L1-delta threshold, with ``(iteration, value)`` parameters
+aggregated by lexicographic max.
+
+Each fragment keeps ranks for its local nodes (including border copies);
+an iteration pushes rank along local out-edges; copies' *contributions*
+(rank mass flowing over cut edges) are the shipped parameters, folded in
+by the owners next round — the standard distributed power iteration
+expressed as a PIE program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.aggregators import MaxAggregator
+from repro.core.pie import ParamUpdates, PIEProgram
+from repro.graph.graph import Node
+from repro.partition.base import Fragment, Fragmentation
+
+__all__ = ["PageRankQuery", "PageRankProgram", "PageRankState"]
+
+
+@dataclass(frozen=True)
+class PageRankQuery:
+    """PageRank configuration.
+
+    damping: the usual 0.85;
+    max_iterations: superstep budget;
+    tolerance: optional early stop on the local L1 delta.
+    """
+
+    damping: float = 0.85
+    max_iterations: int = 20
+    tolerance: Optional[float] = None
+
+
+@dataclass
+class PageRankState:
+    """Per-fragment state: ranks and incoming cross-edge contributions."""
+
+    rank: Dict[Node, float] = field(default_factory=dict)
+    #: rank mass arriving over cut edges: node -> {source fragment: mass}
+    external: Dict[Node, Dict[int, float]] = field(default_factory=dict)
+    #: mass this fragment sends to each copy, refreshed per iteration
+    outgoing: Dict[Node, float] = field(default_factory=dict)
+    iteration: int = 0
+    converged: bool = False
+    num_global_nodes: int = 0
+
+
+class PageRankProgram(PIEProgram):
+    """Query: :class:`PageRankQuery`.  Answer: ``{node: rank}`` summing
+    to ~1 over the graph."""
+
+    name = "PageRank"
+    # (iteration, contribution) — newest iteration wins, value order
+    # breaks ties; every real change advances the order (the CF recipe).
+    aggregator = MaxAggregator()
+    route_to = "owner"
+
+    def init_state(self, query: PageRankQuery,
+                   fragment: Fragment) -> PageRankState:
+        state = PageRankState()
+        return state
+
+    def preprocess(self, query: PageRankQuery,
+                   fragmentation: Fragmentation) -> Dict[int, int]:
+        """Broadcast |V| (needed for the uniform teleport term)."""
+        n = fragmentation.graph.num_nodes
+        return {frag.fid: n for frag in fragmentation}
+
+    def apply_preprocess(self, query: PageRankQuery, fragment: Fragment,
+                         state: PageRankState, payload: int) -> None:
+        state.num_global_nodes = payload
+
+    # ------------------------------------------------------------------
+    def _iterate(self, query: PageRankQuery, fragment: Fragment,
+                 state: PageRankState) -> None:
+        """One power-iteration step over the local fragment."""
+        graph = fragment.graph
+        n = max(1, state.num_global_nodes)
+        teleport = (1.0 - query.damping) / n
+        if not state.rank:
+            state.rank = {v: 1.0 / n for v in fragment.owned}
+
+        incoming: Dict[Node, float] = {v: 0.0 for v in graph.nodes()}
+        for v in fragment.owned:
+            out_deg = graph.out_degree(v)
+            if out_deg == 0:
+                continue
+            share = state.rank.get(v, 0.0) / out_deg
+            for w in graph.successors(v):
+                incoming[w] = incoming.get(w, 0.0) + share
+
+        new_rank: Dict[Node, float] = {}
+        delta = 0.0
+        for v in fragment.owned:
+            external = sum(state.external.get(v, {}).values())
+            value = (teleport
+                     + query.damping * (incoming.get(v, 0.0) + external))
+            delta += abs(value - state.rank.get(v, 0.0))
+            new_rank[v] = value
+        # Contributions flowing to copies (owned elsewhere) this round.
+        state.outgoing = {v: incoming.get(v, 0.0)
+                          for v in fragment.outer}
+        state.rank = new_rank
+        state.iteration += 1
+        if state.iteration >= query.max_iterations:
+            state.converged = True
+        elif query.tolerance is not None and delta <= query.tolerance:
+            state.converged = True
+
+    def peval(self, query: PageRankQuery, fragment: Fragment,
+              state: PageRankState) -> None:
+        if state.converged:
+            return
+        if not fragment.border_nodes:
+            # No external input will ever arrive: partial evaluation IS
+            # complete evaluation — iterate to convergence locally.
+            while not state.converged:
+                self._iterate(query, fragment, state)
+        else:
+            self._iterate(query, fragment, state)
+
+    def inceval(self, query: PageRankQuery, fragment: Fragment,
+                state: PageRankState, message: ParamUpdates) -> None:
+        if state.converged:
+            return
+        for (v, name), (_t, contribution) in message.items():
+            _tag, src = name
+            state.external.setdefault(v, {})[src] = contribution
+        self._iterate(query, fragment, state)
+
+    def apply_message(self, query: PageRankQuery, fragment: Fragment,
+                      state: PageRankState, message: ParamUpdates) -> None:
+        for (v, name), (_t, contribution) in message.items():
+            _tag, src = name
+            state.external.setdefault(v, {})[src] = contribution
+
+    # ------------------------------------------------------------------
+    def read_update_params(self, query: PageRankQuery, fragment: Fragment,
+                           state: PageRankState) -> ParamUpdates:
+        # Per-source keys: owners must *sum* contributions from different
+        # fragments, so each sender's mass is its own parameter.
+        return {(v, ("contrib", fragment.fid)): (state.iteration, value)
+                for v, value in state.outgoing.items() if value > 0.0}
+
+    def assemble(self, query: PageRankQuery, fragmentation: Fragmentation,
+                 states: Dict[int, PageRankState]) -> Dict[Node, float]:
+        answer: Dict[Node, float] = {}
+        for frag in fragmentation:
+            answer.update(states[frag.fid].rank)
+        return answer

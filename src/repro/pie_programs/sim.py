@@ -1,0 +1,141 @@
+"""PIE program for graph pattern matching via simulation (paper §5.1).
+
+``PEval`` is the sequential simulation algorithm of Henzinger, Henzinger &
+Kopke; ``IncEval`` is the incremental maintenance algorithm of Fan et al.
+in response to match invalidations; ``Assemble`` unions partial relations.
+
+Message preamble: a Boolean ``x_(u,v)`` per query node ``u`` and border
+node ``v``, candidate set ``C_i = F_i.I``, initialized ``true``; the
+aggregator is ``min`` under ``false ≺ true``, so each variable flips at
+most once — the paper's canonical monotonic example.
+
+Border copies (``F_i.O``) are *frozen* during local refinement: their truth
+is owned by another fragment, and only explicit falsification messages may
+remove them — exactly the "treated as deletion of cross edges" reading.
+
+The optional ``candidate_index`` hook plugs in the neighborhood index of
+:mod:`repro.optim.indexing`, reproducing the paper's Exp-3 compatibility
+result (sequential optimizations carry over to GRAPE unchanged).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Set, Tuple
+
+from repro.core.aggregators import MinAggregator
+from repro.core.pie import ParamUpdates, PIEProgram
+from repro.graph.graph import Graph, Node
+from repro.partition.base import Fragment, Fragmentation
+from repro.sequential.inc_simulation import incremental_simulation_remove
+from repro.sequential.simulation import SimRelation, simulation_refinement
+
+__all__ = ["SimProgram", "SimState"]
+
+CandidateIndex = Callable[[Graph, Graph], Dict[Node, Set[Node]]]
+
+
+@dataclass
+class SimState:
+    """Per-fragment state for Sim."""
+
+    sim: SimRelation = field(default_factory=dict)
+    #: pairs known false from messages (survives NI-mode re-runs)
+    false_pairs: Set[Tuple[Node, Node]] = field(default_factory=set)
+
+
+class SimProgram(PIEProgram):
+    """Query: a pattern graph.  Answer: the maximum simulation relation."""
+
+    name = "Sim"
+    aggregator = MinAggregator()  # false ≺ true
+    route_to = "holders"
+
+    def __init__(self, candidate_index: Optional[CandidateIndex] = None):
+        self.candidate_index = candidate_index
+
+    # ------------------------------------------------------------------
+    def init_state(self, query: Graph, fragment: Fragment) -> SimState:
+        return SimState()
+
+    def _initial_candidates(self, query: Graph, fragment: Fragment,
+                            state: SimState) -> Dict[Node, Set[Node]]:
+        graph = fragment.graph
+        if self.candidate_index is not None:
+            cands = self.candidate_index(query, graph)
+            # Border copies have no local out-edges, so structural filters
+            # (e.g. successor-label coverage) would wrongly drop them; their
+            # truth is owned by another fragment and must stay optimistic.
+            for u in query.nodes():
+                u_label = query.node_label(u)
+                for v in fragment.outer:
+                    if graph.node_label(v) == u_label:
+                        cands.setdefault(u, set()).add(v)
+        else:
+            by_label: Dict[Any, Set[Node]] = {}
+            for v in graph.nodes():
+                by_label.setdefault(graph.node_label(v), set()).add(v)
+            cands = {u: set(by_label.get(query.node_label(u), set()))
+                     for u in query.nodes()}
+        for u, v in state.false_pairs:
+            cands.get(u, set()).discard(v)
+        return cands
+
+    def peval(self, query: Graph, fragment: Fragment,
+              state: SimState) -> None:
+        candidates = self._initial_candidates(query, fragment, state)
+        state.sim = simulation_refinement(query, fragment.graph,
+                                          candidates=candidates,
+                                          frozen=fragment.outer)
+
+    def inceval(self, query: Graph, fragment: Fragment, state: SimState,
+                message: ParamUpdates) -> None:
+        invalidated = []
+        for (v, name), value in message.items():
+            _tag, u = name
+            if value is False:
+                state.false_pairs.add((u, v))
+                invalidated.append((u, v))
+        incremental_simulation_remove(query, fragment.graph, state.sim,
+                                      invalidated, frozen=fragment.outer)
+
+    def apply_message(self, query: Graph, fragment: Fragment,
+                      state: SimState, message: ParamUpdates) -> None:
+        # NI mode: remember falsifications; PEval re-runs from scratch.
+        for (v, name), value in message.items():
+            _tag, u = name
+            if value is False:
+                state.false_pairs.add((u, v))
+                if u in state.sim:
+                    state.sim[u].discard(v)
+
+    # ------------------------------------------------------------------
+    def read_update_params(self, query: Graph, fragment: Fragment,
+                           state: SimState) -> ParamUpdates:
+        """x_(u,v) for owned border nodes; only falsifications of label-
+        matching pairs are informative (everything starts true)."""
+        params: ParamUpdates = {}
+        graph = fragment.graph
+        for u in query.nodes():
+            u_label = query.node_label(u)
+            matches = state.sim.get(u, set())
+            for v in fragment.inner:
+                if graph.node_label(v) != u_label:
+                    continue
+                if v not in matches:
+                    params[(v, ("x", u))] = False
+        return params
+
+    def assemble(self, query: Graph, fragmentation: Fragmentation,
+                 states: Dict[int, SimState]) -> SimRelation:
+        result: SimRelation = {u: set() for u in query.nodes()}
+        for frag in fragmentation:
+            sim = states[frag.fid].sim
+            for u in query.nodes():
+                for v in sim.get(u, set()):
+                    if v in frag.owned:
+                        result[u].add(v)
+        # Whole-graph semantics: no total match -> empty relation.
+        if any(not vs for vs in result.values()):
+            return {u: set() for u in query.nodes()}
+        return result

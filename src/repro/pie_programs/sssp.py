@@ -1,0 +1,90 @@
+"""PIE program for single-source shortest paths (paper Figs. 3–4).
+
+``PEval`` is Dijkstra's algorithm verbatim; ``IncEval`` is the bounded
+incremental algorithm of Ramalingam & Reps; ``Assemble`` takes the union
+of per-fragment distances.  The message preamble declares one integer
+variable ``dist(s, v)`` per node with candidate set ``C_i = F_i.O`` and
+``aggregateMsg = min``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import inf
+from typing import Any, Dict
+
+from repro.core.aggregators import MinAggregator
+from repro.core.pie import ParamUpdates, PIEProgram
+from repro.graph.graph import Node
+from repro.partition.base import Fragment, Fragmentation
+from repro.sequential.inc_sssp import incremental_sssp_decrease
+from repro.sequential.sssp import dijkstra
+
+__all__ = ["SSSPProgram", "SSSPState"]
+
+
+@dataclass
+class SSSPState:
+    """Per-fragment state: the declared ``dist(s, v)`` variables."""
+
+    dist: Dict[Node, float] = field(default_factory=dict)
+
+
+class SSSPProgram(PIEProgram):
+    """Query: the source node ``s``.  Answer: ``{v: dist(s, v)}``."""
+
+    name = "SSSP"
+    aggregator = MinAggregator()
+    # F_i.O copies carry no local out-edges, so updates only need to reach
+    # the owning fragment (the paper routes dist to F_j.I owners).
+    route_to = "owner"
+
+    def init_state(self, query: Node, fragment: Fragment) -> SSSPState:
+        # dist(s, v) initialized to inf for every node (represented by
+        # absence), except dist(s, s) = 0 — set lazily by Dijkstra.
+        return SSSPState()
+
+    def peval(self, query: Node, fragment: Fragment,
+              state: SSSPState) -> None:
+        state.dist = dijkstra(fragment.graph, query, initial=state.dist)
+
+    def inceval(self, query: Node, fragment: Fragment, state: SSSPState,
+                message: ParamUpdates) -> None:
+        updates = {node: value for (node, _name), value in message.items()}
+        incremental_sssp_decrease(fragment.graph, state.dist, updates)
+
+    def apply_message(self, query: Node, fragment: Fragment,
+                      state: SSSPState, message: ParamUpdates) -> None:
+        # NI mode: take improved values, no propagation (PEval follows).
+        for (node, _name), value in message.items():
+            if value < state.dist.get(node, inf):
+                state.dist[node] = value
+
+    def on_graph_update(self, query: Node, fragment: Fragment,
+                        state: SSSPState, inserted) -> None:
+        """Fold inserted edges in: each may open a shortcut from its
+        source's current distance (continuous-query maintenance)."""
+        updates: Dict[Node, float] = {}
+        for u, v, w in inserted:
+            du = 0.0 if u == query else state.dist.get(u, inf)
+            alt = du + w
+            if alt < min(state.dist.get(v, inf), updates.get(v, inf)):
+                updates[v] = alt
+        if updates:
+            incremental_sssp_decrease(fragment.graph, state.dist, updates)
+
+    def read_update_params(self, query: Node, fragment: Fragment,
+                           state: SSSPState) -> ParamUpdates:
+        # C_i = F_i.O; infinite estimates carry no information and are
+        # never shipped.
+        return {(v, "dist"): state.dist[v] for v in fragment.outer
+                if state.dist.get(v, inf) < inf}
+
+    def assemble(self, query: Node, fragmentation: Fragmentation,
+                 states: Dict[int, SSSPState]) -> Dict[Node, float]:
+        answer: Dict[Node, float] = {}
+        for frag in fragmentation:
+            st = states[frag.fid]
+            for v in frag.owned:
+                answer[v] = st.dist.get(v, inf)
+        return answer

@@ -1,0 +1,131 @@
+"""PIE program for subgraph isomorphism (paper Section 5.1).
+
+The paper's two-superstep scheme: first each fragment is extended with the
+``d_Q``-neighborhood of its in-border nodes (data shipped through the
+engine's preprocess channel, charged as communication), then VF2 runs
+locally once.  No update parameters change, so the fixpoint terminates
+after PEval; ``Assemble`` unions partial matches, deduplicating matches
+found by several fragments.
+
+Completeness relies on the locality of subgraph isomorphism for connected
+patterns: a cross-fragment match contains an in-border node, and all its
+nodes lie within ``d_Q`` undirected hops of it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.aggregators import DefaultExceptionAggregator
+from repro.core.pie import ParamUpdates, PIEProgram
+from repro.graph.graph import Graph, Node
+from repro.partition.base import Fragment, Fragmentation
+from repro.sequential.subiso import (canonical_match, pattern_diameter,
+                                     vf2_all_matches)
+
+__all__ = ["SubIsoProgram", "SubIsoState"]
+
+
+@dataclass
+class SubIsoState:
+    """Per-fragment state: expanded graph and local matches."""
+
+    expanded: Optional[Graph] = None
+    matches: List[Dict[Node, Node]] = field(default_factory=list)
+
+
+class SubIsoProgram(PIEProgram):
+    """Query: a connected pattern graph.  Answer: list of match mappings."""
+
+    name = "SubIso"
+    aggregator = DefaultExceptionAggregator()
+
+    def __init__(self, match_limit: Optional[int] = None):
+        #: optional per-fragment cap on matches (SubIso is NP-complete)
+        self.match_limit = match_limit
+
+    # ------------------------------------------------------------------
+    def init_state(self, query: Graph, fragment: Fragment) -> SubIsoState:
+        return SubIsoState()
+
+    def preprocess(self, query: Graph,
+                   fragmentation: Fragmentation) -> Dict[int, tuple]:
+        """Ship each fragment the ``d_Q``-neighborhood of ``F_i.I``.
+
+        The payload contains only nodes and edges the fragment does not
+        already hold; its serialized size is charged as communication.
+        """
+        d_q = pattern_diameter(query)
+        graph = fragmentation.graph
+        payloads: Dict[int, tuple] = {}
+        for frag in fragmentation:
+            if not frag.inner:
+                continue
+            reach: Set[Node] = set(frag.inner)
+            frontier = deque((v, 0) for v in frag.inner)
+            while frontier:
+                v, depth = frontier.popleft()
+                if depth == d_q:
+                    continue
+                for w in graph.neighbors(v):
+                    if w not in reach:
+                        reach.add(w)
+                        frontier.append((w, depth + 1))
+            local = frag.graph
+            new_nodes = [(v, graph.node_label(v)) for v in reach
+                         if not local.has_node(v)]
+            known = reach | set(local.nodes())
+            new_edges = []
+            for v in reach:
+                for w, weight in graph.successors_with_weights(v):
+                    if w in known and not local.has_edge(v, w):
+                        new_edges.append((v, w, weight))
+                # incoming edges from known nodes into the reach set
+                for w, weight in graph.predecessors_with_weights(v):
+                    if w in known and not local.has_edge(w, v):
+                        new_edges.append((w, v, weight))
+            if new_nodes or new_edges:
+                payloads[frag.fid] = (new_nodes, new_edges)
+        return payloads
+
+    def apply_preprocess(self, query: Graph, fragment: Fragment,
+                         state: SubIsoState, payload: tuple) -> None:
+        new_nodes, new_edges = payload
+        expanded = fragment.graph.copy()
+        for v, label in new_nodes:
+            expanded.add_node(v, label)
+        for u, v, w in new_edges:
+            if expanded.has_node(u) and expanded.has_node(v):
+                expanded.add_edge(u, v, weight=w)
+        state.expanded = expanded
+
+    # ------------------------------------------------------------------
+    def peval(self, query: Graph, fragment: Fragment,
+              state: SubIsoState) -> None:
+        graph = state.expanded if state.expanded is not None \
+            else fragment.graph
+        state.matches = vf2_all_matches(query, graph,
+                                        limit=self.match_limit)
+
+    def inceval(self, query: Graph, fragment: Fragment, state: SubIsoState,
+                message: ParamUpdates) -> None:
+        """Never invoked: the id variables never change (paper: "IncEval
+        sends no messages ... executed once")."""
+
+    def read_update_params(self, query: Graph, fragment: Fragment,
+                           state: SubIsoState) -> ParamUpdates:
+        return {}
+
+    def assemble(self, query: Graph, fragmentation: Fragmentation,
+                 states: Dict[int, SubIsoState]) -> List[Dict[Node, Node]]:
+        seen = set()
+        result: List[Dict[Node, Node]] = []
+        for frag in fragmentation:
+            for match in states[frag.fid].matches:
+                key = canonical_match(match)
+                if key not in seen:
+                    seen.add(key)
+                    result.append(match)
+        return result

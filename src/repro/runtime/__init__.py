@@ -1,0 +1,12 @@
+"""Simulated distributed runtime: cluster, messages, metrics, faults."""
+
+from repro.runtime.cluster import LoadBalancer, SimulatedCluster
+from repro.runtime.fault import Arbitrator, FailureInjector, WorkerFailure
+from repro.runtime.message import DesignatedMessage, KeyValueMessage
+from repro.runtime.metrics import CostModel, RunMetrics, message_bytes
+
+__all__ = [
+    "SimulatedCluster", "LoadBalancer", "CostModel", "RunMetrics",
+    "message_bytes", "DesignatedMessage", "KeyValueMessage",
+    "FailureInjector", "WorkerFailure", "Arbitrator",
+]

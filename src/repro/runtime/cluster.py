@@ -1,0 +1,158 @@
+"""The simulated shared-nothing cluster.
+
+A :class:`SimulatedCluster` plays the role of the paper's ``n`` physical
+workers plus MPI controller.  Engines (GRAPE and the baselines) submit one
+*task per virtual worker* per superstep; the cluster
+
+* executes every task (serially or on a thread pool), timing each with a
+  performance counter,
+* maps virtual workers onto physical workers (paper Section 3.1: ``m``
+  virtual workers on ``n`` physical workers share memory when ``n < m``),
+* folds the timings into :class:`~repro.runtime.metrics.RunMetrics` using
+  the BSP cost model: a superstep costs the *max over physical workers* of
+  their assigned virtual workers' summed compute time, plus communication.
+
+Fault injection (paper Section 6, "Fault tolerance") is supported through a
+:class:`~repro.runtime.fault.FailureInjector` — see that module.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.runtime.fault import FailureInjector, WorkerFailure
+from repro.runtime.metrics import CostModel, RunMetrics, message_bytes
+
+__all__ = ["SimulatedCluster", "LoadBalancer"]
+
+
+class LoadBalancer:
+    """Assign ``m`` virtual workers to ``n`` physical workers.
+
+    The paper's Load Balancer minimizes a bi-criteria objective over
+    fragment size and border count; we implement the classic greedy
+    longest-processing-time heuristic over per-fragment cost estimates.
+    """
+
+    def assign(self, costs: Sequence[float], num_physical: int) -> List[int]:
+        """Return ``phys[i]`` = physical worker for virtual worker ``i``."""
+        loads = [0.0] * num_physical
+        placement = [0] * len(costs)
+        order = sorted(range(len(costs)), key=lambda i: -costs[i])
+        for i in order:
+            target = min(range(num_physical), key=lambda p: loads[p])
+            placement[i] = target
+            loads[target] += costs[i]
+        return placement
+
+
+class SimulatedCluster:
+    """``n`` physical workers with synchronous (BSP) supersteps.
+
+    Parameters
+    ----------
+    num_workers:
+        Number of *physical* workers ``n``.
+    cost_model:
+        BSP cost parameters; defaults to :class:`CostModel` defaults.
+    executor:
+        ``"serial"`` (default, deterministic) or ``"threads"`` — run worker
+        tasks on a thread pool.  Thread timing still uses per-task
+        perf-counter measurement, so the cost model is unaffected.
+    failure_injector:
+        Optional fault-injection plan; tasks raising
+        :class:`WorkerFailure` are surfaced to the engine for recovery.
+    """
+
+    def __init__(self, num_workers: int, cost_model: Optional[CostModel] = None,
+                 executor: str = "serial",
+                 failure_injector: Optional[FailureInjector] = None):
+        if num_workers < 1:
+            raise ValueError("need at least one worker")
+        if executor not in ("serial", "threads"):
+            raise ValueError(f"unknown executor {executor!r}")
+        self.num_workers = num_workers
+        self.cost_model = cost_model or CostModel()
+        self.executor = executor
+        self.failure_injector = failure_injector
+        self.metrics = RunMetrics()
+        self.balancer = LoadBalancer()
+        self._superstep_index = 0
+
+    # ------------------------------------------------------------------
+    def reset_metrics(self) -> None:
+        self.metrics = RunMetrics()
+        self._superstep_index = 0
+
+    # ------------------------------------------------------------------
+    def run_superstep(self, tasks: Sequence[Callable[[], Any]],
+                      virtual_costs: Optional[Sequence[float]] = None,
+                      bytes_shipped: int = 0,
+                      num_messages: int = 0) -> List[Any]:
+        """Execute one superstep: one task per virtual worker.
+
+        Returns the task results in order.  ``bytes_shipped`` and
+        ``num_messages`` describe the traffic *delivered at the start of*
+        this superstep (routed by the coordinator), charged to it per the
+        BSP cost formula.
+
+        Raises :class:`WorkerFailure` (after accounting the partial step)
+        if the failure injector kills a worker this superstep; the engine
+        is expected to recover and retry.
+        """
+        step = self._superstep_index
+        self._superstep_index += 1
+
+        times, results, failure = self._execute(tasks, step)
+
+        # Fold virtual-worker times into physical-worker times.
+        if virtual_costs is None:
+            virtual_costs = times
+        placement = self.balancer.assign(virtual_costs, self.num_workers)
+        physical = [0.0] * self.num_workers
+        for i, t in enumerate(times):
+            physical[placement[i]] += t
+
+        self.metrics.record_superstep(physical, bytes_shipped, num_messages,
+                                      self.cost_model)
+        if failure is not None:
+            raise failure
+        return results
+
+    def _execute(self, tasks: Sequence[Callable[[], Any]], step: int):
+        times: List[float] = []
+        results: List[Any] = []
+        failure: Optional[WorkerFailure] = None
+
+        def run_one(i: int, task: Callable[[], Any]):
+            if self.failure_injector is not None and \
+                    self.failure_injector.should_fail(worker=i, superstep=step):
+                return 0.0, None, WorkerFailure(worker=i, superstep=step)
+            start = time.perf_counter()
+            value = task()
+            return time.perf_counter() - start, value, None
+
+        if self.executor == "threads" and len(tasks) > 1:
+            with ThreadPoolExecutor(max_workers=self.num_workers) as pool:
+                outcomes = list(pool.map(lambda it: run_one(*it),
+                                         enumerate(tasks)))
+        else:
+            outcomes = [run_one(i, t) for i, t in enumerate(tasks)]
+
+        for elapsed, value, fail in outcomes:
+            times.append(elapsed)
+            results.append(value)
+            if fail is not None and failure is None:
+                failure = fail
+        return times, results, failure
+
+    # ------------------------------------------------------------------
+    def account_payload(self, payload: Any) -> int:
+        """Measure a payload's wire size (helper for engines)."""
+        return message_bytes(payload)
+
+    def __repr__(self) -> str:
+        return (f"SimulatedCluster(n={self.num_workers}, "
+                f"executor={self.executor!r})")

@@ -1,0 +1,101 @@
+"""Fault injection and recovery (paper Section 6, "Fault tolerance").
+
+GRAPE reserves an *arbitrator* worker that heart-beats every worker and the
+coordinator; on a worker failure the arbitrator transfers the failed
+worker's tasks elsewhere, and a standby coordinator takes over on
+coordinator failure.
+
+In the simulation:
+
+* :class:`FailureInjector` schedules deterministic worker failures
+  (``(worker, superstep)`` pairs, or a seeded random failure rate);
+* :exc:`WorkerFailure` is raised by the cluster when an injected failure
+  fires;
+* :class:`Arbitrator` implements the recovery policy used by the GRAPE
+  engine: it keeps per-fragment state checkpoints and, on failure,
+  restores the failed fragment's state so the superstep can be re-run
+  (simulating the task transfer to a healthy worker).
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+__all__ = ["WorkerFailure", "FailureInjector", "Arbitrator"]
+
+
+class WorkerFailure(RuntimeError):
+    """A simulated worker crash during a superstep."""
+
+    def __init__(self, worker: int, superstep: int):
+        super().__init__(f"worker {worker} failed at superstep {superstep}")
+        self.worker = worker
+        self.superstep = superstep
+
+
+class FailureInjector:
+    """Deterministic or randomized failure schedule.
+
+    Parameters
+    ----------
+    planned:
+        Explicit ``(worker, superstep)`` failures.  Each fires exactly once:
+        after a failure is consumed the (recovered) worker runs normally.
+    rate:
+        Optional per-(worker, superstep) random failure probability.
+    max_failures:
+        Safety cap on total injected failures (default 10) so randomized
+        schedules cannot livelock a run.
+    """
+
+    def __init__(self, planned: Optional[List[Tuple[int, int]]] = None,
+                 rate: float = 0.0, seed: int = 0, max_failures: int = 10):
+        self._planned: Set[Tuple[int, int]] = set(planned or [])
+        self._rate = rate
+        self._rng = random.Random(seed)
+        self._max_failures = max_failures
+        self.fired: List[Tuple[int, int]] = []
+
+    def should_fail(self, worker: int, superstep: int) -> bool:
+        if len(self.fired) >= self._max_failures:
+            return False
+        key = (worker, superstep)
+        if key in self._planned:
+            self._planned.discard(key)
+            self.fired.append(key)
+            return True
+        if self._rate > 0.0 and self._rng.random() < self._rate:
+            self.fired.append(key)
+            return True
+        return False
+
+
+class Arbitrator:
+    """Checkpoint/restore recovery used by the GRAPE engine.
+
+    The engine checkpoints every fragment's mutable state at the end of each
+    successful superstep; when a :exc:`WorkerFailure` surfaces, the engine
+    asks the arbitrator for the last consistent snapshot and replays the
+    superstep (GRAPE's "transfer its computation tasks to another worker").
+    """
+
+    def __init__(self):
+        self._snapshots: Dict[int, Any] = {}
+        self.recoveries = 0
+
+    def checkpoint(self, fragment_states: Dict[int, Any]) -> None:
+        """Store a deep copy of every fragment's state."""
+        self._snapshots = {fid: copy.deepcopy(state)
+                           for fid, state in fragment_states.items()}
+
+    def restore(self) -> Dict[int, Any]:
+        """Return the last consistent snapshot (deep-copied back out)."""
+        self.recoveries += 1
+        return {fid: copy.deepcopy(state)
+                for fid, state in self._snapshots.items()}
+
+    @property
+    def has_checkpoint(self) -> bool:
+        return bool(self._snapshots)

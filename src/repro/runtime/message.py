@@ -1,0 +1,35 @@
+"""Message kinds exchanged through the simulated MPI controller.
+
+GRAPE supports two message types (paper Section 3.5):
+
+* **designated** messages, addressed to a specific worker — the engine
+  deduces destinations from the fragmentation graph ``G_P``;
+* **key-value** pairs, grouped by key at the coordinator — used to simulate
+  MapReduce (Theorem 2(2)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+__all__ = ["DesignatedMessage", "KeyValueMessage"]
+
+
+@dataclass(frozen=True)
+class DesignatedMessage:
+    """A message from ``src`` worker addressed to ``dest`` worker."""
+
+    src: int
+    dest: int
+    payload: Any
+
+
+@dataclass(frozen=True)
+class KeyValueMessage:
+    """A ``(key, value)`` pair; the coordinator groups by key and assigns
+    each key group to a worker (MapReduce shuffle)."""
+
+    src: int
+    key: Hashable
+    value: Any

@@ -1,0 +1,110 @@
+"""Cost accounting for the simulated cluster.
+
+The paper reports three quantities per run: response time, communication
+volume (MB), and superstep counts.  On a real cluster, the response time of
+a BSP computation is the sum over supersteps of
+
+    max over workers of local compute time  +  communication  +  sync latency
+
+(the BSP cost ``w + g*h + l`` of Valiant, quoted in paper Section 4.2).
+We measure local compute time with a perf counter around *real* executions
+of the plugged-in algorithms, measure message volume by serialized size,
+and combine them under a configurable :class:`CostModel`.  This reproduces
+cluster-shaped results on a single machine without pretending the GIL
+allows honest parallel wall-clock speedups.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+__all__ = ["CostModel", "RunMetrics", "message_bytes"]
+
+
+def message_bytes(payload: Any) -> int:
+    """Serialized size of a message payload, in bytes.
+
+    Uses pickle as a stand-in for the MPI wire format; what matters for the
+    reproduction is that relative volumes between systems are faithful.
+    """
+    return len(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+@dataclass
+class CostModel:
+    """BSP cost parameters (Valiant's ``g`` and ``l``).
+
+    Attributes
+    ----------
+    sync_latency_s:
+        Fixed cost ``l`` charged per superstep (barrier + scheduling).
+        Defaults to 1 ms, a typical LAN barrier.
+    seconds_per_byte:
+        Inverse bandwidth ``g``; defaults to 1 GB/s.
+    """
+
+    sync_latency_s: float = 1e-3
+    seconds_per_byte: float = 1e-9
+
+    def superstep_time(self, max_worker_s: float, bytes_shipped: int) -> float:
+        return (max_worker_s + self.sync_latency_s
+                + bytes_shipped * self.seconds_per_byte)
+
+
+@dataclass
+class RunMetrics:
+    """Everything a single engine run reports.
+
+    ``parallel_time_s`` is the simulated cluster response time (the paper's
+    "Time (seconds)" axis); ``total_compute_s`` is aggregate CPU work;
+    ``comm_bytes`` the paper's "Communication (MB)" axis.
+    """
+
+    supersteps: int = 0
+    parallel_time_s: float = 0.0
+    total_compute_s: float = 0.0
+    comm_bytes: int = 0
+    comm_messages: int = 0
+    per_superstep: List[Dict[str, float]] = field(default_factory=list)
+
+    def record_superstep(self, worker_times: List[float],
+                         bytes_shipped: int, num_messages: int,
+                         cost_model: CostModel) -> None:
+        """Close one superstep: fold worker times and traffic into totals."""
+        max_t = max(worker_times) if worker_times else 0.0
+        self.supersteps += 1
+        self.total_compute_s += sum(worker_times)
+        self.comm_bytes += bytes_shipped
+        self.comm_messages += num_messages
+        step_time = cost_model.superstep_time(max_t, bytes_shipped)
+        self.parallel_time_s += step_time
+        self.per_superstep.append({
+            "max_worker_s": max_t,
+            "sum_worker_s": sum(worker_times),
+            "bytes": float(bytes_shipped),
+            "messages": float(num_messages),
+            "step_time_s": step_time,
+        })
+
+    @property
+    def comm_megabytes(self) -> float:
+        return self.comm_bytes / 1e6
+
+    def merge(self, other: "RunMetrics") -> "RunMetrics":
+        """Combine metrics of sequential phases (e.g. query batches)."""
+        out = RunMetrics()
+        out.supersteps = self.supersteps + other.supersteps
+        out.parallel_time_s = self.parallel_time_s + other.parallel_time_s
+        out.total_compute_s = self.total_compute_s + other.total_compute_s
+        out.comm_bytes = self.comm_bytes + other.comm_bytes
+        out.comm_messages = self.comm_messages + other.comm_messages
+        out.per_superstep = self.per_superstep + other.per_superstep
+        return out
+
+    def __repr__(self) -> str:
+        return (f"RunMetrics(supersteps={self.supersteps}, "
+                f"time={self.parallel_time_s:.4f}s, "
+                f"comm={self.comm_megabytes:.4f}MB, "
+                f"msgs={self.comm_messages})")

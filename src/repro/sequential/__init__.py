@@ -1,0 +1,30 @@
+"""The sequential algorithm library GRAPE plugs into PIE programs.
+
+Batch algorithms (``PEval`` candidates): Dijkstra, HHK graph simulation,
+VF2 subgraph isomorphism, linear connected components, SGD matrix
+factorization.  Incremental algorithms (``IncEval`` candidates):
+Ramalingam–Reps SSSP, incremental simulation maintenance, bounded cid
+lowering for CC, ISGD.
+"""
+
+from repro.sequential.cf import (FactorModel, extract_ratings, rmse,
+                                 sgd_epoch, split_train_test)
+from repro.sequential.inc_cf import isgd_update
+from repro.sequential.inc_simulation import incremental_simulation_remove
+from repro.sequential.inc_sssp import incremental_sssp_decrease
+from repro.sequential.simulation import (SimRelation, maximum_simulation,
+                                         simulation_refinement)
+from repro.sequential.sssp import dijkstra, sssp_distances
+from repro.sequential.subiso import (canonical_match, pattern_diameter,
+                                     vf2_all_matches)
+from repro.sequential.wcc import (DisjointSets, LocalComponents,
+                                  connected_components)
+
+__all__ = [
+    "dijkstra", "sssp_distances", "incremental_sssp_decrease",
+    "maximum_simulation", "simulation_refinement", "SimRelation",
+    "incremental_simulation_remove", "vf2_all_matches", "pattern_diameter",
+    "canonical_match", "connected_components", "DisjointSets",
+    "LocalComponents", "FactorModel", "sgd_epoch", "rmse", "extract_ratings",
+    "split_train_test", "isgd_update",
+]

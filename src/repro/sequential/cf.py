@@ -1,0 +1,116 @@
+"""Collaborative filtering by stochastic gradient descent (Koren et al. 2009).
+
+The paper's CF case study (Section 5.3): learn latent factor vectors
+``u.f`` and ``p.f`` minimizing
+
+    sum over training edges (u,p) of (r(u,p) - u.f^T p.f)^2
+        + reg * (||u.f||^2 + ||p.f||^2)
+
+via SGD.  GRAPE plugs the epoch function in as ``PEval``; the incremental
+variant (ISGD, :mod:`repro.sequential.inc_cf`) is ``IncEval``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.graph import Graph, Node
+
+__all__ = ["FactorModel", "sgd_epoch", "rmse", "extract_ratings",
+           "split_train_test"]
+
+Rating = Tuple[Node, Node, float]
+
+
+class FactorModel:
+    """Latent factor vectors for users and items, with timestamps.
+
+    The paper's status variable is ``v.x = (v.f, t)`` — a factor vector and
+    the superstep at which it was last updated (used by the ``max``-on-
+    timestamp aggregator).
+    """
+
+    def __init__(self, num_factors: int = 8, seed: int = 0,
+                 init_scale: float = 0.1):
+        self.num_factors = num_factors
+        self._rng = np.random.default_rng(seed)
+        self._init_scale = init_scale
+        self.factors: Dict[Node, np.ndarray] = {}
+        self.timestamps: Dict[Node, int] = {}
+
+    def get(self, v: Node) -> np.ndarray:
+        vec = self.factors.get(v)
+        if vec is None:
+            vec = self._rng.normal(0.0, self._init_scale, self.num_factors)
+            self.factors[v] = vec
+            self.timestamps[v] = 0
+        return vec
+
+    def set(self, v: Node, vec: np.ndarray, timestamp: int) -> None:
+        self.factors[v] = vec
+        self.timestamps[v] = timestamp
+
+    def predict(self, u: Node, p: Node) -> float:
+        return float(self.get(u) @ self.get(p))
+
+    def copy(self) -> "FactorModel":
+        dup = FactorModel(self.num_factors)
+        dup.factors = {v: f.copy() for v, f in self.factors.items()}
+        dup.timestamps = dict(self.timestamps)
+        return dup
+
+
+def sgd_epoch(ratings: Sequence[Rating], model: FactorModel, *,
+              lr: float = 0.02, reg: float = 0.05, timestamp: int = 0,
+              shuffle_seed: int | None = None) -> float:
+    """One SGD pass over ``ratings``; returns the epoch's mean squared error.
+
+    Implements the paper's update equations (1)–(2): step each factor in
+    the negative gradient direction of the regularized squared error.
+    Updated vectors get ``timestamp`` recorded for aggregation.
+    """
+    order = list(range(len(ratings)))
+    if shuffle_seed is not None:
+        random.Random(shuffle_seed).shuffle(order)
+    total_sq = 0.0
+    for idx in order:
+        u, p, r = ratings[idx]
+        uf = model.get(u)
+        pf = model.get(p)
+        err = r - float(uf @ pf)
+        total_sq += err * err
+        new_uf = uf + lr * (err * pf - reg * uf)
+        new_pf = pf + lr * (err * uf - reg * pf)
+        model.set(u, new_uf, timestamp)
+        model.set(p, new_pf, timestamp)
+    return total_sq / len(ratings) if ratings else 0.0
+
+
+def rmse(ratings: Sequence[Rating], model: FactorModel) -> float:
+    """Root-mean-square prediction error on a rating set."""
+    if not ratings:
+        return 0.0
+    total = 0.0
+    for u, p, r in ratings:
+        err = r - model.predict(u, p)
+        total += err * err
+    return float(np.sqrt(total / len(ratings)))
+
+
+def extract_ratings(graph: Graph) -> List[Rating]:
+    """All ``(user, item, rating)`` triples from a bipartite rating graph."""
+    return [(u, p, w) for u, p, w in graph.edges()]
+
+
+def split_train_test(ratings: Sequence[Rating], train_fraction: float,
+                     seed: int = 0) -> Tuple[List[Rating], List[Rating]]:
+    """Deterministic train/test split (paper uses |E_T| = 90% / 50% of |E|)."""
+    if not 0.0 < train_fraction <= 1.0:
+        raise ValueError("train_fraction must be in (0, 1]")
+    order = list(ratings)
+    random.Random(seed).shuffle(order)
+    cut = int(len(order) * train_fraction)
+    return order[:cut], order[cut:]

@@ -1,0 +1,78 @@
+"""Incremental graph simulation under match invalidation (Fan et al.,
+TODS 2013).
+
+GRAPE plugs this in as ``IncEval`` for Sim (paper Section 5.1): a message
+flips a border copy's status variable ``x_(u,v)`` to ``false``, which "is
+treated as deletion of cross edges to v" — the incremental algorithm
+propagates the invalidation backwards through the affected area only.
+The cost depends on the update size and affected area, not on the fragment
+size (*semi-boundedness*).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Set, Tuple
+
+from repro.graph.graph import Graph, Node
+from repro.sequential.simulation import SimRelation
+
+__all__ = ["incremental_simulation_remove"]
+
+
+def incremental_simulation_remove(pattern: Graph, graph: Graph,
+                                  sim: SimRelation,
+                                  invalidated: Iterable[Tuple[Node, Node]],
+                                  *, frozen: Set[Node] | None = None,
+                                  ) -> List[Tuple[Node, Node]]:
+    """Remove invalidated matches from ``sim`` and propagate (in place).
+
+    Parameters
+    ----------
+    pattern, graph:
+        Query and (fragment) data graph.
+    sim:
+        The current relation, mutated in place.
+    invalidated:
+        Pairs ``(u, v)`` now known not to match (e.g. border copies
+        falsified by their owner fragment).
+    frozen:
+        Data nodes whose membership is owned elsewhere; they are removed
+        when explicitly invalidated but never by local propagation.
+
+    Returns
+    -------
+    List of all pairs removed, including the seed invalidations that were
+    actually present (the affected area ``AFF``).
+    """
+    frozen = frozen or set()
+    preds_of: Dict[Node, List[Node]] = {u: [] for u in pattern.nodes()}
+    for u, u2, _w in pattern.edges():
+        preds_of[u2].append(u)
+
+    queue: Deque[Tuple[Node, Node]] = deque()
+    removed: List[Tuple[Node, Node]] = []
+
+    for u, v in invalidated:
+        if u in sim and v in sim[u]:
+            sim[u].discard(v)
+            removed.append((u, v))
+            queue.append((u, v))
+
+    while queue:
+        u2, v2 = queue.popleft()
+        # Removing (u2, v2) may strand a predecessor match (u, v) for each
+        # query edge (u, u2) and each in-neighbor v of v2.
+        if not graph.has_node(v2):
+            continue
+        for u in preds_of[u2]:
+            target = sim[u2]
+            for v in graph.predecessors(v2):
+                if v not in sim.get(u, ()) or v in frozen:
+                    continue
+                still_ok = any(w in target for w in graph.successors(v))
+                if not still_ok:
+                    sim[u].discard(v)
+                    removed.append((u, v))
+                    queue.append((u, v))
+    return removed

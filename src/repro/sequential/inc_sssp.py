@@ -1,0 +1,66 @@
+"""Bounded incremental SSSP (Ramalingam & Reps, J. Algorithms 1996).
+
+GRAPE plugs this in as ``IncEval`` for SSSP (paper Fig. 4): given the
+previous distances and a batch of *decreased* distance estimates (the
+message ``M_i``), it propagates only through the affected area.  Its cost is
+a function of ``|CHANGED| = |M_i| + |ΔO|``, not of the fragment size — the
+paper's *boundedness* property (Section 3.3).
+"""
+
+from __future__ import annotations
+
+import heapq
+from math import inf
+from typing import Dict, Iterable, Set, Tuple
+
+from repro.graph.graph import Graph, Node
+
+__all__ = ["incremental_sssp_decrease"]
+
+
+def incremental_sssp_decrease(graph: Graph, dist: Dict[Node, float],
+                              updates: Dict[Node, float]) -> Set[Node]:
+    """Apply decrease-only updates and propagate (in place).
+
+    Parameters
+    ----------
+    graph:
+        The (fragment) graph.
+    dist:
+        Current distance estimates; mutated in place.  Nodes absent from
+        ``dist`` are treated as infinitely far.
+    updates:
+        New candidate distances for some nodes (from messages or edge
+        insertions).  Updates that do not improve are ignored — this is what
+        makes the computation monotonic.
+
+    Returns
+    -------
+    The set of nodes whose distance changed (the affected area ``AFF``).
+    """
+    heap: list[Tuple[float, int, Node]] = []
+    counter = 0
+    changed: Set[Node] = set()
+
+    for v, d in updates.items():
+        if d < dist.get(v, inf):
+            dist[v] = d
+            changed.add(v)
+            heap.append((d, counter, v))
+            counter += 1
+    heapq.heapify(heap)
+
+    while heap:
+        d, _c, u = heapq.heappop(heap)
+        if d > dist.get(u, inf):
+            continue
+        if not graph.has_node(u):
+            continue
+        for v, w in graph.successors_with_weights(u):
+            alt = d + w
+            if alt < dist.get(v, inf):
+                dist[v] = alt
+                changed.add(v)
+                counter += 1
+                heapq.heappush(heap, (alt, counter, v))
+    return changed

@@ -1,0 +1,108 @@
+"""Sequential graph simulation (Henzinger, Henzinger & Kopke, FOCS 1995).
+
+Graph pattern matching via simulation (paper Section 5.1): ``G`` matches
+pattern ``Q`` if there is a binary relation ``R ⊆ V_Q × V`` such that every
+query node has a match and every match preserves labels and query edges.
+If a simulation exists there is a unique *maximum* one, computable in
+``O((|V_Q| + |E_Q|) (|V| + |E|))`` time by iterative refinement.
+
+Two entry points:
+
+* :func:`simulation_refinement` — the refinement kernel, supporting
+  *frozen* rows for border-node copies whose membership is decided by the
+  owning fragment (this is how the PIE program reuses the sequential code
+  unchanged);
+* :func:`maximum_simulation` — the whole-graph semantics (empty result when
+  some query node has no match), used as the ground-truth oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Set, Tuple
+
+from repro.graph.graph import Graph, Node
+
+__all__ = ["simulation_refinement", "maximum_simulation", "SimRelation"]
+
+# sim relation: query node -> set of data nodes
+SimRelation = Dict[Node, Set[Node]]
+
+
+def _initial_candidates(pattern: Graph, graph: Graph,
+                        candidates: Optional[Mapping[Node, Iterable[Node]]],
+                        ) -> SimRelation:
+    if candidates is not None:
+        return {u: set(candidates.get(u, ())) for u in pattern.nodes()}
+    by_label: Dict[object, Set[Node]] = {}
+    for v in graph.nodes():
+        by_label.setdefault(graph.node_label(v), set()).add(v)
+    return {u: set(by_label.get(pattern.node_label(u), ()))
+            for u in pattern.nodes()}
+
+
+def simulation_refinement(pattern: Graph, graph: Graph, *,
+                          candidates: Optional[Mapping[Node, Iterable[Node]]] = None,
+                          frozen: Optional[Set[Node]] = None) -> SimRelation:
+    """Refine candidate sets to the maximum relation satisfying the
+    simulation edge condition.
+
+    Parameters
+    ----------
+    pattern:
+        The query graph ``Q`` (labeled, directed).
+    graph:
+        The data graph (or fragment).
+    candidates:
+        Optional pre-filtered initial candidates per query node (e.g. from
+        the neighborhood index of :mod:`repro.optim.indexing`).  Defaults to
+        all label-matching nodes.
+    frozen:
+        Data nodes whose membership must not be re-evaluated locally —
+        GRAPE's border-node copies, whose truth is owned by another
+        fragment.  They stay in whatever candidate sets they start in.
+
+    Returns
+    -------
+    The refined relation as ``{query node: set of data nodes}``.
+    """
+    frozen = frozen or set()
+    sim = _initial_candidates(pattern, graph, candidates)
+
+    # Work-list over query edges: re-check (u, u') when sim(u') shrinks.
+    query_edges = [(u, v) for u, v, _w in pattern.edges()]
+    preds_of: Dict[Node, list] = {u: [] for u in pattern.nodes()}
+    for u, u2 in query_edges:
+        preds_of[u2].append(u)
+
+    pending = set(query_edges)
+    while pending:
+        u, u2 = pending.pop()
+        target = sim[u2]
+        removed = []
+        for v in sim[u]:
+            if v in frozen:
+                continue
+            if not graph.has_node(v):
+                continue
+            ok = any(v2 in target for v2 in graph.successors(v))
+            if not ok:
+                removed.append(v)
+        if removed:
+            sim[u].difference_update(removed)
+            for up in preds_of[u]:
+                pending.add((up, u))
+    return sim
+
+
+def maximum_simulation(pattern: Graph, graph: Graph, *,
+                       candidates: Optional[Mapping[Node, Iterable[Node]]] = None,
+                       ) -> SimRelation:
+    """Whole-graph maximum simulation ``Q(G)``.
+
+    Returns the unique maximum relation, or all-empty sets when ``G`` does
+    not match ``Q`` (paper: "If G does not match Q, Q(G) is the empty set").
+    """
+    sim = simulation_refinement(pattern, graph, candidates=candidates)
+    if any(not matches for matches in sim.values()):
+        return {u: set() for u in pattern.nodes()}
+    return sim

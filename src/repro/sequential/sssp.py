@@ -1,0 +1,75 @@
+"""Sequential single-source shortest paths (Dijkstra).
+
+This is the textbook algorithm GRAPE plugs in as ``PEval`` for SSSP
+(paper Fig. 3): the only additions GRAPE needs are the message preamble and
+segment, which live in :mod:`repro.pie_programs.sssp` — the algorithm here
+is untouched, exactly the paper's point.
+"""
+
+from __future__ import annotations
+
+import heapq
+from math import inf
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.graph.graph import Graph, Node
+
+__all__ = ["dijkstra", "sssp_distances"]
+
+
+def dijkstra(graph: Graph, source: Node,
+             initial: Optional[Dict[Node, float]] = None) -> Dict[Node, float]:
+    """Shortest distances from ``source`` to every node of ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        Edge weights must be non-negative.
+    source:
+        Start node.  It need not be present in the graph (all distances are
+        then infinite) — this matters for fragments that do not contain the
+        query source.
+    initial:
+        Optional pre-existing distance estimates (e.g. carried over from a
+        previous round); Dijkstra will only improve on them.
+
+    Returns
+    -------
+    dict mapping every node to its distance (``math.inf`` if unreachable).
+    """
+    dist: Dict[Node, float] = {v: inf for v in graph.nodes()}
+    if initial:
+        for v, d in initial.items():
+            if v in dist:
+                dist[v] = min(dist[v], d)
+    if graph.has_node(source):
+        dist[source] = min(dist.get(source, inf), 0.0)
+
+    heap: list[Tuple[float, int, Node]] = []
+    counter = 0  # tie-breaker: node objects may not be orderable
+    for v, d in dist.items():
+        if d < inf:
+            heap.append((d, counter, v))
+            counter += 1
+    heapq.heapify(heap)
+
+    settled = set()
+    while heap:
+        d, _c, u = heapq.heappop(heap)
+        if u in settled or d > dist[u]:
+            continue
+        settled.add(u)
+        for v, w in graph.successors_with_weights(u):
+            if w < 0:
+                raise ValueError(f"negative edge weight on ({u}, {v})")
+            alt = d + w
+            if alt < dist[v]:
+                dist[v] = alt
+                counter += 1
+                heapq.heappush(heap, (alt, counter, v))
+    return dist
+
+
+def sssp_distances(graph: Graph, source: Node) -> Dict[Node, float]:
+    """Ground-truth oracle used by tests: plain Dijkstra on the full graph."""
+    return dijkstra(graph, source)

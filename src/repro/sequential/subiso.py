@@ -1,0 +1,157 @@
+"""Subgraph isomorphism via VF2 (Cordella et al., TPAMI 2004).
+
+The paper parallelizes VF2 for SubIso (Section 5.1): two supersteps — one
+to ship each fragment the ``d_Q``-neighborhood of its in-border nodes, one
+to run VF2 locally.  The sequential algorithm here is a faithful VF2-style
+backtracking matcher with label and connectivity feasibility pruning.
+
+Matching semantics: a match is an injective mapping ``m`` from pattern
+nodes to graph nodes preserving node labels and every pattern edge
+(``(m(u), m(u')) ∈ E`` for each ``(u, u') ∈ E_Q``) — the standard subgraph
+(mono)morphism used in pattern-matching workloads.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.graph.graph import Graph, Node
+
+__all__ = ["vf2_all_matches", "pattern_diameter", "canonical_match"]
+
+
+def pattern_diameter(pattern: Graph) -> int:
+    """Diameter ``d_Q`` of a pattern: the maximum over node pairs of the
+    undirected shortest-path length (paper Section 5.1).
+
+    Disconnected patterns get the diameter of their largest component-wise
+    eccentricity (cross-component distances are ignored).
+    """
+    best = 0
+    nodes = list(pattern.nodes())
+    for s in nodes:
+        dist = {s: 0}
+        dq = deque([s])
+        while dq:
+            v = dq.popleft()
+            for w in pattern.neighbors(v):
+                if w not in dist:
+                    dist[w] = dist[v] + 1
+                    dq.append(w)
+        if dist:
+            best = max(best, max(dist.values()))
+    return best
+
+
+def _match_order(pattern: Graph) -> List[Node]:
+    """Connectivity-first ordering: start at the highest-degree node and
+    grow through neighbors, so partial matches stay connected and prune
+    early."""
+    nodes = list(pattern.nodes())
+    if not nodes:
+        return []
+    order: List[Node] = []
+    placed: Set[Node] = set()
+    remaining = set(nodes)
+    while remaining:
+        # Prefer nodes adjacent to the current partial order.
+        frontier = [v for v in remaining
+                    if any(w in placed for w in pattern.neighbors(v))]
+        pool = frontier or list(remaining)
+        nxt = max(pool, key=lambda v: (pattern.degree(v), repr(v)))
+        order.append(nxt)
+        placed.add(nxt)
+        remaining.discard(nxt)
+    return order
+
+
+def vf2_all_matches(pattern: Graph, graph: Graph, *,
+                    limit: Optional[int] = None) -> List[Dict[Node, Node]]:
+    """All subgraph-isomorphism matches of ``pattern`` in ``graph``.
+
+    Parameters
+    ----------
+    limit:
+        Optional cap on the number of matches returned (SubIso is
+        NP-complete; benchmarks bound the output).
+
+    Returns
+    -------
+    A list of ``{pattern node: graph node}`` mappings.
+    """
+    order = _match_order(pattern)
+    if not order:
+        return [{}]
+
+    by_label: Dict[object, List[Node]] = {}
+    for v in graph.nodes():
+        by_label.setdefault(graph.node_label(v), []).append(v)
+
+    # Precompute pattern adjacency against earlier nodes in the order.
+    pos = {u: i for i, u in enumerate(order)}
+    earlier_out: List[List[Node]] = []  # pattern edges u -> earlier
+    earlier_in: List[List[Node]] = []   # pattern edges earlier -> u
+    for u in order:
+        earlier_out.append([w for w in pattern.successors(u)
+                            if pos[w] < pos[u]])
+        earlier_in.append([w for w in pattern.predecessors(u)
+                           if pos[w] < pos[u]])
+
+    matches: List[Dict[Node, Node]] = []
+    mapping: Dict[Node, Node] = {}
+    used: Set[Node] = set()
+
+    def candidates(depth: int) -> Iterable[Node]:
+        u = order[depth]
+        # Anchor on an already-mapped neighbor when possible: candidates
+        # are then restricted to that anchor's adjacency.
+        if earlier_out[depth]:
+            anchor = mapping[earlier_out[depth][0]]
+            return list(graph.predecessors(anchor))
+        if earlier_in[depth]:
+            anchor = mapping[earlier_in[depth][0]]
+            return list(graph.successors(anchor))
+        return by_label.get(pattern.node_label(u), [])
+
+    def feasible(u: Node, v: Node, depth: int) -> bool:
+        if graph.node_label(v) != pattern.node_label(u):
+            return False
+        if graph.out_degree(v) < pattern.out_degree(u):
+            return False
+        if graph.in_degree(v) < pattern.in_degree(u):
+            return False
+        for w in earlier_out[depth]:      # u -> w in pattern
+            if not graph.has_edge(v, mapping[w]):
+                return False
+        for w in earlier_in[depth]:       # w -> u in pattern
+            if not graph.has_edge(mapping[w], v):
+                return False
+        return True
+
+    def backtrack(depth: int) -> bool:
+        """Returns True when the match limit is reached."""
+        if depth == len(order):
+            matches.append(dict(mapping))
+            return limit is not None and len(matches) >= limit
+        u = order[depth]
+        for v in candidates(depth):
+            if v in used:
+                continue
+            if not feasible(u, v, depth):
+                continue
+            mapping[u] = v
+            used.add(v)
+            if backtrack(depth + 1):
+                return True
+            used.discard(v)
+            del mapping[u]
+        return False
+
+    backtrack(0)
+    return matches
+
+
+def canonical_match(match: Dict[Node, Node]) -> FrozenSet[Tuple[Node, Node]]:
+    """Hashable canonical form of a match, for dedup across fragments."""
+    return frozenset(match.items())

@@ -1,0 +1,13 @@
+"""Workloads: dataset stand-ins and query generators."""
+
+from repro.workloads.datasets import (DATASETS, knowledge_like, load_dataset,
+                                      ratings_like, social_like,
+                                      traffic_like)
+from repro.workloads.queries import (generate_pattern, generate_patterns,
+                                     sample_sources)
+
+__all__ = [
+    "traffic_like", "social_like", "knowledge_like", "ratings_like",
+    "DATASETS", "load_dataset", "sample_sources", "generate_pattern",
+    "generate_patterns",
+]

@@ -1,0 +1,131 @@
+"""Query generators (paper Section 7, "Queries").
+
+The paper samples 10 SSSP source nodes per graph and generates 20 pattern
+queries controlled by ``|Q| = (|V_Q|, |E_Q|)`` with labels drawn from the
+data graph.  These generators do the same, deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.graph.graph import Graph, Node
+
+__all__ = ["sample_sources", "generate_pattern", "generate_patterns"]
+
+
+def sample_sources(graph: Graph, count: int, seed: int = 0) -> List[Node]:
+    """Sample ``count`` distinct query sources, preferring nodes that can
+    actually reach something (out-degree > 0)."""
+    rng = random.Random(seed)
+    nodes = [v for v in graph.nodes() if graph.out_degree(v) > 0]
+    if not nodes:
+        nodes = list(graph.nodes())
+    if count >= len(nodes):
+        return list(nodes)
+    return rng.sample(nodes, count)
+
+
+def generate_pattern(graph: Graph, num_nodes: int, num_edges: int, *,
+                     seed: int = 0, ensure_match: bool = True) -> Graph:
+    """Generate one connected pattern with labels drawn from ``graph``.
+
+    With ``ensure_match=True`` the pattern is carved out of the data graph
+    itself (a random connected subgraph), so it is guaranteed to have at
+    least one match — the regime the paper's evaluation exercises.
+    Otherwise labels are sampled independently.
+    """
+    rng = random.Random(seed)
+    if num_edges < num_nodes - 1:
+        raise ValueError("connected pattern needs >= num_nodes - 1 edges")
+
+    if ensure_match:
+        nodes, edges = _random_connected_subgraph(graph, num_nodes,
+                                                  num_edges, rng)
+        if nodes is not None:
+            pattern = Graph(directed=True)
+            rename = {v: f"u{i}" for i, v in enumerate(nodes)}
+            for v in nodes:
+                pattern.add_node(rename[v], graph.node_label(v))
+            for u, v in edges:
+                pattern.add_edge(rename[u], rename[v])
+            return pattern
+
+    # Fallback: random connected shape with sampled labels.
+    labels = [graph.node_label(v) for v in graph.nodes()]
+    pattern = Graph(directed=True)
+    for i in range(num_nodes):
+        pattern.add_node(f"u{i}", rng.choice(labels))
+    placed = 0
+    for i in range(1, num_nodes):  # spanning arborescence first
+        j = rng.randrange(i)
+        if rng.random() < 0.5:
+            pattern.add_edge(f"u{j}", f"u{i}")
+        else:
+            pattern.add_edge(f"u{i}", f"u{j}")
+        placed += 1
+    attempts = 0
+    while placed < num_edges and attempts < 50 * num_edges:
+        attempts += 1
+        a, b = rng.randrange(num_nodes), rng.randrange(num_nodes)
+        if a == b or pattern.has_edge(f"u{a}", f"u{b}"):
+            continue
+        pattern.add_edge(f"u{a}", f"u{b}")
+        placed += 1
+    return pattern
+
+
+def _random_connected_subgraph(graph: Graph, num_nodes: int, num_edges: int,
+                               rng: random.Random):
+    """Try to carve a connected (in the undirected sense) subgraph out of
+    the data graph; returns (None, None) when the graph is too sparse."""
+    starts = list(graph.nodes())
+    if not starts:
+        return None, None
+    rng.shuffle(starts)
+    for start in starts[:20]:
+        nodes = [start]
+        chosen = {start}
+        frontier = set(graph.neighbors(start))
+        while len(nodes) < num_nodes and frontier:
+            nxt = rng.choice(sorted(frontier, key=repr))
+            frontier.discard(nxt)
+            chosen.add(nxt)
+            nodes.append(nxt)
+            frontier.update(w for w in graph.neighbors(nxt)
+                            if w not in chosen)
+        if len(nodes) < num_nodes:
+            continue
+        internal = [(u, v) for u in nodes
+                    for v in graph.successors(u) if v in chosen and u != v]
+        if len(internal) < num_nodes - 1:
+            continue
+        rng.shuffle(internal)
+        edges = internal[:num_edges]
+        if _connected(nodes, edges):
+            return nodes, edges
+    return None, None
+
+
+def _connected(nodes, edges) -> bool:
+    adj = {v: set() for v in nodes}
+    for u, v in edges:
+        adj[u].add(v)
+        adj[v].add(u)
+    seen = set()
+    stack = [nodes[0]]
+    while stack:
+        v = stack.pop()
+        if v in seen:
+            continue
+        seen.add(v)
+        stack.extend(adj[v] - seen)
+    return len(seen) == len(nodes)
+
+
+def generate_patterns(graph: Graph, count: int, num_nodes: int,
+                      num_edges: int, seed: int = 0) -> List[Graph]:
+    """A batch of patterns (the paper uses 20 per experiment)."""
+    return [generate_pattern(graph, num_nodes, num_edges, seed=seed + i)
+            for i in range(count)]

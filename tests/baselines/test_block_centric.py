@@ -1,0 +1,86 @@
+"""Block-centric (Blogel stand-in) engine and program tests."""
+
+import pytest
+
+from repro.baselines.block_centric import (BlogelEngine, CCBlockProgram,
+                                           SSSPBlockProgram, run_vcompute)
+from repro.baselines.vertex_programs import SimVertexProgram
+from repro.graph.generators import uniform_random_graph
+from repro.sequential import (connected_components, maximum_simulation,
+                              sssp_distances)
+
+
+class TestSSSPBlock:
+    def test_matches_oracle(self, small_road):
+        truth = sssp_distances(small_road, 0)
+        result = BlogelEngine(4).run(SSSPBlockProgram(), small_road,
+                                     query=0)
+        assert result.answer == pytest.approx(truth)
+
+    def test_fewer_supersteps_than_vertex_centric(self, small_road):
+        from repro.baselines.vertex_centric import PregelEngine
+        from repro.baselines.vertex_programs import SSSPVertexProgram
+        block = BlogelEngine(4).run(SSSPBlockProgram(), small_road,
+                                    query=0)
+        vertex = PregelEngine(4).run(SSSPVertexProgram(), small_road,
+                                     query=0)
+        assert block.metrics.supersteps < vertex.metrics.supersteps
+
+    def test_fragmentation_reuse(self, small_road):
+        engine = BlogelEngine(4)
+        frag = engine.make_fragmentation(small_road)
+        for source in (0, 5):
+            result = engine.run(SSSPBlockProgram(), small_road,
+                                query=source, fragmentation=frag)
+            assert result.answer == pytest.approx(
+                sssp_distances(small_road, source))
+
+
+class TestCCBlock:
+    def test_matches_oracle_with_precompute(self, small_undirected):
+        expected = {}
+        for v, c in connected_components(small_undirected).items():
+            expected.setdefault(c, set()).add(v)
+        engine = BlogelEngine(4, precompute_cc=True)
+        result = engine.run(CCBlockProgram(), small_undirected)
+        assert result.answer == expected
+
+    def test_precompute_eliminates_communication(self, small_undirected):
+        """Blogel's CC-aligned partition -> near-zero query-time comm
+        (paper Exp-1(2) / Fig 8(d-f))."""
+        engine = BlogelEngine(4, precompute_cc=True)
+        result = engine.run(CCBlockProgram(), small_undirected)
+        assert result.metrics.comm_bytes == 0
+
+    def test_matches_oracle_without_precompute(self, small_undirected):
+        expected = {}
+        for v, c in connected_components(small_undirected).items():
+            expected.setdefault(c, set()).add(v)
+        engine = BlogelEngine(4, precompute_cc=False)
+        result = engine.run(CCBlockProgram(), small_undirected)
+        assert result.answer == expected
+
+    def test_without_precompute_ships_data(self):
+        g = uniform_random_graph(100, 140, directed=False, seed=23)
+        with_pre = BlogelEngine(4, precompute_cc=True).run(
+            CCBlockProgram(), g)
+        without = BlogelEngine(4, precompute_cc=False).run(
+            CCBlockProgram(), g)
+        assert without.metrics.comm_bytes >= with_pre.metrics.comm_bytes
+
+
+class TestVCompute:
+    def test_sim_matches_oracle(self, small_labeled, path_pattern):
+        truth = maximum_simulation(path_pattern, small_labeled)
+        result = run_vcompute(SimVertexProgram(), small_labeled,
+                              path_pattern, 3)
+        assert result.answer == truth
+
+    def test_block_placement_cuts_comm(self, small_labeled, path_pattern):
+        """Block-aligned placement ships less than hash placement."""
+        from repro.baselines.vertex_centric import PregelEngine
+        blogel = run_vcompute(SimVertexProgram(), small_labeled,
+                              path_pattern, 4)
+        giraph = PregelEngine(4).run(SimVertexProgram(), small_labeled,
+                                     query=path_pattern)
+        assert blogel.metrics.comm_bytes <= giraph.metrics.comm_bytes

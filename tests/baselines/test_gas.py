@@ -1,0 +1,57 @@
+"""GAS (GraphLab stand-in) engine and program tests."""
+
+import pytest
+
+from repro.baselines.gas import GASEngine, run_subiso_on_gas
+from repro.baselines.gas_programs import (CCGASProgram, CFGASProgram,
+                                          SimGASProgram, SSSPGASProgram)
+from repro.pie_programs import CFQuery
+from repro.sequential import (canonical_match, connected_components,
+                              maximum_simulation, sssp_distances,
+                              vf2_all_matches)
+
+
+class TestGASPrograms:
+    def test_sssp(self, small_road):
+        truth = sssp_distances(small_road, 0)
+        result = GASEngine(4).run(SSSPGASProgram(), small_road, query=0)
+        assert result.answer == pytest.approx(truth)
+
+    def test_sssp_single_worker(self, small_road):
+        truth = sssp_distances(small_road, 0)
+        result = GASEngine(1).run(SSSPGASProgram(), small_road, query=0)
+        assert result.answer == pytest.approx(truth)
+
+    def test_cc(self, small_undirected):
+        expected = {}
+        for v, c in connected_components(small_undirected).items():
+            expected.setdefault(c, set()).add(v)
+        result = GASEngine(3).run(CCGASProgram(), small_undirected)
+        assert result.answer == expected
+
+    def test_sim(self, small_labeled, path_pattern):
+        truth = maximum_simulation(path_pattern, small_labeled)
+        result = GASEngine(3).run(SimGASProgram(), small_labeled,
+                                  query=path_pattern)
+        assert result.answer == truth
+
+    def test_subiso_fallback(self, small_labeled, path_pattern):
+        truth = {canonical_match(m)
+                 for m in vf2_all_matches(path_pattern, small_labeled)}
+        result = run_subiso_on_gas(small_labeled, path_pattern, 3)
+        assert {canonical_match(m) for m in result.answer} == truth
+
+    def test_cf_terminates_on_epoch_budget(self):
+        from repro.graph.generators import bipartite_ratings_graph
+        g, _u, _i = bipartite_ratings_graph(20, 10, 120, seed=3)
+        query = CFQuery(num_factors=4, max_epochs=4, seed=1)
+        result = GASEngine(2).run(CFGASProgram(), g, query=query)
+        assert result.metrics.supersteps <= query.max_epochs + 2
+
+    def test_gather_comm_charged(self, small_road):
+        result = GASEngine(4).run(SSSPGASProgram(), small_road, query=0)
+        assert result.metrics.comm_bytes > 0
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            GASEngine(0)

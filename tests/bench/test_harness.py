@@ -1,0 +1,97 @@
+"""Benchmark harness: all systems agree on answers and report metrics."""
+
+from math import inf
+
+import pytest
+
+from repro.bench.harness import (QUERY_CLASSES, SYSTEMS, run_queries,
+                                 sweep_workers)
+from repro.bench.reporting import (format_results_table, format_series,
+                                   speedup_summary)
+from repro.graph.generators import (grid_road_graph, labeled_graph,
+                                    uniform_random_graph)
+from repro.sequential import sssp_distances
+from repro.workloads.queries import generate_pattern
+
+
+@pytest.fixture(scope="module")
+def road():
+    return grid_road_graph(6, 6, seed=2)
+
+
+class TestRunQueries:
+    @pytest.mark.parametrize("system", SYSTEMS)
+    def test_sssp_cross_system_agreement(self, road, system):
+        truth = sssp_distances(road, 0)
+        result = run_queries(system, "sssp", road, [0], 3)
+        assert result.answers[0] == pytest.approx(truth)
+        assert result.time_s > 0
+        assert result.supersteps > 0
+
+    @pytest.mark.parametrize("system", SYSTEMS)
+    def test_cc_cross_system_agreement(self, system):
+        g = uniform_random_graph(50, 60, directed=False, seed=7)
+        results = [run_queries(s, "cc", g, [None], 3)
+                   for s in ("grape", system)]
+        assert results[0].answers[0] == results[1].answers[0]
+
+    @pytest.mark.parametrize("system", SYSTEMS)
+    def test_sim_cross_system_agreement(self, system):
+        g = labeled_graph(50, 150, num_labels=3, seed=4)
+        pattern = generate_pattern(g, 3, 2, seed=1)
+        base = run_queries("grape", "sim", g, [pattern], 3)
+        other = run_queries(system, "sim", g, [pattern], 3)
+        assert base.answers[0] == other.answers[0]
+
+    def test_grape_ni_option(self, road):
+        result = run_queries("grape", "sssp", road, [0], 3,
+                             incremental=False)
+        assert result.system == "grape-ni"
+        assert result.answers[0] == pytest.approx(sssp_distances(road, 0))
+
+    def test_grape_opts_rejected_elsewhere(self, road):
+        with pytest.raises(ValueError):
+            run_queries("giraph", "sssp", road, [0], 2, incremental=False)
+
+    def test_unknown_system(self, road):
+        with pytest.raises(ValueError, match="unknown system"):
+            run_queries("spark", "sssp", road, [0], 2)
+
+    def test_unknown_query_class(self, road):
+        with pytest.raises(ValueError, match="unknown query class"):
+            run_queries("grape", "pagerank", road, [0], 2)
+
+    def test_batch_averaging(self, road):
+        result = run_queries("grape", "sssp", road, [0, 7, 11], 2)
+        assert result.num_queries == 3
+        assert result.avg_time_s == pytest.approx(result.time_s / 3)
+
+
+class TestSweepAndReporting:
+    @pytest.fixture(scope="class")
+    def rows(self, road):
+        return sweep_workers(["grape", "blogel"], "sssp", road, [0], [2, 4])
+
+    def test_sweep_shape(self, rows):
+        assert len(rows) == 4
+        assert {r.num_workers for r in rows} == {2, 4}
+
+    def test_format_results_table(self, rows):
+        table = format_results_table(rows, title="T")
+        assert "grape" in table and "blogel" in table
+        assert "time(s)" in table
+
+    def test_format_series_time(self, rows):
+        out = format_series(rows, "time", "SSSP")
+        assert "n=2" in out and "n=4" in out
+
+    def test_format_series_comm(self, rows):
+        assert "MB" in format_series(rows, "comm")
+
+    def test_speedup_summary(self, rows):
+        summary = speedup_summary(rows)
+        assert "faster than blogel" in summary
+
+    def test_speedup_summary_no_reference(self, rows):
+        only_blogel = [r for r in rows if r.system == "blogel"]
+        assert "no grape rows" in speedup_summary(only_blogel)

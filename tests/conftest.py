@@ -1,0 +1,53 @@
+"""Shared fixtures: small deterministic graphs and query batches."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.builders import from_weighted_edges
+from repro.graph.generators import (grid_road_graph, labeled_graph,
+                                    uniform_random_graph)
+from repro.graph.graph import Graph
+
+
+@pytest.fixture
+def diamond():
+    """Weighted diamond: 0 -> {1,2} -> 3, plus a 0->3 long edge."""
+    return from_weighted_edges([
+        (0, 1, 1.0), (0, 2, 4.0), (1, 3, 2.0), (2, 3, 1.0), (0, 3, 10.0),
+    ])
+
+
+@pytest.fixture
+def small_road():
+    return grid_road_graph(6, 6, seed=3)
+
+
+@pytest.fixture
+def small_undirected():
+    return uniform_random_graph(60, 70, directed=False, seed=5)
+
+
+@pytest.fixture
+def small_labeled():
+    return labeled_graph(80, 240, num_labels=4, seed=9)
+
+
+@pytest.fixture
+def tiny_pattern():
+    pat = Graph(directed=True)
+    pat.add_node("A", "l0")
+    pat.add_node("B", "l1")
+    pat.add_edge("A", "B")
+    return pat
+
+
+@pytest.fixture
+def path_pattern():
+    pat = Graph(directed=True)
+    pat.add_node("A", "l0")
+    pat.add_node("B", "l1")
+    pat.add_node("C", "l2")
+    pat.add_edge("A", "B")
+    pat.add_edge("B", "C")
+    return pat

@@ -1,0 +1,73 @@
+"""Aggregator laws (the aggregateMsg conflict resolvers)."""
+
+import pytest
+
+from repro.core.aggregators import (ConflictError,
+                                    DefaultExceptionAggregator,
+                                    LatestTimestampAggregator, MaxAggregator,
+                                    MinAggregator)
+
+
+class TestMinAggregator:
+    agg = MinAggregator()
+
+    def test_combine(self):
+        assert self.agg.combine(3, 5) == 3
+        assert self.agg.combine(5, 3) == 3
+
+    def test_progress_strict(self):
+        assert self.agg.is_progress(5, 3)
+        assert not self.agg.is_progress(3, 5)
+        assert not self.agg.is_progress(3, 3)
+
+    def test_booleans_false_precedes_true(self):
+        assert self.agg.combine(True, False) is False
+        assert self.agg.is_progress(True, False)
+
+    def test_fold(self):
+        assert self.agg.fold([4, 2, 9]) == 2
+
+    def test_fold_empty_raises(self):
+        with pytest.raises(ValueError):
+            self.agg.fold([])
+
+
+class TestMaxAggregator:
+    agg = MaxAggregator()
+
+    def test_combine(self):
+        assert self.agg.combine(3, 5) == 5
+
+    def test_progress(self):
+        assert self.agg.is_progress(3, 5)
+        assert not self.agg.is_progress(5, 5)
+
+
+class TestLatestTimestampAggregator:
+    agg = LatestTimestampAggregator()
+
+    def test_newer_wins(self):
+        assert self.agg.combine((1, "old"), (2, "new")) == (2, "new")
+
+    def test_tie_keeps_first(self):
+        assert self.agg.combine((2, "a"), (2, "b")) == (2, "a")
+
+    def test_progress_requires_newer(self):
+        assert self.agg.is_progress((1, "x"), (2, "y"))
+        assert not self.agg.is_progress((2, "x"), (2, "y"))
+        assert not self.agg.is_progress((2, "x"), (1, "y"))
+
+
+class TestDefaultExceptionAggregator:
+    agg = DefaultExceptionAggregator()
+
+    def test_identical_values_pass(self):
+        assert self.agg.combine(7, 7) == 7
+
+    def test_conflict_raises(self):
+        with pytest.raises(ConflictError):
+            self.agg.combine(7, 8)
+
+    def test_progress_is_change(self):
+        assert self.agg.is_progress(1, 2)
+        assert not self.agg.is_progress(1, 1)

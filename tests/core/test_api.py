@@ -1,0 +1,52 @@
+"""The PIE program registry (GRAPE API library)."""
+
+import pytest
+
+from repro.core.api import PIERegistry, default_registry
+from repro.pie_programs import SimProgram, SSSPProgram
+
+
+class TestPIERegistry:
+    def test_register_and_create(self):
+        reg = PIERegistry()
+        reg.register("sssp", SSSPProgram)
+        program = reg.create("SSSP")
+        assert isinstance(program, SSSPProgram)
+
+    def test_create_with_kwargs(self):
+        reg = PIERegistry()
+        reg.register("sim", SimProgram)
+        sentinel = object()
+        program = reg.create("sim", candidate_index=sentinel)
+        assert program.candidate_index is sentinel
+
+    def test_duplicate_rejected(self):
+        reg = PIERegistry()
+        reg.register("sssp", SSSPProgram)
+        with pytest.raises(ValueError, match="already registered"):
+            reg.register("SSSP", SSSPProgram)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="no PIE program"):
+            PIERegistry().create("nothing")
+
+    def test_contains_and_iter(self):
+        reg = PIERegistry()
+        reg.register("sssp", SSSPProgram)
+        assert "SSSP" in reg
+        assert list(reg) == ["sssp"]
+        assert reg.names() == ["sssp"]
+
+
+class TestDefaultRegistry:
+    def test_all_five_classes(self):
+        reg = default_registry()
+        assert set(reg.names()) == {"sssp", "sim", "subiso", "cc", "cf",
+                                    "bfs", "pagerank"}
+
+    def test_singleton(self):
+        assert default_registry() is default_registry()
+
+    def test_creates_fresh_instances(self):
+        reg = default_registry()
+        assert reg.create("sssp") is not reg.create("sssp")

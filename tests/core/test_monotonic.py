@@ -1,0 +1,36 @@
+"""Monotonic-condition runtime checking (Assurance Theorem §4.1)."""
+
+import pytest
+
+from repro.core.aggregators import MinAggregator
+from repro.core.monotonic import MonotonicityChecker, MonotonicityViolation
+
+
+class TestMonotonicityChecker:
+    def test_decreasing_sequence_passes(self):
+        checker = MonotonicityChecker(MinAggregator())
+        for value in (5, 3, 1):
+            checker.observe(("v", "dist"), value)
+        assert checker.updates_checked == 3
+
+    def test_repeat_value_passes(self):
+        checker = MonotonicityChecker(MinAggregator())
+        checker.observe(("v", "dist"), 3)
+        checker.observe(("v", "dist"), 3)
+
+    def test_regression_raises(self):
+        checker = MonotonicityChecker(MinAggregator())
+        checker.observe(("v", "dist"), 3)
+        with pytest.raises(MonotonicityViolation):
+            checker.observe(("v", "dist"), 7)
+
+    def test_keys_independent(self):
+        checker = MonotonicityChecker(MinAggregator())
+        checker.observe(("a", "dist"), 3)
+        checker.observe(("b", "dist"), 9)  # different key: fine
+
+    def test_disabled_checker_ignores_everything(self):
+        checker = MonotonicityChecker(MinAggregator(), enabled=False)
+        checker.observe(("v", "dist"), 3)
+        checker.observe(("v", "dist"), 100)
+        assert checker.updates_checked == 0

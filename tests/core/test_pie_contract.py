@@ -1,0 +1,94 @@
+"""The PIE contract's default hooks and error behaviour."""
+
+import pytest
+
+from repro.core.engine import GrapeEngine
+from repro.core.pie import PIEProgram
+from repro.graph.builders import path_graph
+from repro.partition.base import build_edge_cut_fragments
+
+
+class MinimalProgram(PIEProgram):
+    """Smallest legal PIE program: does nothing, reports nothing."""
+
+    name = "Minimal"
+
+    def init_state(self, query, fragment):
+        return {}
+
+    def peval(self, query, fragment, state):
+        state["ran"] = True
+
+    def inceval(self, query, fragment, state, message):
+        state["inc"] = True
+
+    def read_update_params(self, query, fragment, state):
+        return {}
+
+    def assemble(self, query, fragmentation, states):
+        return [state.get("ran", False) for state in states.values()]
+
+
+@pytest.fixture
+def fragments():
+    g = path_graph(6, directed=True)
+    return build_edge_cut_fragments(g, {v: v % 2 for v in g.nodes()}, 2)
+
+
+class TestDefaults:
+    def test_minimal_program_runs(self, fragments):
+        result = GrapeEngine(2).run(MinimalProgram(), None,
+                                    fragmentation=fragments)
+        assert result.answer == [True, True]
+        assert result.supersteps == 1  # nothing to exchange
+
+    def test_default_preprocess_none(self, fragments):
+        assert MinimalProgram().preprocess(None, fragments) is None
+
+    def test_default_apply_preprocess_raises(self, fragments):
+        program = MinimalProgram()
+        with pytest.raises(NotImplementedError, match="apply_preprocess"):
+            program.apply_preprocess(None, fragments[0], {}, "payload")
+
+    def test_default_drain_messages_empty(self, fragments):
+        assert MinimalProgram().drain_messages(None, fragments[0], {}) \
+            == ({}, [])
+
+    def test_default_deliver_designated_raises(self, fragments):
+        with pytest.raises(NotImplementedError, match="deliver_designated"):
+            MinimalProgram().deliver_designated(None, fragments[0], {},
+                                                ["x"])
+
+    def test_default_deliver_keyvalue_raises(self, fragments):
+        with pytest.raises(NotImplementedError, match="deliver_keyvalue"):
+            MinimalProgram().deliver_keyvalue(None, fragments[0], {},
+                                              {"k": [1]})
+
+    def test_default_apply_message_delegates_to_inceval(self, fragments):
+        program = MinimalProgram()
+        state = {}
+        program.apply_message(None, fragments[0], state, {})
+        assert state.get("inc") is True
+
+    def test_default_route_to_holders(self):
+        assert MinimalProgram.route_to == "holders"
+
+    def test_repr(self):
+        assert "Minimal" in repr(MinimalProgram())
+
+
+class BadDesignatedProgram(MinimalProgram):
+    """Emits a designated message to an out-of-range worker."""
+
+    def drain_messages(self, query, fragment, state):
+        if not state.get("sent"):
+            state["sent"] = True
+            return {99: ["boom"]}, []
+        return {}, []
+
+
+class TestChannelValidation:
+    def test_out_of_range_destination_rejected(self, fragments):
+        with pytest.raises(ValueError, match="out of range"):
+            GrapeEngine(2).run(BadDesignatedProgram(), None,
+                               fragmentation=fragments)

@@ -1,0 +1,207 @@
+"""Simulation Theorem (Theorem 2): BSP, MapReduce and CREW PRAM run on
+GRAPE with the promised superstep bounds."""
+
+from typing import Any, Dict, List
+
+import pytest
+
+from repro.core.bsp_sim import BSPProgram, run_bsp_on_grape
+from repro.core.mapreduce_sim import MapReduceJob, run_mapreduce_on_grape
+from repro.core.pram_sim import (CREWViolation, PRAMProgram,
+                                 run_pram_on_grape)
+
+
+# ---------------------------------------------------------------------
+# BSP
+# ---------------------------------------------------------------------
+class RingMax(BSPProgram):
+    """Pass the running max around a ring for n steps."""
+
+    def init(self, worker_id, num_workers, data):
+        return {"best": data, "n": num_workers}
+
+    def superstep(self, worker_id, step, state, incoming):
+        for value in incoming:
+            state["best"] = max(state["best"], value)
+        if step < state["n"]:
+            return {(worker_id + 1) % state["n"]: [state["best"]]}
+        return {}
+
+    def output(self, worker_id, state):
+        return state["best"]
+
+
+class Silent(BSPProgram):
+    """Sends nothing: must terminate after one superstep."""
+
+    def init(self, worker_id, num_workers, data):
+        return data
+
+    def superstep(self, worker_id, step, state, incoming):
+        return {}
+
+    def output(self, worker_id, state):
+        return state
+
+
+class TestBSPOnGrape:
+    def test_ring_max(self):
+        result = run_bsp_on_grape(RingMax(), [3, 17, 5, 9])
+        assert result.answer == [17, 17, 17, 17]
+
+    def test_superstep_count_matches_bsp(self):
+        """n ring steps -> n + 1 GRAPE supersteps (the +1 is the final
+        quiescent check round where messages drain)."""
+        result = run_bsp_on_grape(RingMax(), [1, 2, 3, 4])
+        assert result.metrics.supersteps == 5
+
+    def test_silent_program_one_superstep(self):
+        result = run_bsp_on_grape(Silent(), ["a", "b"])
+        assert result.answer == ["a", "b"]
+        assert result.metrics.supersteps == 1
+
+    def test_messages_charged(self):
+        result = run_bsp_on_grape(RingMax(), [1, 2, 3])
+        assert result.metrics.comm_bytes > 0
+
+
+# ---------------------------------------------------------------------
+# MapReduce
+# ---------------------------------------------------------------------
+class WordCount(MapReduceJob):
+    num_rounds = 1
+
+    def map_fn(self, round_index, key, value):
+        for word in value.split():
+            yield (word, 1)
+
+    def reduce_fn(self, round_index, key, values):
+        yield (key, sum(values))
+
+
+class TwoRoundTopCount(MapReduceJob):
+    """Round 1: word count; round 2: bucket counts by parity."""
+
+    num_rounds = 2
+
+    def map_fn(self, round_index, key, value):
+        if round_index == 1:
+            for word in value.split():
+                yield (word, 1)
+        else:
+            yield (value % 2, value)
+
+    def reduce_fn(self, round_index, key, values):
+        if round_index == 1:
+            yield (key, sum(values))
+        else:
+            yield (key, sorted(values))
+
+
+class TestMapReduceOnGrape:
+    def test_word_count(self):
+        slices = [[(0, "a b a")], [(1, "b c")], [(2, "a c c")]]
+        result = run_mapreduce_on_grape(WordCount(), slices)
+        assert sorted(result.answer) == [("a", 3), ("b", 2), ("c", 3)]
+
+    def test_two_supersteps_per_round(self):
+        slices = [[(0, "x y")], [(1, "y z")]]
+        result = run_mapreduce_on_grape(WordCount(), slices)
+        assert result.metrics.supersteps <= 2 * WordCount.num_rounds
+
+    def test_two_round_job(self):
+        slices = [[(0, "a a b")], [(1, "b c c a")]]
+        result = run_mapreduce_on_grape(TwoRoundTopCount(), slices)
+        by_parity = dict(result.answer)
+        # Counts: a=3, b=2, c=2 -> odd: [3], even: [2, 2].
+        assert by_parity[1] == [3]
+        assert by_parity[0] == [2, 2]
+
+    def test_two_round_superstep_bound(self):
+        slices = [[(0, "a b")], [(1, "c d")]]
+        result = run_mapreduce_on_grape(TwoRoundTopCount(), slices)
+        # <= 2 supersteps per round plus the map-wake hop.
+        assert result.metrics.supersteps <= 2 * 2 + 1
+
+    def test_empty_input(self):
+        result = run_mapreduce_on_grape(WordCount(), [[], []])
+        assert result.answer == []
+
+
+# ---------------------------------------------------------------------
+# PRAM
+# ---------------------------------------------------------------------
+class TreeMax(PRAMProgram):
+    """Binary-tree max reduction: cell 0 ends with the global max."""
+
+    def __init__(self, values):
+        self.values = list(values)
+        self.n = len(values)
+        self.num_processors = max(1, self.n // 2)
+        self.num_steps = max(1, (self.n - 1).bit_length())
+
+    def initial_memory(self):
+        return dict(enumerate(self.values))
+
+    def _pair(self, pid, t):
+        stride = 2 ** t
+        left = pid * 2 * stride
+        right = left + stride
+        if left % (2 * stride) == 0 and right < self.n:
+            return left, right
+        return None
+
+    def plan_reads(self, pid, t):
+        pair = self._pair(pid, t)
+        return list(pair) if pair else []
+
+    def step(self, pid, t, values, local):
+        pair = self._pair(pid, t)
+        if pair and pair[0] in values and pair[1] in values:
+            return {pair[0]: max(values[pair[0]], values[pair[1]])}
+        return {}
+
+
+class ConflictingWrites(PRAMProgram):
+    """Every processor writes cell 0: an exclusive-write violation."""
+
+    num_processors = 2
+    num_steps = 1
+
+    def initial_memory(self):
+        return {0: 0}
+
+    def plan_reads(self, pid, t):
+        return [0]
+
+    def step(self, pid, t, values, local):
+        return {0: pid + 1}
+
+
+class TestPRAMOnGrape:
+    @pytest.mark.parametrize("values", [
+        [5, 1, 9, 3, 7, 2, 8, 6],
+        [4, 2],
+        [10, 20, 30, 40],
+    ])
+    def test_tree_max(self, values):
+        result = run_pram_on_grape(TreeMax(values), num_workers=3)
+        assert result.answer[0] == max(values)
+
+    def test_superstep_bound_linear_in_t(self):
+        program = TreeMax([5, 1, 9, 3, 7, 2, 8, 6])
+        result = run_pram_on_grape(program, num_workers=4)
+        # Two supersteps per PRAM step plus setup/drain.
+        assert result.metrics.supersteps <= 2 * program.num_steps + 3
+
+    def test_crew_violation_detected(self):
+        with pytest.raises(CREWViolation):
+            run_pram_on_grape(ConflictingWrites(), num_workers=2)
+
+    def test_single_worker(self):
+        result = run_pram_on_grape(TreeMax([3, 1, 4, 1]), num_workers=1)
+        assert result.answer[0] == 4
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            run_pram_on_grape(TreeMax([1, 2]), num_workers=0)

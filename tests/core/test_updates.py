@@ -1,0 +1,156 @@
+"""Continuous queries under edge insertions (the transaction-controller
+extension of paper Section 6)."""
+
+import pytest
+
+from repro.core.engine import GrapeEngine
+from repro.core.updates import ContinuousQuerySession, apply_insertions
+from repro.graph.generators import grid_road_graph, uniform_random_graph
+from repro.pie_programs import CCProgram, SimProgram, SSSPProgram
+from repro.sequential import connected_components, sssp_distances
+
+
+def cc_oracle(g):
+    buckets = {}
+    for v, c in connected_components(g).items():
+        buckets.setdefault(c, set()).add(v)
+    return buckets
+
+
+class TestApplyInsertions:
+    def test_edge_lands_at_owner(self, small_road):
+        engine = GrapeEngine(4)
+        frag = engine.make_fragmentation(small_road)
+        owner = frag.gp.owner(0)
+        apply_insertions(frag, [(0, 35, 0.5)])
+        assert frag[owner].graph.has_edge(0, 35)
+        assert small_road.has_edge(0, 35)
+
+    def test_cross_fragment_updates_borders(self, small_road):
+        engine = GrapeEngine(4)
+        frag = engine.make_fragmentation(small_road)
+        u, v = 0, 35
+        fu, fv = frag.gp.owner(u), frag.gp.owner(v)
+        if fu == fv:
+            pytest.skip("sampled nodes share a fragment")
+        apply_insertions(frag, [(u, v, 0.5)])
+        assert v in frag[fu].outer
+        assert v in frag[fv].inner
+        assert fu in frag.gp.holders(v)
+
+    def test_new_nodes_created(self, small_road):
+        engine = GrapeEngine(4)
+        frag = engine.make_fragmentation(small_road)
+        apply_insertions(frag, [("brand-new", 0, 1.0)])
+        assert "brand-new" in frag.gp
+        owner = frag.gp.owner("brand-new")
+        assert "brand-new" in frag[owner].owned
+
+    def test_fragmentation_still_valid(self, small_road):
+        engine = GrapeEngine(4)
+        frag = engine.make_fragmentation(small_road)
+        apply_insertions(frag, [(0, 35, 0.5), (10, 30, 1.0)])
+        frag.validate()
+
+    def test_undirected_stored_both_sides(self):
+        g = uniform_random_graph(30, 40, directed=False, seed=3)
+        engine = GrapeEngine(3)
+        frag = engine.make_fragmentation(g)
+        u = 0
+        v = next(x for x in g.nodes()
+                 if x != u and not g.has_edge(u, x))
+        apply_insertions(frag, [(u, v, 1.0)])
+        fu, fv = frag.gp.owner(u), frag.gp.owner(v)
+        assert frag[fu].graph.has_edge(u, v)
+        assert frag[fv].graph.has_edge(v, u)
+
+
+class TestContinuousSSSP:
+    def test_initial_answer_correct(self, small_road):
+        session = ContinuousQuerySession(GrapeEngine(4), SSSPProgram(), 0,
+                                         small_road)
+        assert session.answer == pytest.approx(
+            sssp_distances(small_road, 0))
+
+    def test_shortcut_insertion_maintained(self, small_road):
+        session = ContinuousQuerySession(GrapeEngine(4), SSSPProgram(), 0,
+                                         small_road)
+        far = max(session.answer,
+                  key=lambda v: session.answer[v]
+                  if session.answer[v] != float("inf") else -1)
+        answer = session.insert_edges([(0, far, 0.25)])
+        assert answer[far] == pytest.approx(0.25)
+        assert answer == pytest.approx(sssp_distances(small_road, 0))
+
+    def test_batched_insertions(self, small_road):
+        session = ContinuousQuerySession(GrapeEngine(4), SSSPProgram(), 0,
+                                         small_road)
+        answer = session.insert_edges([(0, 20, 0.1), (20, 33, 0.1),
+                                       (33, 35, 0.1)])
+        assert answer == pytest.approx(sssp_distances(small_road, 0))
+
+    def test_sequential_batches(self, small_road):
+        session = ContinuousQuerySession(GrapeEngine(4), SSSPProgram(), 0,
+                                         small_road)
+        session.insert_edges([(0, 18, 0.3)])
+        answer = session.insert_edges([(18, 35, 0.3)])
+        assert answer == pytest.approx(sssp_distances(small_road, 0))
+
+    def test_non_improving_insertion_cheap(self, small_road):
+        session = ContinuousQuerySession(GrapeEngine(4), SSSPProgram(), 0,
+                                         small_road)
+        before = session.metrics.supersteps
+        answer = session.insert_edges([(0, 14, 1e9)])  # useless detour
+        assert answer == pytest.approx(sssp_distances(small_road, 0))
+        # One local fold, no message rounds needed.
+        assert session.metrics.supersteps <= before + 1
+
+    def test_weight_increase_rejected(self, small_road):
+        session = ContinuousQuerySession(GrapeEngine(4), SSSPProgram(), 0,
+                                         small_road)
+        existing = next(iter(small_road.edges()))
+        u, v, w = existing
+        with pytest.raises(ValueError, match="not insertion-maintainable"):
+            session.insert_edges([(u, v, w + 100.0)])
+
+    def test_new_node_attached(self, small_road):
+        session = ContinuousQuerySession(GrapeEngine(4), SSSPProgram(), 0,
+                                         small_road)
+        answer = session.insert_edges([(0, "annex", 2.0)])
+        assert answer["annex"] == pytest.approx(2.0)
+
+
+class TestContinuousCC:
+    def test_component_merge_maintained(self):
+        g = uniform_random_graph(60, 45, directed=False, seed=9)
+        session = ContinuousQuerySession(GrapeEngine(3), CCProgram(), None,
+                                         g)
+        assert session.answer == cc_oracle(g)
+        # Bridge two different components.
+        cids = connected_components(g)
+        by_comp = {}
+        for v, c in cids.items():
+            by_comp.setdefault(c, []).append(v)
+        comps = sorted(by_comp)
+        if len(comps) < 2:
+            pytest.skip("graph ended up connected")
+        u = by_comp[comps[0]][0]
+        v = by_comp[comps[1]][0]
+        answer = session.insert_edges([(u, v, 1.0)])
+        assert answer == cc_oracle(g)
+
+    def test_many_merges(self):
+        g = uniform_random_graph(50, 30, directed=False, seed=11)
+        session = ContinuousQuerySession(GrapeEngine(4), CCProgram(), None,
+                                         g)
+        edges = [(i, i + 25, 1.0) for i in range(0, 20, 5)]
+        answer = session.insert_edges(edges)
+        assert answer == cc_oracle(g)
+
+
+class TestSessionErrors:
+    def test_program_without_hook_rejected(self, small_labeled,
+                                           tiny_pattern):
+        with pytest.raises(TypeError, match="on_graph_update"):
+            ContinuousQuerySession(GrapeEngine(2), SimProgram(),
+                                   tiny_pattern, small_labeled)

@@ -1,0 +1,70 @@
+"""Tests for graph builders."""
+
+import pytest
+
+from repro.graph import builders
+
+
+class TestFromEdges:
+    def test_basic(self):
+        g = builders.from_edges([(1, 2), (2, 3)])
+        assert g.num_nodes == 3
+        assert g.num_edges == 2
+
+    def test_with_node_labels(self):
+        g = builders.from_edges([(1, 2)], node_labels={1: "a", 3: "c"})
+        assert g.node_label(1) == "a"
+        assert g.has_node(3)  # label-only node gets created
+
+    def test_undirected(self):
+        g = builders.from_edges([(1, 2)], directed=False)
+        assert g.has_edge(2, 1)
+
+
+class TestFromWeightedEdges:
+    def test_weights(self):
+        g = builders.from_weighted_edges([(1, 2, 3.5)])
+        assert g.edge_weight(1, 2) == 3.5
+
+
+class TestFromAdjacency:
+    def test_basic(self):
+        g = builders.from_adjacency({1: [2, 3], 2: [3], 4: []})
+        assert g.num_edges == 3
+        assert g.has_node(4)
+        assert g.out_degree(4) == 0
+
+
+class TestShapes:
+    def test_path(self):
+        g = builders.path_graph(5)
+        assert g.num_nodes == 5
+        assert g.num_edges == 4
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)  # undirected default
+
+    def test_path_directed(self):
+        g = builders.path_graph(4, directed=True)
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+
+    def test_cycle(self):
+        g = builders.cycle_graph(4)
+        assert g.num_edges == 4
+        assert g.has_edge(3, 0)
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            builders.cycle_graph(2)
+
+    def test_complete_undirected(self):
+        g = builders.complete_graph(4)
+        assert g.num_edges == 6
+
+    def test_complete_directed(self):
+        g = builders.complete_graph(4, directed=True)
+        assert g.num_edges == 12
+
+    def test_star(self):
+        g = builders.star_graph(5)
+        assert g.num_nodes == 6
+        assert g.degree(0) == 5

@@ -1,0 +1,91 @@
+"""Tests for the CSR snapshot."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import uniform_random_graph
+from repro.graph.graph import Graph
+
+
+class TestCSRBasics:
+    def test_from_empty_graph(self):
+        csr = CSRGraph.from_graph(Graph())
+        assert csr.n == 0
+        assert csr.num_directed_edges == 0
+
+    def test_counts(self, diamond):
+        csr = diamond.to_csr()
+        assert csr.n == 4
+        assert csr.num_directed_edges == 5
+
+    def test_out_neighbors_match(self, diamond):
+        csr = diamond.to_csr()
+        vid = csr.id_of[0]
+        nbrs = {csr.node_of[int(i)] for i in csr.out_neighbors(vid)}
+        assert nbrs == set(diamond.successors(0))
+
+    def test_in_neighbors_match(self, diamond):
+        csr = diamond.to_csr()
+        vid = csr.id_of[3]
+        nbrs = {csr.node_of[int(i)] for i in csr.in_neighbors(vid)}
+        assert nbrs == set(diamond.predecessors(3))
+
+    def test_degrees(self, diamond):
+        csr = diamond.to_csr()
+        for v in diamond.nodes():
+            vid = csr.id_of[v]
+            assert csr.out_degree(vid) == diamond.out_degree(v)
+            assert csr.in_degree(vid) == diamond.in_degree(v)
+
+    def test_weights_preserved(self, diamond):
+        csr = diamond.to_csr()
+        vid = csr.id_of[0]
+        pairs = {csr.node_of[int(i)]: w
+                 for i, w in zip(csr.out_neighbors(vid),
+                                 csr.out_weights(vid))}
+        assert pairs == dict(diamond.successors_with_weights(0))
+
+    def test_in_weights_match_out_weights(self, diamond):
+        csr = diamond.to_csr()
+        vid = csr.id_of[3]
+        pairs = {csr.node_of[int(i)]: w
+                 for i, w in zip(csr.in_neighbors(vid), csr.in_weights(vid))}
+        assert pairs == dict(diamond.predecessors_with_weights(3))
+
+    def test_labels_carried(self):
+        g = Graph()
+        g.add_node("a", label="L")
+        csr = g.to_csr()
+        assert csr.labels[csr.id_of["a"]] == "L"
+
+    def test_repr(self, diamond):
+        assert "CSRGraph" in repr(diamond.to_csr())
+
+
+class TestRoundTrip:
+    def test_directed_round_trip(self):
+        g = uniform_random_graph(40, 120, seed=2)
+        back = g.to_csr().to_graph()
+        assert set(back.nodes()) == set(g.nodes())
+        for u, v, w in g.edges():
+            assert back.has_edge(u, v)
+            assert back.edge_weight(u, v) == pytest.approx(w)
+
+    def test_undirected_round_trip_edges(self):
+        g = uniform_random_graph(30, 50, directed=False, seed=4)
+        back = g.to_csr().to_graph()
+        assert back.num_edges == g.num_edges
+        for u, v, _w in g.edges():
+            assert back.has_edge(u, v) and back.has_edge(v, u)
+
+    def test_csr_arrays_consistent(self):
+        g = uniform_random_graph(25, 60, seed=6)
+        csr = g.to_csr()
+        assert csr.indptr[-1] == csr.num_directed_edges
+        assert csr.rev_indptr[-1] == csr.num_directed_edges
+        # Every edge appears exactly once in forward and reverse arrays.
+        fwd = sorted((int(csr.indptr[v]), int(i))
+                     for v in range(csr.n)
+                     for i in csr.out_neighbors(v))
+        assert len(fwd) == csr.num_directed_edges

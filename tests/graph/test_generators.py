@@ -1,0 +1,132 @@
+"""Tests for synthetic graph generators."""
+
+import math
+
+import pytest
+
+from repro.graph import generators as gen
+
+
+class TestUniformRandom:
+    def test_counts(self):
+        g = gen.uniform_random_graph(50, 120, seed=1)
+        assert g.num_nodes == 50
+        assert g.num_edges == 120
+
+    def test_deterministic(self):
+        a = gen.uniform_random_graph(30, 60, seed=7)
+        b = gen.uniform_random_graph(30, 60, seed=7)
+        assert a == b
+
+    def test_seed_changes_graph(self):
+        a = gen.uniform_random_graph(30, 60, seed=7)
+        b = gen.uniform_random_graph(30, 60, seed=8)
+        assert a != b
+
+    def test_no_self_loops(self):
+        g = gen.uniform_random_graph(20, 50, seed=2)
+        assert all(u != v for u, v, _w in g.edges())
+
+    def test_caps_at_max_edges(self):
+        g = gen.uniform_random_graph(4, 1000, seed=3)
+        assert g.num_edges == 12  # 4*3 directed pairs
+
+    def test_undirected(self):
+        g = gen.uniform_random_graph(20, 30, directed=False, seed=4)
+        assert g.num_edges == 30
+        for u, v, _w in g.edges():
+            assert g.has_edge(v, u)
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            gen.uniform_random_graph(1, 5)
+
+
+class TestPreferentialAttachment:
+    def test_size(self):
+        g = gen.preferential_attachment(100, edges_per_node=3, seed=1)
+        assert g.num_nodes == 100
+
+    def test_heavy_tail(self):
+        g = gen.preferential_attachment(400, edges_per_node=3, seed=5)
+        degrees = sorted((g.degree(v) for v in g.nodes()), reverse=True)
+        # Hubs exist: the max degree is far above the median.
+        assert degrees[0] > 4 * degrees[len(degrees) // 2]
+
+    def test_rejects_small(self):
+        with pytest.raises(ValueError):
+            gen.preferential_attachment(3, edges_per_node=3)
+
+    def test_deterministic(self):
+        a = gen.preferential_attachment(50, seed=9)
+        b = gen.preferential_attachment(50, seed=9)
+        assert a == b
+
+
+class TestGridRoad:
+    def test_size(self):
+        g = gen.grid_road_graph(5, 7, seed=1)
+        assert g.num_nodes == 35
+
+    def test_two_way_roads(self):
+        g = gen.grid_road_graph(4, 4, seed=2)
+        for u, v, _w in list(g.edges()):
+            assert g.has_edge(v, u)
+
+    def test_positive_weights(self):
+        g = gen.grid_road_graph(4, 4, seed=3)
+        assert all(w > 0 for _u, _v, w in g.edges())
+
+    def test_large_diameter(self):
+        """Grid diameter grows with side length — the traffic property."""
+        from repro.sequential.sssp import dijkstra
+        g = gen.grid_road_graph(12, 12, shortcut_prob=0.0, seed=4)
+        dist = dijkstra(g, 0)
+        hops = max(v for v in dist.values() if v < math.inf)
+        assert hops > 15  # weighted; at least ~ side length
+
+
+class TestBipartiteRatings:
+    def test_shapes(self):
+        g, uf, itf = gen.bipartite_ratings_graph(20, 10, 100, seed=1)
+        users = [v for v in g.nodes() if g.node_label(v) == "user"]
+        items = [v for v in g.nodes() if g.node_label(v) == "item"]
+        assert len(users) == 20 and len(items) == 10
+        assert g.num_edges == 100
+        assert uf.shape == (20, 8) and itf.shape == (10, 8)
+
+    def test_edges_go_user_to_item(self):
+        g, _u, _i = gen.bipartite_ratings_graph(10, 5, 30, seed=2)
+        for u, p, _w in g.edges():
+            assert u[0] == "u" and p[0] == "p"
+
+    def test_planted_structure(self):
+        """Low noise ratings should correlate with planted factors."""
+        g, uf, itf = gen.bipartite_ratings_graph(15, 8, 60, noise=0.01,
+                                                 seed=3)
+        for (tag_u, ui), (tag_p, pi), rating in g.edges():
+            planted = float(uf[ui] @ itf[pi])
+            assert abs(rating - planted) < 0.1
+
+
+class TestLabels:
+    def test_assign_labels(self):
+        g = gen.uniform_random_graph(20, 30, seed=1)
+        gen.assign_labels(g, ["a", "b"], seed=2)
+        assert all(g.node_label(v) in ("a", "b") for v in g.nodes())
+
+    def test_labeled_graph_alphabet(self):
+        g = gen.labeled_graph(40, 80, num_labels=5, seed=1)
+        labels = {g.node_label(v) for v in g.nodes()}
+        assert labels <= {f"l{i}" for i in range(5)}
+
+
+class TestRandomDAG:
+    def test_acyclic(self):
+        g = gen.random_dag(30, 80, seed=1)
+        assert all(u < v for u, v, _w in g.edges())
+
+    def test_counts(self):
+        g = gen.random_dag(20, 40, seed=2)
+        assert g.num_nodes == 20
+        assert g.num_edges == 40

@@ -1,0 +1,223 @@
+"""Unit tests for the core Graph structure."""
+
+import pytest
+
+from repro.graph.graph import Graph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = Graph()
+        assert g.num_nodes == 0
+        assert g.num_edges == 0
+        assert list(g.nodes()) == []
+        assert list(g.edges()) == []
+
+    def test_add_node_idempotent(self):
+        g = Graph()
+        g.add_node(1, label="a")
+        g.add_node(1)
+        assert g.num_nodes == 1
+        assert g.node_label(1) == "a"
+
+    def test_add_node_label_update(self):
+        g = Graph()
+        g.add_node(1, label="a")
+        g.add_node(1, label="b")
+        assert g.node_label(1) == "b"
+
+    def test_add_edge_creates_endpoints(self):
+        g = Graph()
+        g.add_edge("x", "y", weight=2.5)
+        assert g.has_node("x") and g.has_node("y")
+        assert g.has_edge("x", "y")
+        assert g.edge_weight("x", "y") == 2.5
+
+    def test_directed_edge_one_way(self):
+        g = Graph(directed=True)
+        g.add_edge(1, 2)
+        assert g.has_edge(1, 2)
+        assert not g.has_edge(2, 1)
+
+    def test_undirected_edge_both_ways(self):
+        g = Graph(directed=False)
+        g.add_edge(1, 2, weight=3.0)
+        assert g.has_edge(1, 2) and g.has_edge(2, 1)
+        assert g.edge_weight(2, 1) == 3.0
+        assert g.num_edges == 1
+
+    def test_readd_edge_overwrites_weight(self):
+        g = Graph()
+        g.add_edge(1, 2, weight=1.0)
+        g.add_edge(1, 2, weight=9.0)
+        assert g.edge_weight(1, 2) == 9.0
+        assert g.num_edges == 1
+
+    def test_edge_labels(self):
+        g = Graph()
+        g.add_edge(1, 2, label="knows")
+        assert g.edge_label(1, 2) == "knows"
+        assert g.edge_label(2, 1) is None
+
+    def test_undirected_edge_label_symmetric(self):
+        g = Graph(directed=False)
+        g.add_edge(1, 2, label="friend")
+        assert g.edge_label(2, 1) == "friend"
+
+    def test_set_node_label_missing_raises(self):
+        g = Graph()
+        with pytest.raises(KeyError):
+            g.set_node_label(42, "x")
+
+    def test_self_loop(self):
+        g = Graph()
+        g.add_edge(1, 1)
+        assert g.has_edge(1, 1)
+        assert g.num_edges == 1
+
+
+class TestRemoval:
+    def test_remove_edge(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.remove_edge(1, 2)
+        assert not g.has_edge(1, 2)
+        assert g.has_node(1) and g.has_node(2)
+
+    def test_remove_edge_missing_raises(self):
+        g = Graph()
+        g.add_node(1)
+        g.add_node(2)
+        with pytest.raises(KeyError):
+            g.remove_edge(1, 2)
+
+    def test_remove_undirected_edge(self):
+        g = Graph(directed=False)
+        g.add_edge(1, 2)
+        g.remove_edge(2, 1)
+        assert not g.has_edge(1, 2)
+        assert g.num_edges == 0
+
+    def test_remove_node_removes_incident_edges(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        g.add_edge(3, 1)
+        g.remove_node(2)
+        assert not g.has_node(2)
+        assert g.has_edge(3, 1)
+        assert g.num_edges == 1
+
+    def test_remove_node_with_self_loop(self):
+        g = Graph()
+        g.add_edge(1, 1)
+        g.remove_node(1)
+        assert g.num_nodes == 0
+
+
+class TestQueries:
+    def test_degrees_directed(self, diamond):
+        assert diamond.out_degree(0) == 3
+        assert diamond.in_degree(3) == 3
+        assert diamond.degree(0) == 3
+
+    def test_degrees_undirected(self):
+        g = Graph(directed=False)
+        g.add_edge(1, 2)
+        g.add_edge(1, 3)
+        assert g.degree(1) == 2
+        assert g.out_degree(1) == 2  # symmetric storage
+
+    def test_successors_predecessors(self, diamond):
+        assert set(diamond.successors(0)) == {1, 2, 3}
+        assert set(diamond.predecessors(3)) == {1, 2, 0}
+
+    def test_neighbors_directed_union(self):
+        g = Graph(directed=True)
+        g.add_edge(1, 2)
+        g.add_edge(3, 1)
+        assert set(g.neighbors(1)) == {2, 3}
+
+    def test_successors_with_weights(self, diamond):
+        weights = dict(diamond.successors_with_weights(0))
+        assert weights == {1: 1.0, 2: 4.0, 3: 10.0}
+
+    def test_edges_iteration_directed(self, diamond):
+        assert len(list(diamond.edges())) == 5
+
+    def test_edges_iteration_undirected_once(self):
+        g = Graph(directed=False)
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        edges = list(g.edges())
+        assert len(edges) == 2
+
+    def test_contains_len_iter(self, diamond):
+        assert 0 in diamond
+        assert 99 not in diamond
+        assert len(diamond) == 4
+        assert set(iter(diamond)) == {0, 1, 2, 3}
+
+    def test_repr(self, diamond):
+        assert "nodes=4" in repr(diamond)
+
+
+class TestDerivedGraphs:
+    def test_induced_subgraph(self, diamond):
+        sub = diamond.induced_subgraph([0, 1, 3])
+        assert set(sub.nodes()) == {0, 1, 3}
+        assert sub.has_edge(0, 1) and sub.has_edge(1, 3)
+        assert sub.has_edge(0, 3)
+        assert not sub.has_node(2)
+
+    def test_induced_subgraph_preserves_labels(self):
+        g = Graph()
+        g.add_node(1, "a")
+        g.add_edge(1, 2, weight=5.0, label="e")
+        sub = g.induced_subgraph([1, 2])
+        assert sub.node_label(1) == "a"
+        assert sub.edge_label(1, 2) == "e"
+        assert sub.edge_weight(1, 2) == 5.0
+
+    def test_induced_subgraph_missing_node_raises(self, diamond):
+        with pytest.raises(KeyError):
+            diamond.induced_subgraph([0, 42])
+
+    def test_subgraph_with_edges_not_induced(self, diamond):
+        sub = diamond.subgraph_with_edges([0, 1, 3], [(0, 1)])
+        assert sub.has_edge(0, 1)
+        assert not sub.has_edge(1, 3)
+
+    def test_reverse(self, diamond):
+        rev = diamond.reverse()
+        assert rev.has_edge(1, 0)
+        assert not rev.has_edge(0, 1)
+        assert rev.num_edges == diamond.num_edges
+
+    def test_reverse_twice_is_identity(self, diamond):
+        assert diamond.reverse().reverse() == diamond
+
+    def test_copy_independent(self, diamond):
+        dup = diamond.copy()
+        assert dup == diamond
+        dup.add_edge(3, 0)
+        assert not diamond.has_edge(3, 0)
+
+    def test_equality_considers_labels(self):
+        a = Graph()
+        a.add_node(1, "x")
+        b = Graph()
+        b.add_node(1, "y")
+        assert a != b
+
+    def test_equality_considers_direction(self):
+        a = Graph(directed=True)
+        b = Graph(directed=False)
+        assert a != b
+
+    def test_equality_considers_weights(self):
+        a = Graph()
+        a.add_edge(1, 2, weight=1.0)
+        b = Graph()
+        b.add_edge(1, 2, weight=2.0)
+        assert a != b

@@ -1,0 +1,68 @@
+"""Tests for edge-list I/O."""
+
+import io
+
+import pytest
+
+from repro.graph import io as gio
+from repro.graph.generators import labeled_graph, uniform_random_graph
+from repro.graph.graph import Graph
+
+
+class TestRoundTrip:
+    def test_string_round_trip(self):
+        g = uniform_random_graph(25, 60, seed=1)
+        assert gio.loads(gio.dumps(g)) == g
+
+    def test_labeled_round_trip(self):
+        g = labeled_graph(20, 40, num_labels=3, seed=2)
+        assert gio.loads(gio.dumps(g)) == g
+
+    def test_undirected_round_trip(self):
+        g = uniform_random_graph(15, 25, directed=False, seed=3)
+        back = gio.loads(gio.dumps(g))
+        assert back == g
+        assert not back.directed
+
+    def test_file_round_trip(self, tmp_path):
+        g = uniform_random_graph(10, 20, seed=4)
+        path = tmp_path / "graph.txt"
+        gio.write_edge_list(g, path)
+        assert gio.read_edge_list(path) == g
+
+    def test_text_handle_round_trip(self):
+        g = uniform_random_graph(10, 15, seed=5)
+        buf = io.StringIO()
+        gio.write_edge_list(g, buf)
+        buf.seek(0)
+        assert gio.read_edge_list(buf) == g
+
+    def test_edge_labels_round_trip(self):
+        g = Graph()
+        g.add_edge(1, 2, weight=2.5, label="road")
+        back = gio.loads(gio.dumps(g))
+        assert back.edge_label(1, 2) == "road"
+        assert back.edge_weight(1, 2) == 2.5
+
+    def test_string_node_ids(self):
+        g = Graph()
+        g.add_edge("alpha", "beta")
+        back = gio.loads(gio.dumps(g))
+        assert back.has_edge("alpha", "beta")
+
+    def test_isolated_nodes_preserved(self):
+        g = Graph()
+        g.add_node(7)
+        g.add_node(8, "lonely")
+        back = gio.loads(gio.dumps(g))
+        assert back.has_node(7) and back.node_label(8) == "lonely"
+
+
+class TestErrors:
+    def test_unknown_record_kind(self):
+        with pytest.raises(ValueError):
+            gio.loads("# directed=true\nX\t1\t2\n")
+
+    def test_blank_lines_skipped(self):
+        g = gio.loads("# directed=true\nN\t1\n\nN\t2\nE\t1\t2\t1.0\n")
+        assert g.has_edge(1, 2)

@@ -1,0 +1,115 @@
+"""Query-preserving compression tests."""
+
+import pytest
+
+from repro.graph.builders import path_graph
+from repro.graph.generators import labeled_graph
+from repro.graph.graph import Graph
+from repro.optim.compression import (bisimulation_compress, chain_compress,
+                                     decompress_sim)
+from repro.sequential.simulation import maximum_simulation
+from repro.sequential.sssp import dijkstra
+
+
+def make_pattern(nodes, edges):
+    p = Graph(directed=True)
+    for name, label in nodes:
+        p.add_node(name, label)
+    for u, v in edges:
+        p.add_edge(u, v)
+    return p
+
+
+class TestBisimulationCompress:
+    def test_merges_equivalent_leaves(self):
+        g = Graph()
+        g.add_node(0, "root")
+        for i in (1, 2, 3):
+            g.add_node(i, "leaf")
+            g.add_edge(0, i)
+        compressed, rep = bisimulation_compress(g)
+        assert compressed.num_nodes == 2  # root + one leaf class
+        assert len({rep[1], rep[2], rep[3]}) == 1
+
+    def test_distinguishes_different_futures(self):
+        g = Graph()
+        g.add_node(1, "a")
+        g.add_node(2, "a")
+        g.add_node(3, "b")
+        g.add_edge(1, 3)  # 1 has a b-successor, 2 does not
+        compressed, rep = bisimulation_compress(g)
+        assert rep[1] != rep[2]
+
+    def test_never_larger(self, small_labeled):
+        compressed, _rep = bisimulation_compress(small_labeled)
+        assert compressed.num_nodes <= small_labeled.num_nodes
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_sim_preserved(self, seed):
+        """Q(G) is computable from the compressed graph without
+        decompression (paper [20])."""
+        g = labeled_graph(60, 150, num_labels=3, seed=seed)
+        pattern = make_pattern([("u", "l0"), ("w", "l1")], [("u", "w")])
+        compressed, rep = bisimulation_compress(g)
+        direct = maximum_simulation(pattern, g)
+        lifted = decompress_sim(maximum_simulation(pattern, compressed),
+                                rep)
+        assert lifted == direct
+
+
+class TestChainCompress:
+    def test_contracts_interior(self):
+        g = Graph(directed=True)
+        g.add_edge(0, 1, weight=1.0)
+        g.add_edge(1, 2, weight=2.0)
+        g.add_edge(2, 3, weight=3.0)
+        g.add_edge(3, 4, weight=1.0)
+        g.add_edge(0, 4, weight=100.0)  # keeps 0 and 4 as junctions
+        compressed, offsets = chain_compress(g)
+        assert not compressed.has_node(1)
+        assert not compressed.has_node(2)
+        assert compressed.has_edge(0, 4)
+
+    def test_junction_distances_preserved(self):
+        g = Graph(directed=True)
+        g.add_edge(0, 1, weight=1.0)
+        g.add_edge(1, 2, weight=2.0)
+        g.add_edge(2, 3, weight=3.0)
+        g.add_edge(0, 3, weight=100.0)
+        compressed, _offsets = chain_compress(g)
+        original = dijkstra(g, 0)
+        reduced = dijkstra(compressed, 0)
+        assert reduced[3] == pytest.approx(original[3])
+
+    def test_offsets_reconstruct_interior(self):
+        g = Graph(directed=True)
+        g.add_edge(0, 1, weight=1.5)
+        g.add_edge(1, 2, weight=2.5)
+        g.add_edge(2, 3, weight=3.5)
+        g.add_edge(0, 3, weight=50.0)
+        _compressed, offsets = chain_compress(g)
+        head, off = offsets[2]
+        assert head == 0
+        assert off == pytest.approx(4.0)  # 1.5 + 2.5
+
+    def test_no_chains_is_identity_shape(self):
+        # A directed triangle has no degree-(1,1) interior... each node has
+        # in=1 and out=1, so use a star with branching instead.
+        g = Graph(directed=True)
+        g.add_edge(0, 1, weight=1.0)
+        g.add_edge(0, 2, weight=1.0)
+        g.add_edge(1, 3, weight=1.0)
+        g.add_edge(1, 4, weight=1.0)  # node 1 has out-degree 2: no chain
+        compressed, offsets = chain_compress(g)
+        assert offsets == {}
+        assert set(compressed.nodes()) == set(g.nodes())
+
+    def test_diamond_parallel_chains_contract(self, diamond):
+        # Diamond interior nodes 1 and 2 are (1,1)-degree: both contract,
+        # and the cheapest parallel chain wins.
+        compressed, offsets = chain_compress(diamond)
+        assert set(offsets) == {1, 2}
+        assert compressed.has_edge(0, 3)
+        assert compressed.edge_weight(0, 3) == pytest.approx(3.0)
+        reduced = dijkstra(compressed, 0)
+        assert reduced[3] == pytest.approx(dijkstra(diamond, 0)[3])

@@ -1,0 +1,29 @@
+"""Dynamic message grouping savings."""
+
+from repro.optim.grouping import (grouped_bytes, grouping_savings,
+                                  ungrouped_bytes)
+
+
+class TestGrouping:
+    def test_grouped_smaller_for_batches(self):
+        message = {(v, "dist"): float(v) for v in range(50)}
+        assert grouped_bytes(message) < ungrouped_bytes(message)
+
+    def test_single_entry_no_benefit(self):
+        message = {(1, "dist"): 2.0}
+        assert grouped_bytes(message) == ungrouped_bytes(message)
+
+    def test_savings_summary(self):
+        messages = [{(v, "dist"): float(v) for v in range(20)}
+                    for _ in range(5)]
+        summary = grouping_savings(messages)
+        assert summary["grouped_bytes"] < summary["ungrouped_bytes"]
+        assert 0.0 < summary["savings_fraction"] < 1.0
+
+    def test_empty_stream(self):
+        summary = grouping_savings([])
+        assert summary["savings_fraction"] == 0.0
+
+    def test_empty_messages_skipped(self):
+        summary = grouping_savings([{}, {}])
+        assert summary["grouped_bytes"] == 0.0

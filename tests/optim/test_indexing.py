@@ -1,0 +1,104 @@
+"""Indexing optimizations: neighborhood candidate filter, 2-hop labels."""
+
+import networkx as nx
+import pytest
+
+from repro.graph.generators import labeled_graph, random_dag, \
+    uniform_random_graph
+from repro.graph.graph import Graph
+from repro.optim.indexing import (IndexedSimCandidates, NeighborhoodIndex,
+                                  TwoHopIndex)
+from repro.sequential.simulation import maximum_simulation
+
+
+def make_pattern(nodes, edges):
+    p = Graph(directed=True)
+    for name, label in nodes:
+        p.add_node(name, label)
+    for u, v in edges:
+        p.add_edge(u, v)
+    return p
+
+
+class TestNeighborhoodIndex:
+    def test_filters_by_label(self, small_labeled):
+        idx = NeighborhoodIndex(small_labeled)
+        p = make_pattern([("u", "l0")], [])
+        for v in idx.candidates(p)["u"]:
+            assert small_labeled.node_label(v) == "l0"
+
+    def test_filters_by_successor_labels(self):
+        g = Graph()
+        g.add_node(1, "a")
+        g.add_node(2, "a")
+        g.add_node(3, "b")
+        g.add_edge(1, 3)  # only node 1 has a b-successor
+        idx = NeighborhoodIndex(g)
+        p = make_pattern([("u", "a"), ("w", "b")], [("u", "w")])
+        assert idx.candidates(p)["u"] == {1}
+
+    def test_never_removes_true_matches(self, small_labeled, path_pattern):
+        """The filter is sound: final sim result uses only candidates."""
+        idx = NeighborhoodIndex(small_labeled)
+        cands = idx.candidates(path_pattern)
+        truth = maximum_simulation(path_pattern, small_labeled)
+        for u in path_pattern.nodes():
+            assert truth[u] <= cands[u]
+
+    def test_sim_with_index_same_answer(self, small_labeled, path_pattern):
+        truth = maximum_simulation(path_pattern, small_labeled)
+        indexed = maximum_simulation(
+            path_pattern, small_labeled,
+            candidates=NeighborhoodIndex(small_labeled).candidates(
+                path_pattern))
+        assert indexed == truth
+
+
+class TestIndexedSimCandidates:
+    def test_caches_per_graph(self, small_labeled, tiny_pattern):
+        adapter = IndexedSimCandidates()
+        adapter(tiny_pattern, small_labeled)
+        assert id(small_labeled) in adapter._cache
+        first = adapter._cache[id(small_labeled)]
+        adapter(tiny_pattern, small_labeled)
+        assert adapter._cache[id(small_labeled)] is first
+
+    def test_grape_sim_with_index(self, small_labeled, path_pattern):
+        from repro.core.engine import GrapeEngine
+        from repro.pie_programs import SimProgram
+        truth = maximum_simulation(path_pattern, small_labeled)
+        program = SimProgram(candidate_index=IndexedSimCandidates())
+        result = GrapeEngine(3).run(program, query=path_pattern,
+                                    graph=small_labeled)
+        assert result.answer == truth
+
+
+class TestTwoHopIndex:
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_matches_networkx_reachability(self, seed):
+        g = uniform_random_graph(30, 70, seed=seed)
+        nxg = nx.DiGraph()
+        nxg.add_nodes_from(g.nodes())
+        nxg.add_edges_from((u, v) for u, v, _w in g.edges())
+        idx = TwoHopIndex(g)
+        closure = {v: nx.descendants(nxg, v) | {v} for v in g.nodes()}
+        for u in g.nodes():
+            for v in g.nodes():
+                assert idx.reaches(u, v) == (v in closure[u])
+
+    def test_dag_reachability(self):
+        g = random_dag(25, 60, seed=3)
+        idx = TwoHopIndex(g)
+        # Edges are reachable by construction; a DAG never goes backwards.
+        for u, v, _w in g.edges():
+            assert idx.reaches(u, v)
+            assert not idx.reaches(v, u)
+
+    def test_self_reachability(self):
+        g = Graph()
+        g.add_node(1)
+        assert TwoHopIndex(g).reaches(1, 1)
+
+    def test_label_size_reported(self):
+        g = uniform_random_graph(20, 40, seed=5)
+        assert TwoHopIndex(g).label_size() > 0

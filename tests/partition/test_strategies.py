@@ -1,0 +1,112 @@
+"""Tests for the built-in partition strategies."""
+
+import pytest
+
+from repro.graph.generators import (preferential_attachment,
+                                    uniform_random_graph)
+from repro.partition.base import cut_edges, replication_factor
+from repro.partition.strategies import (STRATEGIES, GridPartition,
+                                        HashPartition, MetisLikePartition,
+                                        RangePartition, StreamingPartition,
+                                        VertexCutPartition, get_strategy)
+
+EDGE_CUT_STRATEGIES = [HashPartition, RangePartition, GridPartition,
+                       StreamingPartition, MetisLikePartition]
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return uniform_random_graph(120, 400, seed=11)
+
+
+@pytest.mark.parametrize("cls", EDGE_CUT_STRATEGIES)
+class TestEdgeCutStrategies:
+    def test_assign_covers_all_nodes(self, cls, graph):
+        assignment = cls().assign(graph, 4)
+        assert set(assignment) == set(graph.nodes())
+        assert all(0 <= fid < 4 for fid in assignment.values())
+
+    def test_partition_validates(self, cls, graph):
+        frag = cls().partition(graph, 4)
+        frag.validate()
+        assert frag.num_fragments == 4
+
+    def test_single_fragment(self, cls, graph):
+        frag = cls().partition(graph, 1)
+        frag.validate()
+        assert frag[0].owned == set(graph.nodes())
+
+    def test_deterministic(self, cls, graph):
+        a = cls().assign(graph, 3)
+        b = cls().assign(graph, 3)
+        assert a == b
+
+
+class TestBalance:
+    @pytest.mark.parametrize("cls", [HashPartition, RangePartition,
+                                     StreamingPartition,
+                                     MetisLikePartition])
+    def test_roughly_balanced(self, cls, graph):
+        assignment = cls().assign(graph, 4)
+        sizes = [0] * 4
+        for fid in assignment.values():
+            sizes[fid] += 1
+        assert max(sizes) <= 3 * (graph.num_nodes // 4)
+
+
+class TestCutQuality:
+    def test_metis_beats_hash(self):
+        """Multilevel partitioning should cut far fewer edges than hash on
+        a clustered graph."""
+        g = preferential_attachment(300, edges_per_node=4, seed=3)
+        hash_cut = cut_edges(g, HashPartition().assign(g, 4))
+        metis_cut = cut_edges(g, MetisLikePartition().assign(g, 4))
+        assert metis_cut < hash_cut
+
+    def test_streaming_beats_random_hash(self):
+        g = preferential_attachment(300, edges_per_node=4, seed=4)
+        hash_cut = cut_edges(g, HashPartition().assign(g, 4))
+        ldg_cut = cut_edges(g, StreamingPartition().assign(g, 4))
+        assert ldg_cut < hash_cut
+
+
+class TestVertexCutStrategy:
+    def test_partition(self, graph):
+        frag = VertexCutPartition().partition(graph, 4)
+        frag.validate()
+        # Every edge placed exactly once.
+        total_edges = sum(f.num_edges for f in frag)
+        assert total_edges == graph.num_edges
+
+    def test_replication_reasonable(self, graph):
+        frag = VertexCutPartition().partition(graph, 4)
+        assert 1.0 <= replication_factor(frag) <= 4.0
+
+    def test_assign_raises(self, graph):
+        with pytest.raises(NotImplementedError):
+            VertexCutPartition().assign(graph, 2)
+
+    def test_invalid_fragment_count(self, graph):
+        with pytest.raises(ValueError):
+            VertexCutPartition().partition(graph, 0)
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        assert set(STRATEGIES) == {"hash", "range", "grid", "streaming",
+                                   "metis", "vertex-cut"}
+
+    def test_get_strategy(self):
+        assert isinstance(get_strategy("metis"), MetisLikePartition)
+
+    def test_get_strategy_kwargs(self):
+        s = get_strategy("streaming", slack=1.5)
+        assert s.slack == 1.5
+
+    def test_get_strategy_unknown(self):
+        with pytest.raises(ValueError, match="unknown partition strategy"):
+            get_strategy("magic")
+
+    def test_zero_fragments_rejected(self, graph):
+        with pytest.raises(ValueError):
+            HashPartition().partition(graph, 0)

@@ -1,0 +1,192 @@
+"""Unit tests of the PIE programs' hooks against hand-built fragments."""
+
+from math import inf
+
+import pytest
+
+from repro.graph.builders import path_graph
+from repro.graph.graph import Graph
+from repro.partition.base import build_edge_cut_fragments
+from repro.pie_programs import (CCProgram, CFProgram, CFQuery, SimProgram,
+                                SSSPProgram, SubIsoProgram)
+
+
+@pytest.fixture
+def split_path():
+    """Directed weighted path 0 -> 1 -> 2 -> 3 split at 1|2."""
+    g = Graph(directed=True)
+    g.add_edge(0, 1, weight=1.0)
+    g.add_edge(1, 2, weight=2.0)
+    g.add_edge(2, 3, weight=3.0)
+    frag = build_edge_cut_fragments(g, {0: 0, 1: 0, 2: 1, 3: 1}, 2)
+    return g, frag
+
+
+class TestSSSPHooks:
+    def test_peval_local_only(self, split_path):
+        _g, frag = split_path
+        prog = SSSPProgram()
+        state = prog.init_state(0, frag[0])
+        prog.peval(0, frag[0], state)
+        assert state.dist[0] == 0.0
+        assert state.dist[1] == 1.0
+        assert state.dist[2] == 3.0  # the copy got a value via local edge
+
+    def test_read_params_only_finite_outer(self, split_path):
+        _g, frag = split_path
+        prog = SSSPProgram()
+        state = prog.init_state(0, frag[0])
+        prog.peval(0, frag[0], state)
+        params = prog.read_update_params(0, frag[0], state)
+        assert params == {(2, "dist"): 3.0}
+
+    def test_fragment_without_source_reports_nothing(self, split_path):
+        _g, frag = split_path
+        prog = SSSPProgram()
+        state = prog.init_state(0, frag[1])
+        prog.peval(0, frag[1], state)
+        params = prog.read_update_params(0, frag[1], state)
+        assert params == {}
+
+    def test_inceval_propagates(self, split_path):
+        _g, frag = split_path
+        prog = SSSPProgram()
+        state = prog.init_state(0, frag[1])
+        prog.peval(0, frag[1], state)
+        prog.inceval(0, frag[1], state, {(2, "dist"): 3.0})
+        assert state.dist[2] == 3.0
+        assert state.dist[3] == 6.0
+
+    def test_apply_message_no_propagation(self, split_path):
+        _g, frag = split_path
+        prog = SSSPProgram()
+        state = prog.init_state(0, frag[1])
+        prog.peval(0, frag[1], state)
+        prog.apply_message(0, frag[1], state, {(2, "dist"): 3.0})
+        assert state.dist[2] == 3.0
+        assert state.dist.get(3, inf) == inf  # not propagated yet
+
+    def test_assemble_uses_owned_only(self, split_path):
+        _g, frag = split_path
+        prog = SSSPProgram()
+        states = {f.fid: prog.init_state(0, f) for f in frag}
+        for f in frag:
+            prog.peval(0, f, states[f.fid])
+        answer = prog.assemble(0, frag, states)
+        assert set(answer) == {0, 1, 2, 3}
+        # Fragment 0's copy estimate for node 2 must not leak.
+        assert answer[2] == inf  # fragment 1 never saw the source
+
+    def test_route_to_owner(self):
+        assert SSSPProgram.route_to == "owner"
+
+
+class TestCCHooks:
+    def test_peval_builds_components(self):
+        g = path_graph(4)
+        frag = build_edge_cut_fragments(g, {0: 0, 1: 0, 2: 1, 3: 1}, 2)
+        prog = CCProgram()
+        state = prog.init_state(None, frag[0])
+        prog.peval(None, frag[0], state)
+        # Fragment 0's local graph: 0 - 1 - 2(copy): one component, cid 0.
+        assert state.comps.cid[0] == 0
+        assert state.comps.cid[2] == 0
+
+    def test_inceval_lowers(self):
+        g = path_graph(4)
+        frag = build_edge_cut_fragments(g, {0: 1, 1: 1, 2: 0, 3: 0}, 2)
+        prog = CCProgram()
+        state = prog.init_state(None, frag[0])
+        prog.peval(None, frag[0], state)
+        prog.inceval(None, frag[0], state, {(2, "cid"): 0})
+        assert state.comps.cid[3] == 0
+
+    def test_peval_rerun_respects_learned_cids(self):
+        g = path_graph(3)
+        frag = build_edge_cut_fragments(g, {0: 0, 1: 1, 2: 1}, 2)
+        prog = CCProgram()
+        state = prog.init_state(None, frag[1])
+        prog.peval(None, frag[1], state)
+        prog.apply_message(None, frag[1], state, {(1, "cid"): 0})
+        prog.peval(None, frag[1], state)  # NI-mode re-run
+        assert state.comps.cid[1] == 0  # did not regress to 1
+
+
+class TestSimHooks:
+    def test_read_params_reports_only_falsified(self, small_labeled,
+                                                tiny_pattern):
+        from repro.partition.strategies import HashPartition
+        frag = HashPartition().partition(small_labeled, 3)
+        prog = SimProgram()
+        state = prog.init_state(tiny_pattern, frag[0])
+        prog.peval(tiny_pattern, frag[0], state)
+        params = prog.read_update_params(tiny_pattern, frag[0], state)
+        for (v, (_tag, u)), value in params.items():
+            assert value is False
+            assert v in frag[0].inner
+
+    def test_false_pairs_survive_rerun(self, small_labeled, tiny_pattern):
+        from repro.partition.strategies import HashPartition
+        frag = HashPartition().partition(small_labeled, 2)
+        prog = SimProgram()
+        state = prog.init_state(tiny_pattern, frag[0])
+        prog.peval(tiny_pattern, frag[0], state)
+        some_match = next((v for v in state.sim.get("A", set())), None)
+        if some_match is None:
+            pytest.skip("no match in this fragment")
+        prog.apply_message(tiny_pattern, frag[0], state,
+                           {(some_match, ("x", "A")): False})
+        prog.peval(tiny_pattern, frag[0], state)
+        assert some_match not in state.sim["A"]
+
+
+class TestSubIsoHooks:
+    def test_preprocess_ships_missing_neighborhood(self, small_labeled,
+                                                   path_pattern):
+        from repro.partition.strategies import HashPartition
+        frag = HashPartition().partition(small_labeled, 4)
+        prog = SubIsoProgram()
+        payloads = prog.preprocess(path_pattern, frag)
+        assert payloads  # hash partition certainly crosses fragments
+        for fid, (nodes, edges) in payloads.items():
+            local = frag[fid].graph
+            for v, _label in nodes:
+                assert not local.has_node(v)
+
+    def test_match_limit(self, small_labeled, path_pattern):
+        from repro.core.engine import GrapeEngine
+        limited = GrapeEngine(2).run(SubIsoProgram(match_limit=1),
+                                     query=path_pattern,
+                                     graph=small_labeled)
+        full = GrapeEngine(2).run(SubIsoProgram(), query=path_pattern,
+                                  graph=small_labeled)
+        assert len(limited.answer) <= len(full.answer)
+
+
+class TestCFHooks:
+    def test_init_state_extracts_local_ratings(self):
+        from repro.graph.generators import bipartite_ratings_graph
+        from repro.partition.strategies import HashPartition
+        g, _u, _i = bipartite_ratings_graph(20, 10, 100, seed=1)
+        frag = HashPartition().partition(g, 3)
+        prog = CFProgram()
+        total = 0
+        for f in frag:
+            state = prog.init_state(CFQuery(), f)
+            total += len(state.ratings)
+        assert total == 100  # every rating trained exactly once globally
+
+    def test_converged_fragment_stops_reporting_changes(self):
+        from repro.graph.generators import bipartite_ratings_graph
+        from repro.partition.strategies import HashPartition
+        g, _u, _i = bipartite_ratings_graph(10, 5, 40, seed=2)
+        frag = HashPartition().partition(g, 2)
+        prog = CFProgram()
+        query = CFQuery(num_factors=4, max_epochs=1, seed=1)
+        state = prog.init_state(query, frag[0])
+        prog.peval(query, frag[0], state)
+        assert state.converged
+        before = prog.read_update_params(query, frag[0], state)
+        prog.inceval(query, frag[0], state, {})
+        after = prog.read_update_params(query, frag[0], state)
+        assert before == after

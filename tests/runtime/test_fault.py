@@ -1,0 +1,69 @@
+"""Tests for fault injection and arbitrator recovery."""
+
+import pytest
+
+from repro.runtime.fault import Arbitrator, FailureInjector, WorkerFailure
+
+
+class TestFailureInjector:
+    def test_planned_fires_once(self):
+        inj = FailureInjector(planned=[(1, 2)])
+        assert not inj.should_fail(0, 2)
+        assert inj.should_fail(1, 2)
+        assert not inj.should_fail(1, 2)  # consumed
+        assert inj.fired == [(1, 2)]
+
+    def test_rate_zero_never_fires(self):
+        inj = FailureInjector(rate=0.0)
+        assert not any(inj.should_fail(w, s)
+                       for w in range(4) for s in range(100))
+
+    def test_rate_one_fires_until_cap(self):
+        inj = FailureInjector(rate=1.0, max_failures=3)
+        fires = sum(inj.should_fail(0, s) for s in range(10))
+        assert fires == 3
+
+    def test_rate_deterministic_with_seed(self):
+        a = FailureInjector(rate=0.5, seed=42)
+        b = FailureInjector(rate=0.5, seed=42)
+        pattern_a = [a.should_fail(0, s) for s in range(20)]
+        pattern_b = [b.should_fail(0, s) for s in range(20)]
+        assert pattern_a == pattern_b
+
+
+class TestWorkerFailure:
+    def test_attributes(self):
+        err = WorkerFailure(worker=3, superstep=7)
+        assert err.worker == 3
+        assert err.superstep == 7
+        assert "worker 3" in str(err)
+
+
+class TestArbitrator:
+    def test_no_checkpoint_initially(self):
+        assert not Arbitrator().has_checkpoint
+
+    def test_checkpoint_restore_round_trip(self):
+        arb = Arbitrator()
+        state = {0: {"dist": {1: 2.0}}, 1: {"dist": {}}}
+        arb.checkpoint(state)
+        restored = arb.restore()
+        assert restored == state
+        assert arb.recoveries == 1
+
+    def test_restore_is_deep_copy(self):
+        arb = Arbitrator()
+        state = {0: {"values": [1, 2]}}
+        arb.checkpoint(state)
+        state[0]["values"].append(3)  # mutate after checkpoint
+        restored = arb.restore()
+        assert restored[0]["values"] == [1, 2]
+        restored[0]["values"].append(9)  # mutating restored is safe too
+        assert arb.restore()[0]["values"] == [1, 2]
+
+    def test_recoveries_counted(self):
+        arb = Arbitrator()
+        arb.checkpoint({0: 1})
+        arb.restore()
+        arb.restore()
+        assert arb.recoveries == 2

@@ -1,0 +1,75 @@
+"""Tests for the BSP cost model and run metrics."""
+
+import pytest
+
+from repro.runtime.metrics import CostModel, RunMetrics, message_bytes
+
+
+class TestMessageBytes:
+    def test_positive(self):
+        assert message_bytes({"a": 1}) > 0
+
+    def test_monotone_in_content(self):
+        small = message_bytes(list(range(10)))
+        large = message_bytes(list(range(1000)))
+        assert large > small
+
+    def test_deterministic(self):
+        payload = {"k": [1, 2, 3]}
+        assert message_bytes(payload) == message_bytes(payload)
+
+
+class TestCostModel:
+    def test_superstep_time_components(self):
+        cm = CostModel(sync_latency_s=0.5, seconds_per_byte=0.001)
+        assert cm.superstep_time(2.0, 100) == pytest.approx(2.0 + 0.5 + 0.1)
+
+    def test_defaults_reasonable(self):
+        cm = CostModel()
+        assert cm.superstep_time(0.0, 0) == pytest.approx(1e-3)
+
+
+class TestRunMetrics:
+    def test_record_superstep(self):
+        m = RunMetrics()
+        cm = CostModel(sync_latency_s=0.0, seconds_per_byte=0.0)
+        m.record_superstep([1.0, 3.0, 2.0], bytes_shipped=10,
+                           num_messages=2, cost_model=cm)
+        assert m.supersteps == 1
+        assert m.parallel_time_s == pytest.approx(3.0)  # max worker
+        assert m.total_compute_s == pytest.approx(6.0)  # sum workers
+        assert m.comm_bytes == 10
+        assert m.comm_messages == 2
+
+    def test_record_empty_worker_list(self):
+        m = RunMetrics()
+        m.record_superstep([], 0, 0, CostModel())
+        assert m.supersteps == 1
+
+    def test_per_superstep_log(self):
+        m = RunMetrics()
+        cm = CostModel()
+        m.record_superstep([1.0], 5, 1, cm)
+        m.record_superstep([2.0], 7, 1, cm)
+        assert len(m.per_superstep) == 2
+        assert m.per_superstep[1]["bytes"] == 7.0
+
+    def test_comm_megabytes(self):
+        m = RunMetrics()
+        m.comm_bytes = 2_500_000
+        assert m.comm_megabytes == pytest.approx(2.5)
+
+    def test_merge(self):
+        cm = CostModel(sync_latency_s=0.0, seconds_per_byte=0.0)
+        a = RunMetrics()
+        a.record_superstep([1.0], 10, 1, cm)
+        b = RunMetrics()
+        b.record_superstep([2.0], 20, 2, cm)
+        merged = a.merge(b)
+        assert merged.supersteps == 2
+        assert merged.parallel_time_s == pytest.approx(3.0)
+        assert merged.comm_bytes == 30
+        assert merged.comm_messages == 3
+
+    def test_repr(self):
+        assert "supersteps=0" in repr(RunMetrics())

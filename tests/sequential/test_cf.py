@@ -1,0 +1,122 @@
+"""Collaborative filtering: SGD convergence and ISGD locality."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import bipartite_ratings_graph
+from repro.sequential.cf import (FactorModel, extract_ratings, rmse,
+                                 sgd_epoch, split_train_test)
+from repro.sequential.inc_cf import isgd_update
+
+
+@pytest.fixture(scope="module")
+def ratings():
+    g, _uf, _itf = bipartite_ratings_graph(40, 20, 400, noise=0.05, seed=3)
+    return extract_ratings(g)
+
+
+class TestFactorModel:
+    def test_lazy_init_deterministic(self):
+        a = FactorModel(4, seed=1)
+        b = FactorModel(4, seed=1)
+        assert np.allclose(a.get("x"), b.get("x"))
+
+    def test_set_records_timestamp(self):
+        m = FactorModel(4)
+        m.set("v", np.zeros(4), timestamp=7)
+        assert m.timestamps["v"] == 7
+
+    def test_predict_dot_product(self):
+        m = FactorModel(2)
+        m.set("u", np.array([1.0, 2.0]), 0)
+        m.set("p", np.array([3.0, 4.0]), 0)
+        assert m.predict("u", "p") == pytest.approx(11.0)
+
+    def test_copy_independent(self):
+        m = FactorModel(2)
+        m.set("u", np.array([1.0, 1.0]), 0)
+        dup = m.copy()
+        dup.factors["u"][0] = 99.0
+        assert m.factors["u"][0] == 1.0
+
+
+class TestSGD:
+    def test_epochs_reduce_rmse(self, ratings):
+        model = FactorModel(8, seed=5)
+        before = rmse(ratings, model)
+        for epoch in range(10):
+            sgd_epoch(ratings, model, timestamp=epoch + 1,
+                      shuffle_seed=epoch)
+        after = rmse(ratings, model)
+        assert after < before * 0.7
+
+    def test_epoch_returns_mse(self, ratings):
+        model = FactorModel(8, seed=5)
+        mse = sgd_epoch(ratings, model)
+        assert mse > 0
+
+    def test_empty_ratings(self):
+        assert sgd_epoch([], FactorModel(4)) == 0.0
+        assert rmse([], FactorModel(4)) == 0.0
+
+    def test_timestamp_recorded(self, ratings):
+        model = FactorModel(4, seed=2)
+        sgd_epoch(ratings, model, timestamp=3)
+        u, p, _r = ratings[0]
+        assert model.timestamps[u] == 3
+
+
+class TestSplit:
+    def test_fractions(self, ratings):
+        train, test = split_train_test(ratings, 0.8, seed=1)
+        assert len(train) == int(len(ratings) * 0.8)
+        assert len(train) + len(test) == len(ratings)
+
+    def test_deterministic(self, ratings):
+        a_train, _ = split_train_test(ratings, 0.5, seed=9)
+        b_train, _ = split_train_test(ratings, 0.5, seed=9)
+        assert a_train == b_train
+
+    def test_invalid_fraction(self, ratings):
+        with pytest.raises(ValueError):
+            split_train_test(ratings, 0.0)
+        with pytest.raises(ValueError):
+            split_train_test(ratings, 1.5)
+
+
+class TestISGD:
+    def test_touches_only_affected(self, ratings):
+        model = FactorModel(8, seed=7)
+        sgd_epoch(ratings, model, timestamp=1)
+        affected = {ratings[0][0]}  # one user
+        untouched_user = ratings[-1][0]
+        if untouched_user in affected:
+            pytest.skip("sampled same user")
+        # Items rated by the untouched user but not by the affected user
+        # keep their exact vectors.
+        before = {v: f.copy() for v, f in model.factors.items()}
+        processed = isgd_update(ratings, model, affected, timestamp=2)
+        affected_ratings = [r for r in ratings if r[0] in affected
+                            or r[1] in affected]
+        assert processed == len(affected_ratings)
+        touched_nodes = set()
+        for u, p, _r in affected_ratings:
+            touched_nodes.update((u, p))
+        for v, vec in model.factors.items():
+            if v not in touched_nodes:
+                assert np.array_equal(vec, before[v])
+
+    def test_empty_affected_is_noop(self, ratings):
+        model = FactorModel(4, seed=1)
+        sgd_epoch(ratings, model)
+        before = {v: f.copy() for v, f in model.factors.items()}
+        assert isgd_update(ratings, model, set()) == 0
+        for v, vec in model.factors.items():
+            assert np.array_equal(vec, before[v])
+
+    def test_passes_multiply_cost(self, ratings):
+        model = FactorModel(4, seed=1)
+        affected = {ratings[0][0]}
+        one = isgd_update(ratings, model, affected, passes=1)
+        two = isgd_update(ratings, model, affected, passes=2)
+        assert two == 2 * one

@@ -1,0 +1,109 @@
+"""Incremental simulation maintenance == batch recomputation."""
+
+import pytest
+
+from repro.graph.generators import labeled_graph
+from repro.graph.graph import Graph
+from repro.sequential.inc_simulation import incremental_simulation_remove
+from repro.sequential.simulation import simulation_refinement
+
+
+def make_pattern(nodes, edges):
+    p = Graph(directed=True)
+    for name, label in nodes:
+        p.add_node(name, label)
+    for u, v in edges:
+        p.add_edge(u, v)
+    return p
+
+
+class TestIncrementalSimulation:
+    def test_seed_removal_applied(self):
+        g = Graph()
+        g.add_node(1, "a")
+        g.add_node(2, "b")
+        g.add_edge(1, 2)
+        p = make_pattern([("u", "a"), ("w", "b")], [("u", "w")])
+        sim = simulation_refinement(p, g)
+        removed = incremental_simulation_remove(p, g, sim, [("w", 2)])
+        assert ("w", 2) in removed
+        assert 2 not in sim["w"]
+
+    def test_propagates_to_predecessors(self):
+        g = Graph()
+        g.add_node(1, "a")
+        g.add_node(2, "b")
+        g.add_edge(1, 2)
+        p = make_pattern([("u", "a"), ("w", "b")], [("u", "w")])
+        sim = simulation_refinement(p, g)
+        removed = incremental_simulation_remove(p, g, sim, [("w", 2)])
+        # 1 matched u only via successor 2 matching w.
+        assert ("u", 1) in removed
+        assert sim["u"] == set()
+
+    def test_no_propagation_with_alternative(self):
+        g = Graph()
+        g.add_node(1, "a")
+        g.add_node(2, "b")
+        g.add_node(3, "b")
+        g.add_edge(1, 2)
+        g.add_edge(1, 3)
+        p = make_pattern([("u", "a"), ("w", "b")], [("u", "w")])
+        sim = simulation_refinement(p, g)
+        incremental_simulation_remove(p, g, sim, [("w", 2)])
+        assert 1 in sim["u"]  # 3 still matches w
+
+    def test_absent_seed_is_noop(self):
+        g = Graph()
+        g.add_node(1, "a")
+        p = make_pattern([("u", "a")], [])
+        sim = simulation_refinement(p, g)
+        removed = incremental_simulation_remove(p, g, sim, [("u", 99)])
+        assert removed == []
+
+    @pytest.mark.parametrize("seed", [5, 6, 7])
+    def test_equivalent_to_batch(self, seed):
+        """Invalidate some pairs; incremental result == recomputation with
+        those pairs excluded from the candidates."""
+        g = labeled_graph(50, 180, num_labels=3, seed=seed)
+        p = make_pattern([("u", "l0"), ("w", "l1"), ("x", "l2")],
+                         [("u", "w"), ("w", "x")])
+        sim = simulation_refinement(p, g)
+        victims = []
+        for u in ("w", "x"):
+            for v in sorted(sim[u], key=repr)[:2]:
+                victims.append((u, v))
+        incremental_simulation_remove(p, g, sim, victims)
+
+        candidates = {
+            u: {v for v in g.nodes()
+                if g.node_label(v) == p.node_label(u)
+                and (u, v) not in victims}
+            for u in p.nodes()
+        }
+        batch = simulation_refinement(p, g, candidates=candidates)
+        assert sim == batch
+
+    def test_frozen_not_removed_by_propagation(self):
+        g = Graph()
+        g.add_node(1, "a")
+        g.add_node(2, "b")
+        g.add_node(3, "c")
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        p = make_pattern([("u", "a"), ("w", "b"), ("x", "c")],
+                         [("u", "w"), ("w", "x")])
+        sim = simulation_refinement(p, g)
+        # Invalidate (x, 3); propagation would kill (w, 2) then (u, 1),
+        # but 2 is frozen (a border copy owned elsewhere).
+        incremental_simulation_remove(p, g, sim, [("x", 3)], frozen={2})
+        assert 2 in sim["w"]
+        assert 1 in sim["u"]
+
+    def test_frozen_removed_when_explicitly_invalidated(self):
+        g = Graph()
+        g.add_node(1, "a")
+        p = make_pattern([("u", "a")], [])
+        sim = simulation_refinement(p, g)
+        incremental_simulation_remove(p, g, sim, [("u", 1)], frozen={1})
+        assert sim["u"] == set()

@@ -1,0 +1,55 @@
+"""Incremental SSSP: equivalence with recomputation and boundedness."""
+
+from math import inf
+
+import pytest
+
+from repro.graph.generators import uniform_random_graph
+from repro.sequential.inc_sssp import incremental_sssp_decrease
+from repro.sequential.sssp import dijkstra
+
+
+class TestIncrementalSSSP:
+    def test_matches_recompute(self):
+        g = uniform_random_graph(60, 200, seed=21, max_weight=4.0)
+        dist = dijkstra(g, 0)
+        # A border update: node 7 got a shortcut of length 0.1.
+        updates = {7: 0.1}
+        incremental_sssp_decrease(g, dist, updates)
+        expected = dijkstra(g, "none", initial={0: 0.0, 7: 0.1})
+        for v in g.nodes():
+            assert dist[v] == pytest.approx(expected[v])
+
+    def test_non_improving_update_ignored(self, diamond):
+        dist = dijkstra(diamond, 0)
+        before = dict(dist)
+        changed = incremental_sssp_decrease(diamond, dist, {3: 100.0})
+        assert changed == set()
+        assert dist == before
+
+    def test_returns_affected_area(self, diamond):
+        dist = dijkstra(diamond, 0)
+        changed = incremental_sssp_decrease(diamond, dist, {2: 0.0})
+        assert changed == {2, 3}  # 2 improves, 3 improves through it
+
+    def test_affected_area_local(self):
+        """Boundedness: an update in one corner must not touch distances
+        outside its affected region."""
+        from repro.graph.generators import grid_road_graph
+        g = grid_road_graph(8, 8, shortcut_prob=0.0, seed=2)
+        dist = dijkstra(g, 0)
+        untouched = dict(dist)
+        changed = incremental_sssp_decrease(g, dist, {63: dist[63]})
+        assert changed == set()  # same value: nothing should move
+        assert dist == untouched
+
+    def test_update_node_missing_from_graph(self, diamond):
+        dist = dijkstra(diamond, 0)
+        changed = incremental_sssp_decrease(diamond, dist, {"ghost": 0.5})
+        assert "ghost" in changed  # recorded as changed in dist map
+        assert dist["ghost"] == 0.5
+
+    def test_multiple_updates_batched(self, diamond):
+        dist = {v: inf for v in diamond.nodes()}
+        incremental_sssp_decrease(diamond, dist, {0: 0.0})
+        assert dist == dijkstra(diamond, 0)

@@ -1,0 +1,135 @@
+"""Graph simulation tests (HHK refinement, maximum relation semantics)."""
+
+import pytest
+
+from repro.graph.generators import labeled_graph
+from repro.graph.graph import Graph
+from repro.sequential.simulation import (maximum_simulation,
+                                         simulation_refinement)
+
+
+def make_pattern(nodes, edges):
+    p = Graph(directed=True)
+    for name, label in nodes:
+        p.add_node(name, label)
+    for u, v in edges:
+        p.add_edge(u, v)
+    return p
+
+
+def brute_force_simulation(pattern, graph):
+    """Reference implementation: refine full candidate sets to fixpoint."""
+    sim = {u: {v for v in graph.nodes()
+               if graph.node_label(v) == pattern.node_label(u)}
+           for u in pattern.nodes()}
+    changed = True
+    while changed:
+        changed = False
+        for u in pattern.nodes():
+            for v in list(sim[u]):
+                for u2 in pattern.successors(u):
+                    if not any(v2 in sim[u2]
+                               for v2 in graph.successors(v)):
+                        sim[u].discard(v)
+                        changed = True
+                        break
+    if any(not s for s in sim.values()):
+        return {u: set() for u in pattern.nodes()}
+    return sim
+
+
+class TestSimulationBasics:
+    def test_single_node_pattern(self):
+        g = Graph()
+        g.add_node(1, "a")
+        g.add_node(2, "b")
+        p = make_pattern([("u", "a")], [])
+        assert maximum_simulation(p, g) == {"u": {1}}
+
+    def test_edge_condition(self):
+        g = Graph()
+        g.add_node(1, "a")
+        g.add_node(2, "b")
+        g.add_node(3, "a")  # a-node with no b-successor
+        g.add_edge(1, 2)
+        p = make_pattern([("u", "a"), ("w", "b")], [("u", "w")])
+        sim = maximum_simulation(p, g)
+        assert sim["u"] == {1}
+        assert sim["w"] == {2}
+
+    def test_no_match_returns_empty(self):
+        g = Graph()
+        g.add_node(1, "a")
+        p = make_pattern([("u", "z")], [])
+        sim = maximum_simulation(p, g)
+        assert sim == {"u": set()}
+
+    def test_cycle_pattern_on_cycle(self):
+        g = Graph()
+        g.add_node(1, "a")
+        g.add_node(2, "a")
+        g.add_edge(1, 2)
+        g.add_edge(2, 1)
+        p = make_pattern([("u", "a"), ("w", "a")], [("u", "w"), ("w", "u")])
+        sim = maximum_simulation(p, g)
+        assert sim["u"] == {1, 2}
+
+    def test_simulation_bigger_than_isomorphism(self):
+        """A tree pattern simulates into a single data path (the classic
+        sim vs. subiso difference)."""
+        g = Graph()
+        g.add_node(1, "a")
+        g.add_node(2, "b")
+        g.add_edge(1, 2)
+        p = make_pattern([("u", "a"), ("w1", "b"), ("w2", "b")],
+                         [("u", "w1"), ("u", "w2")])
+        sim = maximum_simulation(p, g)
+        assert sim["u"] == {1}
+        assert sim["w1"] == sim["w2"] == {2}
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_random_graphs(self, seed):
+        g = labeled_graph(60, 200, num_labels=3, seed=seed)
+        p = make_pattern([("u", "l0"), ("w", "l1"), ("x", "l2")],
+                         [("u", "w"), ("w", "x"), ("u", "x")])
+        assert maximum_simulation(p, g) == brute_force_simulation(p, g)
+
+    def test_pattern_with_cycle(self):
+        g = labeled_graph(50, 220, num_labels=2, seed=9)
+        p = make_pattern([("u", "l0"), ("w", "l1")],
+                         [("u", "w"), ("w", "u")])
+        assert maximum_simulation(p, g) == brute_force_simulation(p, g)
+
+
+class TestFrozenAndCandidates:
+    def test_frozen_nodes_not_removed(self):
+        g = Graph()
+        g.add_node(1, "a")
+        g.add_node(2, "b")  # no successors; would fail the edge check
+        g.add_edge(1, 2)
+        p = make_pattern([("u", "a"), ("w", "b"), ("x", "c")],
+                         [("u", "w"), ("w", "x")])
+        # Unfrozen: 2 has no c-successor, so w loses 2, then u loses 1.
+        open_sim = simulation_refinement(p, g)
+        assert open_sim["w"] == set()
+        # Frozen: 2's membership is owned elsewhere and must survive.
+        frozen_sim = simulation_refinement(p, g, frozen={2})
+        assert frozen_sim["w"] == {2}
+        assert frozen_sim["u"] == {1}
+
+    def test_candidates_restrict_search(self):
+        g = Graph()
+        g.add_node(1, "a")
+        g.add_node(2, "a")
+        p = make_pattern([("u", "a")], [])
+        sim = simulation_refinement(p, g, candidates={"u": [1]})
+        assert sim["u"] == {1}
+
+    def test_candidates_missing_key_means_empty(self):
+        g = Graph()
+        g.add_node(1, "a")
+        p = make_pattern([("u", "a"), ("w", "a")], [])
+        sim = simulation_refinement(p, g, candidates={"u": [1]})
+        assert sim["w"] == set()

@@ -1,0 +1,77 @@
+"""Dijkstra tests against the networkx oracle."""
+
+from math import inf
+
+import networkx as nx
+import pytest
+
+from repro.graph.generators import grid_road_graph, uniform_random_graph
+from repro.sequential.sssp import dijkstra
+
+
+def to_nx(g):
+    nxg = nx.DiGraph()
+    nxg.add_nodes_from(g.nodes())
+    for u, v, w in g.edges():
+        nxg.add_edge(u, v, weight=w)
+        if not g.directed:
+            nxg.add_edge(v, u, weight=w)
+    return nxg
+
+
+class TestDijkstra:
+    def test_diamond(self, diamond):
+        dist = dijkstra(diamond, 0)
+        assert dist == {0: 0.0, 1: 1.0, 2: 4.0, 3: 3.0}
+
+    def test_unreachable_is_inf(self):
+        from repro.graph.graph import Graph
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_node(3)
+        dist = dijkstra(g, 1)
+        assert dist[3] == inf
+
+    def test_source_not_in_graph(self, diamond):
+        dist = dijkstra(diamond, "ghost")
+        assert all(d == inf for d in dist.values())
+
+    def test_vs_networkx_random(self):
+        g = uniform_random_graph(80, 300, seed=13, max_weight=5.0)
+        truth = nx.single_source_dijkstra_path_length(to_nx(g), 0)
+        mine = dijkstra(g, 0)
+        for v in g.nodes():
+            assert mine[v] == pytest.approx(truth.get(v, inf))
+
+    def test_vs_networkx_road(self):
+        g = grid_road_graph(7, 7, seed=3)
+        truth = nx.single_source_dijkstra_path_length(to_nx(g), 0)
+        mine = dijkstra(g, 0)
+        for v in g.nodes():
+            assert mine[v] == pytest.approx(truth.get(v, inf))
+
+    def test_initial_estimates_respected(self, diamond):
+        # Pretend node 2 is already known at distance 0.5 (a border value).
+        dist = dijkstra(diamond, "external", initial={2: 0.5})
+        assert dist[2] == 0.5
+        assert dist[3] == pytest.approx(1.5)  # via 2
+
+    def test_initial_only_improves(self, diamond):
+        dist = dijkstra(diamond, 0, initial={1: 100.0})
+        assert dist[1] == 1.0
+
+    def test_negative_weight_rejected(self):
+        from repro.graph.graph import Graph
+        g = Graph()
+        g.add_edge(1, 2, weight=-1.0)
+        with pytest.raises(ValueError):
+            dijkstra(g, 1)
+
+    def test_unorderable_node_ids(self):
+        """Heap tie-breaking must not compare node objects."""
+        from repro.graph.graph import Graph
+        g = Graph()
+        g.add_edge((1, "a"), "x", weight=1.0)
+        g.add_edge((1, "a"), frozenset([2]), weight=1.0)
+        dist = dijkstra(g, (1, "a"))
+        assert dist["x"] == 1.0

@@ -1,0 +1,117 @@
+"""VF2 subgraph isomorphism tests against the networkx oracle."""
+
+import networkx as nx
+import pytest
+
+from repro.graph.generators import labeled_graph
+from repro.graph.graph import Graph
+from repro.sequential.subiso import (canonical_match, pattern_diameter,
+                                     vf2_all_matches)
+
+
+def make_pattern(nodes, edges):
+    p = Graph(directed=True)
+    for name, label in nodes:
+        p.add_node(name, label)
+    for u, v in edges:
+        p.add_edge(u, v)
+    return p
+
+
+def nx_monomorphisms(pattern, graph):
+    """networkx oracle: label-preserving subgraph monomorphisms."""
+    nxg = nx.DiGraph()
+    for v in graph.nodes():
+        nxg.add_node(v, label=graph.node_label(v))
+    for u, v, _w in graph.edges():
+        nxg.add_edge(u, v)
+    nxp = nx.DiGraph()
+    for u in pattern.nodes():
+        nxp.add_node(u, label=pattern.node_label(u))
+    for u, v, _w in pattern.edges():
+        nxp.add_edge(u, v)
+    matcher = nx.algorithms.isomorphism.DiGraphMatcher(
+        nxg, nxp, node_match=lambda a, b: a["label"] == b["label"])
+    out = set()
+    for mapping in matcher.subgraph_monomorphisms_iter():
+        out.add(frozenset((u, v) for v, u in mapping.items()))
+    return out
+
+
+class TestPatternDiameter:
+    def test_single_node(self):
+        p = make_pattern([("u", "a")], [])
+        assert pattern_diameter(p) == 0
+
+    def test_path(self):
+        p = make_pattern([("a", "x"), ("b", "x"), ("c", "x")],
+                         [("a", "b"), ("b", "c")])
+        assert pattern_diameter(p) == 2
+
+    def test_direction_ignored(self):
+        p = make_pattern([("a", "x"), ("b", "x")], [("a", "b")])
+        assert pattern_diameter(p) == 1
+
+    def test_triangle(self):
+        p = make_pattern([("a", "x"), ("b", "x"), ("c", "x")],
+                         [("a", "b"), ("b", "c"), ("c", "a")])
+        assert pattern_diameter(p) == 1
+
+
+class TestVF2:
+    def test_empty_pattern(self):
+        g = Graph()
+        g.add_node(1, "a")
+        assert vf2_all_matches(Graph(), g) == [{}]
+
+    def test_single_edge(self):
+        g = Graph()
+        g.add_node(1, "a")
+        g.add_node(2, "b")
+        g.add_edge(1, 2)
+        p = make_pattern([("u", "a"), ("w", "b")], [("u", "w")])
+        assert vf2_all_matches(p, g) == [{"u": 1, "w": 2}]
+
+    def test_injectivity(self):
+        g = Graph()
+        g.add_node(1, "a")
+        g.add_edge(1, 1)
+        p = make_pattern([("u", "a"), ("w", "a")], [("u", "w")])
+        # u and w may not both map to node 1.
+        assert vf2_all_matches(p, g) == []
+
+    def test_direction_respected(self):
+        g = Graph()
+        g.add_node(1, "a")
+        g.add_node(2, "b")
+        g.add_edge(2, 1)  # wrong direction
+        p = make_pattern([("u", "a"), ("w", "b")], [("u", "w")])
+        assert vf2_all_matches(p, g) == []
+
+    def test_limit(self):
+        g = Graph()
+        for i in range(6):
+            g.add_node(i, "a")
+        p = make_pattern([("u", "a")], [])
+        assert len(vf2_all_matches(p, g, limit=3)) == 3
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_vs_networkx(self, seed):
+        g = labeled_graph(40, 140, num_labels=3, seed=seed)
+        p = make_pattern([("u", "l0"), ("w", "l1"), ("x", "l2")],
+                         [("u", "w"), ("w", "x")])
+        mine = {canonical_match(m) for m in vf2_all_matches(p, g)}
+        assert mine == nx_monomorphisms(p, g)
+
+    def test_vs_networkx_with_cycle_pattern(self):
+        g = labeled_graph(35, 160, num_labels=2, seed=8)
+        p = make_pattern([("u", "l0"), ("w", "l1")],
+                         [("u", "w"), ("w", "u")])
+        mine = {canonical_match(m) for m in vf2_all_matches(p, g)}
+        assert mine == nx_monomorphisms(p, g)
+
+    def test_canonical_match_hashable_and_stable(self):
+        a = canonical_match({"u": 1, "w": 2})
+        b = canonical_match({"w": 2, "u": 1})
+        assert a == b
+        assert hash(a) == hash(b)

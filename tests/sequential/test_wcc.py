@@ -1,0 +1,124 @@
+"""Connected components: union-find, batch labeling, bounded lowering."""
+
+import networkx as nx
+import pytest
+
+from repro.graph.builders import path_graph
+from repro.graph.generators import uniform_random_graph
+from repro.graph.graph import Graph
+from repro.sequential.wcc import (DisjointSets, LocalComponents,
+                                  connected_components)
+
+
+class TestDisjointSets:
+    def test_initially_separate(self):
+        ds = DisjointSets([1, 2, 3])
+        assert not ds.same(1, 2)
+
+    def test_union_merges(self):
+        ds = DisjointSets([1, 2, 3])
+        assert ds.union(1, 2)
+        assert ds.same(1, 2)
+        assert not ds.same(1, 3)
+
+    def test_union_idempotent(self):
+        ds = DisjointSets([1, 2])
+        ds.union(1, 2)
+        assert not ds.union(1, 2)
+
+    def test_transitive(self):
+        ds = DisjointSets(range(5))
+        ds.union(0, 1)
+        ds.union(1, 2)
+        ds.union(3, 4)
+        assert ds.same(0, 2)
+        assert not ds.same(2, 3)
+
+    def test_groups(self):
+        ds = DisjointSets(range(4))
+        ds.union(0, 1)
+        groups = ds.groups()
+        assert {frozenset(s) for s in groups.values()} == {
+            frozenset({0, 1}), frozenset({2}), frozenset({3})}
+
+    def test_contains_len(self):
+        ds = DisjointSets([1])
+        assert 1 in ds and 2 not in ds
+        assert len(ds) == 1
+
+    def test_add_idempotent(self):
+        ds = DisjointSets()
+        ds.add(1)
+        ds.union(1, 1)
+        ds.add(1)
+        assert len(ds) == 1
+
+
+class TestConnectedComponents:
+    def test_path_is_one_component(self):
+        g = path_graph(5)
+        cids = connected_components(g)
+        assert set(cids.values()) == {0}
+
+    def test_direction_ignored(self):
+        g = Graph(directed=True)
+        g.add_edge(1, 2)
+        g.add_edge(3, 2)  # only reachable ignoring direction
+        cids = connected_components(g)
+        assert cids[1] == cids[2] == cids[3] == 1
+
+    def test_min_id_convention(self):
+        g = Graph(directed=False)
+        g.add_edge(5, 9)
+        g.add_node(2)
+        cids = connected_components(g)
+        assert cids[5] == cids[9] == 5
+        assert cids[2] == 2
+
+    def test_vs_networkx(self):
+        g = uniform_random_graph(100, 110, directed=False, seed=31)
+        nxg = nx.Graph()
+        nxg.add_nodes_from(g.nodes())
+        nxg.add_edges_from((u, v) for u, v, _w in g.edges())
+        expected = {frozenset(c) for c in nx.connected_components(nxg)}
+        mine = {}
+        for v, c in connected_components(g).items():
+            mine.setdefault(c, set()).add(v)
+        assert {frozenset(s) for s in mine.values()} == expected
+
+
+class TestLocalComponents:
+    def test_initial_cids(self):
+        g = path_graph(4)
+        lc = LocalComponents(g)
+        assert all(lc.cid[v] == 0 for v in g.nodes())
+
+    def test_lower_cid_relabels_component(self):
+        g = Graph(directed=False)
+        g.add_edge(10, 11)
+        g.add_edge(20, 21)
+        lc = LocalComponents(g)
+        changed = lc.lower_cid(11, 3)
+        assert set(changed) == {10, 11}
+        assert lc.cid[10] == lc.cid[11] == 3
+        assert lc.cid[20] == 20  # other component untouched
+
+    def test_lower_cid_rejects_non_improving(self):
+        g = path_graph(3)
+        lc = LocalComponents(g)
+        assert lc.lower_cid(1, 5) == []
+        assert lc.cid[1] == 0
+
+    def test_lower_cid_partial_improvement(self):
+        g = Graph(directed=False)
+        g.add_edge(4, 5)
+        lc = LocalComponents(g)
+        lc.lower_cid(4, 2)
+        changed = lc.lower_cid(5, 1)
+        assert set(changed) == {4, 5}
+        assert lc.cid[4] == 1
+
+    def test_component_members(self):
+        g = path_graph(3)
+        lc = LocalComponents(g)
+        assert set(lc.component_members(2)) == {0, 1, 2}

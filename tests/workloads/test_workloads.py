@@ -1,0 +1,90 @@
+"""Dataset stand-ins and query generators."""
+
+import pytest
+
+from repro.graph.graph import Graph
+from repro.workloads.datasets import (knowledge_like, load_dataset,
+                                      ratings_like, social_like,
+                                      traffic_like)
+from repro.workloads.queries import (generate_pattern, generate_patterns,
+                                     sample_sources)
+
+
+class TestDatasets:
+    def test_traffic_shape(self):
+        g = traffic_like(scale=0.05)
+        assert g.directed
+        assert g.num_nodes > 100
+        # Low average out-degree, the road-network signature.
+        avg_deg = sum(g.out_degree(v) for v in g.nodes()) / g.num_nodes
+        assert avg_deg < 5
+
+    def test_social_has_labels_and_components(self):
+        g = social_like(scale=0.05)
+        assert all(g.node_label(v) is not None for v in g.nodes())
+        from repro.sequential.wcc import connected_components
+        assert len(set(connected_components(g).values())) > 1
+
+    def test_knowledge_label_alphabet(self):
+        g = knowledge_like(scale=0.05, num_labels=7)
+        labels = {g.node_label(v) for v in g.nodes()}
+        assert labels <= {f"t{i}" for i in range(7)}
+
+    def test_ratings_bipartite(self):
+        g, uf, itf = ratings_like(scale=0.1)
+        for u, p, _w in g.edges():
+            assert g.node_label(u) == "user"
+            assert g.node_label(p) == "item"
+
+    def test_load_dataset(self):
+        g = load_dataset("traffic", scale=0.03)
+        assert isinstance(g, Graph)
+
+    def test_load_dataset_unknown(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            load_dataset("imdb")
+
+    def test_determinism(self):
+        assert traffic_like(scale=0.03) == traffic_like(scale=0.03)
+
+
+class TestQueries:
+    def test_sample_sources_distinct(self, small_road):
+        sources = sample_sources(small_road, 5, seed=1)
+        assert len(sources) == len(set(sources)) == 5
+        assert all(small_road.out_degree(v) > 0 for v in sources)
+
+    def test_sample_sources_caps_at_population(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        assert set(sample_sources(g, 10)) <= {1, 2}
+
+    def test_pattern_shape(self, small_labeled):
+        p = generate_pattern(small_labeled, 4, 5, seed=1)
+        assert p.num_nodes == 4
+        assert p.num_edges >= 3  # at least a spanning tree
+
+    def test_pattern_connected(self, small_labeled):
+        from repro.sequential.subiso import pattern_diameter
+        p = generate_pattern(small_labeled, 5, 6, seed=2)
+        # Connected pattern: diameter computation reaches everyone.
+        assert pattern_diameter(p) >= 1
+
+    def test_pattern_carved_has_match(self, small_labeled):
+        from repro.sequential.subiso import vf2_all_matches
+        p = generate_pattern(small_labeled, 3, 2, seed=3,
+                             ensure_match=True)
+        assert vf2_all_matches(p, small_labeled, limit=1)
+
+    def test_pattern_too_few_edges_rejected(self, small_labeled):
+        with pytest.raises(ValueError):
+            generate_pattern(small_labeled, 5, 2)
+
+    def test_generate_patterns_batch(self, small_labeled):
+        patterns = generate_patterns(small_labeled, 4, 3, 3, seed=5)
+        assert len(patterns) == 4
+
+    def test_deterministic(self, small_labeled):
+        a = generate_pattern(small_labeled, 4, 4, seed=9)
+        b = generate_pattern(small_labeled, 4, 4, seed=9)
+        assert a == b
