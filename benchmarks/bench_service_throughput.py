@@ -1,0 +1,88 @@
+"""Serving throughput: the facade's partition-once amortization.
+
+Not a paper figure — this measures the ROADMAP's serving scenario: many
+users posing mixed query classes against one resident graph.  The
+``GrapeService`` partitions the graph once and serves every query from
+the cached fragmentation; the per-call baseline re-partitions for each
+query, which is what a naive "engine per request" deployment would do.
+Paper §3.1: "G is partitioned once for all queries Q posed on G".
+"""
+
+import time
+
+import pytest
+
+from _common import TRAFFIC_SCALE, record
+from repro import EngineConfig, GrapeEngine, GrapeService
+from repro.pie_programs import BFSProgram, CCProgram, SSSPProgram
+from repro.workloads import traffic_like
+
+NUM_USERS = 12  # interleaved sssp/bfs/cc requests
+
+
+def mixed_requests(num_users):
+    classes = [("sssp", lambda i: i), ("bfs", lambda i: 3 * i),
+               ("cc", lambda i: None)]
+    return [(classes[i % 3][0], classes[i % 3][1](i), "city")
+            for i in range(num_users)]
+
+
+def run_service(graph, requests):
+    service = GrapeService(engine=EngineConfig(num_workers=4),
+                           concurrency=4)
+    service.load_graph("city", graph)
+    start = time.perf_counter()
+    tickets = service.submit_many(requests)
+    for ticket in tickets:
+        ticket.result(timeout=600)
+    elapsed = time.perf_counter() - start
+    stats = service.stats
+    service.close()
+    return elapsed, stats, [t.answer for t in tickets]
+
+
+def run_per_call_engines(graph, requests):
+    programs = {"sssp": SSSPProgram, "bfs": BFSProgram, "cc": CCProgram}
+    start = time.perf_counter()
+    answers = []
+    for name, query, _g in requests:
+        engine = GrapeEngine(4)  # fresh engine, fresh partition per call
+        answers.append(engine.run(programs[name](), query,
+                                  graph=graph).answer)
+    return time.perf_counter() - start, answers
+
+
+def test_service_amortizes_partitioning(benchmark):
+    graph = traffic_like(scale=TRAFFIC_SCALE)
+    requests = mixed_requests(NUM_USERS)
+
+    def both():
+        return run_service(graph, requests), \
+            run_per_call_engines(graph, requests)
+
+    (svc_t, stats, svc_answers), (raw_t, raw_answers) = benchmark.pedantic(
+        both, rounds=1, iterations=1)
+
+    assert svc_answers == raw_answers  # the facade changes cost, not Q(G)
+    assert stats.cache_misses == 1
+    assert stats.cache_hits == NUM_USERS - 1
+    assert stats.queries_served == NUM_USERS
+
+    lines = [f"Service throughput, {NUM_USERS} mixed queries on traffic "
+             f"graph ({graph.num_nodes} nodes)",
+             f"{'path':>16} {'wall(ms)':>10} {'partitions':>11}",
+             f"{'service':>16} {1000 * svc_t:>10.1f} "
+             f"{stats.cache_misses:>11}",
+             f"{'engine-per-call':>16} {1000 * raw_t:>10.1f} "
+             f"{NUM_USERS:>11}"]
+    record("service_throughput", "\n".join(lines))
+
+
+if __name__ == "__main__":
+    graph = traffic_like(scale=TRAFFIC_SCALE)
+    requests = mixed_requests(NUM_USERS)
+    svc_t, stats, _ = run_service(graph, requests)
+    raw_t, _ = run_per_call_engines(graph, requests)
+    print(f"service:         {1000 * svc_t:8.1f} ms   ({stats})")
+    print(f"engine-per-call: {1000 * raw_t:8.1f} ms   "
+          f"({NUM_USERS} partitions)")

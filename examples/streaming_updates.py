@@ -1,22 +1,20 @@
-"""Streaming updates: maintain a standing query as the graph grows.
+"""Streaming updates: standing queries maintained as the graph grows.
 
 Two extensions beyond the paper's evaluation, both sketched in the paper
 itself:
 
+* the **continuous-query service** (Section 6's lightweight transaction
+  controller) — ``service.watch`` registers a standing query and
+  ``service.insert_edges`` folds edge insertions into every watcher's
+  answer by IncEval instead of recomputing from scratch;
 * the **asynchronous engine** (Section 8: "an asynchronous version of
   GRAPE is also under development") — no barriers, fragments activate as
-  messages arrive;
-* the **continuous-query session** (Section 6's lightweight transaction
-  controller) — edge insertions are folded into the standing answer by
-  IncEval instead of recomputing from scratch.
+  messages arrive (shown via the low-level path at the end).
 
 Run:  python examples/streaming_updates.py
 """
 
-from repro import GrapeEngine
-from repro.core.async_engine import AsyncGrapeEngine
-from repro.core.updates import ContinuousQuerySession
-from repro.pie_programs import SSSPProgram
+from repro import GrapeService
 from repro.sequential import sssp_distances
 from repro.workloads import traffic_like
 
@@ -27,37 +25,51 @@ def main():
     print(f"road network: {graph.num_nodes} nodes, "
           f"{graph.num_edges} edges; standing SSSP from {source}\n")
 
-    # --- async vs sync -----------------------------------------------
-    sync = GrapeEngine(4).run(SSSPProgram(), source, graph=graph)
-    async_run = AsyncGrapeEngine(4).run(SSSPProgram(), source,
-                                        graph=graph)
+    service = GrapeService()
+    service.load_graph("roads", graph)
+
+    # Two standing queries share one fragmentation and one update stream.
+    watch_near = service.watch("sssp", source, graph="roads")
+    watch_cc = service.watch("cc", graph="roads")
+
+    far = max((v for v in watch_near.answer
+               if watch_near.answer[v] != float("inf")),
+              key=lambda v: watch_near.answer[v])
+    print(f"farthest node {far}: dist = {watch_near.answer[far]:.1f}")
+
+    base_supersteps = watch_near.metrics.supersteps
+    service.insert_edges("roads", [(source, far, 1.0)])  # a new highway
+    print(f"inserted shortcut ({source} -> {far}, weight 1.0)")
+    print(f"maintained dist({far}) = {watch_near.answer[far]:.1f} in "
+          f"{watch_near.metrics.supersteps - base_supersteps} incremental "
+          "supersteps; CC watcher refreshed too "
+          f"({watch_cc.refreshes} refresh)")
+
+    assert watch_near.answer == {v: d for v, d in
+                                 sssp_distances(graph, source).items()}, \
+        "maintained answer must equal recomputation"
+    print("maintained answer equals full recomputation ✓")
+    print(f"\nservice totals: {service.stats}")
+    service.close()
+
+
+def advanced_async_engine():
+    """Low-level variant: the barrier-free asynchronous engine."""
+    from repro import GrapeEngine
+    from repro.core.async_engine import AsyncGrapeEngine
+    from repro.pie_programs import SSSPProgram
+
+    graph = traffic_like(scale=0.1)
+    sync = GrapeEngine(4).run(SSSPProgram(), 0, graph=graph)
+    async_run = AsyncGrapeEngine(4).run(SSSPProgram(), 0, graph=graph)
     assert all(abs(sync.answer[v] - async_run.answer[v]) < 1e-9
                or sync.answer[v] == async_run.answer[v]
                for v in sync.answer)
-    print(f"sync engine:  {sync.supersteps} supersteps")
-    print(f"async engine: {async_run.activations} fragment activations, "
-          "same answer ✓\n")
-
-    # --- continuous query under insertions ----------------------------
-    session = ContinuousQuerySession(GrapeEngine(4), SSSPProgram(),
-                                     source, graph)
-    far = max((v for v in session.answer
-               if session.answer[v] != float("inf")),
-              key=lambda v: session.answer[v])
-    print(f"farthest node {far}: dist = {session.answer[far]:.1f}")
-
-    base_supersteps = session.metrics.supersteps
-    answer = session.insert_edges([(source, far, 1.0)])  # a new highway
-    print(f"inserted shortcut ({source} -> {far}, weight 1.0)")
-    print(f"maintained dist({far}) = {answer[far]:.1f} in "
-          f"{session.metrics.supersteps - base_supersteps} incremental "
-          "supersteps")
-
-    assert answer == {v: d for v, d in
-                      sssp_distances(graph, source).items()}, \
-        "maintained answer must equal recomputation"
-    print("maintained answer equals full recomputation ✓")
+    print(f"\n[advanced] sync engine:  {sync.supersteps} supersteps")
+    print(f"[advanced] async engine: {async_run.activations} fragment "
+          "activations, same answer ✓")
 
 
 if __name__ == "__main__":
     main()
+    advanced_async_engine()

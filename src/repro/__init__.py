@@ -6,33 +6,46 @@ combiner (``Assemble``) into the engine, and it runs a simultaneous
 fixpoint across graph fragments with correctness guaranteed under a
 monotonic condition.
 
-Quickstart::
+Quickstart (the serving facade)::
 
-    from repro import Graph, GrapeEngine
-    from repro.pie_programs import SSSPProgram
+    from repro import Graph, GrapeService
 
     g = Graph(directed=True)
     g.add_edge("a", "b", weight=2.0)
     g.add_edge("b", "c", weight=1.0)
 
-    engine = GrapeEngine(num_workers=4)
-    result = engine.run(SSSPProgram(), query="a", graph=g)
-    print(result.answer)            # {"a": 0.0, "b": 2.0, "c": 3.0}
-    print(result.metrics)           # supersteps / time / communication
+    service = GrapeService()
+    service.load_graph("demo", g)
+    ticket = service.play("sssp", query="a", graph="demo")
+    print(ticket.answer)            # {"a": 0.0, "b": 2.0, "c": 3.0}
+    print(ticket.metrics)           # supersteps / time / communication
+
+Advanced (one engine run, no service)::
+
+    from repro import GrapeEngine
+    from repro.pie_programs import SSSPProgram
+
+    result = GrapeEngine(num_workers=4).run(SSSPProgram(), query="a",
+                                            graph=g)
 """
 
-from repro.core.api import default_registry
-from repro.core.engine import GrapeEngine, GrapeResult
+from repro.core.api import PIERegistry, default_registry
+from repro.core.engine import EngineConfig, GrapeEngine, GrapeResult
 from repro.core.pie import PIEProgram
+from repro.core.updates import ContinuousQuerySession
 from repro.graph.graph import Graph
 from repro.partition.base import Fragmentation
 from repro.partition.strategies import get_strategy
-from repro.runtime.metrics import CostModel, RunMetrics
+from repro.runtime.metrics import CostModel, RunMetrics, ServiceMetrics
+from repro.service import (GrapeService, QueryRequest, QueryTicket,
+                           WatchHandle)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
-    "Graph", "GrapeEngine", "GrapeResult", "PIEProgram", "Fragmentation",
-    "get_strategy", "CostModel", "RunMetrics", "default_registry",
-    "__version__",
+    "Graph", "GrapeEngine", "GrapeResult", "EngineConfig", "PIEProgram",
+    "PIERegistry", "Fragmentation", "get_strategy", "CostModel",
+    "RunMetrics", "ServiceMetrics", "default_registry",
+    "ContinuousQuerySession", "GrapeService", "QueryRequest", "QueryTicket",
+    "WatchHandle", "__version__",
 ]

@@ -2,16 +2,24 @@
 
 Developers register PIE programs as stored procedures; end users look them
 up by query-class name and "play".  The registry is the in-process
-equivalent of the paper's plug/play panels.
+equivalent of the paper's plug/play panels, and the program store behind
+:class:`~repro.service.GrapeService`.
+
+Case handling is explicit: lookup is **case-insensitive** (names are
+canonicalized to lowercase internally), while the *display* name — what
+``names()``, iteration and error messages show — is exactly the string the
+program was registered under.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, List
+from typing import Callable, Dict, Iterator, List, Optional, Union
 
 from repro.core.pie import PIEProgram
 
 __all__ = ["PIERegistry", "default_registry"]
+
+ProgramFactory = Callable[..., PIEProgram]
 
 
 class PIERegistry:
@@ -20,37 +28,120 @@ class PIERegistry:
     Factories (rather than instances) are stored so that each lookup gets
     a fresh program — programs may carry per-run configuration such as a
     candidate index or match limit.
+
+    Programs can be registered three ways::
+
+        registry.register("sssp", SSSPProgram)          # explicit
+        registry.register("sssp", Better, replace=True)  # override
+
+        @registry.program("triangles")                   # decorator
+        class TriangleProgram(PIEProgram):
+            ...
     """
 
     def __init__(self):
-        self._factories: Dict[str, Callable[..., PIEProgram]] = {}
+        self._factories: Dict[str, ProgramFactory] = {}
+        self._display: Dict[str, str] = {}
 
-    def register(self, name: str,
-                 factory: Callable[..., PIEProgram]) -> None:
-        """Register a program factory under a query-class name."""
-        key = name.lower()
-        if key in self._factories:
-            raise ValueError(f"query class {name!r} already registered")
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _canonical(name: str) -> str:
+        if not isinstance(name, str) or not name.strip():
+            raise TypeError(f"query-class name must be a non-empty string, "
+                            f"got {name!r}")
+        return name.strip().lower()
+
+    # ------------------------------------------------------------------
+    def register(self, name: str, factory: ProgramFactory, *,
+                 replace: bool = False) -> None:
+        """Register a program factory under a query-class name.
+
+        Names collide case-insensitively; re-registering an existing name
+        raises unless ``replace=True`` is passed.
+        """
+        key = self._canonical(name)
+        if key in self._factories and not replace:
+            raise ValueError(
+                f"query class {self._display[key]!r} already registered "
+                f"(names are case-insensitive); pass replace=True to "
+                f"override")
         self._factories[key] = factory
+        self._display[key] = name.strip()
 
-    def create(self, name: str, **kwargs) -> PIEProgram:
-        """Instantiate the program registered for ``name``."""
+    def unregister(self, name: str) -> ProgramFactory:
+        """Remove a registered program; returns its factory."""
+        key = self._canonical(name)
         try:
-            factory = self._factories[name.lower()]
+            factory = self._factories.pop(key)
         except KeyError:
             raise ValueError(
                 f"no PIE program registered for {name!r}; "
-                f"available: {sorted(self._factories)}") from None
+                f"available: {self.names()}") from None
+        del self._display[key]
+        return factory
+
+    def program(self, name: Union[str, ProgramFactory, None] = None, *,
+                replace: bool = False) -> Callable:
+        """Decorator form of :meth:`register`.
+
+        ``@registry.program("name")`` registers the decorated class or
+        factory under ``name``; bare ``@registry.program`` derives the name
+        from the factory's ``name`` attribute (the PIE convention) or its
+        ``__name__``.  The factory is returned unchanged so it can still be
+        used directly.
+        """
+        def decorate(factory: ProgramFactory,
+                     explicit: Optional[str] = None) -> ProgramFactory:
+            derived = explicit or getattr(factory, "name", None)
+            if not isinstance(derived, str) or not derived.strip() \
+                    or derived == "abstract":
+                derived = getattr(factory, "__name__", None)
+            if not derived:
+                raise TypeError(
+                    "cannot derive a query-class name; use "
+                    "@registry.program(\"name\")")
+            self.register(derived, factory, replace=replace)
+            return factory
+
+        if callable(name):  # bare @registry.program
+            return decorate(name)
+        return lambda factory: decorate(factory, name)
+
+    # ------------------------------------------------------------------
+    def create(self, name: str, **kwargs) -> PIEProgram:
+        """Instantiate the program registered for ``name``
+        (case-insensitive)."""
+        try:
+            factory = self._factories[self._canonical(name)]
+        except KeyError:
+            raise ValueError(
+                f"no PIE program registered for {name!r}; "
+                f"available: {self.names()}") from None
         return factory(**kwargs)
 
+    def copy(self) -> "PIERegistry":
+        """An independent registry with the same registrations.
+
+        :class:`~repro.service.GrapeService` copies the default registry so
+        per-service plug-ins never leak into the shared library.
+        """
+        clone = PIERegistry()
+        clone._factories = dict(self._factories)
+        clone._display = dict(self._display)
+        return clone
+
     def names(self) -> List[str]:
-        return sorted(self._factories)
+        """Registered display names, sorted case-insensitively."""
+        return sorted(self._display.values(), key=str.lower)
 
     def __contains__(self, name: str) -> bool:
-        return name.lower() in self._factories
+        return self._canonical(name) in self._factories
+
+    def __len__(self) -> int:
+        return len(self._factories)
 
     def __iter__(self) -> Iterator[str]:
-        return iter(sorted(self._factories))
+        return iter(self.names())
 
 
 def _build_default_registry() -> PIERegistry:

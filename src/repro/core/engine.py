@@ -39,6 +39,7 @@ The engine also implements:
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass
 from typing import Any, Dict, Hashable, List, Optional, Set, Tuple
@@ -50,9 +51,47 @@ from repro.partition.base import Fragmentation, PartitionStrategy
 from repro.partition.strategies import HashPartition
 from repro.runtime.cluster import SimulatedCluster
 from repro.runtime.fault import Arbitrator, FailureInjector, WorkerFailure
+from repro.runtime.message import stable_hash
 from repro.runtime.metrics import CostModel, RunMetrics, message_bytes
 
-__all__ = ["GrapeEngine", "GrapeResult"]
+__all__ = ["EngineConfig", "GrapeEngine", "GrapeResult"]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """A reusable engine specification.
+
+    One config can build any number of engines — the serving layer
+    (:mod:`repro.service`) stores a config instead of an engine so each
+    query runs on a fresh engine while sharing one declared setup, and so
+    the fragmentation cache can be keyed on the partition spec.
+
+    Fields mirror :class:`GrapeEngine`'s constructor parameters.
+    """
+
+    num_workers: int = 4
+    num_fragments: Optional[int] = None
+    partition: Optional[PartitionStrategy] = None
+    cost_model: Optional[CostModel] = None
+    executor: str = "serial"
+    incremental: bool = True
+    check_monotonic: bool = False
+    max_supersteps: int = 100_000
+    failure_injector: Optional["FailureInjector"] = None
+
+    @property
+    def effective_fragments(self) -> int:
+        """The virtual-worker count ``m`` an engine built from this
+        config will use."""
+        return self.num_fragments or self.num_workers
+
+    def replace(self, **changes) -> "EngineConfig":
+        """A copy of this config with the given fields overridden."""
+        return dataclasses.replace(self, **changes)
+
+    def build(self) -> "GrapeEngine":
+        """Instantiate a fresh engine from this spec."""
+        return GrapeEngine.from_config(self)
 
 
 @dataclass
@@ -114,6 +153,33 @@ class GrapeEngine:
         self.check_monotonic = check_monotonic
         self.max_supersteps = max_supersteps
         self.failure_injector = failure_injector
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_config(cls, config: EngineConfig) -> "GrapeEngine":
+        """Build an engine from a reusable :class:`EngineConfig`."""
+        return cls(config.num_workers,
+                   num_fragments=config.num_fragments,
+                   partition=config.partition,
+                   cost_model=config.cost_model,
+                   executor=config.executor,
+                   incremental=config.incremental,
+                   check_monotonic=config.check_monotonic,
+                   max_supersteps=config.max_supersteps,
+                   failure_injector=config.failure_injector)
+
+    @property
+    def config(self) -> EngineConfig:
+        """This engine's parameters as a reusable spec."""
+        return EngineConfig(num_workers=self.num_workers,
+                            num_fragments=self.num_fragments,
+                            partition=self.partition,
+                            cost_model=self.cost_model,
+                            executor=self.executor,
+                            incremental=self.incremental,
+                            check_monotonic=self.check_monotonic,
+                            max_supersteps=self.max_supersteps,
+                            failure_injector=self.failure_injector)
 
     # ------------------------------------------------------------------
     def make_fragmentation(self, graph: Graph) -> Fragmentation:
@@ -375,6 +441,8 @@ class GrapeEngine:
                 ch_bytes += message_bytes(kvs)
         keyvalue: Dict[int, Dict[Hashable, List[Any]]] = {}
         for key, values in grouped.items():
-            dest = hash(key) % m
+            # stable_hash, not builtin hash: string keys must route to the
+            # same worker in every process regardless of PYTHONHASHSEED.
+            dest = stable_hash(key) % m
             keyvalue.setdefault(dest, {})[key] = values
         return designated, keyvalue, ch_bytes, ch_msgs

@@ -27,13 +27,34 @@ from repro.core.monotonic import MonotonicityChecker
 from repro.core.pie import ParamKey, ParamUpdates, PIEProgram
 from repro.graph.graph import Graph, Node
 from repro.partition.base import Fragmentation
+from repro.runtime.message import stable_hash
 from repro.runtime.metrics import CostModel, RunMetrics, message_bytes
 
-__all__ = ["ContinuousQuerySession", "apply_insertions"]
+__all__ = ["ContinuousQuerySession", "apply_insertions", "monotone_insert"]
 
 EdgeInsertion = Tuple[Node, Node, float]
 
 _DEFAULT_COST = CostModel()
+
+
+def monotone_insert(graph: Graph, u: Node, v: Node, w: float) -> bool:
+    """Apply one insertion to a bare graph under the monotonicity rule.
+
+    Only monotone updates are maintainable: a weight decrease is an
+    insertion-like improvement; an increase would require non-monotonic
+    re-evaluation, so it is rejected.  Returns ``False`` for an
+    exact-duplicate no-op, ``True`` when the graph changed.
+    """
+    if graph.has_edge(u, v):
+        current = graph.edge_weight(u, v)
+        if w > current:
+            raise ValueError(
+                f"edge ({u!r}, {v!r}) exists with weight {current}; "
+                "weight increases are not insertion-maintainable")
+        if w == current:
+            return False
+    graph.add_edge(u, v, weight=w)
+    return True
 
 
 def apply_insertions(fragmentation: Fragmentation,
@@ -58,7 +79,9 @@ def apply_insertions(fragmentation: Fragmentation,
     def ensure_node(x: Node) -> int:
         if x in gp:
             return gp.owner(x)
-        fid = hash(x) % m
+        # stable_hash keeps new-node placement reproducible across runs
+        # (builtin hash of strings varies with PYTHONHASHSEED).
+        fid = stable_hash(x) % m
         graph.add_node(x)
         frag = fragmentation[fid]
         frag.graph.add_node(x)
@@ -85,18 +108,8 @@ def apply_insertions(fragmentation: Fragmentation,
     for u, v, w in edges:
         ensure_node(u)
         ensure_node(v)
-        if graph.has_edge(u, v):
-            # Only monotone updates are maintainable: a weight decrease is
-            # an insertion-like improvement; an increase would require
-            # non-monotonic re-evaluation, so it is rejected.
-            current = graph.edge_weight(u, v)
-            if w > current:
-                raise ValueError(
-                    f"edge ({u!r}, {v!r}) exists with weight {current}; "
-                    "weight increases are not insertion-maintainable")
-            if w == current:
-                continue
-        graph.add_edge(u, v, weight=w)
+        if not monotone_insert(graph, u, v, w):
+            continue
         store(u, v, w)
         if not graph.directed:
             store(v, u, w)
@@ -104,18 +117,30 @@ def apply_insertions(fragmentation: Fragmentation,
 
 
 class ContinuousQuerySession:
-    """A standing query whose answer is maintained under insertions."""
+    """A standing query whose answer is maintained under insertions.
+
+    Pass either ``graph`` (the session partitions it itself) or a prebuilt
+    ``fragmentation`` — the latter lets an owner such as
+    :class:`~repro.service.GrapeService` share one fragmentation between
+    many sessions and one-shot queries, applying each insertion batch to
+    the shared fragmentation once and fanning the per-fragment deltas out
+    to every session via :meth:`apply_update`.
+    """
 
     def __init__(self, engine: GrapeEngine, program: PIEProgram, query: Any,
-                 graph: Graph):
+                 graph: Optional[Graph] = None, *,
+                 fragmentation: Optional[Fragmentation] = None):
         if not hasattr(program, "on_graph_update"):
             raise TypeError(
                 f"{type(program).__name__} does not implement "
                 "on_graph_update; continuous queries need it")
+        if (graph is None) == (fragmentation is None):
+            raise ValueError("pass exactly one of graph or fragmentation")
         self.engine = engine
         self.program = program
         self.query = query
-        self.fragmentation = engine.make_fragmentation(graph)
+        self.fragmentation = (fragmentation if fragmentation is not None
+                              else engine.make_fragmentation(graph))
         result = engine.run(program, query,
                             fragmentation=self.fragmentation)
         self.states = result.states
@@ -141,11 +166,26 @@ class ContinuousQuerySession:
 
         Returns the updated answer; ``self.metrics`` accumulates the
         maintenance cost (supersteps, bytes) on top of the initial run.
+
+        With a shared (owner-managed) fragmentation, the owner applies the
+        batch itself via :func:`apply_insertions` and calls
+        :meth:`apply_update` on each session instead, so fragments are
+        mutated exactly once.
+        """
+        touched = apply_insertions(self.fragmentation, edges)
+        return self.apply_update(touched)
+
+    def apply_update(self, touched: Dict[int, List[EdgeInsertion]]) -> Any:
+        """Refresh the standing answer after fragments were updated.
+
+        ``touched`` maps fragment id to the edges inserted there (the
+        return value of :func:`apply_insertions`); the program folds them
+        into its per-fragment state and the message fixpoint resumes from
+        the current converged state.
         """
         program, query = self.program, self.query
         checker = MonotonicityChecker(program.aggregator,
                                       enabled=self.engine.check_monotonic)
-        touched = apply_insertions(self.fragmentation, edges)
 
         start = time.perf_counter()
         for fid, inserted in touched.items():

@@ -25,6 +25,7 @@ from typing import Dict, List, Set, Tuple
 from repro.graph.graph import Graph, Node
 from repro.partition.base import (Fragmentation, PartitionStrategy,
                                   build_vertex_cut_fragments)
+from repro.runtime.message import stable_hash
 
 __all__ = [
     "HashPartition",
@@ -47,9 +48,11 @@ class HashPartition(PartitionStrategy):
         self.seed = seed
 
     def assign(self, graph: Graph, num_fragments: int) -> Dict[Node, int]:
-        # ``hash`` of ints is identity, which keeps this deterministic
-        # across runs; mix in the seed for variety.
-        return {v: (hash(v) ^ self.seed) % num_fragments
+        # stable_hash, not builtin hash: string node ids must land on the
+        # same fragment in every process (PYTHONHASHSEED randomizes
+        # builtin str hashing, which made layouts — and therefore
+        # supersteps and traffic — vary between identical runs).
+        return {v: (stable_hash(v) ^ self.seed) % num_fragments
                 for v in graph.nodes()}
 
 
@@ -86,10 +89,10 @@ class GridPartition(PartitionStrategy):
         cols = max(1, num_fragments // rows)
         assignment: Dict[Node, int] = {}
         for v in graph.nodes():
-            r = hash(v) % rows
+            r = stable_hash(v) % rows
             nbrs = list(graph.successors(v))
             anchor = min(nbrs, key=repr) if nbrs else v
-            c = hash(anchor) % cols
+            c = stable_hash(anchor) % cols
             assignment[v] = min(r * cols + c, num_fragments - 1)
         return assignment
 

@@ -6,14 +6,48 @@ GRAPE supports two message types (paper Section 3.5):
   deduces destinations from the fragmentation graph ``G_P``;
 * **key-value** pairs, grouped by key at the coordinator — used to simulate
   MapReduce (Theorem 2(2)).
+
+The coordinator's shuffle assigns each key group to a worker by
+:func:`stable_hash`, a process-independent hash: Python's builtin ``hash``
+is randomized per process for strings (``PYTHONHASHSEED``), which would
+make key routing — and therefore per-worker traffic and compute — vary
+between otherwise identical runs.
 """
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Any, Hashable
 
-__all__ = ["DesignatedMessage", "KeyValueMessage"]
+__all__ = ["DesignatedMessage", "KeyValueMessage", "stable_hash"]
+
+
+def stable_hash(key: Hashable) -> int:
+    """A 32-bit hash of ``key`` that is stable across processes and runs.
+
+    Covers the key types that appear on the key-value channel and as node
+    ids: str, bytes, bool, int, float, and tuples/frozensets thereof.
+    Other objects fall back to their ``repr`` — stable as long as the repr
+    is (which builtin ``hash`` does not guarantee either).
+    """
+    if isinstance(key, bytes):
+        data = b"b:" + key
+    elif isinstance(key, str):
+        data = b"s:" + key.encode("utf-8", "backslashreplace")
+    elif isinstance(key, bool):
+        data = b"B:" + (b"1" if key else b"0")
+    elif isinstance(key, int):
+        data = b"i:%d" % key
+    elif isinstance(key, float):
+        data = b"f:" + repr(key).encode("ascii")
+    elif isinstance(key, tuple):
+        data = b"t:" + b",".join(b"%d" % stable_hash(x) for x in key)
+    elif isinstance(key, frozenset):
+        data = b"F:" + b",".join(sorted(b"%d" % stable_hash(x) for x in key))
+    else:
+        data = b"o:" + repr(key).encode("utf-8", "backslashreplace")
+    return zlib.crc32(data)
 
 
 @dataclass(frozen=True)

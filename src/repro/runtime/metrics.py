@@ -20,7 +20,7 @@ import pickle
 from dataclasses import dataclass, field
 from typing import Any, Dict, List
 
-__all__ = ["CostModel", "RunMetrics", "message_bytes"]
+__all__ = ["CostModel", "RunMetrics", "ServiceMetrics", "message_bytes"]
 
 
 def message_bytes(payload: Any) -> int:
@@ -108,3 +108,63 @@ class RunMetrics:
                 f"time={self.parallel_time_s:.4f}s, "
                 f"comm={self.comm_megabytes:.4f}MB, "
                 f"msgs={self.comm_messages})")
+
+
+@dataclass
+class ServiceMetrics:
+    """Aggregate counters for one :class:`~repro.service.GrapeService`.
+
+    Where :class:`RunMetrics` describes a single engine run, this rolls an
+    entire service lifetime up: every query served (one-shot and standing),
+    the fragmentation cache's effectiveness — the paper's "partitioned once
+    for all queries" amortization made measurable — and the maintenance
+    work done for graph updates.
+    """
+
+    queries_served: int = 0
+    queries_failed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_invalidations: int = 0
+    updates_applied: int = 0
+    watches_started: int = 0
+    watch_refreshes: int = 0
+    supersteps_total: int = 0
+    comm_bytes_total: int = 0
+    comm_messages_total: int = 0
+
+    def observe_run(self, metrics: "RunMetrics") -> None:
+        """Fold one completed query run into the aggregates."""
+        self.queries_served += 1
+        self._observe_cost(metrics.supersteps, metrics.comm_bytes,
+                           metrics.comm_messages)
+
+    def observe_maintenance(self, supersteps: int, comm_bytes: int,
+                            comm_messages: int) -> None:
+        """Fold one standing-query refresh (its *delta* cost) in."""
+        self.watch_refreshes += 1
+        self._observe_cost(supersteps, comm_bytes, comm_messages)
+
+    def _observe_cost(self, supersteps: int, comm_bytes: int,
+                      comm_messages: int) -> None:
+        self.supersteps_total += supersteps
+        self.comm_bytes_total += comm_bytes
+        self.comm_messages_total += comm_messages
+
+    @property
+    def comm_megabytes_total(self) -> float:
+        return self.comm_bytes_total / 1e6
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of fragmentation lookups served from cache."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    def __repr__(self) -> str:
+        return (f"ServiceMetrics(queries={self.queries_served}, "
+                f"failed={self.queries_failed}, "
+                f"cache={self.cache_hits}h/{self.cache_misses}m, "
+                f"updates={self.updates_applied}, "
+                f"supersteps={self.supersteps_total}, "
+                f"comm={self.comm_megabytes_total:.4f}MB)")

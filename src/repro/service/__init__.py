@@ -1,0 +1,19 @@
+"""repro.service — plug-and-play serving over partitioned graphs.
+
+One :class:`GrapeService` owns named graphs, a program registry, a
+fragmentation cache and the standing-query sessions, so that registering a
+PIE program once ("plug") lets any number of users run queries ("play")
+against graphs that are partitioned exactly once::
+
+    from repro.service import GrapeService
+
+    service = GrapeService()
+    service.load_graph("roads", g)
+    ticket = service.play("sssp", query="airport", graph="roads")
+    print(ticket.answer, ticket.metrics)
+"""
+
+from repro.service.facade import GrapeService, WatchHandle
+from repro.service.tickets import QueryRequest, QueryTicket
+
+__all__ = ["GrapeService", "WatchHandle", "QueryRequest", "QueryTicket"]

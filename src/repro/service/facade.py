@@ -1,0 +1,517 @@
+"""GrapeService: the paper's plug/play panels as one serving facade.
+
+The paper's promise is that developers *plug* PIE programs in once and end
+users just *play* queries; its Section 6 architecture adds a persistent
+deployment — a partition manager that fragments each graph "once for all
+queries Q posed on G", an API library of stored procedures, and a
+lightweight transaction controller for updates.  This module ties the
+repo's previously separate layers into that shape:
+
+* **named graphs** — ``service.load_graph("social", g)``;
+* **fragmentation cache** — partitions are cached by
+  ``(graph, strategy, m)`` and shared by every query, standing or not;
+* **plug** — programs come from a :class:`~repro.core.api.PIERegistry`
+  (``service.plug("name", Factory)`` or the ``@service.program`` decorator);
+* **play** — ``service.play("sssp", query="a", graph="social")`` returns a
+  finished :class:`~repro.service.tickets.QueryTicket`;
+  ``submit``/``submit_many`` run on a thread pool of engines, one fresh
+  engine per query built from a shared
+  :class:`~repro.core.engine.EngineConfig`;
+* **updates** — ``service.watch(...)`` registers a standing query
+  (a service-owned :class:`~repro.core.updates.ContinuousQuerySession`);
+  ``service.insert_edges(graph, edges)`` applies a batch to the shared
+  fragmentation once and fans the per-fragment deltas out to every
+  watcher, which maintain their answers incrementally.
+
+Queries on a graph run concurrently (they only read the fragmentation);
+an update batch takes that graph's write lock, so it waits for in-flight
+queries and blocks new ones while fragments are mutated.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+from typing import (Any, Callable, Dict, Iterable, List, Optional, Tuple,
+                    Union)
+
+from repro.core.api import PIERegistry, default_registry
+from repro.core.engine import EngineConfig, GrapeEngine
+from repro.core.updates import (ContinuousQuerySession, EdgeInsertion,
+                                apply_insertions, monotone_insert)
+from repro.graph.graph import Graph
+from repro.partition.base import Fragmentation, PartitionStrategy
+from repro.partition.strategies import HashPartition
+from repro.runtime.metrics import ServiceMetrics
+from repro.service.tickets import QueryRequest, QueryTicket
+
+__all__ = ["GrapeService", "WatchHandle"]
+
+# (graph name, partition-strategy signature, num fragments m)
+FragCacheKey = Tuple[str, str, int]
+
+
+class _RWLock:
+    """Many concurrent readers (queries) or one writer (update batch).
+
+    Writer-preferring: once a writer is waiting, new readers queue behind
+    it, so a steady query stream cannot starve an update batch.
+    """
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writers_waiting = 0
+        self._writing = False
+
+    @contextmanager
+    def read(self):
+        with self._cond:
+            while self._writing or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if not self._readers:
+                    self._cond.notify_all()
+
+    @contextmanager
+    def write(self):
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writing or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writing = True
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writing = False
+                self._cond.notify_all()
+
+
+class WatchHandle:
+    """A standing query registered with :meth:`GrapeService.watch`.
+
+    The handle owns a :class:`ContinuousQuerySession` whose fragmentation
+    is the service's shared one; updates arrive through the service
+    (:meth:`GrapeService.insert_edges`), never directly, so that fragments
+    are mutated exactly once no matter how many watchers share them.
+    """
+
+    def __init__(self, watch_id: int, graph: str, program: str,
+                 session: ContinuousQuerySession):
+        self.watch_id = watch_id
+        self.graph = graph
+        self.program = program
+        self.session = session
+        self.refreshes = 0
+        self.active = True
+
+    @property
+    def answer(self) -> Any:
+        """The maintained ``Q(G)`` reflecting every applied update."""
+        return self.session.answer
+
+    @property
+    def metrics(self):
+        """Cumulative cost: initial run plus all maintenance rounds."""
+        return self.session.metrics
+
+    def cancel(self) -> None:
+        """Stop maintaining this query; later updates skip it."""
+        self.active = False
+
+    def _refresh(self, touched: Dict[int, List[EdgeInsertion]]
+                 ) -> Tuple[int, int, int]:
+        """Fold applied insertions into the session; returns the delta
+        (supersteps, bytes, messages) this maintenance round cost."""
+        m = self.session.metrics
+        before = (m.supersteps, m.comm_bytes, m.comm_messages)
+        self.session.apply_update(touched)
+        self.refreshes += 1
+        return (m.supersteps - before[0], m.comm_bytes - before[1],
+                m.comm_messages - before[2])
+
+    def __repr__(self) -> str:
+        state = "active" if self.active else "cancelled"
+        return (f"WatchHandle(#{self.watch_id}, {self.program!r} on "
+                f"{self.graph!r}, {state}, refreshes={self.refreshes})")
+
+
+class GrapeService:
+    """Unified serving facade over engines, registry and sessions.
+
+    Parameters
+    ----------
+    engine:
+        Shared :class:`EngineConfig` (or a template :class:`GrapeEngine`
+        whose spec is extracted); every query runs on a fresh engine built
+        from it.  Defaults to four workers.
+    registry:
+        Program store; defaults to a private copy of the default GRAPE
+        library so per-service plug-ins stay local.
+    concurrency:
+        Thread-pool width for ``submit``/``submit_many``.
+    """
+
+    def __init__(self, *,
+                 engine: Union[EngineConfig, GrapeEngine, None] = None,
+                 registry: Optional[PIERegistry] = None,
+                 concurrency: int = 4):
+        if isinstance(engine, GrapeEngine):
+            engine = engine.config
+        self.engine_config = engine or EngineConfig()
+        self.registry = (registry if registry is not None
+                         else default_registry().copy())
+        self.concurrency = max(1, concurrency)
+        self.stats = ServiceMetrics()
+
+        self._graphs: Dict[str, Graph] = {}
+        self._frag_cache: Dict[FragCacheKey, Fragmentation] = {}
+        self._graph_locks: Dict[str, _RWLock] = {}
+        # Serializes the control-plane mutators (watch registration and
+        # insert_edges) per graph, so a watcher can never miss a batch
+        # that lands between its initial run and its registration.
+        self._mutation_locks: Dict[str, threading.RLock] = {}
+        self._watches: Dict[str, List[WatchHandle]] = {}
+        self._lock = threading.RLock()  # guards the dicts + stats above
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._ticket_ids = itertools.count(1)
+        self._watch_ids = itertools.count(1)
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # graph management
+    # ------------------------------------------------------------------
+    def load_graph(self, name: str, graph: Graph, *,
+                   replace: bool = False) -> None:
+        """Register ``graph`` under ``name`` for querying."""
+        if not isinstance(name, str) or not name:
+            raise TypeError(f"graph name must be a non-empty string, "
+                            f"got {name!r}")
+        with self._lock:
+            if name in self._graphs and not replace:
+                raise ValueError(f"graph {name!r} already loaded; pass "
+                                 "replace=True to swap it")
+            if self._active_watches(name):
+                raise ValueError(f"graph {name!r} has standing queries; "
+                                 "cancel them before replacing it")
+            self._graphs[name] = graph
+            self._drop_cached(name)
+
+    def unload_graph(self, name: str) -> Graph:
+        """Forget a named graph (and its cached fragmentations)."""
+        with self._lock:
+            if self._active_watches(name):
+                raise ValueError(f"graph {name!r} has standing queries; "
+                                 "cancel them before unloading")
+            graph = self._require_graph(name)
+            del self._graphs[name]
+            self._drop_cached(name)
+            self._graph_locks.pop(name, None)
+            self._mutation_locks.pop(name, None)
+            self._watches.pop(name, None)
+        return graph
+
+    def graphs(self) -> List[str]:
+        with self._lock:
+            return sorted(self._graphs)
+
+    def graph(self, name: str) -> Graph:
+        with self._lock:
+            return self._require_graph(name)
+
+    # ------------------------------------------------------------------
+    # plug
+    # ------------------------------------------------------------------
+    def plug(self, name: str, factory: Callable, *,
+             replace: bool = False) -> None:
+        """Register a PIE program factory (the paper's *plug* panel)."""
+        self.registry.register(name, factory, replace=replace)
+
+    def program(self, name=None, *, replace: bool = False):
+        """Decorator registering a program with this service's registry:
+        ``@service.program("triangles")``."""
+        return self.registry.program(name, replace=replace)
+
+    def programs(self) -> List[str]:
+        return self.registry.names()
+
+    # ------------------------------------------------------------------
+    # fragmentation cache
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _strategy_signature(strategy: PartitionStrategy) -> str:
+        params = sorted(vars(strategy).items(), key=lambda kv: kv[0])
+        return f"{type(strategy).__name__}({params!r})"
+
+    def _cache_key(self, graph: str,
+                   config: EngineConfig) -> FragCacheKey:
+        strategy = config.partition or HashPartition()
+        return (graph, self._strategy_signature(strategy),
+                config.effective_fragments)
+
+    def fragmentation(self, graph: str, *,
+                      engine: Optional[EngineConfig] = None
+                      ) -> Fragmentation:
+        """The cached fragmentation a query on ``graph`` would use,
+        partitioning now if absent (paper: "partitioned once for all
+        queries Q posed on G")."""
+        return self._fragmentation_for(graph, engine or self.engine_config)
+
+    def _fragmentation_for(self, name: str,
+                           config: EngineConfig) -> Fragmentation:
+        key = self._cache_key(name, config)
+        # Built while holding the service lock so a cold key is
+        # partitioned exactly once even under concurrent submission, and
+        # under the graph's read lock so the build never observes a
+        # half-applied insertion batch.  (A writer inside ``write()``
+        # never takes the service lock, so this nesting cannot deadlock.)
+        with self._lock:
+            graph = self._require_graph(name)
+            frag = self._frag_cache.get(key)
+            if frag is not None:
+                self.stats.cache_hits += 1
+                return frag
+            self.stats.cache_misses += 1
+            glock = self._graph_lock_locked(name)
+            with glock.read():
+                frag = config.build().make_fragmentation(graph)
+            self._frag_cache[key] = frag
+            return frag
+
+    def _drop_cached(self, name: str) -> None:
+        for key in [k for k in self._frag_cache if k[0] == name]:
+            del self._frag_cache[key]
+
+    # ------------------------------------------------------------------
+    # play
+    # ------------------------------------------------------------------
+    def play(self, program: str, query: Any = None, *, graph: str,
+             engine: Optional[EngineConfig] = None,
+             **program_kwargs) -> QueryTicket:
+        """Run one query synchronously; returns its finished ticket."""
+        ticket = self._new_ticket(program, query, graph, program_kwargs)
+        self._run_ticket(ticket, engine or self.engine_config)
+        if ticket.error is not None:
+            raise ticket.error
+        return ticket
+
+    def submit(self, program: str, query: Any = None, *, graph: str,
+               engine: Optional[EngineConfig] = None,
+               **program_kwargs) -> QueryTicket:
+        """Queue one query on the engine pool; returns a live ticket."""
+        ticket = self._new_ticket(program, query, graph, program_kwargs)
+        # Enqueued under the lock so a concurrent close() cannot shut the
+        # pool down between the closed-check and the submission (which
+        # would leave the ticket forever pending).
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("service is closed")
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.concurrency,
+                    thread_name_prefix="grape-service")
+            self._pool.submit(self._run_ticket, ticket,
+                              engine or self.engine_config)
+        return ticket
+
+    def submit_many(self, requests: Iterable[Union[QueryRequest, dict,
+                                                   tuple]],
+                    ) -> List[QueryTicket]:
+        """Queue a batch of queries; tickets come back in request order.
+
+        Each request is a :class:`QueryRequest`, a mapping with
+        ``program``/``query``/``graph`` (plus optional
+        ``program_kwargs``), or a ``(program, query, graph)`` tuple.
+        """
+        return [self.submit(req.program, req.query, graph=req.graph,
+                            **req.program_kwargs)
+                for req in map(self._coerce_request, requests)]
+
+    @staticmethod
+    def _coerce_request(req: Union[QueryRequest, dict, tuple]
+                        ) -> QueryRequest:
+        if isinstance(req, QueryRequest):
+            return req
+        if isinstance(req, dict):
+            extra = {k: v for k, v in req.items()
+                     if k not in ("program", "query", "graph",
+                                  "program_kwargs")}
+            kwargs = dict(req.get("program_kwargs", {}), **extra)
+            return QueryRequest(program=req["program"],
+                                query=req.get("query"),
+                                graph=req["graph"],
+                                program_kwargs=kwargs)
+        if isinstance(req, tuple) and len(req) == 3:
+            return QueryRequest(program=req[0], query=req[1], graph=req[2])
+        raise TypeError(f"cannot interpret query request {req!r}")
+
+    def _new_ticket(self, program: str, query: Any, graph: str,
+                    program_kwargs: Dict[str, Any]) -> QueryTicket:
+        if self._closed:
+            raise RuntimeError("service is closed")
+        request = QueryRequest(program=program, query=query, graph=graph,
+                               program_kwargs=program_kwargs or {})
+        return QueryTicket(next(self._ticket_ids), request)
+
+    def _run_ticket(self, ticket: QueryTicket,
+                    config: EngineConfig) -> None:
+        ticket._mark_running()
+        try:
+            prog = self.registry.create(ticket.program,
+                                        **ticket.request.program_kwargs)
+            frag = self._fragmentation_for(ticket.graph, config)
+            glock = self._graph_lock(ticket.graph)
+            with glock.read():
+                result = config.build().run(prog, ticket.query,
+                                            fragmentation=frag)
+        except BaseException as exc:
+            with self._lock:
+                self.stats.queries_failed += 1
+            ticket._fail(exc)
+            return
+        with self._lock:
+            self.stats.observe_run(result.metrics)
+        ticket._finish(result)
+
+    # ------------------------------------------------------------------
+    # standing queries and updates
+    # ------------------------------------------------------------------
+    def watch(self, program: str, query: Any = None, *, graph: str,
+              **program_kwargs) -> WatchHandle:
+        """Register a standing query; its answer is maintained under
+        :meth:`insert_edges`.
+
+        Standing queries always run on the service's shared engine config
+        and fragmentation, so one update batch serves all of them.
+        """
+        # The mutation lock spans initial run *and* registration: an
+        # insert_edges batch either completes before the session's
+        # initial run or sees the handle registered — it can never land
+        # in between and be silently missed by this watcher.
+        with self._mutation_lock(graph):
+            prog = self.registry.create(program, **program_kwargs)
+            frag = self._fragmentation_for(graph, self.engine_config)
+            glock = self._graph_lock(graph)
+            with glock.read():
+                session = ContinuousQuerySession(
+                    self.engine_config.build(), prog, query,
+                    fragmentation=frag)
+            handle = WatchHandle(next(self._watch_ids), graph, program,
+                                 session)
+            with self._lock:
+                self._watches.setdefault(graph, []).append(handle)
+                self.stats.watches_started += 1
+                self.stats.observe_run(session.metrics)
+        return handle
+
+    def insert_edges(self, graph: str,
+                     edges: Iterable[EdgeInsertion]) -> List[WatchHandle]:
+        """Apply an insertion batch to a named graph.
+
+        The shared fragmentation is updated in place — border sets and
+        ``G_P`` maintained, no re-partition — and every active watcher
+        refreshes its answer incrementally.  Cached fragmentations built
+        under *other* engine configs are invalidated (they would go stale)
+        and lazily rebuilt on next use.  Returns the refreshed handles.
+        """
+        edges = list(edges)
+        with self._mutation_lock(graph):
+            with self._lock:
+                g = self._require_graph(graph)
+                handles = self._active_watches(graph)
+                canon_key = self._cache_key(graph, self.engine_config)
+                canon = self._frag_cache.get(canon_key)
+                for key in [k for k in self._frag_cache
+                            if k[0] == graph and k != canon_key]:
+                    del self._frag_cache[key]
+                    self.stats.cache_invalidations += 1
+                glock = self._graph_lock_locked(graph)
+
+            deltas: List[Tuple[int, int, int]] = []
+            with glock.write():
+                if canon is not None:
+                    touched = apply_insertions(canon, edges)
+                else:
+                    # No fragmentation yet: mutate the base graph
+                    # directly under the same monotonicity rule.
+                    touched = {}
+                    for u, v, w in edges:
+                        monotone_insert(g, u, v, w)
+                for handle in handles:
+                    deltas.append(handle._refresh(touched))
+
+            with self._lock:
+                self.stats.updates_applied += 1
+                for supersteps, nbytes, msgs in deltas:
+                    self.stats.observe_maintenance(supersteps, nbytes, msgs)
+        return handles
+
+    def watches(self, graph: Optional[str] = None) -> List[WatchHandle]:
+        """Active standing queries, optionally for one graph."""
+        with self._lock:
+            names = [graph] if graph is not None else list(self._watches)
+            return [h for n in names
+                    for h in self._watches.get(n, []) if h.active]
+
+    def _active_watches(self, graph: str) -> List[WatchHandle]:
+        return [h for h in self._watches.get(graph, []) if h.active]
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _require_graph(self, name: str) -> Graph:
+        try:
+            return self._graphs[name]
+        except KeyError:
+            raise ValueError(f"no graph loaded under {name!r}; "
+                             f"available: {sorted(self._graphs)}") from None
+
+    def _graph_lock(self, name: str) -> _RWLock:
+        with self._lock:
+            return self._graph_lock_locked(name)
+
+    def _graph_lock_locked(self, name: str) -> _RWLock:
+        lock = self._graph_locks.get(name)
+        if lock is None:
+            lock = self._graph_locks[name] = _RWLock()
+        return lock
+
+    def _mutation_lock(self, name: str) -> threading.RLock:
+        with self._lock:
+            lock = self._mutation_locks.get(name)
+            if lock is None:
+                lock = self._mutation_locks[name] = threading.RLock()
+            return lock
+
+    def close(self) -> None:
+        """Drain the engine pool and refuse further queries."""
+        with self._lock:
+            self._closed = True
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "GrapeService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (f"GrapeService(graphs={sorted(self._graphs)}, "
+                    f"programs={len(self.registry)}, "
+                    f"cached_fragmentations={len(self._frag_cache)}, "
+                    f"watches={sum(len(v) for v in self._watches.values())},"
+                    f" {self.stats!r})")

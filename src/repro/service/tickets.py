@@ -1,0 +1,136 @@
+"""Tickets: the unit of work a :class:`~repro.service.GrapeService` hands
+back for every query it accepts.
+
+A :class:`QueryTicket` is created ``pending``, moves to ``running`` when a
+worker picks it up, and ends ``done`` (with ``answer`` and ``metrics``) or
+``failed`` (with ``error``).  Synchronous ``play`` calls return finished
+tickets; ``submit``/``submit_many`` return live tickets whose
+:meth:`~QueryTicket.result` blocks until the pooled engine run completes.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.core.engine import GrapeResult
+from repro.runtime.metrics import RunMetrics
+
+__all__ = ["QueryRequest", "QueryTicket"]
+
+
+@dataclass
+class QueryRequest:
+    """One query to play: which program, against which named graph.
+
+    ``program_kwargs`` are forwarded to the registry factory (e.g. a
+    SubIso ``max_matches`` or a Sim ``candidate_index``).
+    """
+
+    program: str
+    query: Any = None
+    graph: str = ""
+    program_kwargs: Dict[str, Any] = field(default_factory=dict)
+
+
+class QueryTicket:
+    """Handle for one accepted query.
+
+    Thread-safe: the service completes the ticket from a pool thread while
+    callers block in :meth:`result` or poll :attr:`status`.
+    """
+
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+    def __init__(self, ticket_id: int, request: QueryRequest):
+        self.ticket_id = ticket_id
+        self.request = request
+        self.submitted_at = time.time()
+        self.finished_at: Optional[float] = None
+        self._event = threading.Event()
+        self._status = self.PENDING
+        self._result: Optional[GrapeResult] = None
+        self._error: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------
+    # service-side transitions
+    # ------------------------------------------------------------------
+    def _mark_running(self) -> None:
+        self._status = self.RUNNING
+
+    def _finish(self, result: GrapeResult) -> None:
+        self._result = result
+        self._status = self.DONE
+        self.finished_at = time.time()
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._status = self.FAILED
+        self.finished_at = time.time()
+        self._event.set()
+
+    # ------------------------------------------------------------------
+    # caller-side views
+    # ------------------------------------------------------------------
+    @property
+    def program(self) -> str:
+        return self.request.program
+
+    @property
+    def query(self) -> Any:
+        return self.request.query
+
+    @property
+    def graph(self) -> str:
+        return self.request.graph
+
+    @property
+    def status(self) -> str:
+        return self._status
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    @property
+    def error(self) -> Optional[BaseException]:
+        return self._error
+
+    @property
+    def answer(self) -> Any:
+        """The computed ``Q(G)``; ``None`` until the ticket is done."""
+        return self._result.answer if self._result is not None else None
+
+    @property
+    def metrics(self) -> Optional[RunMetrics]:
+        return self._result.metrics if self._result is not None else None
+
+    @property
+    def grape_result(self) -> Optional[GrapeResult]:
+        """The full engine result (fragmentation, states, recoveries)."""
+        return self._result
+
+    # ------------------------------------------------------------------
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the ticket finishes; True if it did in time."""
+        return self._event.wait(timeout)
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        """Block until done and return the answer (re-raising failures)."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"ticket #{self.ticket_id} ({self.program!r} on "
+                f"{self.graph!r}) not finished after {timeout}s")
+        if self._error is not None:
+            raise self._error
+        return self._result.answer
+
+    def __repr__(self) -> str:
+        return (f"QueryTicket(#{self.ticket_id}, {self.program!r} on "
+                f"{self.graph!r}, {self._status})")

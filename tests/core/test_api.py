@@ -38,6 +38,107 @@ class TestPIERegistry:
         assert reg.names() == ["sssp"]
 
 
+class TestCaseHandling:
+    def test_display_name_preserved(self):
+        reg = PIERegistry()
+        reg.register("PageRank-Fast", SSSPProgram)
+        assert reg.names() == ["PageRank-Fast"]
+        assert list(reg) == ["PageRank-Fast"]
+        # Lookup stays case-insensitive.
+        assert "pagerank-fast" in reg
+        assert isinstance(reg.create("PAGERANK-FAST"), SSSPProgram)
+
+    def test_error_messages_show_display_names(self):
+        reg = PIERegistry()
+        reg.register("MyProg", SSSPProgram)
+        with pytest.raises(ValueError, match="MyProg"):
+            reg.create("other")
+        # The lowercase canonical key must not leak.
+        with pytest.raises(ValueError) as exc:
+            reg.create("other")
+        assert "myprog" not in str(exc.value)
+
+    def test_duplicate_mentions_replace(self):
+        reg = PIERegistry()
+        reg.register("sssp", SSSPProgram)
+        with pytest.raises(ValueError, match="replace=True"):
+            reg.register("SSSP", SimProgram)
+
+    def test_invalid_names_rejected(self):
+        reg = PIERegistry()
+        with pytest.raises(TypeError, match="non-empty string"):
+            reg.register("", SSSPProgram)
+        with pytest.raises(TypeError, match="non-empty string"):
+            reg.register(None, SSSPProgram)
+
+
+class TestRegistryMutation:
+    def test_replace_overrides(self):
+        reg = PIERegistry()
+        reg.register("sssp", SSSPProgram)
+        reg.register("SSSP", SimProgram, replace=True)
+        assert isinstance(reg.create("sssp"), SimProgram)
+        assert reg.names() == ["SSSP"]
+
+    def test_unregister(self):
+        reg = PIERegistry()
+        reg.register("sssp", SSSPProgram)
+        assert reg.unregister("SSSP") is SSSPProgram
+        assert "sssp" not in reg
+        with pytest.raises(ValueError, match="no PIE program"):
+            reg.unregister("sssp")
+
+    def test_copy_is_independent(self):
+        reg = PIERegistry()
+        reg.register("sssp", SSSPProgram)
+        clone = reg.copy()
+        clone.register("sim", SimProgram)
+        clone.unregister("sssp")
+        assert reg.names() == ["sssp"]
+        assert clone.names() == ["sim"]
+
+
+class TestProgramDecorator:
+    def test_named_decorator(self):
+        reg = PIERegistry()
+
+        @reg.program("short-path")
+        class Prog(SSSPProgram):
+            pass
+
+        assert "short-path" in reg
+        assert isinstance(reg.create("Short-Path"), Prog)
+
+    def test_bare_decorator_uses_program_name(self):
+        reg = PIERegistry()
+
+        @reg.program
+        class Prog(SSSPProgram):
+            name = "MySSSP"
+
+        assert reg.names() == ["MySSSP"]
+        assert isinstance(reg.create("myssSP"), Prog)
+
+    def test_decorator_returns_factory_unchanged(self):
+        reg = PIERegistry()
+
+        @reg.program("x")
+        class Prog(SSSPProgram):
+            pass
+
+        assert isinstance(Prog(), Prog)
+
+    def test_decorator_replace(self):
+        reg = PIERegistry()
+        reg.register("x", SSSPProgram)
+
+        @reg.program("x", replace=True)
+        class Prog(SSSPProgram):
+            pass
+
+        assert isinstance(reg.create("x"), Prog)
+
+
 class TestDefaultRegistry:
     def test_all_five_classes(self):
         reg = default_registry()

@@ -1,0 +1,41 @@
+"""The engine's key-value shuffle must route by the stable hash."""
+
+from types import SimpleNamespace
+
+from repro.core.engine import GrapeEngine
+from repro.runtime.message import stable_hash
+
+
+class _KVOnlyProgram:
+    """Emits key-value pairs from fragment 0; no other machinery used."""
+
+    def __init__(self, pairs):
+        self.pairs = pairs
+
+    def drain_messages(self, query, fragment, state):
+        if fragment.fid == 0:
+            return {}, list(self.pairs)
+        return {}, []
+
+
+class TestShuffleRouting:
+    def test_keyvalue_destinations_use_stable_hash(self):
+        m = 4
+        pairs = [("alpha", 1), ("beta", 2), ("alpha", 3), (("t", 9), 4)]
+        program = _KVOnlyProgram(pairs)
+        engine = GrapeEngine(m)
+        frags = [SimpleNamespace(fid=i) for i in range(m)]
+        states = {i: None for i in range(m)}
+
+        designated, keyvalue, _bytes, _msgs = engine._drain_channels(
+            program, None, frags, states)
+
+        assert not designated
+        routed = {key: dest for dest, groups in keyvalue.items()
+                  for key in groups}
+        assert routed == {"alpha": stable_hash("alpha") % m,
+                          "beta": stable_hash("beta") % m,
+                          ("t", 9): stable_hash(("t", 9)) % m}
+        # Values with the same key are grouped at one destination.
+        dest = routed["alpha"]
+        assert keyvalue[dest]["alpha"] == [1, 3]

@@ -29,10 +29,12 @@ class TestApplyInsertions:
     def test_cross_fragment_updates_borders(self, small_road):
         engine = GrapeEngine(4)
         frag = engine.make_fragmentation(small_road)
-        u, v = 0, 35
-        fu, fv = frag.gp.owner(u), frag.gp.owner(v)
-        if fu == fv:
-            pytest.skip("sampled nodes share a fragment")
+        u = 0
+        fu = frag.gp.owner(u)
+        v = next(x for x in sorted(small_road.nodes(), key=repr)
+                 if frag.gp.owner(x) != fu
+                 and not small_road.has_edge(u, x))
+        fv = frag.gp.owner(v)
         apply_insertions(frag, [(u, v, 0.5)])
         assert v in frag[fu].outer
         assert v in frag[fv].inner
@@ -146,6 +148,94 @@ class TestContinuousCC:
         edges = [(i, i + 25, 1.0) for i in range(0, 20, 5)]
         answer = session.insert_edges(edges)
         assert answer == cc_oracle(g)
+
+
+class TestSessionBorderMaintenance:
+    """Direct coverage of border-set / G_P upkeep when insertions flow
+    through a live session (previously only exercised via benchmarks)."""
+
+    @staticmethod
+    def _cross_fragment_pair(session):
+        gp = session.fragmentation.gp
+        graph = session.fragmentation.graph
+        nodes = sorted(graph.nodes(), key=repr)
+        for u in nodes:
+            for v in nodes:
+                if u != v and gp.owner(u) != gp.owner(v) \
+                        and not graph.has_edge(u, v):
+                    return u, v
+        pytest.skip("no cross-fragment non-edge available")
+
+    def test_cross_fragment_insert_updates_borders(self, small_road):
+        session = ContinuousQuerySession(GrapeEngine(4), SSSPProgram(), 0,
+                                         small_road)
+        frag = session.fragmentation
+        u, v = self._cross_fragment_pair(session)
+        fu, fv = frag.gp.owner(u), frag.gp.owner(v)
+        session.insert_edges([(u, v, 0.5)])
+        # u's owner stores the edge and gains v as an out-border copy.
+        assert frag[fu].graph.has_edge(u, v)
+        assert v in frag[fu].outer
+        # v becomes an in-border node of its own fragment.
+        assert v in frag[fv].inner
+        # G_P knows every holder of v, so future messages route there.
+        assert fu in frag.gp.holders(v)
+        assert frag.gp.owner(v) == fv
+        frag.validate()
+        assert session.answer == pytest.approx(
+            sssp_distances(small_road, 0))
+
+    def test_new_node_joins_gp_and_answer(self, small_road):
+        session = ContinuousQuerySession(GrapeEngine(4), SSSPProgram(), 0,
+                                         small_road)
+        frag = session.fragmentation
+        session.insert_edges([(0, "annex", 2.0), ("annex", "outpost", 1.0)])
+        for fresh in ("annex", "outpost"):
+            assert fresh in frag.gp
+            owner = frag.gp.owner(fresh)
+            assert fresh in frag[owner].owned
+        frag.validate()
+        assert session.answer["outpost"] == pytest.approx(3.0)
+        assert session.answer == pytest.approx(
+            sssp_distances(small_road, 0))
+
+    def test_repeated_batches_keep_fragmentation_valid(self, small_road):
+        session = ContinuousQuerySession(GrapeEngine(4), SSSPProgram(), 0,
+                                         small_road)
+        for batch in ([(0, 21, 0.4)], [(21, 35, 0.4)], [(35, 3, 0.4)]):
+            session.insert_edges(batch)
+            session.fragmentation.validate()
+        assert session.answer == pytest.approx(
+            sssp_distances(small_road, 0))
+
+
+class TestSharedFragmentation:
+    """Sessions over an owner-managed fragmentation (the service path)."""
+
+    def test_two_sessions_one_fragmentation(self, small_road):
+        engine = GrapeEngine(4)
+        frag = engine.make_fragmentation(small_road)
+        s1 = ContinuousQuerySession(engine, SSSPProgram(), 0,
+                                    fragmentation=frag)
+        s2 = ContinuousQuerySession(GrapeEngine(4), SSSPProgram(), 14,
+                                    fragmentation=frag)
+        assert s1.fragmentation is s2.fragmentation
+        # The owner applies the batch once; each session folds the deltas.
+        touched = apply_insertions(frag, [(0, 35, 0.25), (14, 30, 0.25)])
+        s1.apply_update(touched)
+        s2.apply_update(touched)
+        frag.validate()
+        assert s1.answer == pytest.approx(sssp_distances(small_road, 0))
+        assert s2.answer == pytest.approx(sssp_distances(small_road, 14))
+
+    def test_constructor_requires_exactly_one_source(self, small_road):
+        engine = GrapeEngine(2)
+        frag = engine.make_fragmentation(small_road)
+        with pytest.raises(ValueError, match="exactly one"):
+            ContinuousQuerySession(engine, SSSPProgram(), 0, small_road,
+                                   fragmentation=frag)
+        with pytest.raises(ValueError, match="exactly one"):
+            ContinuousQuerySession(engine, SSSPProgram(), 0)
 
 
 class TestSessionErrors:

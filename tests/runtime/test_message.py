@@ -1,0 +1,45 @@
+"""stable_hash: the shuffle hash must not depend on PYTHONHASHSEED."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.runtime.message import stable_hash
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+KEYS = ["alpha", "beta", ("compound", 3), 42, -7, 3.5, b"raw", True,
+        frozenset({"x", "y"})]
+
+
+class TestStableHash:
+    def test_deterministic_within_process(self):
+        for key in KEYS:
+            assert stable_hash(key) == stable_hash(key)
+
+    def test_types_do_not_collide_trivially(self):
+        # "1", 1 and 1.0 route independently of builtin-hash equality.
+        assert len({stable_hash("1"), stable_hash(1),
+                    stable_hash(1.0), stable_hash(True)}) == 4
+
+    def test_pinned_values(self):
+        # Pin concrete values: any change to the hash silently re-routes
+        # every key-value shuffle, so make it loud.
+        assert stable_hash("alpha") == 4090494836
+        assert stable_hash(42) == 1030464932
+        assert stable_hash(("compound", 3)) == 1680217941
+
+    def test_stable_across_hash_seeds(self):
+        """Regression: builtin hash(str) varies with PYTHONHASHSEED, so the
+        key-value shuffle routed nondeterministically between processes."""
+        code = ("from repro.runtime.message import stable_hash;"
+                "print([stable_hash(k) % 4 for k in "
+                "['alpha', 'beta', ('compound', 3), 42]])")
+        outputs = set()
+        for seed in ("0", "1", "12345"):
+            env = dict(os.environ, PYTHONHASHSEED=seed, PYTHONPATH=SRC)
+            proc = subprocess.run([sys.executable, "-c", code], env=env,
+                                  capture_output=True, text=True, check=True)
+            outputs.add(proc.stdout.strip())
+        assert len(outputs) == 1, f"routing varied across seeds: {outputs}"
