@@ -1,0 +1,176 @@
+"""Dict-graph sequential algorithms vs vectorized CSR kernels.
+
+For each synthetic graph size, times the four fragment-local hot paths —
+SSSP, BFS levels, connected components and one PageRank push sweep — on
+the dict :class:`~repro.graph.graph.Graph` and on the CSR kernels of
+:mod:`repro.kernels`, verifies the two paths agree exactly, and emits a
+machine-readable ``benchmarks/results/BENCH_kernels.json``.
+
+Any kernel/oracle mismatch exits non-zero, which is what the CI
+perf-smoke job (``--quick``) asserts; the committed JSON comes from a
+full run (``python benchmarks/bench_kernels.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from collections import deque
+
+import numpy as np
+
+from _common import RESULTS_DIR
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import uniform_random_graph
+from repro.kernels import UNREACHED_HOPS, csr_bfs, csr_components, \
+    csr_pagerank_push, csr_sssp
+from repro.sequential.sssp import dijkstra
+from repro.sequential.wcc import LocalComponents
+
+FULL_SIZES = [(5_000, 20_000), (20_000, 80_000), (50_000, 200_000)]
+QUICK_SIZES = [(2_000, 8_000)]
+PAGERANK_ITERATIONS = 5
+DAMPING = 0.85
+
+
+def timed(fn):
+    start = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - start
+
+
+# ---------------------------------------------------------------- SSSP
+def bench_sssp(g, csr):
+    truth, dict_s = timed(lambda: dijkstra(g, 0))
+    (dist, _chg), csr_s = timed(
+        lambda: csr_sssp(csr, {csr.id_of[0]: 0.0}))
+    got = dict(zip(csr.node_of, dist.tolist()))
+    return dict_s, csr_s, got == truth
+
+
+# ----------------------------------------------------------------- BFS
+def bench_bfs(g, csr):
+    def dict_bfs():
+        hops = {0: 0}
+        dq = deque([(0, 0)])
+        while dq:
+            v, d = dq.popleft()
+            for w in g.successors(v):
+                if d + 1 < hops.get(w, UNREACHED_HOPS):
+                    hops[w] = d + 1
+                    dq.append((w, d + 1))
+        return hops
+
+    truth, dict_s = timed(dict_bfs)
+    (hops, _chg), csr_s = timed(lambda: csr_bfs(csr, {csr.id_of[0]: 0}))
+    got = {v: h for v, h in zip(csr.node_of, hops.tolist())
+           if h < UNREACHED_HOPS}
+    return dict_s, csr_s, got == truth
+
+
+# ------------------------------------------------------------------ CC
+def bench_cc(g, csr):
+    comps, dict_s = timed(lambda: LocalComponents(g))
+
+    def kernel_cc():
+        comp = csr_components(csr)
+        return {v: csr.node_of[r]
+                for v, r in zip(csr.node_of, comp.tolist())}
+
+    got, csr_s = timed(kernel_cc)
+    # Representatives are the min *dense id*; both labelings must induce
+    # the same partition, and LocalComponents' cid (min node) must name
+    # the same groups since node ids here coincide with insertion order.
+    return dict_s, csr_s, got == comps.cid
+
+
+# ------------------------------------------------------------ PageRank
+def bench_pagerank(g, csr):
+    nodes = list(g.nodes())
+    n = len(nodes)
+    teleport = (1.0 - DAMPING) / n
+
+    def dict_pr():
+        rank = {v: 1.0 / n for v in nodes}
+        for _ in range(PAGERANK_ITERATIONS):
+            incoming = {v: 0.0 for v in nodes}
+            for v in nodes:
+                out_deg = g.out_degree(v)
+                if out_deg == 0:
+                    continue
+                share = rank[v] / out_deg
+                for w in g.successors(v):
+                    incoming[w] = incoming.get(w, 0.0) + share
+            rank = {v: teleport + DAMPING * incoming[v] for v in nodes}
+        return rank
+
+    def csr_pr():
+        ids = np.arange(csr.n, dtype=np.int64)
+        rank = np.full(csr.n, 1.0 / n)
+        for _ in range(PAGERANK_ITERATIONS):
+            rank = teleport + DAMPING * csr_pagerank_push(csr, rank, ids)
+        return dict(zip(csr.node_of, rank.tolist()))
+
+    truth, dict_s = timed(dict_pr)
+    got, csr_s = timed(csr_pr)
+    return dict_s, csr_s, got == truth
+
+
+BENCHES = [("sssp", bench_sssp), ("bfs", bench_bfs), ("cc", bench_cc),
+           ("pagerank", bench_pagerank)]
+
+
+def main(argv) -> int:
+    quick = "--quick" in argv
+    sizes = QUICK_SIZES if quick else FULL_SIZES
+    records = []
+    ok = True
+    for num_nodes, num_edges in sizes:
+        directed = uniform_random_graph(num_nodes, num_edges, seed=42)
+        undirected = uniform_random_graph(num_nodes, num_edges,
+                                          directed=False, seed=42)
+        for name, bench in BENCHES:
+            g = undirected if name == "cc" else directed
+            csr, build_s = timed(lambda: CSRGraph.from_graph(g))
+            dict_s, csr_s, match = bench(g, csr)
+            ok &= match
+            records.append({
+                "kernel": name,
+                "nodes": num_nodes,
+                "edges": num_edges,
+                "dict_s": round(dict_s, 6),
+                "csr_s": round(csr_s, 6),
+                "speedup": round(dict_s / csr_s, 2) if csr_s else None,
+                "csr_build_s": round(build_s, 6),
+                "match": match,
+            })
+            print(f"{name:9s} n={num_nodes:>6} m={num_edges:>7} "
+                  f"dict={dict_s:8.4f}s csr={csr_s:8.4f}s "
+                  f"speedup={dict_s / csr_s:7.1f}x "
+                  f"{'ok' if match else 'MISMATCH'}")
+    payload = {
+        "benchmark": "kernels",
+        "mode": "quick" if quick else "full",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "pagerank_iterations": PAGERANK_ITERATIONS,
+        "all_match": ok,
+        "results": records,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    # Quick (CI smoke) runs must not clobber the committed full-run
+    # figures the README quotes.
+    name = "BENCH_kernels_quick.json" if quick else "BENCH_kernels.json"
+    out = RESULTS_DIR / name
+    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"\nwrote {out}")
+    if not ok:
+        print("kernel/oracle MISMATCH", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -52,7 +52,8 @@ from repro.partition.strategies import HashPartition
 from repro.runtime.cluster import SimulatedCluster
 from repro.runtime.fault import Arbitrator, FailureInjector, WorkerFailure
 from repro.runtime.message import stable_hash
-from repro.runtime.metrics import CostModel, RunMetrics, message_bytes
+from repro.runtime.metrics import (CostModel, ParamSizeCache, RunMetrics,
+                                   message_bytes)
 
 __all__ = ["EngineConfig", "GrapeEngine", "GrapeResult"]
 
@@ -224,6 +225,9 @@ class GrapeEngine:
         # per-parameter global table, pending explicit-channel messages.
         reported: Dict[int, ParamUpdates] = {f.fid: {} for f in frags}
         global_table: Dict[ParamKey, Any] = {}
+        # Memoized byte accounting: identical parameter entries recur
+        # across rounds and destinations; pickle each once per run.
+        sizer = ParamSizeCache()
 
         def snapshot_state():
             return {"states": states, "reported": reported,
@@ -252,7 +256,7 @@ class GrapeEngine:
 
         up_bytes, up_msgs, dirty = self._collect_reports(
             program, query, frags, states, reported, global_table,
-            checker, first_round=True)
+            checker, first_round=True, sizer=sizer)
         messages = self._compose_messages(program, fragmentation, reported,
                                           dirty, global_table)
         designated, keyvalue, ch_bytes, ch_msgs = self._drain_channels(
@@ -267,7 +271,8 @@ class GrapeEngine:
         while (messages or designated or keyvalue) \
                 and rounds < self.max_supersteps:
             rounds += 1
-            down_bytes = sum(message_bytes(msg) for msg in messages.values())
+            down_bytes = sum(sizer.updates_bytes(msg)
+                             for msg in messages.values())
             down_bytes += sum(message_bytes(p) for p in designated.values())
             down_bytes += sum(message_bytes(g) for g in keyvalue.values())
             down_msgs = len(messages) + len(designated) + len(keyvalue)
@@ -306,7 +311,7 @@ class GrapeEngine:
 
             up_bytes, up_msgs, dirty = self._collect_reports(
                 program, query, frags, states, reported, global_table,
-                checker, first_round=False)
+                checker, first_round=False, sizer=sizer)
             messages = self._compose_messages(program, fragmentation,
                                               reported, dirty, global_table)
             designated, keyvalue, ch_bytes, ch_msgs = self._drain_channels(
@@ -357,23 +362,49 @@ class GrapeEngine:
 
     # ------------------------------------------------------------------
     def _collect_reports(self, program, query, frags, states, reported,
-                         global_table, checker, *, first_round: bool):
-        """Diff each fragment's update parameters against its last report,
-        fold changes into the global table, return (bytes, msgs, dirty)."""
+                         global_table, checker, *, first_round: bool,
+                         sizer: Optional[ParamSizeCache] = None,
+                         force_full: bool = False):
+        """Fold each fragment's changed update parameters into the global
+        table, return (bytes, msgs, dirty).
+
+        Programs implementing the incremental protocol
+        (:meth:`~repro.core.pie.PIEProgram.read_changed_params`) hand the
+        changed entries over directly; otherwise the full parameter dict
+        is read and diffed against the fragment's last report.
+        ``force_full`` reads and diffs the full dict even for protocol
+        programs — required right after a graph mutation, when candidate
+        sets may have gained nodes the program's dirty tracking never saw
+        (e.g. a node newly becoming a border node at a fragment that
+        received no inserted edges).  Report bytes are charged through
+        ``sizer`` when given (memoized per entry) and by monolithic
+        pickling otherwise.
+        """
         agg = program.aggregator
         dirty: Set[ParamKey] = set()
         up_bytes = 0
         up_msgs = 0
         for frag in frags:
-            current = program.read_update_params(query, frag,
-                                                 states[frag.fid])
-            prev = reported[frag.fid]
-            changed = {k: v for k, v in current.items()
-                       if k not in prev or prev[k] != v}
-            reported[frag.fid] = current
+            changed = program.read_changed_params(query, frag,
+                                                  states[frag.fid])
+            if force_full and changed is not None:
+                # The dirty state is consumed above (so it cannot be
+                # re-reported next round); the full diff below subsumes
+                # it and additionally catches new candidate-set entries.
+                changed = None
+            if changed is None:
+                current = program.read_update_params(query, frag,
+                                                     states[frag.fid])
+                prev = reported[frag.fid]
+                changed = {k: v for k, v in current.items()
+                           if k not in prev or prev[k] != v}
+                reported[frag.fid] = current
+            elif changed:
+                reported[frag.fid].update(changed)
             if not changed:
                 continue
-            up_bytes += message_bytes(changed)
+            up_bytes += (sizer.updates_bytes(changed) if sizer is not None
+                         else message_bytes(changed))
             up_msgs += 1
             for key, value in changed.items():
                 if key in global_table:

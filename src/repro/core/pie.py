@@ -56,6 +56,11 @@ class PIEProgram(abc.ABC):
     #: ``aggregateMsg``); paper default is the exception handler.
     aggregator: Aggregator = DefaultExceptionAggregator()
 
+    #: capability flag: the program can run its sequential functions on a
+    #: fragment's CSR snapshot (:mod:`repro.kernels`) when its ``use_csr``
+    #: switch is on, with the dict-graph algorithms as fallback.
+    supports_csr: bool = False
+
     # ------------------------------------------------------------------
     # Message preamble
     # ------------------------------------------------------------------
@@ -97,6 +102,31 @@ class PIEProgram(abc.ABC):
     def assemble(self, query: Any, fragmentation: Fragmentation,
                  states: Dict[int, Any]) -> Any:
         """Combine partial results into ``Q(G)``."""
+
+    def read_changed_params(self, query: Any, fragment: Fragment,
+                            state: Any) -> Optional[ParamUpdates]:
+        """Update parameters that changed since the previous read.
+
+        The incremental coordinator protocol: a program that tracks its
+        own dirty keys (the sequential algorithms usually know exactly
+        which status variables they touched) returns just those entries,
+        and the engine folds them in directly instead of reading and
+        diffing the full parameter dict every superstep.  Each call
+        *consumes* the dirty set; the first read after ``init_state``
+        must return every live parameter (the engine's ``reported``
+        baseline starts empty).
+
+        The returned dict must equal what the engine's own diff of
+        successive :meth:`read_update_params` reads would produce, with
+        one documented relaxation: keys may never be retired (an entry
+        absent from a later full read keeps its last value in the
+        coordinator's per-fragment table).  All bundled protocols have
+        append/update-only parameters, so this changes nothing.
+
+        Returning ``None`` (the default) selects the engine's full-diff
+        path for this round.
+        """
+        return None
 
     # ------------------------------------------------------------------
     # Optional hooks

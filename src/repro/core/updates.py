@@ -28,7 +28,7 @@ from repro.core.pie import ParamKey, ParamUpdates, PIEProgram
 from repro.graph.graph import Graph, Node
 from repro.partition.base import Fragmentation
 from repro.runtime.message import stable_hash
-from repro.runtime.metrics import CostModel, RunMetrics, message_bytes
+from repro.runtime.metrics import CostModel, ParamSizeCache, RunMetrics
 
 __all__ = ["ContinuousQuerySession", "apply_insertions", "monotone_insert"]
 
@@ -85,6 +85,7 @@ def apply_insertions(fragmentation: Fragmentation,
         graph.add_node(x)
         frag = fragmentation[fid]
         frag.graph.add_node(x)
+        frag.invalidate_csr()
         frag.owned.add(x)
         gp._owner[x] = fid
         gp._holders[x] = frozenset((fid,))
@@ -98,6 +99,7 @@ def apply_insertions(fragmentation: Fragmentation,
         frag = fragmentation[fu]
         frag.graph.add_node(v, graph.node_label(v))
         frag.graph.add_edge(u, v, weight=w)
+        frag.invalidate_csr()
         add_holder(v, fu)
         add_holder(u, fu)
         if fu != fv:
@@ -146,6 +148,9 @@ class ContinuousQuerySession:
         self.states = result.states
         self.answer = result.answer
         self.metrics = result.metrics
+        # Entry sizes recur across maintenance rounds; memoize for the
+        # session's lifetime.
+        self._sizer = ParamSizeCache()
         # Baseline the coordinator tables from the converged state.
         self._reported: Dict[int, ParamUpdates] = {}
         self._table: Dict[ParamKey, Any] = {}
@@ -194,9 +199,13 @@ class ContinuousQuerySession:
         local_s = time.perf_counter() - start
 
         frags = self.fragmentation.fragments
+        # Full-diff collect: the insertion batch may have promoted nodes
+        # into border sets of fragments that received no edges, which the
+        # programs' own dirty tracking cannot see.
         up_bytes, up_msgs, dirty = self.engine._collect_reports(
             program, query, frags, self.states, self._reported,
-            self._table, checker, first_round=False)
+            self._table, checker, first_round=False, sizer=self._sizer,
+            force_full=True)
         messages = self.engine._compose_messages(
             program, self.fragmentation, self._reported, dirty,
             self._table)
@@ -209,7 +218,7 @@ class ContinuousQuerySession:
             rounds += 1
             if rounds > self.engine.max_supersteps:
                 raise RuntimeError("maintenance did not reach a fixpoint")
-            down_bytes = sum(message_bytes(msg)
+            down_bytes = sum(self._sizer.updates_bytes(msg)
                              for msg in messages.values())
             times = []
             for fid, msg in messages.items():
@@ -218,7 +227,8 @@ class ContinuousQuerySession:
                 times.append(time.perf_counter() - t0)
             up_bytes, up_msgs, dirty = self.engine._collect_reports(
                 program, query, frags, self.states, self._reported,
-                self._table, checker, first_round=False)
+                self._table, checker, first_round=False,
+                sizer=self._sizer)
             messages = self.engine._compose_messages(
                 program, self.fragmentation, self._reported, dirty,
                 self._table)

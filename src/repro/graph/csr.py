@@ -9,7 +9,7 @@ and by the benchmark harness when a read-only traversal is hot.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -61,40 +61,103 @@ class CSRGraph:
         n = len(node_of)
         labels = [g.node_label(v) for v in node_of]
 
-        out_deg = np.zeros(n + 1, dtype=np.int64)
-        in_deg = np.zeros(n + 1, dtype=np.int64)
         # For undirected graphs Graph stores both orientations already; use
         # successors directly so CSR mirrors the symmetric adjacency.
-        rows: List[Tuple[int, int, float]] = []
-        for v in node_of:
-            vid = id_of[v]
-            for u, w in g.successors_with_weights(v):
-                rows.append((vid, id_of[u], w))
-                out_deg[vid + 1] += 1
-                in_deg[id_of[u] + 1] += 1
+        counts = np.fromiter((g.out_degree(v) for v in node_of),
+                             dtype=np.int64, count=n)
+        m = int(counts.sum())
+        dst = np.fromiter((id_of[u] for v in node_of
+                           for u in g.successors(v)),
+                          dtype=np.int64, count=m)
+        wgt = np.fromiter((w for v in node_of
+                           for _u, w in g.successors_with_weights(v)),
+                          dtype=np.float64, count=m)
+        return cls._assemble(n, g.directed, counts, dst, wgt,
+                             id_of, node_of, labels)
 
+    @classmethod
+    def from_edges(cls, edges: Sequence[Tuple[Node, Node, float]], *,
+                   directed: bool = True,
+                   nodes: Optional[Sequence[Node]] = None,
+                   labels: Optional[Dict[Node, object]] = None
+                   ) -> "CSRGraph":
+        """Build a snapshot straight from an edge list, skipping the
+        intermediate dict :class:`Graph`.
+
+        Dense ids follow ``nodes`` when given, otherwise first-seen order
+        over the edge list (sources before destinations, as when the
+        edges are replayed through ``Graph.add_edge``).  For an
+        undirected snapshot each input edge contributes both
+        orientations, mirroring the symmetric storage of :class:`Graph`.
+        Parallel duplicate edges are kept as given (deduplicate upstream
+        if the source may repeat edges).
+        """
+        id_of: Dict[Node, int] = {}
+        node_of: List[Node] = []
+        if nodes is not None:
+            for v in nodes:
+                if v not in id_of:
+                    id_of[v] = len(node_of)
+                    node_of.append(v)
+
+        def vid(v: Node) -> int:
+            i = id_of.get(v)
+            if i is None:
+                i = id_of[v] = len(node_of)
+                node_of.append(v)
+            return i
+
+        num_edges = len(edges)
+        slots = num_edges if directed else 2 * num_edges
+        src = np.empty(slots, dtype=np.int64)
+        dst = np.empty(slots, dtype=np.int64)
+        wgt = np.empty(slots, dtype=np.float64)
+        k = 0
+        for u, v, w in edges:
+            ui, vi = vid(u), vid(v)
+            src[k], dst[k], wgt[k] = ui, vi, w
+            k += 1
+            if not directed and ui != vi:
+                src[k], dst[k], wgt[k] = vi, ui, w
+                k += 1
+        src, dst, wgt = src[:k], dst[:k], wgt[:k]
+
+        n = len(node_of)
+        counts = np.bincount(src, minlength=n).astype(np.int64)
+        # Stable argsort groups edges by source while preserving input
+        # order within each row — the same adjacency order Graph.add_edge
+        # replay would produce.
+        order = np.argsort(src, kind="stable")
+        label_list = ([labels.get(v) for v in node_of] if labels
+                      else [None] * n)
+        return cls._assemble(n, directed, counts, dst[order], wgt[order],
+                             id_of, node_of, label_list)
+
+    @classmethod
+    def _assemble(cls, n: int, directed: bool, counts: np.ndarray,
+                  dst: np.ndarray, wgt: np.ndarray,
+                  id_of: Dict[Node, int], node_of: List[Node],
+                  labels: List) -> "CSRGraph":
+        """Finish construction from row-grouped edge arrays.
+
+        ``dst``/``wgt`` must already be grouped by source row with row
+        sizes ``counts``; the reverse (CSC) structure is derived with a
+        stable argsort over destinations — bucket placement without the
+        per-edge Python fill loop, and with the same within-bucket order
+        that loop produced.
+        """
+        out_deg = np.zeros(n + 1, dtype=np.int64)
+        out_deg[1:] = counts
         indptr = np.cumsum(out_deg)
+
+        in_deg = np.zeros(n + 1, dtype=np.int64)
+        in_deg[1:] = np.bincount(dst, minlength=n)
         rev_indptr = np.cumsum(in_deg)
-        m = len(rows)
-        indices = np.empty(m, dtype=np.int64)
-        weights = np.empty(m, dtype=np.float64)
-        rev_indices = np.empty(m, dtype=np.int64)
-        rev_weights = np.empty(m, dtype=np.float64)
 
-        fill = indptr[:-1].copy() if n else np.empty(0, dtype=np.int64)
-        rev_fill = rev_indptr[:-1].copy() if n else np.empty(0, dtype=np.int64)
-        for src, dst, w in rows:
-            pos = fill[src]
-            indices[pos] = dst
-            weights[pos] = w
-            fill[src] += 1
-            rpos = rev_fill[dst]
-            rev_indices[rpos] = src
-            rev_weights[rpos] = w
-            rev_fill[dst] += 1
-
-        return cls(n, g.directed, indptr, indices, weights,
-                   rev_indptr, rev_indices, rev_weights,
+        src = np.repeat(np.arange(n, dtype=np.int64), counts)
+        rev_order = np.argsort(dst, kind="stable")
+        return cls(n, directed, indptr, dst, wgt,
+                   rev_indptr, src[rev_order], wgt[rev_order],
                    id_of, node_of, labels)
 
     # ------------------------------------------------------------------

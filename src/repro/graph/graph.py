@@ -17,6 +17,7 @@ For read-heavy numeric kernels a frozen CSR snapshot is available via
 
 from __future__ import annotations
 
+from itertools import chain
 from typing import Any, Dict, Hashable, Iterable, Iterator, Optional, Set, Tuple
 
 Node = Hashable
@@ -138,13 +139,16 @@ class Graph:
                 for v, w in nbrs.items():
                     yield u, v, w
         else:
-            seen: Set[frozenset] = set()
+            # Both orientations of an undirected edge are stored; emit
+            # each edge from the endpoint visited first.  A node whose
+            # row was already iterated is in ``done``, so the reverse
+            # orientation is skipped without allocating a per-edge key.
+            done: Set[Node] = set()
             for u, nbrs in self._succ.items():
                 for v, w in nbrs.items():
-                    key = frozenset((u, v)) if u != v else frozenset((u,))
-                    if key not in seen:
-                        seen.add(key)
+                    if v not in done:
                         yield u, v, w
+                done.add(u)
 
     def has_node(self, v: Node) -> bool:
         return v in self._succ
@@ -162,9 +166,7 @@ class Graph:
         """Successors and predecessors, without duplicates."""
         if not self.directed:
             return iter(self._succ[v])
-        merged = dict.fromkeys(self._succ[v])
-        merged.update(dict.fromkeys(self._pred[v]))
-        return iter(merged)
+        return iter(dict.fromkeys(chain(self._succ[v], self._pred[v])))
 
     def out_degree(self, v: Node) -> int:
         return len(self._succ[v])

@@ -1,0 +1,60 @@
+"""Vectorized CSR fragment kernels (paper Sections 3 and 6).
+
+GRAPE's core claim is that fragment-local computation may use *any*
+representation effective for the sequential algorithm.  The dict-of-dicts
+:class:`~repro.graph.graph.Graph` is convenient for the textbook
+algorithms in :mod:`repro.sequential`, but its per-edge cost is
+interpreter speed, not machine speed.  This package provides numpy
+kernels over the frozen :class:`~repro.graph.csr.CSRGraph` snapshot for
+the four traversal-shaped query classes:
+
+* :func:`csr_sssp` — frontier Bellman–Ford relaxation (the delta-stepping
+  degenerate case with a single bucket per round);
+* :func:`csr_bfs` — level-synchronous BFS hop counts;
+* :func:`csr_components` — min-label propagation with pointer jumping;
+* :func:`csr_pagerank_push` — one power-iteration push of rank mass.
+
+**Capability-flag dispatch.**  A PIE program advertises CSR support with
+the class attribute ``supports_csr = True`` and an instance switch
+``use_csr`` (constructor argument, default on).  Inside ``PEval`` /
+``IncEval`` the program asks its fragment for a snapshot via
+:meth:`~repro.partition.base.Fragment.csr` and runs the kernel; when
+``use_csr`` is off the original dict-graph sequential algorithm runs
+instead.  Both paths compute *bitwise-identical* results: every kernel
+reaches the same fixpoint as its sequential oracle, performs float
+additions in the same left-fold order (``np.minimum.at`` /
+``np.add.at`` apply element-by-element in array order), and converts
+back to the exact Python floats the dict path would have produced — so
+answers, superstep counts and shipped parameter values are unchanged,
+only the time to compute them.
+
+**Snapshot invalidation.**  ``Fragment.csr()`` builds the snapshot
+lazily on first use and caches it.  Any structural mutation of the
+fragment — edge or node insertion through
+:func:`repro.core.updates.apply_insertions` (and therefore
+``GrapeService.insert_edges``) — calls ``Fragment.invalidate_csr()``,
+which drops the cached snapshot and bumps ``Fragment.csr_epoch`` so that
+program-side arrays derived from the old snapshot's dense ids are
+rebuilt.  The next kernel call rebuilds the snapshot from the mutated
+dict graph (itself vectorized: see ``CSRGraph.from_graph``).
+
+**When the dict fallback is used.**  The sequential path runs when the
+program was constructed with ``use_csr=False``, for programs that do
+not set ``supports_csr`` (Sim, SubIso, CF), and for the incremental
+bookkeeping that is naturally O(|changed|) in dict form (e.g. CC's
+``lower_cid`` relabeling, which is already bounded by the affected
+component and gains nothing from vectorization).
+"""
+
+from repro.kernels.bfs import UNREACHED_HOPS, csr_bfs
+from repro.kernels.cc import csr_components
+from repro.kernels.pagerank import csr_pagerank_push
+from repro.kernels.sssp import csr_sssp
+
+__all__ = [
+    "csr_sssp",
+    "csr_bfs",
+    "csr_components",
+    "csr_pagerank_push",
+    "UNREACHED_HOPS",
+]

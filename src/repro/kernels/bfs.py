@@ -1,0 +1,58 @@
+"""Vectorized BFS hop levels over a CSR snapshot.
+
+Level-synchronous frontier expansion: each round gathers the out-edges of
+the frontier, folds ``hop + 1`` candidates with ``np.minimum.at``, and
+the improved nodes form the next frontier.  Hop counts are integers, so
+equality with the queue-based sequential BFS is exact by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.kernels._segments import edge_positions
+
+__all__ = ["csr_bfs", "UNREACHED_HOPS"]
+
+#: sentinel for "not reached" (matches the dict path's ``1 << 60`` bound)
+UNREACHED_HOPS = 1 << 60
+
+
+def csr_bfs(csr, seeds: Dict[int, int],
+            hops: Optional[np.ndarray] = None
+            ) -> Tuple[np.ndarray, np.ndarray]:
+    """Expand ``seeds`` (dense id -> hop count) to a fixpoint.
+
+    ``hops`` is an int64 array (``UNREACHED_HOPS`` = unreached), mutated
+    in place; ``None`` starts all-unreached.  Returns ``(hops, changed)``
+    with ``changed`` the sorted dense ids whose hop count improved.
+    """
+    n = csr.n
+    if hops is None:
+        hops = np.full(n, UNREACHED_HOPS, dtype=np.int64)
+    changed = np.zeros(n, dtype=bool)
+
+    frontier_list = []
+    for vid, h in seeds.items():
+        if h < hops[vid]:
+            hops[vid] = h
+            frontier_list.append(vid)
+    frontier = np.array(frontier_list, dtype=np.int64)
+    changed[frontier] = True
+
+    indptr, indices = csr.indptr, csr.indices
+    while frontier.size:
+        starts = indptr[frontier]
+        counts = indptr[frontier + 1] - starts
+        pos = edge_positions(starts, counts)
+        if not pos.size:
+            break
+        cand = np.repeat(hops[frontier], counts) + 1
+        # Full before/after scan: one O(n) compare per level, no sort.
+        before = hops.copy()
+        np.minimum.at(hops, indices[pos], cand)
+        frontier = np.nonzero(hops < before)[0]
+        changed[frontier] = True
+    return hops, np.nonzero(changed)[0]

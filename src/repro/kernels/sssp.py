@@ -1,0 +1,83 @@
+"""Vectorized single-source shortest paths over a CSR snapshot.
+
+Frontier-based Bellman–Ford: each round relaxes every out-edge of the
+nodes whose distance improved in the previous round, with
+``np.minimum.at`` folding candidate distances in place.  This is the
+single-bucket degenerate case of delta-stepping; on the low-diameter
+graphs of the paper's Figure 6 workloads it converges in a handful of
+rounds, each one a few numpy gathers over the frontier's edges.
+
+The fixpoint is bitwise-identical to Dijkstra's: at convergence every
+distance satisfies ``dist[v] = min over in-edges of dist[u] + w`` with
+the same IEEE-754 additions the sequential algorithm performs, so the
+values (not just their order) match :func:`repro.sequential.sssp.dijkstra`
+exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.kernels._segments import edge_positions
+
+__all__ = ["csr_sssp"]
+
+
+def csr_sssp(csr, seeds: Dict[int, float],
+             dist: Optional[np.ndarray] = None
+             ) -> Tuple[np.ndarray, np.ndarray]:
+    """Relax ``seeds`` (dense id -> candidate distance) to a fixpoint.
+
+    Parameters
+    ----------
+    csr:
+        A :class:`~repro.graph.csr.CSRGraph`.
+    seeds:
+        Candidate distances; only improvements over ``dist`` are applied
+        (the monotonic decrease-only discipline of IncEval).
+    dist:
+        Existing float64 estimates, mutated in place; ``None`` starts
+        from all-infinite.
+
+    Returns
+    -------
+    ``(dist, changed)`` — the distance array and the (sorted) dense ids
+    whose distance improved, the affected area ``AFF``.
+    """
+    n = csr.n
+    if dist is None:
+        dist = np.full(n, np.inf, dtype=np.float64)
+    changed = np.zeros(n, dtype=bool)
+
+    frontier_list = []
+    for vid, d in seeds.items():
+        if d < dist[vid]:
+            dist[vid] = d
+            frontier_list.append(vid)
+    frontier = np.array(frontier_list, dtype=np.int64)
+    changed[frontier] = True
+
+    indptr, indices, weights = csr.indptr, csr.indices, csr.weights
+    while frontier.size:
+        starts = indptr[frontier]
+        counts = indptr[frontier + 1] - starts
+        pos = edge_positions(starts, counts)
+        if not pos.size:
+            break
+        w = weights[pos]
+        if np.any(w < 0):
+            bad = pos[np.argmax(w < 0)]
+            src = int(np.searchsorted(indptr, bad, side="right")) - 1
+            raise ValueError(
+                f"negative edge weight on "
+                f"({csr.node_of[src]}, {csr.node_of[int(indices[bad])]})")
+        cand = np.repeat(dist[frontier], counts) + w
+        # A full before/after scan beats gathering and deduplicating the
+        # touched destinations: one O(n) compare per round, no sort.
+        before = dist.copy()
+        np.minimum.at(dist, indices[pos], cand)
+        frontier = np.nonzero(dist < before)[0]
+        changed[frontier] = True
+    return dist, np.nonzero(changed)[0]

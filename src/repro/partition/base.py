@@ -24,6 +24,7 @@ which fragments hold it — GRAPE uses it to deduce message destinations.
 from __future__ import annotations
 
 import abc
+import threading
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Sequence, Set, Tuple
 
 from repro.graph.graph import Graph, Node
@@ -59,7 +60,9 @@ class Fragment:
         ``F_i.O`` — copied nodes owned elsewhere.
     """
 
-    __slots__ = ("fid", "graph", "owned", "inner", "outer")
+    __slots__ = ("fid", "graph", "owned", "inner", "outer",
+                 "_csr", "_csr_lock", "csr_epoch", "csr_builds",
+                 "csr_invalidations")
 
     def __init__(self, fid: int, graph: Graph, owned: Set[Node],
                  inner: Set[Node], outer: Set[Node]):
@@ -68,6 +71,48 @@ class Fragment:
         self.owned = owned
         self.inner = inner
         self.outer = outer
+        self._csr = None
+        # GrapeService runs concurrent queries over one shared cached
+        # fragmentation (they hold only the graph's read lock), so the
+        # lazy build must be guarded against duplicate construction.
+        self._csr_lock = threading.Lock()
+        #: bumped on every invalidation so consumers holding arrays keyed
+        #: by the old snapshot's dense ids know to rebuild them
+        self.csr_epoch = 0
+        self.csr_builds = 0
+        self.csr_invalidations = 0
+
+    def csr(self):
+        """Frozen CSR snapshot of the local graph, built lazily.
+
+        The snapshot is cached until :meth:`invalidate_csr` drops it
+        (structural mutation through
+        :func:`repro.core.updates.apply_insertions`); CSR-capable PIE
+        programs call this every round and almost always hit the cache.
+        Thread-safe: concurrent readers build the snapshot exactly once.
+        """
+        snap = self._csr
+        if snap is None:
+            from repro.graph.csr import CSRGraph
+            with self._csr_lock:
+                snap = self._csr
+                if snap is None:
+                    snap = CSRGraph.from_graph(self.graph)
+                    self._csr = snap
+                    self.csr_builds += 1
+        return snap
+
+    def invalidate_csr(self) -> None:
+        """Drop the cached snapshot after a mutation of ``graph``.
+
+        Idempotent between rebuilds: only an actual drop counts as an
+        invalidation and bumps ``csr_epoch``.
+        """
+        with self._csr_lock:
+            if self._csr is not None:
+                self._csr = None
+                self.csr_epoch += 1
+                self.csr_invalidations += 1
 
     @property
     def border_nodes(self) -> Set[Node]:
@@ -152,6 +197,16 @@ class Fragmentation:
     @property
     def num_fragments(self) -> int:
         return len(self.fragments)
+
+    @property
+    def csr_snapshots_built(self) -> int:
+        """Total CSR snapshot builds across fragments (lifetime count)."""
+        return sum(f.csr_builds for f in self.fragments)
+
+    @property
+    def csr_snapshot_invalidations(self) -> int:
+        """Total CSR snapshot drops across fragments (lifetime count)."""
+        return sum(f.csr_invalidations for f in self.fragments)
 
     def fragment_of(self, v: Node) -> Fragment:
         """The fragment owning ``v``."""

@@ -5,22 +5,33 @@ One of the stock applications the GRAPE lineage ships (libgrape-lite's
 sequential algorithms are the textbook queue-based BFS and its resume-
 from-frontier incremental variant — another illustration that plugging in
 a different sequential pair is all a new query class needs.
+
+With ``use_csr`` on (the default) both functions run as level-synchronous
+frontier expansions over the fragment's CSR snapshot
+(:func:`repro.kernels.csr_bfs`) — hop counts are integers, so the paths
+are trivially identical — and dirty border hops feed the engine's
+incremental coordinator protocol via ``read_changed_params``.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Iterable
+from typing import Dict, Iterable, Optional, Set
+
+import numpy as np
 
 from repro.core.aggregators import MinAggregator
 from repro.core.pie import ParamUpdates, PIEProgram
 from repro.graph.graph import Node
+from repro.kernels import UNREACHED_HOPS, csr_bfs
 from repro.partition.base import Fragment, Fragmentation
 
 __all__ = ["BFSProgram", "BFSState"]
 
 UNREACHED = -1  # hop count sentinel (kept integral, unlike SSSP's inf)
+
+_FAR = UNREACHED_HOPS  # internal "not reached" bound, the kernel's sentinel
 
 
 @dataclass
@@ -28,21 +39,30 @@ class BFSState:
     """Per-fragment state: hop counts (absent = unreached)."""
 
     hops: Dict[Node, int] = field(default_factory=dict)
+    #: outer border nodes whose hop count changed since the last report
+    dirty: Set[Node] = field(default_factory=set)
+    #: dense-id mirror of ``hops`` for the CSR kernel
+    _arr: Optional[np.ndarray] = None
+    _arr_epoch: int = -1
 
 
 def _bfs_from(fragment: Fragment, hops: Dict[Node, int],
-              frontier: Iterable[Node]) -> None:
-    """Queue-based BFS resuming from ``frontier`` (in place)."""
+              frontier: Iterable[Node]) -> Set[Node]:
+    """Queue-based BFS resuming from ``frontier`` (in place); returns
+    the nodes whose hop count improved."""
     graph = fragment.graph
+    changed: Set[Node] = set()
     dq = deque((v, hops[v]) for v in frontier if v in hops)
     while dq:
         v, d = dq.popleft()
-        if d > hops.get(v, 1 << 60):
+        if d > hops.get(v, _FAR):
             continue
         for w in graph.successors(v):
-            if d + 1 < hops.get(w, 1 << 60):
+            if d + 1 < hops.get(w, _FAR):
                 hops[w] = d + 1
+                changed.add(w)
                 dq.append((w, d + 1))
+    return changed
 
 
 class BFSProgram(PIEProgram):
@@ -51,39 +71,105 @@ class BFSProgram(PIEProgram):
 
     name = "BFS"
     aggregator = MinAggregator()
+    supports_csr = True
     route_to = "owner"
+
+    def __init__(self, use_csr: bool = True):
+        self.use_csr = use_csr
 
     def init_state(self, query: Node, fragment: Fragment) -> BFSState:
         return BFSState()
 
     def peval(self, query: Node, fragment: Fragment,
               state: BFSState) -> None:
-        if fragment.graph.has_node(query) \
-                and 0 < state.hops.get(query, 1 << 60):
-            state.hops[query] = 0
-        if state.hops:
-            # Resume from everything known (covers both the first run and
-            # NI-mode re-runs seeded by applied messages).
-            _bfs_from(fragment, state.hops, list(state.hops))
+        before = {v: state.hops[v] for v in fragment.outer
+                  if v in state.hops}
+        if self.use_csr:
+            self._peval_csr(query, fragment, state)
+        else:
+            if fragment.graph.has_node(query) \
+                    and 0 < state.hops.get(query, _FAR):
+                state.hops[query] = 0
+            if state.hops:
+                # Resume from everything known (covers both the first run
+                # and NI-mode re-runs seeded by applied messages).
+                _bfs_from(fragment, state.hops, list(state.hops))
+            state._arr = None
+        for v in fragment.outer:
+            if state.hops.get(v, _FAR) != before.get(v, _FAR):
+                state.dirty.add(v)
+
+    def _peval_csr(self, query: Node, fragment: Fragment,
+                   state: BFSState) -> None:
+        csr = fragment.csr()
+        id_of = csr.id_of
+        seeds = {id_of[v]: h for v, h in state.hops.items()}
+        if fragment.graph.has_node(query):
+            sid = id_of[query]
+            seeds[sid] = min(seeds.get(sid, _FAR), 0)
+        arr, _changed = csr_bfs(csr, seeds)
+        state._arr = arr
+        state._arr_epoch = fragment.csr_epoch
+        state.hops = {v: h for v, h in zip(csr.node_of, arr.tolist())
+                      if h < _FAR}
 
     def inceval(self, query: Node, fragment: Fragment, state: BFSState,
                 message: ParamUpdates) -> None:
-        frontier = []
-        for (v, _name), hop in message.items():
-            if hop < state.hops.get(v, 1 << 60):
-                state.hops[v] = hop
-                frontier.append(v)
-        _bfs_from(fragment, state.hops, frontier)
+        if self.use_csr:
+            changed = self._inceval_csr(fragment, state, message)
+        else:
+            frontier = []
+            for (v, _name), hop in message.items():
+                if hop < state.hops.get(v, _FAR):
+                    state.hops[v] = hop
+                    frontier.append(v)
+            changed = _bfs_from(fragment, state.hops, frontier)
+            changed.update(frontier)
+        for v in changed:
+            if v in fragment.outer:
+                state.dirty.add(v)
+
+    def _inceval_csr(self, fragment: Fragment, state: BFSState,
+                     message: ParamUpdates) -> Set[Node]:
+        csr = fragment.csr()
+        arr = state._arr
+        if arr is None or state._arr_epoch != fragment.csr_epoch:
+            arr = np.fromiter((state.hops.get(v, _FAR) for v in csr.node_of),
+                              dtype=np.int64, count=csr.n)
+            state._arr = arr
+            state._arr_epoch = fragment.csr_epoch
+        id_of = csr.id_of
+        seeds: Dict[int, int] = {}
+        for (node, _name), hop in message.items():
+            vid = id_of[node]
+            seeds[vid] = min(hop, seeds.get(vid, _FAR))
+        _arr, changed_ids = csr_bfs(csr, seeds, arr)
+        node_of = csr.node_of
+        changed: Set[Node] = set()
+        for vid, h in zip(changed_ids.tolist(), arr[changed_ids].tolist()):
+            node = node_of[vid]
+            state.hops[node] = h
+            changed.add(node)
+        return changed
 
     def apply_message(self, query: Node, fragment: Fragment,
                       state: BFSState, message: ParamUpdates) -> None:
         for (v, _name), hop in message.items():
-            if hop < state.hops.get(v, 1 << 60):
+            if hop < state.hops.get(v, _FAR):
                 state.hops[v] = hop
+        state._arr = None
 
     def read_update_params(self, query: Node, fragment: Fragment,
                            state: BFSState) -> ParamUpdates:
         return {(v, "hop"): state.hops[v] for v in fragment.outer
+                if v in state.hops}
+
+    def read_changed_params(self, query: Node, fragment: Fragment,
+                            state: BFSState) -> ParamUpdates:
+        if not state.dirty:
+            return {}
+        dirty, state.dirty = state.dirty, set()
+        return {(v, "hop"): state.hops[v] for v in dirty
                 if v in state.hops}
 
     def assemble(self, query: Node, fragmentation: Fragmentation,

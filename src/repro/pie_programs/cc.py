@@ -1,9 +1,17 @@
 """PIE program for connected components (paper Section 5.2).
 
-``PEval`` computes fragment-local components with a linear traversal and
-links every member to a component root; ``IncEval`` lowers component ids in
-``O(|AFF|)`` by following the root links (the paper's bounded incremental
-step); ``Assemble`` buckets nodes by final component id.
+``PEval`` computes fragment-local components and links every member to a
+component root; ``IncEval`` lowers component ids in ``O(|AFF|)`` by
+following the root links (the paper's bounded incremental step);
+``Assemble`` buckets nodes by final component id.
+
+With ``use_csr`` on (the default) ``PEval`` finds the local components by
+min-label propagation over the fragment's CSR snapshot
+(:func:`repro.kernels.csr_components`) instead of a Python BFS; the
+root/member bookkeeping and the bounded ``IncEval`` relabeling are shared
+— ``lower_cid`` is already O(|affected component|), so only the
+whole-fragment batch pass gains from vectorization.  Changed border cids
+are tracked as a dirty set feeding ``read_changed_params``.
 
 Message preamble: integer ``v.cid`` per node, candidate set = the border
 nodes, ``aggregateMsg = min``.
@@ -11,12 +19,15 @@ nodes, ``aggregateMsg = min``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional, Set
+
+import numpy as np
 
 from repro.core.aggregators import MinAggregator
 from repro.core.pie import ParamUpdates, PIEProgram
 from repro.graph.graph import Node
+from repro.kernels import csr_components
 from repro.partition.base import Fragment, Fragmentation
 from repro.sequential.wcc import LocalComponents
 
@@ -28,6 +39,8 @@ class CCState:
     """Per-fragment state: the local component structure."""
 
     comps: Optional[LocalComponents] = None
+    #: border nodes whose cid changed since the last report
+    dirty: Set[Node] = field(default_factory=set)
 
 
 class CCProgram(PIEProgram):
@@ -38,25 +51,54 @@ class CCProgram(PIEProgram):
 
     name = "CC"
     aggregator = MinAggregator()
+    supports_csr = True
     route_to = "holders"
+
+    def __init__(self, use_csr: bool = True):
+        self.use_csr = use_csr
 
     def init_state(self, query, fragment: Fragment) -> CCState:
         return CCState()
 
     def peval(self, query, fragment: Fragment, state: CCState) -> None:
         old_cids = state.comps.cid if state.comps is not None else None
-        state.comps = LocalComponents(fragment.graph)
+        if self.use_csr:
+            state.comps = self._local_components_csr(fragment)
+        else:
+            state.comps = LocalComponents(fragment.graph)
         if old_cids:
             # NI-mode re-run / failure replay: never regress below ids
             # already learned from other fragments (monotonicity).
             for v, c in old_cids.items():
                 if c < state.comps.cid.get(v, c):
                     state.comps.lower_cid(v, c)
+        cids = state.comps.cid
+        for v in fragment.inner:
+            if old_cids is None or cids[v] != old_cids.get(v):
+                state.dirty.add(v)
+        for v in fragment.outer:
+            if old_cids is None or cids[v] != old_cids.get(v):
+                state.dirty.add(v)
+
+    @staticmethod
+    def _local_components_csr(fragment: Fragment) -> LocalComponents:
+        csr = fragment.csr()
+        if not csr.n:
+            return LocalComponents.from_partition([])
+        comp = csr_components(csr)
+        order = np.argsort(comp, kind="stable")
+        boundaries = np.nonzero(np.diff(comp[order]))[0] + 1
+        node_of = csr.node_of
+        groups = [[node_of[i] for i in idx.tolist()]
+                  for idx in np.split(order, boundaries)]
+        return LocalComponents.from_partition(groups)
 
     def inceval(self, query, fragment: Fragment, state: CCState,
                 message: ParamUpdates) -> None:
         for (v, _name), cid in message.items():
-            state.comps.lower_cid(v, cid)
+            for m in state.comps.lower_cid(v, cid):
+                if m in fragment.inner or m in fragment.outer:
+                    state.dirty.add(m)
 
     def apply_message(self, query, fragment: Fragment, state: CCState,
                       message: ParamUpdates) -> None:
@@ -64,17 +106,31 @@ class CCProgram(PIEProgram):
         for (v, _name), cid in message.items():
             if state.comps is not None and cid < state.comps.cid.get(v, cid):
                 state.comps.cid[v] = cid
+                if v in fragment.inner or v in fragment.outer:
+                    state.dirty.add(v)
 
     def on_graph_update(self, query, fragment: Fragment, state: CCState,
                         inserted) -> None:
         """Inserted edges merge local components (weighted union)."""
         for u, v, _w in inserted:
-            state.comps.add_edge(u, v)
+            for m in state.comps.add_edge(u, v):
+                if m in fragment.inner or m in fragment.outer:
+                    state.dirty.add(m)
 
     def read_update_params(self, query, fragment: Fragment,
                            state: CCState) -> ParamUpdates:
+        # .get(v, v): a node that joined via a graph update without any
+        # local edge is locally its own singleton component.
         cids = state.comps.cid
-        return {(v, "cid"): cids[v] for v in fragment.border_nodes}
+        return {(v, "cid"): cids.get(v, v) for v in fragment.border_nodes}
+
+    def read_changed_params(self, query, fragment: Fragment,
+                            state: CCState) -> ParamUpdates:
+        if not state.dirty:
+            return {}
+        dirty, state.dirty = state.dirty, set()
+        cids = state.comps.cid
+        return {(v, "cid"): cids.get(v, v) for v in dirty}
 
     def assemble(self, query, fragmentation: Fragmentation,
                  states: Dict[int, CCState]) -> Dict[Node, Set[Node]]:
@@ -82,5 +138,5 @@ class CCProgram(PIEProgram):
         for frag in fragmentation:
             cids = states[frag.fid].comps.cid
             for v in frag.owned:
-                buckets.setdefault(cids[v], set()).add(v)
+                buckets.setdefault(cids.get(v, v), set()).add(v)
         return buckets

@@ -11,16 +11,27 @@ an iteration pushes rank along local out-edges; copies' *contributions*
 (rank mass flowing over cut edges) are the shipped parameters, folded in
 by the owners next round — the standard distributed power iteration
 expressed as a PIE program.
+
+With ``use_csr`` on (the default) the push runs as one
+:func:`repro.kernels.csr_pagerank_push` over the fragment's CSR snapshot.
+``np.add.at`` folds shares in the same order as the dict loop, so the
+resulting ranks are bitwise-identical.  Every iteration refreshes all
+non-zero contributions (their ``(iteration, value)`` tags always
+advance), so ``read_changed_params`` is a constant-time staleness check
+rather than a dict diff.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
+
+import numpy as np
 
 from repro.core.aggregators import MaxAggregator
 from repro.core.pie import ParamUpdates, PIEProgram
 from repro.graph.graph import Node
+from repro.kernels import csr_pagerank_push
 from repro.partition.base import Fragment, Fragmentation
 
 __all__ = ["PageRankQuery", "PageRankProgram", "PageRankState"]
@@ -52,6 +63,11 @@ class PageRankState:
     iteration: int = 0
     converged: bool = False
     num_global_nodes: int = 0
+    #: iteration whose contributions were last reported to the engine
+    _reported_iteration: int = -1
+    #: (csr epoch, owned/outer node orders and dense ids, owned position
+    #: index) — derived from the snapshot, rebuilt when it moves
+    _csr_cache: Optional[tuple] = None
 
 
 class PageRankProgram(PIEProgram):
@@ -62,7 +78,11 @@ class PageRankProgram(PIEProgram):
     # (iteration, contribution) — newest iteration wins, value order
     # breaks ties; every real change advances the order (the CF recipe).
     aggregator = MaxAggregator()
+    supports_csr = True
     route_to = "owner"
+
+    def __init__(self, use_csr: bool = True):
+        self.use_csr = use_csr
 
     def init_state(self, query: PageRankQuery,
                    fragment: Fragment) -> PageRankState:
@@ -83,6 +103,16 @@ class PageRankProgram(PIEProgram):
     def _iterate(self, query: PageRankQuery, fragment: Fragment,
                  state: PageRankState) -> None:
         """One power-iteration step over the local fragment."""
+        if self.use_csr:
+            self._iterate_csr(query, fragment, state)
+        else:
+            self._iterate_dict(query, fragment, state)
+        state.iteration += 1
+        if state.iteration >= query.max_iterations:
+            state.converged = True
+
+    def _iterate_dict(self, query: PageRankQuery, fragment: Fragment,
+                      state: PageRankState) -> None:
         graph = fragment.graph
         n = max(1, state.num_global_nodes)
         teleport = (1.0 - query.damping) / n
@@ -110,10 +140,56 @@ class PageRankProgram(PIEProgram):
         state.outgoing = {v: incoming.get(v, 0.0)
                           for v in fragment.outer}
         state.rank = new_rank
-        state.iteration += 1
-        if state.iteration >= query.max_iterations:
-            state.converged = True
-        elif query.tolerance is not None and delta <= query.tolerance:
+        self._check_tolerance(query, state, delta)
+
+    def _iterate_csr(self, query: PageRankQuery, fragment: Fragment,
+                     state: PageRankState) -> None:
+        csr = fragment.csr()
+        cache = state._csr_cache
+        if cache is None or cache[0] != fragment.csr_epoch:
+            id_of = csr.id_of
+            owned_list = list(fragment.owned)
+            owned_ids = np.fromiter((id_of[v] for v in owned_list),
+                                    dtype=np.int64, count=len(owned_list))
+            outer_list = list(fragment.outer)
+            outer_ids = np.fromiter((id_of[v] for v in outer_list),
+                                    dtype=np.int64, count=len(outer_list))
+            pos_of = {v: i for i, v in enumerate(owned_list)}
+            cache = state._csr_cache = (fragment.csr_epoch, owned_list,
+                                        owned_ids, outer_list, outer_ids,
+                                        pos_of)
+        _epoch, owned_list, owned_ids, outer_list, outer_ids, pos_of = cache
+
+        n = max(1, state.num_global_nodes)
+        teleport = (1.0 - query.damping) / n
+        if not state.rank:
+            state.rank = {v: 1.0 / n for v in fragment.owned}
+
+        rank_arr = np.zeros(csr.n, dtype=np.float64)
+        rank_arr[owned_ids] = np.fromiter(
+            (state.rank.get(v, 0.0) for v in owned_list),
+            dtype=np.float64, count=len(owned_list))
+        incoming = csr_pagerank_push(csr, rank_arr, owned_ids)
+
+        ext = np.zeros(len(owned_list), dtype=np.float64)
+        for v, srcs in state.external.items():
+            i = pos_of.get(v)
+            if i is not None:
+                ext[i] = sum(srcs.values())
+
+        old = rank_arr[owned_ids]
+        vals = teleport + query.damping * (incoming[owned_ids] + ext)
+        state.outgoing = dict(zip(outer_list,
+                                  incoming[outer_ids].tolist()))
+        state.rank = dict(zip(owned_list, vals.tolist()))
+        if query.tolerance is not None:
+            # Left-fold over Python floats: the dict path's exact sum.
+            self._check_tolerance(query, state,
+                                  sum(np.abs(vals - old).tolist()))
+
+    def _check_tolerance(self, query: PageRankQuery, state: PageRankState,
+                         delta: float) -> None:
+        if query.tolerance is not None and delta <= query.tolerance:
             state.converged = True
 
     def peval(self, query: PageRankQuery, fragment: Fragment,
@@ -150,6 +226,16 @@ class PageRankProgram(PIEProgram):
         # fragments, so each sender's mass is its own parameter.
         return {(v, ("contrib", fragment.fid)): (state.iteration, value)
                 for v, value in state.outgoing.items() if value > 0.0}
+
+    def read_changed_params(self, query: PageRankQuery, fragment: Fragment,
+                            state: PageRankState) -> ParamUpdates:
+        # The iteration tag advances with every real step, so either
+        # nothing ran since the last read (nothing changed) or every
+        # non-zero contribution is fresh (the full current dict).
+        if state.iteration == state._reported_iteration:
+            return {}
+        state._reported_iteration = state.iteration
+        return self.read_update_params(query, fragment, state)
 
     def assemble(self, query: PageRankQuery, fragmentation: Fragmentation,
                  states: Dict[int, PageRankState]) -> Dict[Node, float]:

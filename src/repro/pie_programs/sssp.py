@@ -5,17 +5,28 @@ incremental algorithm of Ramalingam & Reps; ``Assemble`` takes the union
 of per-fragment distances.  The message preamble declares one integer
 variable ``dist(s, v)`` per node with candidate set ``C_i = F_i.O`` and
 ``aggregateMsg = min``.
+
+When ``use_csr`` is on (the default; see :mod:`repro.kernels`) both
+sequential functions run as frontier Bellman–Ford relaxations over the
+fragment's CSR snapshot instead — same fixpoint, bitwise-identical
+distances, machine-speed inner loop.  The program also implements the
+incremental coordinator protocol: the relaxations know exactly which
+distances they lowered, so ``read_changed_params`` hands the engine the
+dirty border entries without a full-dict diff.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from math import inf
-from typing import Any, Dict
+from typing import Dict, Optional, Set
+
+import numpy as np
 
 from repro.core.aggregators import MinAggregator
 from repro.core.pie import ParamUpdates, PIEProgram
 from repro.graph.graph import Node
+from repro.kernels import csr_sssp
 from repro.partition.base import Fragment, Fragmentation
 from repro.sequential.inc_sssp import incremental_sssp_decrease
 from repro.sequential.sssp import dijkstra
@@ -28,6 +39,12 @@ class SSSPState:
     """Per-fragment state: the declared ``dist(s, v)`` variables."""
 
     dist: Dict[Node, float] = field(default_factory=dict)
+    #: outer border nodes whose distance changed since the last report
+    dirty: Set[Node] = field(default_factory=set)
+    #: dense-id mirror of ``dist`` for the CSR kernels, rebuilt when the
+    #: fragment's snapshot epoch moves or the dict was mutated directly
+    _arr: Optional[np.ndarray] = None
+    _arr_epoch: int = -1
 
 
 class SSSPProgram(PIEProgram):
@@ -35,9 +52,13 @@ class SSSPProgram(PIEProgram):
 
     name = "SSSP"
     aggregator = MinAggregator()
+    supports_csr = True
     # F_i.O copies carry no local out-edges, so updates only need to reach
     # the owning fragment (the paper routes dist to F_j.I owners).
     route_to = "owner"
+
+    def __init__(self, use_csr: bool = True):
+        self.use_csr = use_csr
 
     def init_state(self, query: Node, fragment: Fragment) -> SSSPState:
         # dist(s, v) initialized to inf for every node (represented by
@@ -46,12 +67,79 @@ class SSSPProgram(PIEProgram):
 
     def peval(self, query: Node, fragment: Fragment,
               state: SSSPState) -> None:
-        state.dist = dijkstra(fragment.graph, query, initial=state.dist)
+        before = {v: state.dist[v] for v in fragment.outer
+                  if v in state.dist}
+        if self.use_csr:
+            self._peval_csr(query, fragment, state)
+        else:
+            state.dist = dijkstra(fragment.graph, query, initial=state.dist)
+            state._arr = None
+        for v in fragment.outer:
+            if state.dist.get(v, inf) != before.get(v, inf):
+                state.dirty.add(v)
+
+    def _peval_csr(self, query: Node, fragment: Fragment,
+                   state: SSSPState) -> None:
+        csr = fragment.csr()
+        id_of = csr.id_of
+        # id_of.get: estimates recorded for locally-unknown nodes (see
+        # _inceval_csr) are ignored here, as dijkstra's initial filter
+        # ignores them — and dropped when dist is rebuilt below.
+        seeds: Dict[int, float] = {}
+        for v, d in state.dist.items():
+            if d < inf:
+                vid = id_of.get(v)
+                if vid is not None:
+                    seeds[vid] = d
+        if fragment.graph.has_node(query):
+            sid = id_of[query]
+            seeds[sid] = min(seeds.get(sid, inf), 0.0)
+        arr, _changed = csr_sssp(csr, seeds)
+        state._arr = arr
+        state._arr_epoch = fragment.csr_epoch
+        state.dist = dict(zip(csr.node_of, arr.tolist()))
 
     def inceval(self, query: Node, fragment: Fragment, state: SSSPState,
                 message: ParamUpdates) -> None:
         updates = {node: value for (node, _name), value in message.items()}
-        incremental_sssp_decrease(fragment.graph, state.dist, updates)
+        if self.use_csr:
+            changed = self._inceval_csr(fragment, state, updates)
+        else:
+            changed = incremental_sssp_decrease(fragment.graph, state.dist,
+                                                updates)
+        for v in changed:
+            if v in fragment.outer:
+                state.dirty.add(v)
+
+    def _inceval_csr(self, fragment: Fragment, state: SSSPState,
+                     updates: Dict[Node, float]) -> Set[Node]:
+        csr = fragment.csr()
+        arr = state._arr
+        if arr is None or state._arr_epoch != fragment.csr_epoch:
+            arr = np.fromiter((state.dist.get(v, inf) for v in csr.node_of),
+                              dtype=np.float64, count=csr.n)
+            state._arr = arr
+            state._arr_epoch = fragment.csr_epoch
+        id_of = csr.id_of
+        changed: Set[Node] = set()
+        seeds: Dict[int, float] = {}
+        for node, value in updates.items():
+            vid = id_of.get(node)
+            if vid is None:
+                # Node unknown to the local graph: record the estimate
+                # without propagation, as the dict path does.
+                if value < state.dist.get(node, inf):
+                    state.dist[node] = value
+                    changed.add(node)
+            else:
+                seeds[vid] = min(value, seeds.get(vid, inf))
+        _arr, changed_ids = csr_sssp(csr, seeds, arr)
+        node_of = csr.node_of
+        for vid, d in zip(changed_ids.tolist(), arr[changed_ids].tolist()):
+            node = node_of[vid]
+            state.dist[node] = d
+            changed.add(node)
+        return changed
 
     def apply_message(self, query: Node, fragment: Fragment,
                       state: SSSPState, message: ParamUpdates) -> None:
@@ -59,6 +147,7 @@ class SSSPProgram(PIEProgram):
         for (node, _name), value in message.items():
             if value < state.dist.get(node, inf):
                 state.dist[node] = value
+        state._arr = None
 
     def on_graph_update(self, query: Node, fragment: Fragment,
                         state: SSSPState, inserted) -> None:
@@ -71,13 +160,28 @@ class SSSPProgram(PIEProgram):
             if alt < min(state.dist.get(v, inf), updates.get(v, inf)):
                 updates[v] = alt
         if updates:
-            incremental_sssp_decrease(fragment.graph, state.dist, updates)
+            # The fragment graph was just mutated, so any cached CSR
+            # arrays are stale; the dict algorithm is authoritative here.
+            state._arr = None
+            changed = incremental_sssp_decrease(fragment.graph, state.dist,
+                                                updates)
+            for v in changed:
+                if v in fragment.outer:
+                    state.dirty.add(v)
 
     def read_update_params(self, query: Node, fragment: Fragment,
                            state: SSSPState) -> ParamUpdates:
         # C_i = F_i.O; infinite estimates carry no information and are
         # never shipped.
         return {(v, "dist"): state.dist[v] for v in fragment.outer
+                if state.dist.get(v, inf) < inf}
+
+    def read_changed_params(self, query: Node, fragment: Fragment,
+                            state: SSSPState) -> ParamUpdates:
+        if not state.dirty:
+            return {}
+        dirty, state.dirty = state.dirty, set()
+        return {(v, "dist"): state.dist[v] for v in dirty
                 if state.dist.get(v, inf) < inf}
 
     def assemble(self, query: Node, fragmentation: Fragmentation,

@@ -3,10 +3,11 @@
 from repro.runtime.cluster import LoadBalancer, SimulatedCluster
 from repro.runtime.fault import Arbitrator, FailureInjector, WorkerFailure
 from repro.runtime.message import DesignatedMessage, KeyValueMessage
-from repro.runtime.metrics import CostModel, RunMetrics, message_bytes
+from repro.runtime.metrics import (CostModel, ParamSizeCache, RunMetrics,
+                                   message_bytes)
 
 __all__ = [
-    "SimulatedCluster", "LoadBalancer", "CostModel", "RunMetrics",
-    "message_bytes", "DesignatedMessage", "KeyValueMessage",
+    "SimulatedCluster", "LoadBalancer", "CostModel", "ParamSizeCache",
+    "RunMetrics", "message_bytes", "DesignatedMessage", "KeyValueMessage",
     "FailureInjector", "WorkerFailure", "Arbitrator",
 ]

@@ -121,19 +121,47 @@ class LocalComponents:
                     if w not in seen:
                         seen.add(w)
                         dq.append(w)
-            root = min(members)
-            self._members[root] = members
-            for v in members:
-                self._root_of[v] = root
-                self.cid[v] = root
+            self._install(members)
+
+    @classmethod
+    def from_partition(cls,
+                       groups: Iterable[List[Node]]) -> "LocalComponents":
+        """Build the structure from precomputed component member lists.
+
+        Used by the CSR path: :func:`repro.kernels.csr_components`
+        delivers the partition into components, and only the root/member
+        bookkeeping (identical to the BFS constructor's) remains.
+        """
+        self = cls.__new__(cls)
+        self.cid = {}
+        self._root_of = {}
+        self._members = {}
+        for members in groups:
+            if members:
+                self._install(members)
+        return self
+
+    def _install(self, members: List[Node]) -> None:
+        """Register one freshly discovered component."""
+        root = min(members)
+        self._members[root] = members
+        for v in members:
+            self._root_of[v] = root
+            self.cid[v] = root
 
     def lower_cid(self, v: Node, new_cid: Node) -> List[Node]:
         """Lower the cid of ``v``'s whole component to ``new_cid``.
 
         Returns the nodes whose cid changed (empty when ``new_cid`` does
         not improve) — cost proportional to the affected component only.
+        A node the structure has never seen (it joined the fragment via
+        a graph update that shipped no local edges) is registered as its
+        own singleton component first.
         """
-        root = self._root_of[v]
+        root = self._root_of.get(v)
+        if root is None:
+            self.add_node(v)
+            root = v
         if not new_cid < self.cid[root]:
             return []
         changed = []

@@ -177,6 +177,9 @@ class GrapeService:
 
         self._graphs: Dict[str, Graph] = {}
         self._frag_cache: Dict[FragCacheKey, Fragmentation] = {}
+        # CSR snapshot counters of fragmentations that left the cache;
+        # stats totals = this baseline + the live cached fragmentations.
+        self._csr_counter_base = [0, 0]  # [built, invalidated]
         self._graph_locks: Dict[str, _RWLock] = {}
         # Serializes the control-plane mutators (watch registration and
         # insert_edges) per graph, so a watcher can never miss a batch
@@ -291,7 +294,29 @@ class GrapeService:
 
     def _drop_cached(self, name: str) -> None:
         for key in [k for k in self._frag_cache if k[0] == name]:
-            del self._frag_cache[key]
+            self._retire_fragmentation(self._frag_cache.pop(key))
+
+    def _retire_fragmentation(self, frag: Fragmentation) -> None:
+        """Preserve a dropped fragmentation's CSR counters in the stats
+        baseline (its fragments are no longer summed by the sync)."""
+        self._csr_counter_base[0] += frag.csr_snapshots_built
+        self._csr_counter_base[1] += frag.csr_snapshot_invalidations
+
+    def _sync_csr_stats(self) -> None:
+        """Refresh the CSR snapshot counters from the live cache.
+
+        Fragments count their own builds and drops (they happen deep in
+        PIE programs and :func:`apply_insertions`); the service folds the
+        totals into :class:`ServiceMetrics` whenever they may have moved.
+        Callers must hold ``self._lock``.
+        """
+        built = self._csr_counter_base[0]
+        inv = self._csr_counter_base[1]
+        for frag in self._frag_cache.values():
+            built += frag.csr_snapshots_built
+            inv += frag.csr_snapshot_invalidations
+        self.stats.csr_snapshots_built = built
+        self.stats.csr_snapshot_invalidations = inv
 
     # ------------------------------------------------------------------
     # play
@@ -382,6 +407,7 @@ class GrapeService:
             return
         with self._lock:
             self.stats.observe_run(result.metrics)
+            self._sync_csr_stats()
         ticket._finish(result)
 
     # ------------------------------------------------------------------
@@ -413,6 +439,7 @@ class GrapeService:
                 self._watches.setdefault(graph, []).append(handle)
                 self.stats.watches_started += 1
                 self.stats.observe_run(session.metrics)
+                self._sync_csr_stats()
         return handle
 
     def insert_edges(self, graph: str,
@@ -434,7 +461,7 @@ class GrapeService:
                 canon = self._frag_cache.get(canon_key)
                 for key in [k for k in self._frag_cache
                             if k[0] == graph and k != canon_key]:
-                    del self._frag_cache[key]
+                    self._retire_fragmentation(self._frag_cache.pop(key))
                     self.stats.cache_invalidations += 1
                 glock = self._graph_lock_locked(graph)
 
@@ -455,6 +482,7 @@ class GrapeService:
                 self.stats.updates_applied += 1
                 for supersteps, nbytes, msgs in deltas:
                     self.stats.observe_maintenance(supersteps, nbytes, msgs)
+                self._sync_csr_stats()
         return handles
 
     def watches(self, graph: Optional[str] = None) -> List[WatchHandle]:
@@ -510,6 +538,7 @@ class GrapeService:
 
     def __repr__(self) -> str:
         with self._lock:
+            self._sync_csr_stats()
             return (f"GrapeService(graphs={sorted(self._graphs)}, "
                     f"programs={len(self.registry)}, "
                     f"cached_fragmentations={len(self._frag_cache)}, "

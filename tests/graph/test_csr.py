@@ -63,6 +63,47 @@ class TestCSRBasics:
         assert "CSRGraph" in repr(diamond.to_csr())
 
 
+class TestFromEdges:
+    def test_directed_matches_graph_replay(self):
+        edges = list(uniform_random_graph(50, 180, seed=8).edges())
+        g = Graph(directed=True)
+        for u, v, w in edges:
+            g.add_edge(u, v, weight=w)
+        a = CSRGraph.from_graph(g)
+        b = CSRGraph.from_edges(edges, directed=True)
+        assert a.node_of == b.node_of
+        assert np.array_equal(a.indptr, b.indptr)
+        assert np.array_equal(a.indices, b.indices)
+        assert np.array_equal(a.weights, b.weights)
+        assert np.array_equal(a.rev_indptr, b.rev_indptr)
+        assert np.array_equal(a.rev_indices, b.rev_indices)
+
+    def test_undirected_with_self_loop(self):
+        edges = [(0, 1, 1.0), (1, 2, 2.0), (2, 2, 3.0)]
+        g = Graph(directed=False)
+        for u, v, w in edges:
+            g.add_edge(u, v, weight=w)
+        a = CSRGraph.from_graph(g)
+        b = CSRGraph.from_edges(edges, directed=False)
+        assert a.node_of == b.node_of
+        assert np.array_equal(a.indptr, b.indptr)
+        assert np.array_equal(a.indices, b.indices)
+        assert np.array_equal(a.weights, b.weights)
+
+    def test_explicit_nodes_and_labels(self):
+        csr = CSRGraph.from_edges([("b", "a", 1.0)],
+                                  nodes=["a", "b", "isolated"],
+                                  labels={"a": "L", "isolated": "I"})
+        assert csr.node_of == ["a", "b", "isolated"]
+        assert csr.out_degree(csr.id_of["isolated"]) == 0
+        assert csr.labels[csr.id_of["a"]] == "L"
+        assert csr.labels[csr.id_of["b"]] is None
+
+    def test_first_seen_id_order(self):
+        csr = CSRGraph.from_edges([(7, 3, 1.0), (3, 9, 1.0)])
+        assert csr.node_of == [7, 3, 9]
+
+
 class TestRoundTrip:
     def test_directed_round_trip(self):
         g = uniform_random_graph(40, 120, seed=2)

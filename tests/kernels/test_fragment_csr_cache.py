@@ -1,0 +1,93 @@
+"""Fragment CSR snapshot lifecycle: lazy build, reuse, invalidation."""
+
+from repro.core.engine import GrapeEngine
+from repro.core.updates import apply_insertions
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import uniform_random_graph
+from repro.pie_programs import SSSPProgram
+
+
+def make_fragmentation(num_fragments=3, seed=0):
+    g = uniform_random_graph(40, 120, seed=seed)
+    return GrapeEngine(num_fragments).make_fragmentation(g)
+
+
+class TestFragmentSnapshot:
+    def test_lazy_build_and_reuse(self):
+        frag = make_fragmentation()[0]
+        assert frag.csr_builds == 0
+        snap = frag.csr()
+        assert isinstance(snap, CSRGraph)
+        assert frag.csr() is snap  # cached
+        assert frag.csr_builds == 1
+
+    def test_snapshot_mirrors_local_graph(self):
+        frag = make_fragmentation()[1]
+        snap = frag.csr()
+        assert snap.n == frag.graph.num_nodes
+        assert set(snap.node_of) == set(frag.graph.nodes())
+
+    def test_invalidate_drops_and_bumps_epoch(self):
+        frag = make_fragmentation()[0]
+        snap = frag.csr()
+        epoch = frag.csr_epoch
+        frag.invalidate_csr()
+        assert frag.csr_invalidations == 1
+        assert frag.csr_epoch == epoch + 1
+        # Idempotent until the next build.
+        frag.invalidate_csr()
+        assert frag.csr_invalidations == 1
+        assert frag.csr() is not snap
+        assert frag.csr_builds == 2
+
+    def test_invalidate_without_snapshot_is_noop(self):
+        frag = make_fragmentation()[2]
+        frag.invalidate_csr()
+        assert frag.csr_invalidations == 0
+        assert frag.csr_epoch == 0
+
+
+class TestInsertionInvalidation:
+    def test_apply_insertions_invalidates_touched_fragments(self):
+        fragmentation = make_fragmentation()
+        for frag in fragmentation:
+            frag.csr()
+        touched = apply_insertions(fragmentation, [(0, 1, 0.5)])
+        (fid,) = touched
+        assert fragmentation[fid].csr_invalidations == 1
+        for frag in fragmentation:
+            if frag.fid != fid:
+                assert frag.csr_invalidations == 0
+
+    def test_rebuilt_snapshot_sees_inserted_edge(self):
+        fragmentation = make_fragmentation()
+        for frag in fragmentation:
+            frag.csr()
+        touched = apply_insertions(fragmentation, [(3, 999, 0.25)])
+        for fid in touched:
+            snap = fragmentation[fid].csr()
+            assert 999 in snap.id_of
+
+    def test_fragmentation_aggregates(self):
+        fragmentation = make_fragmentation()
+        assert fragmentation.csr_snapshots_built == 0
+        for frag in fragmentation:
+            frag.csr()
+        assert fragmentation.csr_snapshots_built == len(fragmentation)
+        apply_insertions(fragmentation, [(0, 1, 0.5)])
+        assert fragmentation.csr_snapshot_invalidations >= 1
+
+
+class TestChangedParamsProtocol:
+    def test_dirty_sets_consumed_on_read(self):
+        g = uniform_random_graph(40, 120, seed=4)
+        engine = GrapeEngine(2)
+        frag_n = engine.make_fragmentation(g)
+        program = SSSPProgram()
+        frag = frag_n.fragment_of(0)  # holds the source: finite dists
+        state = program.init_state(0, frag)
+        program.peval(0, frag, state)
+        first = program.read_changed_params(0, frag, state)
+        assert first and first == program.read_update_params(0, frag, state)
+        # Nothing ran since: the dirty set was consumed.
+        assert program.read_changed_params(0, frag, state) == {}

@@ -1,0 +1,182 @@
+"""Property-style equivalence: every CSR kernel vs its sequential oracle.
+
+Random directed/undirected, weighted, optionally labeled graphs —
+including disconnected pieces and self-loops — must produce *exactly*
+the same results from the vectorized kernels as from the dict-graph
+algorithms in :mod:`repro.sequential` (floats compared with ``==``: the
+kernels replay the same IEEE additions, not approximations of them).
+"""
+
+from collections import deque
+from math import inf
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.graph.csr import CSRGraph
+from repro.graph.graph import Graph
+from repro.kernels import (UNREACHED_HOPS, csr_bfs, csr_components,
+                           csr_pagerank_push, csr_sssp)
+from repro.sequential.sssp import dijkstra
+from repro.sequential.wcc import connected_components
+
+
+@st.composite
+def random_graphs(draw, directed=True, max_nodes=24, labeled=False,
+                  self_loops=True):
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    g = Graph(directed=directed)
+    for v in range(n):
+        g.add_node(v, label=f"l{v % 3}" if labeled else None)
+    for _ in range(draw(st.integers(min_value=0, max_value=3 * n))):
+        u = draw(st.integers(0, n - 1))
+        v = draw(st.integers(0, n - 1))
+        if u == v and not self_loops:
+            continue
+        w = draw(st.floats(min_value=0.0, max_value=5.0,
+                           allow_nan=False, allow_infinity=False))
+        g.add_edge(u, v, weight=w)
+    return g
+
+
+class TestSSSPKernel:
+    @given(random_graphs(), st.integers(0, 5))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_dijkstra_directed(self, g, source):
+        self._check(g, source)
+
+    @given(random_graphs(directed=False, labeled=True), st.integers(0, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_dijkstra_undirected(self, g, source):
+        self._check(g, source)
+
+    @staticmethod
+    def _check(g, source):
+        truth = dijkstra(g, source)
+        csr = g.to_csr()
+        seeds = ({csr.id_of[source]: 0.0} if g.has_node(source) else {})
+        dist, changed = csr_sssp(csr, seeds)
+        got = dict(zip(csr.node_of, dist.tolist()))
+        assert got == truth  # exact, including inf for unreachable
+        finite = {csr.node_of[i] for i in changed.tolist()}
+        assert finite == {v for v, d in truth.items() if d < inf}
+
+    def test_seeds_only_improve_and_propagate(self):
+        g = Graph()
+        g.add_edge(0, 1, weight=5.0)
+        g.add_edge(1, 2, weight=1.0)
+        csr = g.to_csr()
+        dist = np.array([0.0, inf, inf])
+        out, changed = csr_sssp(csr, {csr.id_of[1]: 2.0}, dist)
+        assert out.tolist() == [0.0, 2.0, 3.0]
+        assert sorted(csr.node_of[i] for i in changed.tolist()) == [1, 2]
+        # A non-improving seed is ignored: nothing changes.
+        out, changed = csr_sssp(csr, {csr.id_of[1]: 4.0}, out)
+        assert out.tolist() == [0.0, 2.0, 3.0]
+        assert changed.size == 0
+
+    def test_negative_weight_rejected(self):
+        g = Graph()
+        g.add_edge(0, 1, weight=-1.0)
+        csr = g.to_csr()
+        with pytest.raises(ValueError, match="negative edge weight"):
+            csr_sssp(csr, {csr.id_of[0]: 0.0})
+
+
+class TestBFSKernel:
+    @staticmethod
+    def _oracle(g, source):
+        hops = {}
+        if g.has_node(source):
+            hops[source] = 0
+            dq = deque([(source, 0)])
+            while dq:
+                v, d = dq.popleft()
+                for w in g.successors(v):
+                    if w not in hops:
+                        hops[w] = d + 1
+                        dq.append((w, d + 1))
+        return hops
+
+    @given(random_graphs(), st.integers(0, 5))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_queue_bfs(self, g, source):
+        truth = self._oracle(g, source)
+        csr = g.to_csr()
+        seeds = {csr.id_of[source]: 0} if g.has_node(source) else {}
+        hops, _changed = csr_bfs(csr, seeds)
+        got = {v: h for v, h in zip(csr.node_of, hops.tolist())
+               if h < UNREACHED_HOPS}
+        assert got == truth
+
+    @given(random_graphs(directed=False))
+    @settings(max_examples=30, deadline=None)
+    def test_undirected(self, g):
+        truth = self._oracle(g, 0)
+        csr = g.to_csr()
+        hops, _ = csr_bfs(csr, {csr.id_of[0]: 0})
+        got = {v: h for v, h in zip(csr.node_of, hops.tolist())
+               if h < UNREACHED_HOPS}
+        assert got == truth
+
+
+class TestComponentsKernel:
+    @staticmethod
+    def _partition(cid):
+        groups = {}
+        for v, c in cid.items():
+            groups.setdefault(c, set()).add(v)
+        return frozenset(frozenset(s) for s in groups.values())
+
+    @given(random_graphs(directed=False))
+    @settings(max_examples=60, deadline=None)
+    def test_same_partition_undirected(self, g):
+        self._check(g)
+
+    @given(random_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_same_partition_directed_edges_ignored(self, g):
+        # connected_components treats direction as irrelevant; so must
+        # the kernel (it propagates along both CSR and CSC edges).
+        self._check(g)
+
+    def _check(self, g):
+        csr = g.to_csr()
+        comp = csr_components(csr)
+        got = {v: int(c) for v, c in zip(csr.node_of, comp.tolist())}
+        assert self._partition(got) == self._partition(
+            connected_components(g))
+        # Representative = smallest dense id of the component.
+        for v, c in got.items():
+            assert c <= csr.id_of[v]
+
+    def test_isolated_nodes_are_singletons(self):
+        g = Graph(directed=False)
+        for v in range(5):
+            g.add_node(v)
+        comp = csr_components(g.to_csr())
+        assert comp.tolist() == [0, 1, 2, 3, 4]
+
+
+class TestPageRankPushKernel:
+    @given(random_graphs(), st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_bitwise_identical_to_dict_push(self, g, seed):
+        csr = g.to_csr()
+        rng = np.random.default_rng(seed)
+        rank_vals = rng.random(csr.n)
+
+        incoming = {v: 0.0 for v in g.nodes()}
+        for v in g.nodes():
+            out_deg = g.out_degree(v)
+            if out_deg == 0:
+                continue
+            share = rank_vals[csr.id_of[v]] / out_deg
+            for w in g.successors(v):
+                incoming[w] = incoming.get(w, 0.0) + share
+
+        ids = np.arange(csr.n, dtype=np.int64)
+        got = csr_pagerank_push(csr, rank_vals, ids)
+        assert [incoming[v] for v in csr.node_of] == got.tolist()

@@ -1,0 +1,55 @@
+"""ParamSizeCache: memoized update-parameter byte accounting."""
+
+import pytest
+
+from repro.runtime.metrics import ParamSizeCache, message_bytes
+
+
+class TestParamSizeCache:
+    def test_empty_dict_matches_pickle(self):
+        assert ParamSizeCache().updates_bytes({}) == message_bytes({})
+
+    def test_deterministic_across_calls_and_instances(self):
+        payload = {(v, "dist"): float(v) for v in range(20)}
+        a = ParamSizeCache()
+        first = a.updates_bytes(payload)
+        assert a.updates_bytes(payload) == first  # memo hit, same figure
+        assert ParamSizeCache().updates_bytes(payload) == first
+
+    def test_order_independent(self):
+        entries = [((v, "cid"), v * 7) for v in range(10)]
+        sizer = ParamSizeCache()
+        assert (sizer.updates_bytes(dict(entries))
+                == sizer.updates_bytes(dict(reversed(entries))))
+
+    def test_monotone_in_entries(self):
+        sizer = ParamSizeCache()
+        small = {(v, "hop"): v for v in range(5)}
+        large = {(v, "hop"): v for v in range(50)}
+        assert sizer.updates_bytes(large) > sizer.updates_bytes(small) > 0
+
+    def test_close_to_monolithic_pickle(self):
+        # The documented deviation (memo-sharing model) stays small.
+        for payload in [
+            {(v, "dist"): float(v) * 1.5 for v in range(30)},
+            {(v, "cid"): v for v in range(30)},
+            {(v, ("contrib", 3)): (7, 0.1 * v) for v in range(30)},
+        ]:
+            memoized = ParamSizeCache().updates_bytes(payload)
+            exact = message_bytes(payload)
+            assert abs(memoized - exact) <= exact * 0.1
+
+    def test_unhashable_value_falls_back_to_pickle(self):
+        payload = {(0, "matches"): [1, 2, 3]}
+        assert (ParamSizeCache().updates_bytes(payload)
+                == message_bytes(payload))
+
+    def test_memo_is_bounded_and_accounting_unchanged(self):
+        bounded = ParamSizeCache(max_entries=8)
+        unbounded = ParamSizeCache()
+        for start in range(0, 100, 10):
+            payload = {(v, "dist"): float(v) for v in range(start,
+                                                            start + 10)}
+            assert (bounded.updates_bytes(payload)
+                    == unbounded.updates_bytes(payload))
+            assert len(bounded._sizes) <= 8

@@ -1,0 +1,47 @@
+"""Serving-layer observability of CSR snapshot reuse."""
+
+from repro.graph.generators import uniform_random_graph
+from repro.service import GrapeService
+
+
+def make_service():
+    service = GrapeService()
+    service.load_graph("g", uniform_random_graph(40, 140, seed=3))
+    return service
+
+
+class TestServiceCSRCounters:
+    def test_play_builds_snapshots_once(self):
+        with make_service() as service:
+            service.play("sssp", query=0, graph="g")
+            built = service.stats.csr_snapshots_built
+            assert built > 0
+            # Same cached fragmentation, snapshots reused.
+            service.play("sssp", query=1, graph="g")
+            service.play("bfs", query=0, graph="g")
+            assert service.stats.csr_snapshots_built == built
+            assert service.stats.csr_snapshot_invalidations == 0
+
+    def test_insert_edges_counts_invalidations(self):
+        with make_service() as service:
+            watch = service.watch("sssp", 0, graph="g")
+            assert service.stats.csr_snapshots_built > 0
+            service.insert_edges("g", [(0, 39, 0.01)])
+            assert service.stats.csr_snapshot_invalidations >= 1
+            assert watch.answer[39] <= 0.01
+
+    def test_counters_survive_cache_retirement(self):
+        with make_service() as service:
+            service.play("sssp", query=0, graph="g")
+            built = service.stats.csr_snapshots_built
+            assert built > 0
+            service.load_graph("g", uniform_random_graph(40, 140, seed=4),
+                               replace=True)
+            service.play("sssp", query=0, graph="g")
+            assert service.stats.csr_snapshots_built > built
+
+    def test_repr_folds_counters_in(self):
+        with make_service() as service:
+            service.play("cc", graph="g")
+            assert "csr=" in repr(service)
+            assert "csr=" in repr(service.stats)
