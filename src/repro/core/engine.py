@@ -44,12 +44,17 @@ import time
 from dataclasses import dataclass
 from typing import Any, Dict, Hashable, List, Optional, Set, Tuple
 
+from typing import Union
+
 from repro.core.monotonic import MonotonicityChecker
 from repro.core.pie import ParamKey, ParamUpdates, PIEProgram
 from repro.graph.graph import Graph
 from repro.partition.base import Fragmentation, PartitionStrategy
 from repro.partition.strategies import HashPartition
 from repro.runtime.cluster import SimulatedCluster
+from repro.runtime.executors import (PHASE_INC, PHASE_NI, PHASE_PEVAL,
+                                     ExecutorBackend, StepCommand,
+                                     read_report, resolve_backend)
 from repro.runtime.fault import Arbitrator, FailureInjector, WorkerFailure
 from repro.runtime.message import stable_hash
 from repro.runtime.metrics import (CostModel, ParamSizeCache, RunMetrics,
@@ -75,6 +80,11 @@ class EngineConfig:
     partition: Optional[PartitionStrategy] = None
     cost_model: Optional[CostModel] = None
     executor: str = "serial"
+    #: execution backend: ``"serial"``, ``"thread"``, ``"process"`` or an
+    #: :class:`~repro.runtime.executors.ExecutorBackend` instance.
+    #: ``None`` defers to ``executor`` (back-compat) and then to the
+    #: ``REPRO_BACKEND`` environment variable.
+    backend: Union[str, ExecutorBackend, None] = None
     incremental: bool = True
     check_monotonic: bool = False
     max_supersteps: int = 100_000
@@ -139,6 +149,7 @@ class GrapeEngine:
                  partition: Optional[PartitionStrategy] = None,
                  cost_model: Optional[CostModel] = None,
                  executor: str = "serial",
+                 backend: Union[str, ExecutorBackend, None] = None,
                  incremental: bool = True,
                  check_monotonic: bool = False,
                  max_supersteps: int = 100_000,
@@ -150,6 +161,7 @@ class GrapeEngine:
         self.partition = partition or HashPartition()
         self.cost_model = cost_model
         self.executor = executor
+        self.backend = backend
         self.incremental = incremental
         self.check_monotonic = check_monotonic
         self.max_supersteps = max_supersteps
@@ -164,6 +176,7 @@ class GrapeEngine:
                    partition=config.partition,
                    cost_model=config.cost_model,
                    executor=config.executor,
+                   backend=config.backend,
                    incremental=config.incremental,
                    check_monotonic=config.check_monotonic,
                    max_supersteps=config.max_supersteps,
@@ -177,10 +190,37 @@ class GrapeEngine:
                             partition=self.partition,
                             cost_model=self.cost_model,
                             executor=self.executor,
+                            backend=self.backend,
                             incremental=self.incremental,
                             check_monotonic=self.check_monotonic,
                             max_supersteps=self.max_supersteps,
                             failure_injector=self.failure_injector)
+
+    # ------------------------------------------------------------------
+    def _resolve_backend(self) -> ExecutorBackend:
+        """Pick the execution backend for a run.
+
+        Precedence: explicit ``backend`` > ``executor="threads"``
+        back-compat > the ``REPRO_BACKEND`` environment variable >
+        serial.  Fault injection needs coordinator-side states for
+        checkpoint recovery, so it forces an inline backend: an explicit
+        non-inline choice raises, an environment-sourced one quietly
+        falls back to serial.
+        """
+        spec = self.backend
+        explicit = spec is not None
+        if spec is None and self.executor == "threads":
+            spec, explicit = "thread", True
+        backend = resolve_backend(spec)
+        if self.failure_injector is not None and not backend.inline:
+            if explicit:
+                raise ValueError(
+                    "fault injection requires an inline backend "
+                    "(backend='serial' or 'thread'); the process "
+                    "backend's worker-resident states cannot be "
+                    "checkpoint-restored by the coordinator")
+            backend = resolve_backend("serial")
+        return backend
 
     # ------------------------------------------------------------------
     def make_fragmentation(self, graph: Graph) -> Fragmentation:
@@ -192,191 +232,223 @@ class GrapeEngine:
     def run(self, program: PIEProgram, query: Any,
             graph: Optional[Graph] = None,
             fragmentation: Optional[Fragmentation] = None) -> GrapeResult:
-        """Compute ``Q(G)`` with the given PIE program."""
+        """Compute ``Q(G)`` with the given PIE program.
+
+        Execution is delegated to the configured backend through the PIE
+        session protocol: each superstep is described as one
+        :class:`~repro.runtime.executors.StepCommand` per fragment and
+        executed wherever the fragment lives (in-process for the serial
+        and thread backends, in a pooled worker process for the process
+        backend).  All coordinator logic — report folding, aggregation,
+        message composition, byte accounting — runs here regardless of
+        backend, so answers, superstep counts and communication volumes
+        are backend-invariant.
+        """
         if fragmentation is None:
             if graph is None:
                 raise ValueError("pass either graph or fragmentation")
             fragmentation = self.make_fragmentation(graph)
 
+        backend = self._resolve_backend()
+        wall_start = time.perf_counter()
         ft_enabled = self.failure_injector is not None
         cluster = SimulatedCluster(self.num_workers,
                                    cost_model=self.cost_model,
-                                   executor=self.executor,
-                                   failure_injector=self.failure_injector)
+                                   backend=backend)
         arbitrator = Arbitrator()
         checker = MonotonicityChecker(program.aggregator,
                                       enabled=self.check_monotonic)
 
         frags = fragmentation.fragments
-        m = len(frags)
-        states: Dict[int, Any] = {f.fid: program.init_state(query, f)
-                                  for f in frags}
+        session = backend.open(program, query, fragmentation,
+                               num_workers=self.num_workers,
+                               failure_injector=self.failure_injector)
+        try:
+            session.init_states()
 
-        # Optional pre-PEval data shipping (e.g. SubIso d_Q-neighborhoods).
-        pre_bytes = 0
-        payloads = program.preprocess(query, fragmentation)
-        if payloads:
-            for fid, payload in payloads.items():
-                pre_bytes += message_bytes(payload)
-                program.apply_preprocess(query, frags[fid], states[fid],
-                                         payload)
+            # Optional pre-PEval data shipping (SubIso neighborhoods).
+            pre_bytes = 0
+            payloads = program.preprocess(query, fragmentation)
+            if payloads:
+                pre_bytes = sum(message_bytes(p)
+                                for p in payloads.values())
+                session.apply_preprocess(payloads)
 
-        # Coordinator bookkeeping: last values each fragment reported, the
-        # per-parameter global table, pending explicit-channel messages.
-        reported: Dict[int, ParamUpdates] = {f.fid: {} for f in frags}
-        global_table: Dict[ParamKey, Any] = {}
-        # Memoized byte accounting: identical parameter entries recur
-        # across rounds and destinations; pickle each once per run.
-        sizer = ParamSizeCache()
+            # Coordinator bookkeeping: last values each fragment
+            # reported, the per-parameter global table.
+            reported: Dict[int, ParamUpdates] = {f.fid: {} for f in frags}
+            global_table: Dict[ParamKey, Any] = {}
+            # Memoized byte accounting: identical parameter entries recur
+            # across rounds and destinations; pickle each once per run.
+            sizer = ParamSizeCache()
 
-        def snapshot_state():
-            return {"states": states, "reported": reported,
-                    "table": global_table}
+            def snapshot_state():
+                return {"states": session.collect_states(),
+                        "reported": reported, "table": global_table}
 
-        def restore(snap):
-            states.clear()
-            states.update(snap["states"])
-            reported.clear()
-            reported.update(snap["reported"])
-            global_table.clear()
-            global_table.update(snap["table"])
+            def restore(snap):
+                session.replace_states(snap["states"])
+                reported.clear()
+                reported.update(snap["reported"])
+                global_table.clear()
+                global_table.update(snap["table"])
 
-        # ---------------- superstep 1: PEval ---------------------------
-        if ft_enabled:
-            arbitrator.checkpoint(snapshot_state())
+            # ------------- superstep 1: PEval --------------------------
+            if ft_enabled:
+                arbitrator.checkpoint(snapshot_state())
 
-        def make_peval_task(fid: int):
-            return lambda: program.peval(query, frags[fid], states[fid])
-
-        self._run_step_with_recovery(
-            cluster, arbitrator,
-            tasks=[make_peval_task(f.fid) for f in frags],
-            bytes_in=pre_bytes, msgs_in=1 if payloads else 0,
-            restore=restore)
-
-        up_bytes, up_msgs, dirty = self._collect_reports(
-            program, query, frags, states, reported, global_table,
-            checker, first_round=True, sizer=sizer)
-        messages = self._compose_messages(program, fragmentation, reported,
-                                          dirty, global_table)
-        designated, keyvalue, ch_bytes, ch_msgs = self._drain_channels(
-            program, query, frags, states)
-        up_bytes += ch_bytes
-        up_msgs += ch_msgs
-        if ft_enabled:
-            arbitrator.checkpoint(snapshot_state())
-
-        # ---------------- IncEval supersteps ---------------------------
-        rounds = 1
-        while (messages or designated or keyvalue) \
-                and rounds < self.max_supersteps:
-            rounds += 1
-            down_bytes = sum(sizer.updates_bytes(msg)
-                             for msg in messages.values())
-            down_bytes += sum(message_bytes(p) for p in designated.values())
-            down_bytes += sum(message_bytes(g) for g in keyvalue.values())
-            down_msgs = len(messages) + len(designated) + len(keyvalue)
-
-            active = set(messages) | set(designated) | set(keyvalue)
-
-            def make_inc_task(fid: int):
-                if fid not in active:
-                    return lambda: None  # inactive worker this superstep
-                msg = messages.get(fid, {})
-                des = designated.get(fid)
-                kvs = keyvalue.get(fid)
-
-                def work():
-                    if des:
-                        program.deliver_designated(query, frags[fid],
-                                                   states[fid], des)
-                    if kvs:
-                        program.deliver_keyvalue(query, frags[fid],
-                                                 states[fid], kvs)
-                    if self.incremental:
-                        program.inceval(query, frags[fid], states[fid], msg)
-                    else:
-                        # GRAPE-NI: apply message, redo PEval from scratch.
-                        program.apply_message(query, frags[fid], states[fid],
-                                              msg)
-                        program.peval(query, frags[fid], states[fid])
-                return work
-
-            self._run_step_with_recovery(
-                cluster, arbitrator,
-                tasks=[make_inc_task(f.fid) for f in frags],
-                bytes_in=up_bytes + down_bytes,
-                msgs_in=up_msgs + down_msgs,
+            outcomes = self._step_with_recovery(
+                cluster, session, arbitrator,
+                {f.fid: StepCommand(phase=PHASE_PEVAL) for f in frags},
+                bytes_in=pre_bytes, msgs_in=1 if payloads else 0,
                 restore=restore)
 
-            up_bytes, up_msgs, dirty = self._collect_reports(
-                program, query, frags, states, reported, global_table,
-                checker, first_round=False, sizer=sizer)
+            up_bytes, up_msgs, dirty = self._fold_outcomes(
+                program, frags, outcomes, reported, global_table,
+                checker, first_round=True, sizer=sizer)
             messages = self._compose_messages(program, fragmentation,
                                               reported, dirty, global_table)
-            designated, keyvalue, ch_bytes, ch_msgs = self._drain_channels(
-                program, query, frags, states)
+            designated, keyvalue, ch_bytes, ch_msgs = \
+                self._route_channels(frags, outcomes)
             up_bytes += ch_bytes
             up_msgs += ch_msgs
             if ft_enabled:
                 arbitrator.checkpoint(snapshot_state())
 
-        if messages or designated or keyvalue:
-            raise RuntimeError(
-                f"no fixpoint after {self.max_supersteps} supersteps; "
-                "check the monotonic condition of the PIE program")
+            # ------------- IncEval supersteps --------------------------
+            rounds = 1
+            while (messages or designated or keyvalue) \
+                    and rounds < self.max_supersteps:
+                rounds += 1
+                down_bytes = sum(sizer.updates_bytes(msg)
+                                 for msg in messages.values())
+                down_bytes += sum(message_bytes(p)
+                                  for p in designated.values())
+                down_bytes += sum(message_bytes(g)
+                                  for g in keyvalue.values())
+                down_msgs = len(messages) + len(designated) + len(keyvalue)
 
-        # ---------------- Assemble -------------------------------------
-        start = time.perf_counter()
-        answer = program.assemble(query, fragmentation, states)
-        assemble_s = time.perf_counter() - start
-        cluster.metrics.parallel_time_s += assemble_s
-        cluster.metrics.total_compute_s += assemble_s
-        # Trailing reports of the final round are part of communication.
-        cluster.metrics.comm_bytes += up_bytes
-        cluster.metrics.comm_messages += up_msgs
+                active = set(messages) | set(designated) | set(keyvalue)
+                # GRAPE-NI ablation: apply the message and redo PEval
+                # from scratch instead of IncEval.
+                phase = PHASE_INC if self.incremental else PHASE_NI
+                commands = {
+                    f.fid: (StepCommand(phase=phase,
+                                        message=messages.get(f.fid, {}),
+                                        designated=designated.get(f.fid),
+                                        keyvalue=keyvalue.get(f.fid))
+                            if f.fid in active else StepCommand())
+                    for f in frags}
 
-        return GrapeResult(answer=answer, metrics=cluster.metrics,
-                           fragmentation=fragmentation, states=states,
-                           recoveries=arbitrator.recoveries)
+                outcomes = self._step_with_recovery(
+                    cluster, session, arbitrator, commands,
+                    bytes_in=up_bytes + down_bytes,
+                    msgs_in=up_msgs + down_msgs,
+                    restore=restore)
+
+                up_bytes, up_msgs, dirty = self._fold_outcomes(
+                    program, frags, outcomes, reported, global_table,
+                    checker, first_round=False, sizer=sizer)
+                messages = self._compose_messages(program, fragmentation,
+                                                  reported, dirty,
+                                                  global_table)
+                designated, keyvalue, ch_bytes, ch_msgs = \
+                    self._route_channels(frags, outcomes)
+                up_bytes += ch_bytes
+                up_msgs += ch_msgs
+                if ft_enabled:
+                    arbitrator.checkpoint(snapshot_state())
+
+            if messages or designated or keyvalue:
+                raise RuntimeError(
+                    f"no fixpoint after {self.max_supersteps} supersteps; "
+                    "check the monotonic condition of the PIE program")
+
+            # ------------- Assemble ------------------------------------
+            states = session.collect_states()
+            start = time.perf_counter()
+            answer = program.assemble(query, fragmentation, states)
+            assemble_s = time.perf_counter() - start
+            cluster.metrics.parallel_time_s += assemble_s
+            cluster.metrics.total_compute_s += assemble_s
+            # Trailing reports of the final round are communication too.
+            cluster.metrics.comm_bytes += up_bytes
+            cluster.metrics.comm_messages += up_msgs
+            cluster.metrics.pipe_bytes = session.pipe_bytes
+            cluster.metrics.wall_clock_s = time.perf_counter() - wall_start
+
+            return GrapeResult(answer=answer, metrics=cluster.metrics,
+                               fragmentation=fragmentation, states=states,
+                               recoveries=arbitrator.recoveries)
+        finally:
+            session.close()
 
     # ------------------------------------------------------------------
     @staticmethod
-    def _run_step_with_recovery(cluster, arbitrator, tasks, bytes_in,
-                                msgs_in, restore):
+    def _step_with_recovery(cluster, session, arbitrator, commands,
+                            bytes_in, msgs_in, restore):
         """Run one superstep; on injected failure, restore the checkpoint
         and replay (the arbitrator's task-transfer protocol)."""
         attempts = 0
         while True:
             attempts += 1
-            try:
-                cluster.run_superstep(tasks, bytes_shipped=bytes_in,
-                                      num_messages=msgs_in)
-                return
-            except WorkerFailure:
-                if attempts > 25:
-                    raise
-                if arbitrator.has_checkpoint:
-                    restore(arbitrator.restore())
-                # else: replay from the current (pre-PEval) state.
+            outcomes = session.step(commands)
+            times = [outcomes[fid].elapsed for fid in sorted(outcomes)]
+            cluster.record_superstep(times, bytes_shipped=bytes_in,
+                                     num_messages=msgs_in)
+            failure = next((o.failed for o in outcomes.values()
+                            if o.failed is not None), None)
+            if failure is None:
+                return outcomes
+            if attempts > 25:
+                raise failure
+            if arbitrator.has_checkpoint:
+                restore(arbitrator.restore())
+            # else: replay from the current (pre-PEval) state.
 
     # ------------------------------------------------------------------
     def _collect_reports(self, program, query, frags, states, reported,
                          global_table, checker, *, first_round: bool,
                          sizer: Optional[ParamSizeCache] = None,
                          force_full: bool = False):
-        """Fold each fragment's changed update parameters into the global
-        table, return (bytes, msgs, dirty).
+        """Read every fragment's report in-process and fold it.
 
-        Programs implementing the incremental protocol
-        (:meth:`~repro.core.pie.PIEProgram.read_changed_params`) hand the
-        changed entries over directly; otherwise the full parameter dict
-        is read and diffed against the fragment's last report.
-        ``force_full`` reads and diffs the full dict even for protocol
-        programs — required right after a graph mutation, when candidate
-        sets may have gained nodes the program's dirty tracking never saw
-        (e.g. a node newly becoming a border node at a fragment that
-        received no inserted edges).  Report bytes are charged through
+        The coordinator-side entry point for callers holding states
+        directly (:class:`~repro.core.updates.ContinuousQuerySession`);
+        engine runs fold the reports their backend session returned
+        through :meth:`_fold_outcomes` instead.  ``force_full`` reads and
+        diffs the full parameter dict even for programs implementing the
+        incremental dirty-set protocol — required right after a graph
+        mutation, when candidate sets may have gained nodes the
+        program's dirty tracking never saw (e.g. a node newly becoming a
+        border node at a fragment that received no inserted edges).
+        """
+        reports = {frag.fid: read_report(program, query, frag,
+                                         states[frag.fid], force_full)
+                   for frag in frags}
+        return self._fold_reports(program, [f.fid for f in frags], reports,
+                                  reported, global_table, checker,
+                                  first_round=first_round, sizer=sizer)
+
+    def _fold_outcomes(self, program, frags, outcomes, reported,
+                       global_table, checker, *, first_round: bool,
+                       sizer: Optional[ParamSizeCache] = None):
+        """Fold the reports a backend session's superstep produced."""
+        reports = {fid: outcome.report for fid, outcome in outcomes.items()}
+        return self._fold_reports(program, [f.fid for f in frags], reports,
+                                  reported, global_table, checker,
+                                  first_round=first_round, sizer=sizer)
+
+    def _fold_reports(self, program, fid_order, reports, reported,
+                      global_table, checker, *, first_round: bool,
+                      sizer: Optional[ParamSizeCache] = None):
+        """Fold per-fragment parameter reports into the global table,
+        return (bytes, msgs, dirty).
+
+        A ``("changed", params)`` report (the incremental protocol of
+        :meth:`~repro.core.pie.PIEProgram.read_changed_params`) is folded
+        directly; a ``("full", params)`` report is diffed against the
+        fragment's last report first.  Report bytes are charged through
         ``sizer`` when given (memoized per entry) and by monolithic
         pickling otherwise.
         """
@@ -384,23 +456,17 @@ class GrapeEngine:
         dirty: Set[ParamKey] = set()
         up_bytes = 0
         up_msgs = 0
-        for frag in frags:
-            changed = program.read_changed_params(query, frag,
-                                                  states[frag.fid])
-            if force_full and changed is not None:
-                # The dirty state is consumed above (so it cannot be
-                # re-reported next round); the full diff below subsumes
-                # it and additionally catches new candidate-set entries.
-                changed = None
-            if changed is None:
-                current = program.read_update_params(query, frag,
-                                                     states[frag.fid])
-                prev = reported[frag.fid]
-                changed = {k: v for k, v in current.items()
+        for fid in fid_order:
+            kind, params = reports[fid]
+            if kind == "full":
+                prev = reported[fid]
+                changed = {k: v for k, v in params.items()
                            if k not in prev or prev[k] != v}
-                reported[frag.fid] = current
-            elif changed:
-                reported[frag.fid].update(changed)
+                reported[fid] = params
+            else:
+                changed = params
+                if changed:
+                    reported[fid].update(changed)
             if not changed:
                 continue
             up_bytes += (sizer.updates_bytes(changed) if sizer is not None
@@ -443,8 +509,9 @@ class GrapeEngine:
                 messages.setdefault(dest, {})[key] = value
         return messages
 
-    def _drain_channels(self, program, query, frags, states):
-        """Collect designated and key-value messages from every worker.
+    def _route_channels(self, frags, outcomes):
+        """Route the designated and key-value messages the workers
+        drained this superstep.
 
         Key-value pairs are grouped by key and assigned to workers by key
         hash — the coordinator's MapReduce-style shuffle (Section 3.5).
@@ -457,7 +524,8 @@ class GrapeEngine:
         ch_bytes = 0
         ch_msgs = 0
         for frag in frags:
-            des, kvs = program.drain_messages(query, frag, states[frag.fid])
+            outcome = outcomes[frag.fid]
+            des, kvs = outcome.designated, outcome.keyvalue
             for dest, items in des.items():
                 if not 0 <= dest < m:
                     raise ValueError(f"designated dest {dest} out of range")

@@ -46,7 +46,20 @@ class PIEProgram(abc.ABC):
     Subclasses implement the three sequential functions and the message
     preamble.  All per-fragment mutable data lives in an opaque *state*
     object created by :meth:`init_state`; the engine never inspects it
-    beyond deep-copying for checkpoints.
+    beyond deep-copying for checkpoints and (under the process backend)
+    pickling it back for Assemble.
+
+    **Pickle contract.**  Under ``backend="process"`` the program, the
+    query and every fragment are shipped to pooled worker processes, and
+    states are pulled back once for Assemble.  A program must therefore
+    be defined at module level (not nested in a function) and keep its
+    configuration and state free of unpicklable members — no locks, open
+    handles, generators or lambdas; plain data, dataclasses and numpy
+    arrays are all fine.  Every bundled program satisfies this (audited
+    by ``tests/differential/test_pickle_contract.py``); an unpicklable
+    program fails fast with
+    :class:`~repro.runtime.executors.UnpicklableProgramError` when the
+    process backend is selected.
     """
 
     #: human-readable query-class name ("SSSP", "Sim", ...)

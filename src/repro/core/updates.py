@@ -75,10 +75,13 @@ def apply_insertions(fragmentation: Fragmentation,
     gp = fragmentation.gp
     m = fragmentation.num_fragments
     touched: Dict[int, List[EdgeInsertion]] = {}
+    mutated = False
 
     def ensure_node(x: Node) -> int:
+        nonlocal mutated
         if x in gp:
             return gp.owner(x)
+        mutated = True
         # stable_hash keeps new-node placement reproducible across runs
         # (builtin hash of strings varies with PYTHONHASHSEED).
         fid = stable_hash(x) % m
@@ -115,6 +118,10 @@ def apply_insertions(fragmentation: Fragmentation,
         store(u, v, w)
         if not graph.directed:
             store(v, u, w)
+    if mutated or touched:
+        # Invalidate worker-side fragment caches (process backend): the
+        # next lease re-ships the mutated fragments.
+        fragmentation.bump_version()
     return touched
 
 
@@ -127,6 +134,12 @@ class ContinuousQuerySession:
     many sessions and one-shot queries, applying each insertion batch to
     the shared fragmentation once and fanning the per-fragment deltas out
     to every session via :meth:`apply_update`.
+
+    The *initial* evaluation honors the engine's execution backend (the
+    run's states are pulled back from the backend afterwards); the
+    maintenance rounds themselves always execute coordinator-side — the
+    point of IncEval under updates is that the affected area is small,
+    so shipping it to a worker pool would cost more than computing it.
     """
 
     def __init__(self, engine: GrapeEngine, program: PIEProgram, query: Any,

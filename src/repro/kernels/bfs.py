@@ -50,9 +50,17 @@ def csr_bfs(csr, seeds: Dict[int, int],
         if not pos.size:
             break
         cand = np.repeat(hops[frontier], counts) + 1
-        # Full before/after scan: one O(n) compare per level, no sort.
-        before = hops.copy()
-        np.minimum.at(hops, indices[pos], cand)
-        frontier = np.nonzero(hops < before)[0]
+        # Dense levels scan the whole array once; sparse levels compare
+        # only the touched destinations (see csr_sssp for the rationale
+        # and the duplicate-destination argument).
+        dst = indices[pos]
+        if dst.size * 8 >= n:
+            before_all = hops.copy()
+            np.minimum.at(hops, dst, cand)
+            frontier = np.nonzero(hops < before_all)[0]
+        else:
+            before = hops[dst]
+            np.minimum.at(hops, dst, cand)
+            frontier = np.unique(dst[hops[dst] < before])
         changed[frontier] = True
     return hops, np.nonzero(changed)[0]

@@ -24,6 +24,7 @@ which fragments hold it — GRAPE uses it to deduce message destinations.
 from __future__ import annotations
 
 import abc
+import itertools
 import threading
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Sequence, Set, Tuple
 
@@ -61,8 +62,8 @@ class Fragment:
     """
 
     __slots__ = ("fid", "graph", "owned", "inner", "outer",
-                 "_csr", "_csr_lock", "csr_epoch", "csr_builds",
-                 "csr_invalidations")
+                 "_csr", "_csr_lock", "_remote_csr_live", "csr_epoch",
+                 "csr_builds", "csr_invalidations")
 
     def __init__(self, fid: int, graph: Graph, owned: Set[Node],
                  inner: Set[Node], outer: Set[Node]):
@@ -76,11 +77,31 @@ class Fragment:
         # fragmentation (they hold only the graph's read lock), so the
         # lazy build must be guarded against duplicate construction.
         self._csr_lock = threading.Lock()
+        #: a worker-side copy of this fragment holds a live snapshot
+        #: (process backend); used only for invalidation accounting
+        self._remote_csr_live = False
         #: bumped on every invalidation so consumers holding arrays keyed
         #: by the old snapshot's dense ids know to rebuild them
         self.csr_epoch = 0
         self.csr_builds = 0
         self.csr_invalidations = 0
+
+    def __getstate__(self):
+        """Pickle contract (the process backend ships fragments once).
+
+        The cached CSR snapshot and its lock never cross the pipe: the
+        snapshot is bulk numpy data cheaply rebuilt from the dict graph,
+        and locks are unpicklable by design.  The receiving side starts
+        at epoch 0 with a fresh lock and rebuilds its snapshot lazily —
+        consumers key their derived arrays on *their* fragment's epoch,
+        so the reset is invisible.
+        """
+        return {slot: getattr(self, slot) for slot in
+                ("fid", "graph", "owned", "inner", "outer")}
+
+    def __setstate__(self, state):
+        self.__init__(state["fid"], state["graph"], state["owned"],
+                      state["inner"], state["outer"])
 
     def csr(self):
         """Frozen CSR snapshot of the local graph, built lazily.
@@ -105,14 +126,31 @@ class Fragment:
     def invalidate_csr(self) -> None:
         """Drop the cached snapshot after a mutation of ``graph``.
 
-        Idempotent between rebuilds: only an actual drop counts as an
-        invalidation and bumps ``csr_epoch``.
+        ``csr_epoch`` advances on *every* call: it marks graph mutations,
+        not cache drops, because consumers' epoch-keyed arrays can be
+        derived from a snapshot built in another process (the process
+        backend builds CSR worker-side, so the coordinator-side fragment
+        may have nothing cached locally when the mutation lands).
+        ``csr_invalidations`` still counts only actual drops — including
+        the drop of a worker-side snapshot (the mutation bumps the
+        fragmentation's cache token, so worker copies are re-shipped and
+        their snapshots discarded with them).
         """
         with self._csr_lock:
-            if self._csr is not None:
+            self.csr_epoch += 1
+            if self._csr is not None or self._remote_csr_live:
                 self._csr = None
-                self.csr_epoch += 1
+                self._remote_csr_live = False
                 self.csr_invalidations += 1
+
+    def count_remote_csr_builds(self, builds: int) -> None:
+        """Fold snapshot builds performed on a worker-side copy of this
+        fragment (process backend) into the local lifetime counter, so
+        service-level CSR metrics see them."""
+        if builds:
+            with self._csr_lock:
+                self.csr_builds += builds
+                self._remote_csr_live = True
 
     @property
     def border_nodes(self) -> Set[Node]:
@@ -176,6 +214,10 @@ class FragmentationGraph:
         return v in self._owner
 
 
+#: process-wide ids distinguishing fragmentation objects across pickling
+_fragmentation_ids = itertools.count(1)
+
+
 class Fragmentation:
     """A complete partition of ``G``: fragments plus the ``G_P`` index."""
 
@@ -184,6 +226,12 @@ class Fragmentation:
         self.graph = graph
         self.fragments = list(fragments)
         self.strategy_name = strategy_name
+        # Identity + mutation counter: the process backend caches shipped
+        # fragments worker-side keyed by (identity, version); structural
+        # mutations (apply_insertions) bump the version so stale copies
+        # are re-shipped on the next lease.
+        self._token_id = next(_fragmentation_ids)
+        self.version = 0
         owner: Dict[Node, int] = {}
         holders: Dict[Node, Set[int]] = {}
         for frag in self.fragments:
@@ -197,6 +245,16 @@ class Fragmentation:
     @property
     def num_fragments(self) -> int:
         return len(self.fragments)
+
+    @property
+    def cache_token(self) -> Tuple[int, int]:
+        """Key under which process-backend workers cache shipped
+        fragments; changes whenever the fragmentation is mutated."""
+        return (self._token_id, self.version)
+
+    def bump_version(self) -> None:
+        """Invalidate worker-side fragment caches after a mutation."""
+        self.version += 1
 
     @property
     def csr_snapshots_built(self) -> int:

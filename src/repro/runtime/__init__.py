@@ -1,6 +1,12 @@
 """Simulated distributed runtime: cluster, messages, metrics, faults."""
 
 from repro.runtime.cluster import LoadBalancer, SimulatedCluster
+from repro.runtime.executors import (ExecutorBackend, ExecutorSession,
+                                     ProcessBackend, SerialBackend,
+                                     StepCommand, StepOutcome,
+                                     ThreadBackend,
+                                     UnpicklableProgramError,
+                                     available_backends, resolve_backend)
 from repro.runtime.fault import Arbitrator, FailureInjector, WorkerFailure
 from repro.runtime.message import DesignatedMessage, KeyValueMessage
 from repro.runtime.metrics import (CostModel, ParamSizeCache, RunMetrics,
@@ -10,4 +16,7 @@ __all__ = [
     "SimulatedCluster", "LoadBalancer", "CostModel", "ParamSizeCache",
     "RunMetrics", "message_bytes", "DesignatedMessage", "KeyValueMessage",
     "FailureInjector", "WorkerFailure", "Arbitrator",
+    "ExecutorBackend", "ExecutorSession", "SerialBackend", "ThreadBackend",
+    "ProcessBackend", "StepCommand", "StepOutcome",
+    "UnpicklableProgramError", "available_backends", "resolve_backend",
 ]

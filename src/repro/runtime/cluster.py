@@ -19,9 +19,9 @@ Fault injection (paper Section 6, "Fault tolerance") is supported through a
 from __future__ import annotations
 
 import time
-from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Callable, List, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence, Union
 
+from repro.runtime.executors import ExecutorBackend, resolve_backend
 from repro.runtime.fault import FailureInjector, WorkerFailure
 from repro.runtime.metrics import CostModel, RunMetrics, message_bytes
 
@@ -58,9 +58,17 @@ class SimulatedCluster:
     cost_model:
         BSP cost parameters; defaults to :class:`CostModel` defaults.
     executor:
-        ``"serial"`` (default, deterministic) or ``"threads"`` — run worker
-        tasks on a thread pool.  Thread timing still uses per-task
-        perf-counter measurement, so the cost model is unaffected.
+        Back-compat spelling of ``backend``: ``"serial"`` (default,
+        deterministic) or ``"threads"`` (thread pool).  Thread timing
+        still uses per-task perf-counter measurement, so the cost model
+        is unaffected.
+    backend:
+        An :class:`~repro.runtime.executors.ExecutorBackend` name or
+        instance executing the per-worker tasks; overrides ``executor``
+        when given.  Closure tasks submitted through
+        :meth:`run_superstep` require an *inline* backend — the process
+        backend only speaks the PIE session protocol driven by
+        :class:`~repro.core.engine.GrapeEngine`.
     failure_injector:
         Optional fault-injection plan; tasks raising
         :class:`WorkerFailure` are surfaced to the engine for recovery.
@@ -68,7 +76,8 @@ class SimulatedCluster:
 
     def __init__(self, num_workers: int, cost_model: Optional[CostModel] = None,
                  executor: str = "serial",
-                 failure_injector: Optional[FailureInjector] = None):
+                 failure_injector: Optional[FailureInjector] = None,
+                 backend: Union[str, ExecutorBackend, None] = None):
         if num_workers < 1:
             raise ValueError("need at least one worker")
         if executor not in ("serial", "threads"):
@@ -76,14 +85,17 @@ class SimulatedCluster:
         self.num_workers = num_workers
         self.cost_model = cost_model or CostModel()
         self.executor = executor
+        if backend is None:
+            backend = "thread" if executor == "threads" else "serial"
+        self.backend = resolve_backend(backend)
         self.failure_injector = failure_injector
-        self.metrics = RunMetrics()
+        self.metrics = RunMetrics(backend=self.backend.name)
         self.balancer = LoadBalancer()
         self._superstep_index = 0
 
     # ------------------------------------------------------------------
     def reset_metrics(self) -> None:
-        self.metrics = RunMetrics()
+        self.metrics = RunMetrics(backend=self.backend.name)
         self._superstep_index = 0
 
     # ------------------------------------------------------------------
@@ -106,7 +118,26 @@ class SimulatedCluster:
         self._superstep_index += 1
 
         times, results, failure = self._execute(tasks, step)
+        self.record_superstep(times, bytes_shipped, num_messages,
+                              virtual_costs=virtual_costs,
+                              _count_step=False)
+        if failure is not None:
+            raise failure
+        return results
 
+    def record_superstep(self, times: Sequence[float], bytes_shipped: int,
+                         num_messages: int,
+                         virtual_costs: Optional[Sequence[float]] = None,
+                         _count_step: bool = True) -> None:
+        """Fold one executed superstep's timings into the metrics.
+
+        Used directly by engines that execute supersteps through an
+        :class:`~repro.runtime.executors.ExecutorSession` (where the
+        backend, not the cluster, owns execution): ``times`` are the
+        per-virtual-worker compute seconds the session reported.
+        """
+        if _count_step:
+            self._superstep_index += 1
         # Fold virtual-worker times into physical-worker times.
         if virtual_costs is None:
             virtual_costs = times
@@ -114,12 +145,8 @@ class SimulatedCluster:
         physical = [0.0] * self.num_workers
         for i, t in enumerate(times):
             physical[placement[i]] += t
-
         self.metrics.record_superstep(physical, bytes_shipped, num_messages,
                                       self.cost_model)
-        if failure is not None:
-            raise failure
-        return results
 
     def _execute(self, tasks: Sequence[Callable[[], Any]], step: int):
         times: List[float] = []
@@ -134,12 +161,11 @@ class SimulatedCluster:
             value = task()
             return time.perf_counter() - start, value, None
 
-        if self.executor == "threads" and len(tasks) > 1:
-            with ThreadPoolExecutor(max_workers=self.num_workers) as pool:
-                outcomes = list(pool.map(lambda it: run_one(*it),
-                                         enumerate(tasks)))
-        else:
-            outcomes = [run_one(i, t) for i, t in enumerate(tasks)]
+        # Delegated to the backend; raises TypeError for non-inline
+        # backends, whose workers cannot receive in-process closures.
+        outcomes = self.backend.run_tasks(
+            [lambda i=i, t=t: run_one(i, t) for i, t in enumerate(tasks)],
+            self.num_workers)
 
         for elapsed, value, fail in outcomes:
             times.append(elapsed)
@@ -155,4 +181,4 @@ class SimulatedCluster:
 
     def __repr__(self) -> str:
         return (f"SimulatedCluster(n={self.num_workers}, "
-                f"executor={self.executor!r})")
+                f"backend={self.backend.name!r})")

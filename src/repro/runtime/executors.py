@@ -1,0 +1,932 @@
+"""Pluggable execution backends for the simulated cluster.
+
+The paper's engine runs PEval/IncEval on ``n`` shared-nothing physical
+workers.  Historically :class:`~repro.runtime.cluster.SimulatedCluster`
+offered only serial or thread-pool execution of per-fragment closures —
+which keeps the BSP *accounting* honest but caps every dict-path workload
+at one core (the GIL).  This module makes the execution layer a pluggable
+backend with three implementations:
+
+* :class:`SerialBackend` — deterministic in-process execution (default);
+* :class:`ThreadBackend` — a thread pool; parallel for kernels that drop
+  the GIL (numpy), still one core for pure-Python compute;
+* :class:`ProcessBackend` — a persistent ``multiprocessing`` worker pool.
+  Fragments are shipped to the workers **once per fragmentation token**
+  and cached there; afterwards only queries, step commands, messages and
+  parameter updates cross the pipe.  CSR snapshots are rebuilt worker-side
+  (they never cross the pipe), and bulk transfers ride
+  ``multiprocessing.shared_memory`` where the platform provides it.
+
+Two execution contracts coexist:
+
+* **closure tasks** (``run_tasks``) — the baseline engines submit one
+  thunk per virtual worker; closures cannot cross a process boundary, so
+  only the *inline* backends support them;
+* **the PIE session protocol** (``open``/``step``) — the GRAPE engine
+  describes each superstep as data (:class:`StepCommand` per fragment),
+  the backend executes it wherever the fragment lives and returns a
+  :class:`StepOutcome` carrying the timed compute, the fragment's
+  changed-parameter report and its drained explicit-channel messages.
+  This is what lets the process backend keep fragments and states
+  resident instead of re-shipping closures every superstep.
+
+Backend selection is by name (``"serial"``, ``"thread"``, ``"process"``)
+or instance; named lookups share one module-level backend per name, so
+every engine built by a service reuses one warm process pool.  The
+``REPRO_BACKEND`` environment variable supplies the default for engines
+that do not pin a backend explicitly.
+"""
+
+from __future__ import annotations
+
+import abc
+import atexit
+import os
+import pickle
+import threading
+import time
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import (Any, Callable, Dict, Hashable, List, Optional, Sequence,
+                    Tuple, Union)
+
+from repro.runtime.fault import FailureInjector, WorkerFailure
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "ExecutorBackend",
+    "ExecutorSession",
+    "ProcessBackend",
+    "SerialBackend",
+    "StepCommand",
+    "StepOutcome",
+    "ThreadBackend",
+    "UnpicklableProgramError",
+    "available_backends",
+    "resolve_backend",
+]
+
+#: environment variable consulted when an engine has no explicit backend
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+# Superstep phases a worker can be asked to run.
+PHASE_IDLE = "idle"        # no message this round; report + drain only
+PHASE_PEVAL = "peval"      # partial evaluation Q(F_i)
+PHASE_INC = "inc"          # incremental evaluation Q(F_i ⊕ M_i)
+PHASE_NI = "ni"            # GRAPE-NI ablation: apply message, redo PEval
+
+
+class UnpicklableProgramError(TypeError):
+    """A program/query/fragment could not cross the process boundary."""
+
+
+@dataclass
+class StepCommand:
+    """One fragment's share of a superstep, expressed as data.
+
+    ``phase`` selects which sequential function runs; ``message`` is the
+    composed update-parameter message ``M_i``; ``designated`` and
+    ``keyvalue`` are the explicit channels (paper Section 3.5) routed to
+    this fragment.  ``full_report`` forces a full
+    ``read_update_params`` read even for programs implementing the
+    incremental dirty-set protocol (needed right after graph mutations).
+    """
+
+    phase: str = PHASE_IDLE
+    message: Optional[Dict] = None
+    designated: Optional[list] = None
+    keyvalue: Optional[Dict[Hashable, list]] = None
+    full_report: bool = False
+
+
+@dataclass
+class StepOutcome:
+    """What one fragment's superstep produced.
+
+    ``report`` is ``("changed", params)`` when the program tracks its own
+    dirty keys, or ``("full", params)`` when the coordinator must diff the
+    full parameter dict against the fragment's last report.
+    """
+
+    elapsed: float = 0.0
+    report: Tuple[str, Dict] = ("changed", {})
+    designated: Dict[int, list] = field(default_factory=dict)
+    keyvalue: list = field(default_factory=list)
+    failed: Optional[WorkerFailure] = None
+
+
+def run_phase(program, query, fragment, state, command: StepCommand) -> None:
+    """Execute the timed compute portion of one fragment superstep.
+
+    Shared verbatim between the inline sessions and the process workers so
+    every backend runs byte-identical semantics.
+    """
+    if command.designated:
+        program.deliver_designated(query, fragment, state, command.designated)
+    if command.keyvalue:
+        program.deliver_keyvalue(query, fragment, state, command.keyvalue)
+    phase = command.phase
+    if phase == PHASE_PEVAL:
+        program.peval(query, fragment, state)
+    elif phase == PHASE_INC:
+        program.inceval(query, fragment, state, command.message or {})
+    elif phase == PHASE_NI:
+        program.apply_message(query, fragment, state, command.message or {})
+        program.peval(query, fragment, state)
+    elif phase != PHASE_IDLE:
+        raise ValueError(f"unknown step phase {phase!r}")
+
+
+def read_report(program, query, fragment, state,
+                full: bool) -> Tuple[str, Dict]:
+    """Read one fragment's post-step parameter report.
+
+    With ``full`` the program's dirty set is consumed (so it cannot be
+    re-reported next round) and the full parameter dict is returned for a
+    coordinator-side diff — the semantics
+    :meth:`~repro.core.engine.GrapeEngine` documents for ``force_full``.
+    """
+    changed = program.read_changed_params(query, fragment, state)
+    if full and changed is not None:
+        changed = None
+    if changed is None:
+        return ("full", program.read_update_params(query, fragment, state))
+    return ("changed", changed)
+
+
+def _execute_command(program, query, fragment, state,
+                     command: StepCommand) -> StepOutcome:
+    """Run one command and package the outcome (used by every backend)."""
+    start = time.perf_counter()
+    run_phase(program, query, fragment, state, command)
+    elapsed = time.perf_counter() - start
+    report = read_report(program, query, fragment, state,
+                         command.full_report)
+    designated, keyvalue = program.drain_messages(query, fragment, state)
+    return StepOutcome(elapsed=elapsed, report=report,
+                       designated=designated, keyvalue=keyvalue)
+
+
+# ---------------------------------------------------------------------------
+# The backend protocol
+# ---------------------------------------------------------------------------
+class ExecutorSession(abc.ABC):
+    """One engine run's execution context.
+
+    Created by :meth:`ExecutorBackend.open` with the program, query and
+    fragments bound; the engine then drives supersteps through
+    :meth:`step` and pulls states back for Assemble.
+    """
+
+    #: serialized bytes that crossed a process pipe (0 for inline backends)
+    pipe_bytes: int = 0
+
+    @abc.abstractmethod
+    def init_states(self) -> None:
+        """Create every fragment's state via ``program.init_state``."""
+
+    @abc.abstractmethod
+    def apply_preprocess(self, payloads: Dict[int, Any]) -> None:
+        """Deliver pre-PEval payloads (``program.apply_preprocess``)."""
+
+    @abc.abstractmethod
+    def step(self, commands: Dict[int, StepCommand],
+             ) -> Dict[int, StepOutcome]:
+        """Execute one superstep: one command per fragment id."""
+
+    @abc.abstractmethod
+    def collect_states(self) -> Dict[int, Any]:
+        """The per-fragment states (pulled back from workers if remote)."""
+
+    def replace_states(self, states: Dict[int, Any]) -> None:
+        """Overwrite every fragment state (checkpoint recovery)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support checkpoint recovery")
+
+    def close(self) -> None:
+        """Release resources (workers return to their backend's pool)."""
+
+
+class ExecutorBackend(abc.ABC):
+    """A way of executing per-fragment work.
+
+    ``inline`` backends run everything in the coordinator process and
+    additionally support arbitrary closure tasks (:meth:`run_tasks`, used
+    by the baseline engines); the process backend supports only the PIE
+    session protocol.
+    """
+
+    name: str = "abstract"
+    inline: bool = True
+
+    @abc.abstractmethod
+    def open(self, program, query, fragmentation, *, num_workers: int,
+             failure_injector: Optional[FailureInjector] = None,
+             ) -> ExecutorSession:
+        """Bind a session for one engine run."""
+
+    @abc.abstractmethod
+    def run_tasks(self, thunks: Sequence[Callable[[], Any]],
+                  num_workers: int) -> List[Any]:
+        """Execute closure tasks (inline backends only)."""
+
+    def close(self) -> None:
+        """Release long-lived resources (worker processes, thread pools)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+# ---------------------------------------------------------------------------
+# Inline backends (serial / thread)
+# ---------------------------------------------------------------------------
+class _InlineSession(ExecutorSession):
+    """States live in the coordinator; compute runs in-process."""
+
+    def __init__(self, backend: "ExecutorBackend", program, query,
+                 fragmentation, num_workers: int,
+                 failure_injector: Optional[FailureInjector]):
+        self._backend = backend
+        self._program = program
+        self._query = query
+        self._fragments = {f.fid: f for f in fragmentation.fragments}
+        self._num_workers = num_workers
+        self._injector = failure_injector
+        self._states: Dict[int, Any] = {}
+        self._step_index = 0
+
+    def init_states(self) -> None:
+        self._states = {fid: self._program.init_state(self._query, frag)
+                        for fid, frag in self._fragments.items()}
+
+    def apply_preprocess(self, payloads: Dict[int, Any]) -> None:
+        for fid, payload in payloads.items():
+            self._program.apply_preprocess(self._query, self._fragments[fid],
+                                           self._states[fid], payload)
+
+    def step(self, commands: Dict[int, StepCommand],
+             ) -> Dict[int, StepOutcome]:
+        step_index = self._step_index
+        self._step_index += 1
+
+        def run_one(fid: int) -> Tuple[int, StepOutcome]:
+            if self._injector is not None and self._injector.should_fail(
+                    worker=fid, superstep=step_index):
+                return fid, StepOutcome(
+                    failed=WorkerFailure(worker=fid, superstep=step_index))
+            outcome = _execute_command(self._program, self._query,
+                                       self._fragments[fid],
+                                       self._states[fid], commands[fid])
+            return fid, outcome
+
+        fids = sorted(commands)
+        return dict(self._backend.run_tasks(
+            [lambda fid=fid: run_one(fid) for fid in fids],
+            self._num_workers))
+
+    def collect_states(self) -> Dict[int, Any]:
+        return self._states
+
+    def replace_states(self, states: Dict[int, Any]) -> None:
+        self._states.clear()
+        self._states.update(states)
+
+
+class SerialBackend(ExecutorBackend):
+    """Deterministic single-threaded execution (the default)."""
+
+    name = "serial"
+    inline = True
+
+    def open(self, program, query, fragmentation, *, num_workers: int,
+             failure_injector: Optional[FailureInjector] = None,
+             ) -> ExecutorSession:
+        return _InlineSession(self, program, query, fragmentation,
+                              num_workers, failure_injector)
+
+    def run_tasks(self, thunks: Sequence[Callable[[], Any]],
+                  num_workers: int) -> List[Any]:
+        return [thunk() for thunk in thunks]
+
+
+class ThreadBackend(ExecutorBackend):
+    """Thread-pool execution.
+
+    Timing still uses per-task perf counters, so the BSP cost model is
+    unaffected; wall-clock gains are limited to GIL-dropping kernels.
+    """
+
+    name = "thread"
+    inline = True
+
+    def __init__(self):
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_width = 0
+        self._retired: List[ThreadPoolExecutor] = []
+        self._lock = threading.Lock()
+
+    def _pool_for(self, width: int) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._pool is None or self._pool_width < width:
+                if self._pool is not None:
+                    # a concurrent session may still be mapping over it;
+                    # retire it instead of shutting it down under them
+                    self._retired.append(self._pool)
+                self._pool = ThreadPoolExecutor(
+                    max_workers=width, thread_name_prefix="repro-exec")
+                self._pool_width = width
+            return self._pool
+
+    def open(self, program, query, fragmentation, *, num_workers: int,
+             failure_injector: Optional[FailureInjector] = None,
+             ) -> ExecutorSession:
+        return _InlineSession(self, program, query, fragmentation,
+                              num_workers, failure_injector)
+
+    def run_tasks(self, thunks: Sequence[Callable[[], Any]],
+                  num_workers: int) -> List[Any]:
+        if len(thunks) <= 1:
+            return [thunk() for thunk in thunks]
+        pool = self._pool_for(max(2, num_workers))
+        return list(pool.map(lambda thunk: thunk(), thunks))
+
+    def close(self) -> None:
+        with self._lock:
+            pools = self._retired + ([self._pool] if self._pool else [])
+            self._pool = None
+            self._pool_width = 0
+            self._retired = []
+        for pool in pools:
+            pool.shutdown(wait=True)
+
+
+# ---------------------------------------------------------------------------
+# Process backend plumbing
+# ---------------------------------------------------------------------------
+#: payloads at least this large ride shared memory instead of the pipe
+_SHM_THRESHOLD = 1 << 20
+
+
+def _shm_dir() -> Optional[str]:
+    """Writable tmpfs for bulk transfers, if the platform provides one.
+
+    ``/dev/shm`` is POSIX shared memory by another name — a file there
+    never touches a disk, so the receiver reads the sender's pages
+    straight from the page cache.  Files sidestep the
+    ``multiprocessing.shared_memory`` resource-tracker accounting, which
+    (before the 3.13 ``track=`` parameter) cannot express a segment
+    created in one process and unlinked in another without spurious
+    KeyErrors or leak warnings.
+    """
+    path = "/dev/shm"
+    if os.path.isdir(path) and os.access(path, os.W_OK):
+        return path
+    return None
+
+
+_SHM_DIR = _shm_dir()
+
+
+class _Channel:
+    """Request/reply framing over a multiprocessing connection.
+
+    Every payload is pickled explicitly (so pickle-safety is enforced even
+    under the ``fork`` start method) and counted; payloads above
+    ``_SHM_THRESHOLD`` are written to a shared-memory file with only the
+    path crossing the pipe.  The receiver reads the bytes out and unlinks
+    the file immediately.
+    """
+
+    def __init__(self, conn):
+        self._conn = conn
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        # shm files we created whose consumption is not yet confirmed;
+        # request/reply framing means a successful recv() proves the
+        # peer consumed everything sent before it, and close() unlinks
+        # whatever is still pending (peer died mid-exchange) so crashed
+        # workers cannot leak RAM-backed tmpfs files.
+        self._pending_shm: List[str] = []
+
+    def send(self, obj: Any) -> int:
+        try:
+            blob = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:
+            raise UnpicklableProgramError(
+                f"payload cannot cross the process boundary: {exc}\n"
+                "backend='process' requires the PIE program, its query, "
+                "its states and every fragment to be picklable — define "
+                "programs at module level and keep state dataclasses free "
+                "of locks, generators and open handles (see README, "
+                "'Execution backends').") from exc
+        self.bytes_sent += len(blob)
+        if _SHM_DIR is not None and len(blob) >= _SHM_THRESHOLD:
+            path = None
+            try:
+                import tempfile
+                fd, path = tempfile.mkstemp(prefix="repro-ipc-",
+                                            dir=_SHM_DIR)
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(blob)
+            except OSError:  # tmpfs full or gone: fall back to the pipe
+                if path is not None:
+                    try:
+                        os.unlink(path)
+                    except OSError:
+                        pass
+            else:
+                self._pending_shm.append(path)
+                self._conn.send_bytes(pickle.dumps(("shm", path)))
+                return len(blob)
+        self._conn.send_bytes(pickle.dumps(("pipe",)))
+        self._conn.send_bytes(blob)
+        return len(blob)
+
+    def recv(self) -> Any:
+        header = pickle.loads(self._conn.recv_bytes())
+        if header[0] == "shm":
+            path = header[1]
+            try:
+                with open(path, "rb") as handle:
+                    blob = handle.read()
+            finally:
+                try:
+                    os.unlink(path)
+                except OSError:  # pragma: no cover - already gone
+                    pass
+        else:
+            blob = self._conn.recv_bytes()
+        self.bytes_received += len(blob)
+        # the peer replied, so everything we sent before is consumed
+        self._pending_shm.clear()
+        return pickle.loads(blob)
+
+    def close(self) -> None:
+        self._conn.close()
+        for path in self._pending_shm:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        self._pending_shm.clear()
+
+
+#: fragmentation tokens a pooled worker keeps resident; least recently
+#: used beyond this are evicted (mirrored coordinator-side in
+#: ``_evict_cached`` — the two policies must stay identical)
+_WORKER_CACHE_TOKENS = 8
+
+
+def _evict_cached(cache: Dict[Any, Any], token) -> None:
+    """Shared LRU policy for the worker fragment cache and its
+    coordinator-side mirror: ``token`` becomes most recently used, older
+    versions of the same fragmentation go immediately, and the least
+    recently used entries are dropped beyond ``_WORKER_CACHE_TOKENS`` —
+    a long-running pool must not accumulate every graph it ever served.
+    """
+    for stale in [t for t in cache if t[0] == token[0] and t != token]:
+        del cache[stale]
+    if token in cache:  # refresh recency (dicts keep insertion order)
+        cache[token] = cache.pop(token)
+    while len(cache) > _WORKER_CACHE_TOKENS:
+        oldest = next(t for t in cache if t != token)
+        del cache[oldest]
+
+
+def _worker_main(conn) -> None:  # pragma: no cover - runs in child process
+    """Worker process loop: hold fragments + states resident, serve steps.
+
+    Fragments are cached per fragmentation token across sessions (LRU,
+    bounded by ``_WORKER_CACHE_TOKENS``), so a pool worker that recently
+    served a graph skips the re-ship entirely; CSR snapshots are rebuilt
+    lazily on this side of the pipe (they are dropped from the
+    fragment's pickled form).
+    """
+    channel = _Channel(conn)
+    program = query = None
+    fragments: Dict[int, Any] = {}
+    states: Dict[int, Any] = {}
+    frag_cache: Dict[Any, Dict[int, Any]] = {}
+    build_base: Dict[int, int] = {}
+    while True:
+        try:
+            msg = channel.recv()
+        except (EOFError, OSError):
+            break
+        try:
+            kind = msg[0]
+            if kind == "init":
+                token, program, query, shipped, reuse_fids = msg[1:]
+                cache = frag_cache.setdefault(token, {})
+                cache.update(shipped)
+                _evict_cached(frag_cache, token)
+                fragments = {fid: cache[fid]
+                             for fid in list(shipped) + list(reuse_fids)}
+                states = {}
+                build_base = {fid: frag.csr_builds
+                              for fid, frag in fragments.items()}
+                channel.send(("ok", None))
+            elif kind == "init_states":
+                states = {fid: program.init_state(query, frag)
+                          for fid, frag in fragments.items()}
+                channel.send(("ok", None))
+            elif kind == "preprocess":
+                for fid, payload in msg[1].items():
+                    program.apply_preprocess(query, fragments[fid],
+                                             states[fid], payload)
+                channel.send(("ok", None))
+            elif kind == "step":
+                outcomes = {
+                    fid: _execute_command(program, query, fragments[fid],
+                                          states[fid], command)
+                    for fid, command in msg[1].items()}
+                channel.send(("ok", outcomes))
+            elif kind == "collect":
+                builds = {fid: frag.csr_builds - build_base.get(fid, 0)
+                          for fid, frag in fragments.items()}
+                build_base = {fid: frag.csr_builds
+                              for fid, frag in fragments.items()}
+                channel.send(("ok", (states, builds)))
+            elif kind == "close":
+                channel.send(("ok", None))
+                break
+            else:
+                raise ValueError(f"unknown worker request {kind!r}")
+        except BaseException as exc:  # surface to the coordinator
+            text = traceback.format_exc()
+            try:
+                channel.send(("error", exc, text))
+            except Exception:
+                channel.send(("error",
+                              RuntimeError(f"{type(exc).__name__}: {exc}"),
+                              text))
+    channel.close()
+
+
+class _WorkerHandle:
+    """Coordinator-side view of one pooled worker process."""
+
+    def __init__(self, ctx, index: int):
+        parent, child = ctx.Pipe(duplex=True)
+        self.process = ctx.Process(target=_worker_main, args=(child,),
+                                   daemon=True,
+                                   name=f"repro-worker-{index}")
+        self.process.start()
+        child.close()
+        self.channel = _Channel(parent)
+        #: fragmentation token -> fids this worker holds resident
+        self.cached: Dict[Any, set] = {}
+
+    def request(self, payload: Any) -> Any:
+        """One blocking request/reply exchange; re-raises worker errors."""
+        self.send(payload)
+        return self.receive()
+
+    def send(self, payload: Any) -> None:
+        try:
+            self.channel.send(payload)
+        except UnpicklableProgramError:
+            raise
+        except (BrokenPipeError, OSError) as exc:
+            raise RuntimeError(
+                f"process-backend worker {self.process.name} died "
+                f"(exitcode={self.process.exitcode})") from exc
+
+    def receive(self) -> Any:
+        try:
+            reply = self.channel.recv()
+        except (EOFError, OSError) as exc:
+            raise RuntimeError(
+                f"process-backend worker {self.process.name} died "
+                f"(exitcode={self.process.exitcode})") from exc
+        if reply[0] == "error":
+            _tag, exc, text = reply
+            raise exc from RuntimeError(
+                f"in process-backend worker "
+                f"{self.process.name}:\n{text}")
+        return reply[1]
+
+    def stop(self) -> None:
+        try:
+            self.request(("close", None))
+        except Exception:
+            pass
+        self.channel.close()
+        self.process.join(timeout=2.0)
+        if self.process.is_alive():  # pragma: no cover - stuck worker
+            self.process.terminate()
+            self.process.join(timeout=2.0)
+
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+
+class _ProcessSession(ExecutorSession):
+    """A run leasing workers from a :class:`ProcessBackend` pool.
+
+    Fragments are shipped during :meth:`ProcessBackend.open` (and only
+    the ones each worker does not already cache for this fragmentation
+    token); afterwards every superstep exchanges just commands and
+    outcomes.  States are created and mutated worker-side and pulled back
+    exactly once, for Assemble.
+    """
+
+    def __init__(self, backend: "ProcessBackend",
+                 handles: List[_WorkerHandle],
+                 placement: Dict[int, _WorkerHandle],
+                 fragmentation, byte_base: int):
+        self._backend = backend
+        self._handles = handles
+        self._placement = placement
+        self._fragmentation = fragmentation
+        self._closed = False
+        self._byte_base = byte_base
+        self._account()
+
+    # -- plumbing -------------------------------------------------------
+    def _broadcast(self, make_payload) -> List[Any]:
+        """Send one request to every leased worker, then gather replies.
+
+        Requests are written before any reply is read so the workers
+        deserialize and compute concurrently.  Every sent request has its
+        reply drained even when one worker errors — an unconsumed reply
+        would desynchronize the channel for whichever session leases the
+        worker next.  The first error is re-raised after the drain.
+        """
+        first_error: Optional[BaseException] = None
+        sent: List[_WorkerHandle] = []
+        for handle in self._handles:
+            try:
+                handle.send(make_payload(handle))
+            except BaseException as exc:
+                first_error = exc
+                break
+            sent.append(handle)
+        replies: List[Any] = []
+        for handle in sent:
+            try:
+                replies.append(handle.receive())
+            except BaseException as exc:
+                if first_error is None:
+                    first_error = exc
+                replies.append(None)
+        if first_error is not None:
+            raise first_error
+        return replies
+
+    def _fids_of(self, handle: _WorkerHandle) -> List[int]:
+        return [fid for fid, h in self._placement.items() if h is handle]
+
+    def _account(self) -> None:
+        total = sum(h.channel.bytes_sent + h.channel.bytes_received
+                    for h in self._handles)
+        self.pipe_bytes = total - self._byte_base
+
+    # -- session protocol ----------------------------------------------
+    def init_states(self) -> None:
+        self._broadcast(lambda handle: ("init_states", None))
+        self._account()
+
+    def apply_preprocess(self, payloads: Dict[int, Any]) -> None:
+        self._broadcast(lambda handle: ("preprocess", {
+            fid: payloads[fid] for fid in self._fids_of(handle)
+            if fid in payloads}))
+        self._account()
+
+    def step(self, commands: Dict[int, StepCommand],
+             ) -> Dict[int, StepOutcome]:
+        replies = self._broadcast(lambda handle: ("step", {
+            fid: commands[fid] for fid in self._fids_of(handle)
+            if fid in commands}))
+        self._account()
+        outcomes: Dict[int, StepOutcome] = {}
+        for reply in replies:
+            outcomes.update(reply)
+        return outcomes
+
+    def collect_states(self) -> Dict[int, Any]:
+        states: Dict[int, Any] = {}
+        for worker_states, builds in self._broadcast(
+                lambda handle: ("collect", None)):
+            states.update(worker_states)
+            # Fold worker-side CSR snapshot builds into the coordinator
+            # fragments so service-level CSR metrics stay meaningful.
+            for fid, delta in builds.items():
+                self._fragmentation[fid].count_remote_csr_builds(delta)
+        self._account()
+        return states
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._account()
+            self._backend._release(self._handles)
+
+
+class ProcessBackend(ExecutorBackend):
+    """Persistent ``multiprocessing`` worker pool.
+
+    Workers are spawned lazily, leased to one session (= one engine run)
+    at a time, and returned to the pool afterwards with their fragment
+    cache intact — a served graph is shipped to a given worker once, not
+    once per query.  Graph mutations bump the fragmentation's cache
+    token, so stale copies are replaced on the next lease.
+
+    Parameters
+    ----------
+    start_method:
+        ``multiprocessing`` start method; ``None`` uses the platform
+        default (``fork`` on Linux).  Payloads are explicitly pickled
+        through the pipe under every start method, so pickle-safety is
+        enforced uniformly.
+    max_workers:
+        Optional hard cap on pool size (default: grow with demand).
+    """
+
+    name = "process"
+    inline = False
+
+    def __init__(self, start_method: Optional[str] = None,
+                 max_workers: Optional[int] = None):
+        import multiprocessing
+        self._ctx = multiprocessing.get_context(start_method)
+        self._max_workers = max_workers
+        self._idle: List[_WorkerHandle] = []
+        self._spawned = 0
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def open(self, program, query, fragmentation, *, num_workers: int,
+             failure_injector: Optional[FailureInjector] = None,
+             ) -> ExecutorSession:
+        if failure_injector is not None:
+            raise ValueError(
+                "fault injection requires an inline backend "
+                "(backend='serial' or 'thread'): the process backend's "
+                "worker-resident states have no checkpoint channel")
+        fragments = fragmentation.fragments
+        token = fragmentation.cache_token
+        want = min(max(1, num_workers), max(1, len(fragments)))
+        handles = self._acquire(want, token)
+        # Channels outlive sessions (the pool is persistent); the session
+        # is billed for everything beyond this point, fragment shipping
+        # included.
+        byte_base = sum(h.channel.bytes_sent + h.channel.bytes_received
+                        for h in handles)
+        try:
+            placement: Dict[int, _WorkerHandle] = {
+                frag.fid: handles[i % len(handles)]
+                for i, frag in enumerate(fragments)}
+            for handle in handles:
+                assigned = {fid for fid, h in placement.items()
+                            if h is handle}
+                cached = handle.cached.get(token, set())
+                ship = {fid: fragmentation[fid]
+                        for fid in sorted(assigned - cached)}
+                reuse = sorted(assigned & cached)
+                handle.request(("init", token, program, query, ship, reuse))
+                # mirror the worker's LRU eviction exactly, so the
+                # coordinator never assumes a fragment the worker dropped
+                handle.cached.setdefault(token, set())
+                handle.cached[token] = cached | assigned
+                _evict_cached(handle.cached, token)
+        except BaseException:
+            self._release(handles)
+            raise
+        return _ProcessSession(self, handles, placement, fragmentation,
+                               byte_base)
+
+    def run_tasks(self, thunks: Sequence[Callable[[], Any]],
+                  num_workers: int) -> List[Any]:
+        raise TypeError(
+            "the process backend cannot execute in-process task closures "
+            "(they cannot cross the process boundary); baseline engines "
+            "and SimulatedCluster.run_superstep need backend='serial' or "
+            "'thread'")
+
+    # ------------------------------------------------------------------
+    def _acquire(self, count: int, token) -> List[_WorkerHandle]:
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("process backend is closed")
+            # prefer workers that already hold fragments for this token
+            self._idle.sort(key=lambda h: token not in h.cached)
+            handles: List[_WorkerHandle] = []
+            while self._idle and len(handles) < count:
+                handle = self._idle.pop(0)
+                if handle.alive:
+                    handles.append(handle)
+                else:
+                    self._spawned -= 1
+            while len(handles) < count:
+                if (self._max_workers is not None
+                        and self._spawned >= self._max_workers):
+                    break
+                handles.append(_WorkerHandle(self._ctx, self._spawned))
+                self._spawned += 1
+            if not handles:
+                raise RuntimeError(
+                    "process backend has no workers available "
+                    f"(max_workers={self._max_workers})")
+            return handles
+
+    def _release(self, handles: List[_WorkerHandle]) -> None:
+        with self._lock:
+            if self._closed:
+                for handle in handles:
+                    handle.stop()
+                return
+            for handle in handles:
+                if handle.alive:
+                    self._idle.append(handle)
+                else:
+                    self._spawned -= 1
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            handles, self._idle = self._idle, []
+        for handle in handles:
+            handle.stop()
+
+    @property
+    def pool_size(self) -> int:
+        """Workers currently alive (leased + idle)."""
+        with self._lock:
+            return self._spawned
+
+    def __repr__(self) -> str:
+        return (f"ProcessBackend(workers={self.pool_size}, "
+                f"idle={len(self._idle)})")
+
+
+# ---------------------------------------------------------------------------
+# Named backend registry
+# ---------------------------------------------------------------------------
+_ALIASES = {
+    "serial": "serial",
+    "sync": "serial",
+    "thread": "thread",
+    "threads": "thread",
+    "process": "process",
+    "processes": "process",
+    "mp": "process",
+}
+
+_FACTORIES = {
+    "serial": SerialBackend,
+    "thread": ThreadBackend,
+    "process": ProcessBackend,
+}
+
+_shared: Dict[str, ExecutorBackend] = {}
+_shared_lock = threading.Lock()
+
+
+def available_backends() -> List[str]:
+    """Canonical backend names accepted by ``resolve_backend``."""
+    return sorted(_FACTORIES)
+
+
+def resolve_backend(spec: Union[str, ExecutorBackend, None],
+                    ) -> ExecutorBackend:
+    """Turn a backend spec (name, instance or ``None``) into a backend.
+
+    Named lookups return one shared instance per canonical name — every
+    engine asking for ``"process"`` leases workers from the same warm
+    pool.  ``None`` falls back to the ``REPRO_BACKEND`` environment
+    variable, then to ``"serial"``.
+    """
+    if isinstance(spec, ExecutorBackend):
+        return spec
+    if spec is None:
+        spec = os.environ.get(BACKEND_ENV_VAR) or "serial"
+    if not isinstance(spec, str):
+        raise TypeError(f"backend must be a name or an ExecutorBackend "
+                        f"instance, got {spec!r}")
+    canonical = _ALIASES.get(spec.strip().lower())
+    if canonical is None:
+        raise ValueError(f"unknown backend {spec!r}; "
+                         f"available: {available_backends()}")
+    with _shared_lock:
+        backend = _shared.get(canonical)
+        if backend is None or getattr(backend, "_closed", False):
+            # a closed shared pool (e.g. a benchmark tearing down its
+            # workers) is replaced by a fresh instance on next lookup
+            backend = _shared[canonical] = _FACTORIES[canonical]()
+        return backend
+
+
+@atexit.register
+def _shutdown_shared_backends() -> None:  # pragma: no cover - exit path
+    with _shared_lock:
+        backends = list(_shared.values())
+        _shared.clear()
+    for backend in backends:
+        try:
+            backend.close()
+        except Exception:
+            pass

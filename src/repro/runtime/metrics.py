@@ -131,6 +131,13 @@ class RunMetrics:
     ``parallel_time_s`` is the simulated cluster response time (the paper's
     "Time (seconds)" axis); ``total_compute_s`` is aggregate CPU work;
     ``comm_bytes`` the paper's "Communication (MB)" axis.
+
+    ``backend``/``wall_clock_s``/``pipe_bytes`` describe the *physical*
+    execution: which executor backend ran the supersteps, the real
+    wall-clock of the run, and the serialized bytes that actually crossed
+    process pipes (0 for in-process backends).  They vary freely between
+    backends; the logical quantities above are backend-invariant —
+    the differential harness asserts exactly that.
     """
 
     supersteps: int = 0
@@ -138,6 +145,9 @@ class RunMetrics:
     total_compute_s: float = 0.0
     comm_bytes: int = 0
     comm_messages: int = 0
+    backend: str = "serial"
+    wall_clock_s: float = 0.0
+    pipe_bytes: int = 0
     per_superstep: List[Dict[str, float]] = field(default_factory=list)
 
     def record_superstep(self, worker_times: List[float],
@@ -171,6 +181,10 @@ class RunMetrics:
         out.total_compute_s = self.total_compute_s + other.total_compute_s
         out.comm_bytes = self.comm_bytes + other.comm_bytes
         out.comm_messages = self.comm_messages + other.comm_messages
+        out.backend = (self.backend if self.backend == other.backend
+                       else "mixed")
+        out.wall_clock_s = self.wall_clock_s + other.wall_clock_s
+        out.pipe_bytes = self.pipe_bytes + other.pipe_bytes
         out.per_superstep = self.per_superstep + other.per_superstep
         return out
 
@@ -209,10 +223,16 @@ class ServiceMetrics:
     #: means the serving layer amortizes snapshots across queries.
     csr_snapshots_built: int = 0
     csr_snapshot_invalidations: int = 0
+    #: physical execution totals: real wall-clock of served runs and the
+    #: serialized bytes that crossed process-backend pipes
+    wall_clock_s_total: float = 0.0
+    pipe_bytes_total: int = 0
 
     def observe_run(self, metrics: "RunMetrics") -> None:
         """Fold one completed query run into the aggregates."""
         self.queries_served += 1
+        self.wall_clock_s_total += metrics.wall_clock_s
+        self.pipe_bytes_total += metrics.pipe_bytes
         self._observe_cost(metrics.supersteps, metrics.comm_bytes,
                            metrics.comm_messages)
 

@@ -44,6 +44,7 @@ from repro.core.updates import (ContinuousQuerySession, EdgeInsertion,
 from repro.graph.graph import Graph
 from repro.partition.base import Fragmentation, PartitionStrategy
 from repro.partition.strategies import HashPartition
+from repro.runtime.executors import ExecutorBackend
 from repro.runtime.metrics import ServiceMetrics
 from repro.service.tickets import QueryRequest, QueryTicket
 
@@ -58,6 +59,14 @@ class _RWLock:
 
     Writer-preferring: once a writer is waiting, new readers queue behind
     it, so a steady query stream cannot starve an update batch.
+
+    Read acquisition is **reentrant**: a thread already holding the read
+    lock may re-enter ``read()`` even while a writer is queued.  Without
+    this, a callback running under the read lock that re-reads through
+    the service (the process backend's watch/refresh callback path does)
+    would deadlock against its own writer-preference gate: the inner
+    ``read()`` would queue behind a waiting writer that in turn waits for
+    the outer read to be released.
     """
 
     def __init__(self):
@@ -65,16 +74,30 @@ class _RWLock:
         self._readers = 0
         self._writers_waiting = 0
         self._writing = False
+        self._local = threading.local()
 
     @contextmanager
     def read(self):
+        depth = getattr(self._local, "read_depth", 0)
+        if depth:
+            # Reentrant re-acquisition: this thread already counts as one
+            # of ``_readers``; entering the gate again could deadlock
+            # behind a waiting writer.
+            self._local.read_depth = depth + 1
+            try:
+                yield
+            finally:
+                self._local.read_depth -= 1
+            return
         with self._cond:
             while self._writing or self._writers_waiting:
                 self._cond.wait()
             self._readers += 1
+        self._local.read_depth = 1
         try:
             yield
         finally:
+            self._local.read_depth = 0
             with self._cond:
                 self._readers -= 1
                 if not self._readers:
@@ -131,9 +154,17 @@ class WatchHandle:
         self.active = False
 
     def _refresh(self, touched: Dict[int, List[EdgeInsertion]]
-                 ) -> Tuple[int, int, int]:
+                 ) -> Optional[Tuple[int, int, int]]:
         """Fold applied insertions into the session; returns the delta
-        (supersteps, bytes, messages) this maintenance round cost."""
+        (supersteps, bytes, messages) this maintenance round cost.
+
+        Guarded against cancellation: a handle cancelled after the
+        service snapshotted its watcher list (or from another thread
+        while the batch is in flight) is left untouched and reports
+        ``None`` instead of a delta.
+        """
+        if not self.active:
+            return None
         m = self.session.metrics
         before = (m.supersteps, m.comm_bytes, m.comm_messages)
         self.session.apply_update(touched)
@@ -156,6 +187,14 @@ class GrapeService:
         Shared :class:`EngineConfig` (or a template :class:`GrapeEngine`
         whose spec is extracted); every query runs on a fresh engine built
         from it.  Defaults to four workers.
+    backend:
+        Execution backend for every query this service runs:
+        ``"serial"``, ``"thread"``, ``"process"`` or an
+        :class:`~repro.runtime.executors.ExecutorBackend` instance.
+        Overrides the engine config's ``backend`` field; ``None`` keeps
+        it (which in turn falls back to the ``REPRO_BACKEND`` environment
+        variable).  Honored by ``play``, ``submit``/``submit_many`` and
+        the standing-query sessions created by ``watch``.
     registry:
         Program store; defaults to a private copy of the default GRAPE
         library so per-service plug-ins stay local.
@@ -165,11 +204,14 @@ class GrapeService:
 
     def __init__(self, *,
                  engine: Union[EngineConfig, GrapeEngine, None] = None,
+                 backend: Union[str, "ExecutorBackend", None] = None,
                  registry: Optional[PIERegistry] = None,
                  concurrency: int = 4):
         if isinstance(engine, GrapeEngine):
             engine = engine.config
         self.engine_config = engine or EngineConfig()
+        if backend is not None:
+            self.engine_config = self.engine_config.replace(backend=backend)
         self.registry = (registry if registry is not None
                          else default_registry().copy())
         self.concurrency = max(1, concurrency)
@@ -466,6 +508,7 @@ class GrapeService:
                 glock = self._graph_lock_locked(graph)
 
             deltas: List[Tuple[int, int, int]] = []
+            refreshed: List[WatchHandle] = []
             with glock.write():
                 if canon is not None:
                     touched = apply_insertions(canon, edges)
@@ -476,14 +519,19 @@ class GrapeService:
                     for u, v, w in edges:
                         monotone_insert(g, u, v, w)
                 for handle in handles:
-                    deltas.append(handle._refresh(touched))
+                    # Re-checked here (and inside _refresh): the handle
+                    # may have been cancelled since the snapshot above.
+                    delta = handle._refresh(touched)
+                    if delta is not None:
+                        deltas.append(delta)
+                        refreshed.append(handle)
 
             with self._lock:
                 self.stats.updates_applied += 1
                 for supersteps, nbytes, msgs in deltas:
                     self.stats.observe_maintenance(supersteps, nbytes, msgs)
                 self._sync_csr_stats()
-        return handles
+        return refreshed
 
     def watches(self, graph: Optional[str] = None) -> List[WatchHandle]:
         """Active standing queries, optionally for one graph."""

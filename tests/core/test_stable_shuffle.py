@@ -3,32 +3,21 @@
 from types import SimpleNamespace
 
 from repro.core.engine import GrapeEngine
+from repro.runtime.executors import StepOutcome
 from repro.runtime.message import stable_hash
-
-
-class _KVOnlyProgram:
-    """Emits key-value pairs from fragment 0; no other machinery used."""
-
-    def __init__(self, pairs):
-        self.pairs = pairs
-
-    def drain_messages(self, query, fragment, state):
-        if fragment.fid == 0:
-            return {}, list(self.pairs)
-        return {}, []
 
 
 class TestShuffleRouting:
     def test_keyvalue_destinations_use_stable_hash(self):
         m = 4
         pairs = [("alpha", 1), ("beta", 2), ("alpha", 3), (("t", 9), 4)]
-        program = _KVOnlyProgram(pairs)
         engine = GrapeEngine(m)
         frags = [SimpleNamespace(fid=i) for i in range(m)]
-        states = {i: None for i in range(m)}
+        outcomes = {i: StepOutcome(keyvalue=list(pairs) if i == 0 else [])
+                    for i in range(m)}
 
-        designated, keyvalue, _bytes, _msgs = engine._drain_channels(
-            program, None, frags, states)
+        designated, keyvalue, _bytes, _msgs = engine._route_channels(
+            frags, outcomes)
 
         assert not designated
         routed = {key: dest for dest, groups in keyvalue.items()

@@ -40,11 +40,16 @@ class TestFragmentSnapshot:
         assert frag.csr() is not snap
         assert frag.csr_builds == 2
 
-    def test_invalidate_without_snapshot_is_noop(self):
+    def test_invalidate_without_snapshot_still_moves_epoch(self):
+        # No drop is counted, but the epoch must advance anyway: with the
+        # process backend the snapshot (and arrays derived from it) may
+        # live in a worker while the coordinator-side fragment has
+        # nothing cached locally — consumers key on the epoch to notice
+        # the mutation.
         frag = make_fragmentation()[2]
         frag.invalidate_csr()
         assert frag.csr_invalidations == 0
-        assert frag.csr_epoch == 0
+        assert frag.csr_epoch == 1
 
 
 class TestInsertionInvalidation:

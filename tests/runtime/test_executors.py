@@ -1,0 +1,214 @@
+"""Unit tests for the pluggable executor backends."""
+
+import pytest
+
+from repro.core.engine import EngineConfig, GrapeEngine
+from repro.graph.generators import uniform_random_graph
+from repro.pie_programs import SSSPProgram
+from repro.runtime.cluster import SimulatedCluster
+from repro.runtime.executors import (BACKEND_ENV_VAR, ProcessBackend,
+                                     SerialBackend, ThreadBackend,
+                                     available_backends, resolve_backend)
+from repro.runtime.fault import FailureInjector
+
+
+class ExplodingError(RuntimeError):
+    """Custom exception type to verify worker errors keep their type."""
+
+
+class ExplodingProgram(SSSPProgram):
+    """Module-level (picklable); blows up during partial evaluation."""
+
+    def peval(self, query, fragment, state):
+        raise ExplodingError(f"boom in peval of fragment {fragment.fid}")
+
+
+class TestResolution:
+    def test_canonical_names(self):
+        assert available_backends() == ["process", "serial", "thread"]
+
+    @pytest.mark.parametrize("alias,cls", [
+        ("serial", SerialBackend), ("sync", SerialBackend),
+        ("thread", ThreadBackend), ("threads", ThreadBackend),
+        ("process", ProcessBackend), ("mp", ProcessBackend),
+        ("Process", ProcessBackend),  # case-insensitive
+    ])
+    def test_aliases(self, alias, cls):
+        assert isinstance(resolve_backend(alias), cls)
+
+    def test_named_lookup_is_shared(self):
+        assert resolve_backend("process") is resolve_backend("mp")
+        assert resolve_backend("serial") is resolve_backend("serial")
+
+    def test_instances_pass_through(self):
+        backend = SerialBackend()
+        assert resolve_backend(backend) is backend
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            resolve_backend("gpu")
+        with pytest.raises(TypeError):
+            resolve_backend(42)
+
+    def test_none_reads_environment(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert resolve_backend(None).name == "serial"
+        monkeypatch.setenv(BACKEND_ENV_VAR, "thread")
+        assert resolve_backend(None).name == "thread"
+
+    def test_engine_env_default(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "process")
+        assert GrapeEngine(2)._resolve_backend().name == "process"
+        # explicit choices beat the environment
+        assert GrapeEngine(2, backend="serial")._resolve_backend().name \
+            == "serial"
+        assert GrapeEngine(2, executor="threads")._resolve_backend().name \
+            == "thread"
+
+    def test_config_carries_backend(self):
+        config = EngineConfig(backend="thread")
+        assert config.build()._resolve_backend().name == "thread"
+
+
+class TestFaultInjectionGate:
+    def test_explicit_process_plus_injector_raises(self):
+        engine = GrapeEngine(2, backend="process",
+                             failure_injector=FailureInjector())
+        with pytest.raises(ValueError, match="inline backend"):
+            engine._resolve_backend()
+
+    def test_env_process_plus_injector_falls_back(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "process")
+        engine = GrapeEngine(2, failure_injector=FailureInjector())
+        assert engine._resolve_backend().name == "serial"
+
+
+class TestClosureTasks:
+    def test_cluster_delegates_to_inline_backend(self):
+        cluster = SimulatedCluster(2, backend="thread")
+        results = cluster.run_superstep([lambda: 1, lambda: 2, lambda: 3])
+        assert results == [1, 2, 3]
+        assert cluster.metrics.supersteps == 1
+
+    def test_process_backend_rejects_closures(self):
+        cluster = SimulatedCluster(2, backend="process")
+        with pytest.raises(TypeError, match="process boundary"):
+            cluster.run_superstep([lambda: 1])
+
+    def test_executor_threads_compat_maps_to_thread_backend(self):
+        cluster = SimulatedCluster(2, executor="threads")
+        assert cluster.backend.name == "thread"
+        assert cluster.run_superstep([lambda: 7]) == [7]
+
+
+class TestProcessPool:
+    def test_pool_reuse_and_fragment_cache(self):
+        backend = ProcessBackend()
+        try:
+            graph = uniform_random_graph(60, 200, seed=3)
+            engine = GrapeEngine(2, backend=backend)
+            frag = engine.make_fragmentation(graph)
+
+            first = engine.run(SSSPProgram(), 0, fragmentation=frag)
+            size_after_first = backend.pool_size
+            second = engine.run(SSSPProgram(), 5, fragmentation=frag)
+
+            assert first.answer == GrapeEngine(2).run(
+                SSSPProgram(), 0, fragmentation=frag).answer
+            # the pool persists across runs instead of respawning
+            assert backend.pool_size == size_after_first
+            # fragments were cached worker-side: the second run ships
+            # only commands/messages, so it moves far fewer pipe bytes
+            assert second.metrics.pipe_bytes < first.metrics.pipe_bytes
+        finally:
+            backend.close()
+
+    def test_worker_fragment_cache_is_bounded(self):
+        """A pool serving many distinct graphs must not accumulate them
+        all: the per-worker cache is LRU-bounded (coordinator mirror
+        checked here; the worker applies the identical policy)."""
+        from repro.runtime.executors import (_WORKER_CACHE_TOKENS,
+                                             _evict_cached)
+        backend = ProcessBackend()
+        try:
+            engine = GrapeEngine(1, backend=backend)
+            for seed in range(_WORKER_CACHE_TOKENS + 4):
+                engine.run(SSSPProgram(), 0,
+                           graph=uniform_random_graph(20, 50, seed=seed))
+            with backend._lock:
+                handles = list(backend._idle)
+            assert handles
+            for handle in handles:
+                assert len(handle.cached) <= _WORKER_CACHE_TOKENS
+        finally:
+            backend.close()
+
+        # the policy itself: recency refresh + same-base eviction
+        cache = {(i, 0): {"frags"} for i in range(_WORKER_CACHE_TOKENS)}
+        _evict_cached(cache, (0, 0))        # refresh token (0, 0)
+        cache[(99, 0)] = {"frags"}
+        _evict_cached(cache, (99, 0))       # overflow evicts oldest…
+        assert (1, 0) not in cache
+        assert (0, 0) in cache              # …not the refreshed one
+        _evict_cached(cache, (99, 1))       # new version evicts old one
+        assert (99, 0) not in cache
+
+    def test_mutation_bumps_cache_token(self):
+        from repro.core.updates import apply_insertions
+        graph = uniform_random_graph(40, 120, seed=5)
+        frag = GrapeEngine(2).make_fragmentation(graph)
+        token = frag.cache_token
+        apply_insertions(frag, [(0, 1, 0.01)])
+        assert frag.cache_token != token
+
+    def test_close_stops_workers(self):
+        backend = ProcessBackend()
+        graph = uniform_random_graph(30, 80, seed=1)
+        engine = GrapeEngine(2, backend=backend)
+        engine.run(SSSPProgram(), 0, graph=graph)
+        assert backend.pool_size > 0
+        backend.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            engine.run(SSSPProgram(), 0, graph=graph)
+
+    def test_worker_exception_preserves_type_and_pool_survives(self):
+        backend = ProcessBackend()
+        try:
+            graph = uniform_random_graph(30, 80, seed=1)
+            engine = GrapeEngine(2, backend=backend)
+            with pytest.raises(ExplodingError, match="boom in peval"):
+                # raised worker-side; the type must survive the pipe
+                engine.run(ExplodingProgram(), 0, graph=graph)
+            # and the pool stays usable afterwards
+            result = engine.run(SSSPProgram(), 0, graph=graph)
+            assert result.supersteps >= 1
+        finally:
+            backend.close()
+
+
+class TestMetricsPlumbing:
+    def test_pipe_bytes_zero_for_inline(self):
+        graph = uniform_random_graph(50, 150, seed=2)
+        for backend in ("serial", "thread"):
+            result = GrapeEngine(2, backend=backend).run(
+                SSSPProgram(), 0, graph=graph)
+            assert result.metrics.backend == backend
+            assert result.metrics.pipe_bytes == 0
+            assert result.metrics.wall_clock_s > 0
+
+    def test_pipe_bytes_positive_for_process(self):
+        graph = uniform_random_graph(50, 150, seed=2)
+        result = GrapeEngine(2, backend="process").run(
+            SSSPProgram(), 0, graph=graph)
+        assert result.metrics.backend == "process"
+        assert result.metrics.pipe_bytes > 0
+
+    def test_merge_tracks_backend_and_pipe(self):
+        from repro.runtime.metrics import RunMetrics
+        a = RunMetrics(backend="process", pipe_bytes=10, wall_clock_s=1.0)
+        b = RunMetrics(backend="process", pipe_bytes=5, wall_clock_s=0.5)
+        merged = a.merge(b)
+        assert merged.backend == "process"
+        assert merged.pipe_bytes == 15
+        assert merged.wall_clock_s == 1.5
+        assert a.merge(RunMetrics(backend="serial")).backend == "mixed"

@@ -66,6 +66,10 @@ class ReachProgram(PIEProgram):
                 if v in states[frag.fid]}
 
 
+class PluggedReach(ReachProgram):
+    """Module-level so it stays picklable under backend='process'."""
+
+
 class CountingPartition(HashPartition):
     """Hash partition that records every partition() call on the class
     (instance attributes would perturb the service's cache key)."""
@@ -280,10 +284,10 @@ class TestEndToEnd:
                                 partition=CountingPartition()),
             concurrency=4)
 
-        # Plug: register a custom PIE program via the decorator.
-        @service.program("reach")
-        class _Reach(ReachProgram):
-            pass
+        # Plug: register a custom PIE program via the decorator.  The
+        # class itself lives at module level (the pickle contract for
+        # backend="process"); the decorator only registers it here.
+        service.program("reach")(PluggedReach)
 
         service.load_graph("social", graph)
 

@@ -1,0 +1,150 @@
+"""Regressions: cancelled watches must stay cancelled, and the graph
+read lock must be reentrant for a thread that already holds it."""
+
+import threading
+
+import pytest
+
+from repro.graph.generators import uniform_random_graph
+from repro.service import GrapeService
+from repro.service.facade import _RWLock
+
+
+def make_service(**kwargs):
+    service = GrapeService(**kwargs)
+    service.load_graph("g", uniform_random_graph(60, 200, seed=8,
+                                                 directed=False))
+    return service
+
+
+class TestCancelGuard:
+    def test_cancel_then_insert_does_not_refresh(self):
+        with make_service() as service:
+            handle = service.watch("sssp", 0, graph="g")
+            service.insert_edges("g", [(0, 59, 0.001)])
+            assert handle.refreshes == 1
+
+            handle.cancel()
+            refreshed = service.insert_edges("g", [(1, 58, 0.001)])
+            assert refreshed == []
+            assert handle.refreshes == 1
+            assert not handle.active
+
+    def test_refresh_guard_is_race_safe(self):
+        """A handle cancelled *after* the service snapshotted its watcher
+        list (the in-flight race) is skipped by ``_refresh`` itself."""
+        with make_service() as service:
+            handle = service.watch("sssp", 0, graph="g")
+            handle.cancel()
+            # simulate the race: call the refresh path directly, as
+            # insert_edges would on a stale snapshot
+            assert handle._refresh({}) is None
+            assert handle.refreshes == 0
+
+    def test_active_watches_keep_refreshing(self):
+        with make_service() as service:
+            keep = service.watch("sssp", 0, graph="g")
+            drop = service.watch("cc", graph="g")
+            drop.cancel()
+            refreshed = service.insert_edges("g", [(2, 57, 0.001)])
+            assert refreshed == [keep]
+            assert keep.refreshes == 1
+            assert drop.refreshes == 0
+
+    def test_cancelled_watch_allows_graph_unload(self):
+        with make_service() as service:
+            handle = service.watch("sssp", 0, graph="g")
+            with pytest.raises(ValueError, match="standing queries"):
+                service.unload_graph("g")
+            handle.cancel()
+            service.unload_graph("g")
+
+
+class TestReentrantReadLock:
+    def test_nested_read_with_waiting_writer_does_not_deadlock(self):
+        """The process-backend callback shape: a thread re-enters read()
+        while a writer queues between the two acquisitions.  Without
+        reentrancy the inner read blocks on the writer which blocks on
+        the outer read — deadlock."""
+        lock = _RWLock()
+        writer_waiting = threading.Event()
+        wrote = threading.Event()
+        inner_done = threading.Event()
+
+        def writer():
+            writer_waiting.set()
+            with lock.write():
+                wrote.set()
+
+        def reader():
+            with lock.read():
+                thread = threading.Thread(target=writer, daemon=True)
+                thread.start()
+                writer_waiting.wait(2.0)
+                # give the writer time to register as waiting
+                for _ in range(100):
+                    with lock._cond:
+                        if lock._writers_waiting:
+                            break
+                with lock.read():  # must not block
+                    inner_done.set()
+
+        t = threading.Thread(target=reader, daemon=True)
+        t.start()
+        assert inner_done.wait(5.0), "nested read deadlocked"
+        assert wrote.wait(5.0), "writer starved after readers left"
+
+    def test_writer_still_excludes_new_readers(self):
+        lock = _RWLock()
+        order = []
+
+        with lock.read():
+            order.append("outer-read")
+            with lock.read():
+                order.append("inner-read")
+
+        def writer():
+            with lock.write():
+                order.append("write")
+
+        t = threading.Thread(target=writer)
+        t.start()
+        t.join(2.0)
+        assert order == ["outer-read", "inner-read", "write"]
+
+    def test_distinct_threads_still_gate_behind_writer(self):
+        """Reentrancy is per-thread: a *new* reader thread queues behind
+        a waiting writer as before (writer preference intact)."""
+        lock = _RWLock()
+        release_outer = threading.Event()
+        events = []
+
+        def outer_reader():
+            with lock.read():
+                events.append("reader-in")
+                release_outer.wait(5.0)
+
+        def writer():
+            with lock.write():
+                events.append("writer")
+
+        def late_reader():
+            with lock.read():
+                events.append("late-reader")
+
+        t1 = threading.Thread(target=outer_reader, daemon=True)
+        t1.start()
+        while "reader-in" not in events:
+            pass
+        t2 = threading.Thread(target=writer, daemon=True)
+        t2.start()
+        for _ in range(1000):
+            with lock._cond:
+                if lock._writers_waiting:
+                    break
+        t3 = threading.Thread(target=late_reader, daemon=True)
+        t3.start()
+        release_outer.set()
+        t2.join(5.0)
+        t3.join(5.0)
+        assert events == ["reader-in", "writer", "late-reader"]
