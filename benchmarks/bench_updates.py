@@ -1,0 +1,181 @@
+"""Churn workload: the update pipeline under interleaved play/update.
+
+Drives a :class:`~repro.service.GrapeService` holding one graph with two
+standing queries (SSSP + CC) through rounds of
+
+    play("sssp")  ->  insert-only batch  ->  mixed batch
+
+where insert-only batches ride the incremental fast path and mixed
+batches (deletions + weight increases) exercise the recompute fallback.
+Reports per-batch latencies and the incremental-vs-recompute split, and
+emits machine-readable ``benchmarks/results/BENCH_updates.json``.
+
+Run with ``--backend process`` to also measure worker-side delta replay
+(``delta_bytes_shipped`` vs full fragment re-ships); the default serial
+backend keeps CI runs deterministic and fast.  ``--quick`` shrinks the
+graph and round count to a wiring check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import time
+
+from _common import RESULTS_DIR
+from repro.graph.delta import GraphDelta
+from repro.graph.generators import uniform_random_graph
+from repro.sequential import connected_components, sssp_distances
+from repro.service import GrapeService
+
+FULL_SHAPE = (4000, 12000)   # nodes, edges
+QUICK_SHAPE = (400, 1200)
+FULL_ROUNDS = 12
+QUICK_ROUNDS = 3
+BATCH = 8
+
+
+def insert_only_delta(rng, g, fresh):
+    delta = GraphDelta()
+    nodes = list(g.nodes())
+    for _ in range(BATCH):
+        if rng.random() < 0.25:
+            fresh[0] += 1
+            delta.insert(len(nodes) + 10_000 + fresh[0],
+                         rng.choice(nodes), rng.uniform(0.1, 1.0))
+        else:
+            u, v = rng.sample(nodes, 2)
+            if g.has_edge(u, v):
+                # keep the batch monotone: re-inserting an existing edge
+                # is only maintainable as a weight *decrease*
+                delta.insert(u, v, g.edge_weight(u, v) * 0.9)
+            else:
+                delta.insert(u, v, rng.uniform(0.1, 1.0))
+    return delta
+
+
+def mixed_delta(rng, g):
+    delta = GraphDelta()
+    edges = list(g.edges())
+    for _ in range(BATCH):
+        kind = rng.random()
+        u, v, w = rng.choice(edges)
+        if kind < 0.45:
+            delta.delete(u, v)
+        elif kind < 0.75:
+            delta.set_weight(u, v, w * rng.uniform(1.5, 4.0))
+        else:
+            nodes = list(g.nodes())
+            delta.insert(rng.choice(nodes), rng.choice(nodes),
+                         rng.uniform(0.1, 1.0))
+    return delta
+
+
+def run_phase(service, g, rng, rounds, make_delta, fresh):
+    latencies = []
+    stats = service.stats
+    base = (stats.incremental_maintained, stats.fallback_reruns,
+            stats.delta_bytes_shipped)
+    for _ in range(rounds):
+        service.play("sssp", 0, graph="churn")
+        delta = make_delta(rng, g) if fresh is None \
+            else make_delta(rng, g, fresh)
+        t0 = time.perf_counter()
+        service.update("churn", delta)
+        latencies.append(time.perf_counter() - t0)
+    return {
+        "rounds": rounds,
+        "batch_size": BATCH,
+        "total_s": round(sum(latencies), 4),
+        "mean_update_ms": round(1e3 * sum(latencies) / len(latencies), 3),
+        "max_update_ms": round(1e3 * max(latencies), 3),
+        "incremental_maintained": stats.incremental_maintained - base[0],
+        "fallback_reruns": stats.fallback_reruns - base[1],
+        "delta_bytes_shipped": stats.delta_bytes_shipped - base[2],
+    }
+
+
+def verify(service, g):
+    sssp_watch, cc_watch = service.watches("churn")
+    oracle = sssp_distances(g, 0)
+    assert all(abs(sssp_watch.answer[v] - d) < 1e-9
+               for v, d in oracle.items()
+               if d != float("inf")), "SSSP watch diverged from oracle"
+    cids = connected_components(g)
+    buckets = {}
+    for v, c in cids.items():
+        buckets.setdefault(c, set()).add(v)
+    expected = {c: frozenset(members) for c, members in buckets.items()}
+    got = {c: frozenset(members) for c, members in cc_watch.answer.items()}
+    assert got == expected, "CC watch diverged from oracle"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small graph, few rounds (CI wiring check)")
+    parser.add_argument("--backend", default="serial",
+                        help="execution backend (serial/thread/process)")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    n, m = QUICK_SHAPE if args.quick else FULL_SHAPE
+    rounds = QUICK_ROUNDS if args.quick else FULL_ROUNDS
+    rng = random.Random(args.seed)
+    g = uniform_random_graph(n, m, directed=False, seed=args.seed)
+
+    with GrapeService(backend=args.backend) as service:
+        service.load_graph("churn", g)
+        t0 = time.perf_counter()
+        service.watch("sssp", 0, graph="churn")
+        service.watch("cc", graph="churn")
+        watch_setup_s = time.perf_counter() - t0
+
+        fresh = [0]
+        insert_only = run_phase(service, g, rng, rounds,
+                                insert_only_delta, fresh)
+        mixed = run_phase(service, g, rng, rounds, mixed_delta, None)
+        verify(service, g)
+        stats = service.stats
+
+        result = {
+            "bench": "updates-churn",
+            "backend": args.backend,
+            "quick": args.quick,
+            "python": platform.python_version(),
+            "graph": {"nodes": n, "edges": m, "directed": False},
+            "watch_setup_s": round(watch_setup_s, 4),
+            "insert_only": insert_only,
+            "mixed": mixed,
+            "service": {
+                "updates_applied": stats.updates_applied,
+                "watch_refreshes": stats.watch_refreshes,
+                "incremental_maintained": stats.incremental_maintained,
+                "fallback_reruns": stats.fallback_reruns,
+                "maintained_ratio": round(stats.maintained_ratio, 4),
+                "delta_bytes_shipped": stats.delta_bytes_shipped,
+                "supersteps_total": stats.supersteps_total,
+            },
+        }
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    name = "BENCH_updates_quick.json" if args.quick else "BENCH_updates.json"
+    out = RESULTS_DIR / name
+    out.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
+
+    print(f"updates-churn ({n} nodes / {m} edges, backend={args.backend})")
+    print(f"  insert-only: {insert_only['mean_update_ms']:8.2f} ms/batch  "
+          f"(maintained {insert_only['incremental_maintained']}, "
+          f"fallbacks {insert_only['fallback_reruns']})")
+    print(f"  mixed:       {mixed['mean_update_ms']:8.2f} ms/batch  "
+          f"(maintained {mixed['incremental_maintained']}, "
+          f"fallbacks {mixed['fallback_reruns']})")
+    print(f"  watch answers verified against sequential oracles")
+    print(f"  wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

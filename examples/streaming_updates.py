@@ -1,12 +1,14 @@
-"""Streaming updates: standing queries maintained as the graph grows.
+"""Streaming updates: standing queries maintained as the graph churns.
 
 Two extensions beyond the paper's evaluation, both sketched in the paper
 itself:
 
 * the **continuous-query service** (Section 6's lightweight transaction
-  controller) — ``service.watch`` registers a standing query and
-  ``service.insert_edges`` folds edge insertions into every watcher's
-  answer by IncEval instead of recomputing from scratch;
+  controller, over general batches ``ΔG = (ΔG⁺, ΔG⁻)``) —
+  ``service.watch`` registers a standing query; ``service.update`` folds
+  insertions into every watcher's answer by IncEval and serves
+  non-monotone changes (road closures, weight increases) by a
+  transparent in-session recompute on the mutated fragments;
 * the **asynchronous engine** (Section 8: "an asynchronous version of
   GRAPE is also under development") — no barriers, fragments activate as
   messages arrive (shown via the low-level path at the end).
@@ -14,7 +16,7 @@ itself:
 Run:  python examples/streaming_updates.py
 """
 
-from repro import GrapeService
+from repro import GrapeService, GraphDelta
 from repro.sequential import sssp_distances
 from repro.workloads import traffic_like
 
@@ -49,6 +51,24 @@ def main():
                                  sssp_distances(graph, source).items()}, \
         "maintained answer must equal recomputation"
     print("maintained answer equals full recomputation ✓")
+
+    # Now the non-monotone side: close the new highway again and jack up
+    # a road's weight in the same batch.  SSSP cannot maintain that
+    # incrementally (distances grow), so the service recomputes the
+    # watch in place — same session, same fragmentation, no re-partition.
+    u, v, w = next(iter(graph.edges()))
+    service.update("roads", (GraphDelta()
+                             .delete(source, far)
+                             .set_weight(u, v, w * 5.0)))
+    print(f"\nclosed the shortcut and reweighted ({u} -> {v}) x5: "
+          f"dist({far}) back to {watch_near.answer[far]:.1f} via "
+          f"recompute fallback "
+          f"(maintained={watch_near.metrics.incremental_maintained}, "
+          f"fallbacks={watch_near.metrics.fallback_reruns})")
+    assert watch_near.answer == {n: d for n, d in
+                                 sssp_distances(graph, source).items()}, \
+        "fallback answer must equal recomputation"
+    print("answer tracks the mutated graph under deletions too ✓")
     print(f"\nservice totals: {service.stats}")
     service.close()
 

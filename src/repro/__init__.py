@@ -32,7 +32,8 @@ Advanced (one engine run, no service)::
 from repro.core.api import PIERegistry, default_registry
 from repro.core.engine import EngineConfig, GrapeEngine, GrapeResult
 from repro.core.pie import PIEProgram
-from repro.core.updates import ContinuousQuerySession
+from repro.core.updates import ContinuousQuerySession, NonMonotoneUpdateError
+from repro.graph.delta import GraphDelta
 from repro.graph.graph import Graph
 from repro.partition.base import Fragmentation
 from repro.partition.strategies import get_strategy
@@ -43,9 +44,9 @@ from repro.service import (GrapeService, QueryRequest, QueryTicket,
 __version__ = "1.1.0"
 
 __all__ = [
-    "Graph", "GrapeEngine", "GrapeResult", "EngineConfig", "PIEProgram",
-    "PIERegistry", "Fragmentation", "get_strategy", "CostModel",
-    "RunMetrics", "ServiceMetrics", "default_registry",
-    "ContinuousQuerySession", "GrapeService", "QueryRequest", "QueryTicket",
-    "WatchHandle", "__version__",
+    "Graph", "GraphDelta", "GrapeEngine", "GrapeResult", "EngineConfig",
+    "PIEProgram", "PIERegistry", "Fragmentation", "get_strategy",
+    "CostModel", "RunMetrics", "ServiceMetrics", "default_registry",
+    "ContinuousQuerySession", "NonMonotoneUpdateError", "GrapeService",
+    "QueryRequest", "QueryTicket", "WatchHandle", "__version__",
 ]

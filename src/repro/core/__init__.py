@@ -12,7 +12,9 @@ from repro.core.mapreduce_sim import MapReduceJob, run_mapreduce_on_grape
 from repro.core.monotonic import MonotonicityChecker, MonotonicityViolation
 from repro.core.pie import ParamKey, ParamUpdates, PIEProgram
 from repro.core.pram_sim import CREWViolation, PRAMProgram, run_pram_on_grape
-from repro.core.updates import ContinuousQuerySession, apply_insertions
+from repro.core.updates import (ContinuousQuerySession,
+                                NonMonotoneUpdateError, apply_delta,
+                                apply_insertions)
 
 __all__ = [
     "PIEProgram", "ParamKey", "ParamUpdates", "GrapeEngine", "GrapeResult",
@@ -22,5 +24,6 @@ __all__ = [
     "PIERegistry", "default_registry", "BSPProgram", "run_bsp_on_grape",
     "MapReduceJob", "run_mapreduce_on_grape", "PRAMProgram",
     "run_pram_on_grape", "CREWViolation", "AsyncGrapeEngine",
-    "AsyncGrapeResult", "ContinuousQuerySession", "apply_insertions",
+    "AsyncGrapeResult", "ContinuousQuerySession", "NonMonotoneUpdateError",
+    "apply_delta", "apply_insertions",
 ]

@@ -375,6 +375,10 @@ class GrapeEngine:
             cluster.metrics.comm_bytes += up_bytes
             cluster.metrics.comm_messages += up_msgs
             cluster.metrics.pipe_bytes = session.pipe_bytes
+            cluster.metrics.delta_bytes_shipped = session.delta_bytes_shipped
+            cluster.metrics.fragments_shipped = session.fragments_shipped
+            cluster.metrics.fragments_delta_shipped = \
+                session.fragments_delta_shipped
             cluster.metrics.wall_clock_s = time.perf_counter() - wall_start
 
             return GrapeResult(answer=answer, metrics=cluster.metrics,

@@ -144,6 +144,42 @@ class PIEProgram(abc.ABC):
     # ------------------------------------------------------------------
     # Optional hooks
     # ------------------------------------------------------------------
+    #: Whether a non-maintainable update batch may be answered by a full
+    #: re-evaluation of the standing query inside the same session (the
+    #: paper's "incremental when possible, recompute when not" serving
+    #: contract).  Programs that opt out (``False``) make
+    #: :class:`~repro.core.updates.ContinuousQuerySession` raise a typed
+    #: :class:`~repro.core.updates.NonMonotoneUpdateError` instead.
+    recompute_fallback: bool = True
+
+    def maintainable(self, delta) -> bool:
+        """Can this program fold ``delta`` into live per-fragment state?
+
+        ``delta`` is any object exposing the
+        :class:`~repro.graph.delta.FragmentDelta` predicates
+        (``monotone``, ``has_deletions``, ``has_weight_increases``).
+        When the answer is ``True`` for every touched fragment, the
+        continuous-query layer calls :meth:`on_graph_update` per
+        fragment and resumes the IncEval fixpoint from converged state;
+        otherwise it falls back to re-running the query from reset
+        state on the (already mutated) fragmentation.
+
+        The default is conservative and correct for inflationary
+        fixpoints: monotone deltas (new edges, weight decreases) only,
+        and only for programs that implement ``on_graph_update``.
+        Programs whose answers ignore parts of the delta should widen
+        this — CC, for example, accepts arbitrary reweights because
+        component structure does not depend on weights.
+        """
+        return delta.monotone and hasattr(self, "on_graph_update")
+
+    # ``on_graph_update(query, fragment, state, delta)`` is the matching
+    # optional hook (defined by subclasses, detected via ``hasattr``):
+    # fold a maintainable :class:`~repro.graph.delta.FragmentDelta` into
+    # the fragment's live state after its local graph was mutated, e.g.
+    # relax ``delta.as_insertions`` as shortcut candidates (SSSP) or
+    # union the endpoints of ``delta.insertions`` (CC).
+
     def apply_message(self, query: Any, fragment: Fragment, state: Any,
                       message: ParamUpdates) -> None:
         """Write message values into the state *without* propagating.

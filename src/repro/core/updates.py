@@ -1,154 +1,305 @@
-"""Continuous queries under graph updates (paper Section 6's "lightweight
-transaction controller ... to support not only queries but also updates").
+"""Continuous queries under general graph updates (paper Section 6's
+"lightweight transaction controller ... to support not only queries but
+also updates").
 
-GRAPE's incremental machinery is exactly what answer maintenance needs: a
-batch of edge insertions is a set of local changes, IncEval propagates
-their effects through the affected area, and the usual fixpoint restores
-a correct answer — without recomputing from scratch.
+The paper defines incremental evaluation over update batches
+``ΔG = (ΔG⁺, ΔG⁻)`` — insertions *and* deletions.  This module is the
+mutation path for partitioned graphs, built around the first-class
+:class:`~repro.graph.delta.GraphDelta` value:
 
-:class:`ContinuousQuerySession` holds a standing query against a
-partitioned graph.  :meth:`insert_edges` applies an insertion batch to
-the fragments (maintaining border sets and ``G_P``), lets the PIE program
-fold the new edges into its per-fragment state through the
-:meth:`~repro.core.pie.PIEProgram.on_graph_update` hook, and resumes the
-message fixpoint from the current state.
+* :func:`apply_delta` applies a normalized batch to a fragmentation in
+  place — fragments, border sets, outer-copy refcounts and the ``G_P``
+  holder index all maintained, mirror nodes retired when their last
+  local edge is deleted — and returns per-fragment
+  :class:`~repro.graph.delta.FragmentDelta` records (which double as the
+  process backend's shippable replay units);
+* :class:`ContinuousQuerySession` holds a standing query and keeps its
+  answer correct under *any* batch: a delta every touched fragment's
+  program declares :meth:`~repro.core.pie.PIEProgram.maintainable` is
+  folded into live state through ``on_graph_update`` and the message
+  fixpoint resumes from the converged state (the monotone fast path);
+  anything else — deletions, weight increases, programs without an
+  update hook — transparently falls back to re-running the query from
+  reset state on the same (already mutated) fragmentation, inside the
+  same session.  This is the paper's "incremental when possible,
+  recompute when not" contract, in the spirit of Berkholz, Keppeler &
+  Schweikardt's dynamic query answering under updates.
 
-Supported for monotonic, insertion-friendly query classes: SSSP (new
-edges only shorten paths) and CC (new edges only merge components).
+Programs that cannot tolerate a recompute opt out with
+``recompute_fallback = False`` and receive a typed
+:class:`NonMonotoneUpdateError` instead.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, Optional, Set, Tuple, Union
 
 from repro.core.engine import GrapeEngine
 from repro.core.monotonic import MonotonicityChecker
 from repro.core.pie import ParamKey, ParamUpdates, PIEProgram
+from repro.graph.delta import FragmentDelta, GraphDelta, NormalizedDelta
 from repro.graph.graph import Graph, Node
 from repro.partition.base import Fragmentation
 from repro.runtime.message import stable_hash
-from repro.runtime.metrics import CostModel, ParamSizeCache, RunMetrics
+from repro.runtime.metrics import CostModel, ParamSizeCache
 
-__all__ = ["ContinuousQuerySession", "apply_insertions", "monotone_insert"]
+__all__ = ["ContinuousQuerySession", "NonMonotoneUpdateError",
+           "apply_delta", "apply_insertions"]
 
 EdgeInsertion = Tuple[Node, Node, float]
 
 _DEFAULT_COST = CostModel()
 
 
-def monotone_insert(graph: Graph, u: Node, v: Node, w: float) -> bool:
-    """Apply one insertion to a bare graph under the monotonicity rule.
-
-    Only monotone updates are maintainable: a weight decrease is an
-    insertion-like improvement; an increase would require non-monotonic
-    re-evaluation, so it is rejected.  Returns ``False`` for an
-    exact-duplicate no-op, ``True`` when the graph changed.
-    """
-    if graph.has_edge(u, v):
-        current = graph.edge_weight(u, v)
-        if w > current:
-            raise ValueError(
-                f"edge ({u!r}, {v!r}) exists with weight {current}; "
-                "weight increases are not insertion-maintainable")
-        if w == current:
-            return False
-    graph.add_edge(u, v, weight=w)
-    return True
+class NonMonotoneUpdateError(ValueError):
+    """A non-maintainable update hit a program that opted out of the
+    recompute fallback (``recompute_fallback = False``)."""
 
 
-def apply_insertions(fragmentation: Fragmentation,
-                     edges: Iterable[EdgeInsertion],
-                     ) -> Dict[int, List[EdgeInsertion]]:
-    """Apply edge insertions to a fragmentation in place.
+# ---------------------------------------------------------------------------
+# Applying deltas to a fragmentation
+# ---------------------------------------------------------------------------
+def apply_delta(fragmentation: Fragmentation,
+                delta: Union[GraphDelta, NormalizedDelta],
+                ) -> Dict[int, FragmentDelta]:
+    """Apply an update batch to an edge-cut fragmentation in place.
 
-    Each edge ``(u, v, w)`` is stored at the owner of ``u`` (matching the
-    edge-cut construction); a copy of ``v`` joins that fragment's outer
-    set when owned elsewhere, and border sets plus the ``G_P`` holder
-    index are maintained.  New nodes are assigned to a fragment by hash.
+    The batch is normalized against the base graph first (dedup,
+    no-op elimination, classification), so **an empty or duplicate-only
+    batch is a true no-op**: no fragment graph is touched, no CSR epoch
+    moves and the fragmentation's cache token stays put.
 
-    Returns the per-fragment lists of inserted edges (for the program's
-    update hook).  Undirected graphs get the symmetric orientation stored
-    at ``v``'s owner as well.
+    For every surviving change the base graph and the owning fragments
+    are mutated together:
+
+    * insertions land at the owner of ``u`` (plus the symmetric
+      orientation at ``v``'s owner for undirected graphs); new nodes are
+      placed by stable hash; mirror copies join ``F_i.O`` / ``F_j.I``
+      and the ``G_P`` holder index exactly as at partition time;
+    * weight changes rewrite the stored weight wherever the edge lives;
+    * deletions remove the stored orientation(s); a mirror copy whose
+      last local edge disappears is retired — dropped from the local
+      graph, its ``F_i.O`` entry and its ``G_P`` holders — and an owned
+      node that no longer has any cross edge leaves ``F_j.I``.
+
+    Returns ``{fid: FragmentDelta}`` for the touched fragments; the same
+    records are stamped into the fragmentation's delta log
+    (:meth:`~repro.partition.base.Fragmentation.record_delta`) so pooled
+    process workers can replay them instead of receiving full fragment
+    re-ships.
     """
     graph = fragmentation.graph
+    norm = delta.normalize(graph) if isinstance(delta, GraphDelta) else delta
+    if not norm:
+        return {}
     gp = fragmentation.gp
     m = fragmentation.num_fragments
-    touched: Dict[int, List[EdgeInsertion]] = {}
-    mutated = False
+    touched: Dict[int, FragmentDelta] = {}
+    mutated_graphs: Set[int] = set()
+
+    def fd(fid: int) -> FragmentDelta:
+        return touched.setdefault(fid, FragmentDelta(fid=fid))
 
     def ensure_node(x: Node) -> int:
-        nonlocal mutated
         if x in gp:
             return gp.owner(x)
-        mutated = True
         # stable_hash keeps new-node placement reproducible across runs
         # (builtin hash of strings varies with PYTHONHASHSEED).
         fid = stable_hash(x) % m
         graph.add_node(x)
         frag = fragmentation[fid]
         frag.graph.add_node(x)
-        frag.invalidate_csr()
         frag.owned.add(x)
         gp._owner[x] = fid
         gp._holders[x] = frozenset((fid,))
+        delta_f = fd(fid)
+        delta_f.new_nodes.append((x, None))
+        delta_f.owned_added.append(x)
+        mutated_graphs.add(fid)
         return fid
 
     def add_holder(x: Node, fid: int) -> None:
         gp._holders[x] = gp.holders(x) | {fid}
 
-    def store(u: Node, v: Node, w: float) -> None:
+    def store_insert(u: Node, v: Node, w: float) -> None:
+        """Store edge ``(u, v)`` at ``u``'s owner (local orientation)."""
         fu, fv = gp.owner(u), gp.owner(v)
         frag = fragmentation[fu]
+        delta_f = fd(fu)
+        if not frag.graph.has_node(v):
+            delta_f.new_nodes.append((v, graph.node_label(v)))
         frag.graph.add_node(v, graph.node_label(v))
         frag.graph.add_edge(u, v, weight=w)
-        frag.invalidate_csr()
+        mutated_graphs.add(fu)
         add_holder(v, fu)
         add_holder(u, fu)
         if fu != fv:
-            frag.outer.add(v)
-            fragmentation[fv].inner.add(v)
-        touched.setdefault(fu, []).append((u, v, w))
+            if v not in frag.outer:
+                frag.outer.add(v)
+                delta_f.outer_added.append(v)
+            owner_frag = fragmentation[fv]
+            if v not in owner_frag.inner:
+                owner_frag.inner.add(v)
+                fd(fv).inner_added.append(v)
+        delta_f.insertions.append((u, v, w))
 
-    for u, v, w in edges:
+    def reweight(u: Node, v: Node, old: float, new: float) -> None:
+        fu, fv = gp.owner(u), gp.owner(v)
+        frag = fragmentation[fu]
+        frag.graph.set_edge_weight(u, v, new)
+        fd(fu).weight_changes.append((u, v, old, new))
+        mutated_graphs.add(fu)
+        if not graph.directed:
+            if fu != fv:
+                # the symmetric orientation is stored at v's owner
+                fragmentation[fv].graph.set_edge_weight(v, u, new)
+                mutated_graphs.add(fv)
+            # Both orientations are recorded even when fu == fv (the
+            # local undirected set_edge_weight already covered both):
+            # programs folding a decrease must also try the v -> u
+            # relaxation, exactly as store_insert records insertions.
+            fd(fv).weight_changes.append((v, u, old, new))
+
+    def maybe_retire(fid: int, x: Node) -> None:
+        """Drop the mirror copy of ``x`` at ``fid`` if it lost its last
+        local edge (outer-copy refcount reaching zero)."""
+        frag = fragmentation[fid]
+        if x in frag.owned or not frag.graph.has_node(x):
+            return
+        if frag.graph.degree(x):
+            return
+        frag.graph.remove_node(x)
+        mutated_graphs.add(fid)
+        delta_f = fd(fid)
+        delta_f.retired_nodes.append(x)
+        if x in frag.outer:
+            frag.outer.remove(x)
+            delta_f.outer_removed.append(x)
+        gp._holders[x] = gp.holders(x) - {fid}
+
+    def delete_orientation(u: Node, v: Node) -> None:
+        """Remove stored orientation ``(u, v)`` from ``u``'s owner."""
+        fu = gp.owner(u)
+        frag = fragmentation[fu]
+        if frag.graph.has_edge(u, v):
+            frag.graph.remove_edge(u, v)
+            mutated_graphs.add(fu)
+            fd(fu).deletions.append((u, v))
+        maybe_retire(fu, v)
+
+    def fix_inner(x: Node) -> None:
+        """An owned node with no remaining copy elsewhere leaves
+        ``F_j.I`` (no cross edge can reach it any more)."""
+        fx = gp.owner(x)
+        frag = fragmentation[fx]
+        if x in frag.inner and len(gp.holders(x)) == 1:
+            frag.inner.remove(x)
+            fd(fx).inner_removed.append(x)
+
+    # Application order (mirrored verbatim by FragmentDelta.replay):
+    # insertions, then reweights, then deletions — so a mirror that both
+    # loses and gains edges in one batch is retired only if it truly
+    # ends the batch isolated.
+    for (u, v), w in norm.insertions.items():
         ensure_node(u)
         ensure_node(v)
-        if not monotone_insert(graph, u, v, w):
-            continue
-        store(u, v, w)
+        graph.add_edge(u, v, weight=w)
+        store_insert(u, v, w)
         if not graph.directed:
-            store(v, u, w)
-    if mutated or touched:
-        # Invalidate worker-side fragment caches (process backend): the
-        # next lease re-ships the mutated fragments.
-        fragmentation.bump_version()
+            store_insert(v, u, w)
+
+    for (u, v), (old, new) in {**norm.decreases, **norm.increases}.items():
+        graph.set_edge_weight(u, v, new)
+        reweight(u, v, old, new)
+
+    for (u, v) in norm.deletions:
+        graph.remove_edge(u, v)
+        delete_orientation(u, v)
+        if not graph.directed:
+            delete_orientation(v, u)
+        fix_inner(u)
+        fix_inner(v)
+
+    for fid in mutated_graphs:
+        fragmentation[fid].invalidate_csr()
+    if touched:
+        # Stamp sequence numbers and invalidate worker-side fragment
+        # caches (process backend): the next lease replays these deltas,
+        # or re-ships in full if the log no longer covers the gap.
+        fragmentation.record_delta(touched)
     return touched
 
 
+def apply_insertions(fragmentation: Fragmentation,
+                     edges: Iterable[EdgeInsertion],
+                     ) -> Dict[int, FragmentDelta]:
+    """Apply a batch of edge insertions (thin :func:`apply_delta` sugar).
+
+    Kept as the established name for the insert-only path; re-inserting
+    an existing edge with a lower weight is a maintainable decrease, with
+    a higher weight a non-monotone increase (handled by the session's
+    fallback, no longer an error).
+    """
+    return apply_delta(fragmentation, GraphDelta.from_insertions(edges))
+
+
+def _coerce_touched(touched: Dict[int, Any]) -> Dict[int, FragmentDelta]:
+    """Accept legacy ``{fid: [(u, v, w), ...]}`` insertion maps."""
+    coerced: Dict[int, FragmentDelta] = {}
+    for fid, delta in touched.items():
+        if isinstance(delta, FragmentDelta):
+            coerced[fid] = delta
+        else:
+            coerced[fid] = FragmentDelta(fid=fid, insertions=list(delta))
+    return coerced
+
+
+# ---------------------------------------------------------------------------
+# Standing queries
+# ---------------------------------------------------------------------------
 class ContinuousQuerySession:
-    """A standing query whose answer is maintained under insertions.
+    """A standing query whose answer is maintained under any update.
 
     Pass either ``graph`` (the session partitions it itself) or a prebuilt
     ``fragmentation`` — the latter lets an owner such as
     :class:`~repro.service.GrapeService` share one fragmentation between
-    many sessions and one-shot queries, applying each insertion batch to
-    the shared fragmentation once and fanning the per-fragment deltas out
-    to every session via :meth:`apply_update`.
+    many sessions and one-shot queries, applying each update batch to
+    the shared fragmentation once and fanning the per-fragment deltas
+    out to every session via :meth:`apply_update`.
+
+    **Maintenance dispatch.**  For a batch whose every per-fragment
+    delta the program declares
+    :meth:`~repro.core.pie.PIEProgram.maintainable`, the program folds
+    the delta into its live state (``on_graph_update``) and the message
+    fixpoint resumes from the converged state — today's monotone fast
+    path, now a *special case*.  Any other batch triggers the recompute
+    fallback: the query re-runs from reset state on the mutated
+    fragmentation through the engine (honoring its execution backend —
+    under the process backend the re-run ships compact per-fragment
+    deltas to the pooled workers, not whole fragments), and the session
+    re-baselines its coordinator tables from the fresh result.  The
+    session's :attr:`metrics` accumulate either way, with
+    ``incremental_maintained`` / ``fallback_reruns`` recording the
+    split.
 
     The *initial* evaluation honors the engine's execution backend (the
     run's states are pulled back from the backend afterwards); the
-    maintenance rounds themselves always execute coordinator-side — the
-    point of IncEval under updates is that the affected area is small,
-    so shipping it to a worker pool would cost more than computing it.
+    incremental maintenance rounds themselves always execute
+    coordinator-side — the point of IncEval under updates is that the
+    affected area is small, so shipping it to a worker pool would cost
+    more than computing it.
     """
 
     def __init__(self, engine: GrapeEngine, program: PIEProgram, query: Any,
                  graph: Optional[Graph] = None, *,
                  fragmentation: Optional[Fragmentation] = None):
-        if not hasattr(program, "on_graph_update"):
+        if not hasattr(program, "on_graph_update") \
+                and not program.recompute_fallback:
             raise TypeError(
-                f"{type(program).__name__} does not implement "
-                "on_graph_update; continuous queries need it")
+                f"{type(program).__name__} neither implements "
+                "on_graph_update nor allows the recompute fallback; no "
+                "update could ever be applied to this standing query")
         if (graph is None) == (fragmentation is None):
             raise ValueError("pass exactly one of graph or fragmentation")
         self.engine = engine
@@ -164,9 +315,20 @@ class ContinuousQuerySession:
         # Entry sizes recur across maintenance rounds; memoize for the
         # session's lifetime.
         self._sizer = ParamSizeCache()
-        # Baseline the coordinator tables from the converged state.
         self._reported: Dict[int, ParamUpdates] = {}
         self._table: Dict[ParamKey, Any] = {}
+        # Set when an opt-out program rejected a non-maintainable batch
+        # *after* the fragmentation was mutated: the converged state no
+        # longer matches the graph, and folding later (even monotone)
+        # batches into it would be silently wrong.
+        self._stale = False
+        self._rebaseline()
+
+    def _rebaseline(self) -> None:
+        """Rebuild the coordinator tables from the converged states."""
+        program, query = self.program, self.query
+        self._reported.clear()
+        self._table.clear()
         for frag in self.fragmentation:
             params = program.read_update_params(query, frag,
                                                 self.states[frag.fid])
@@ -179,41 +341,84 @@ class ContinuousQuerySession:
                     self._table[key] = value
 
     # ------------------------------------------------------------------
-    def insert_edges(self, edges: Iterable[EdgeInsertion]) -> Any:
-        """Apply an insertion batch and refresh the answer incrementally.
+    def update(self, delta: GraphDelta) -> Any:
+        """Apply an update batch and refresh the answer.
 
         Returns the updated answer; ``self.metrics`` accumulates the
         maintenance cost (supersteps, bytes) on top of the initial run.
 
-        With a shared (owner-managed) fragmentation, the owner applies the
-        batch itself via :func:`apply_insertions` and calls
+        With a shared (owner-managed) fragmentation, the owner applies
+        the batch itself via :func:`apply_delta` and calls
         :meth:`apply_update` on each session instead, so fragments are
         mutated exactly once.
         """
-        touched = apply_insertions(self.fragmentation, edges)
+        touched = apply_delta(self.fragmentation, delta)
         return self.apply_update(touched)
 
-    def apply_update(self, touched: Dict[int, List[EdgeInsertion]]) -> Any:
+    def insert_edges(self, edges: Iterable[EdgeInsertion]) -> Any:
+        """Apply an insertion batch (:meth:`update` sugar)."""
+        return self.update(GraphDelta.from_insertions(edges))
+
+    def delete_edges(self, pairs: Iterable[Tuple[Node, Node]]) -> Any:
+        """Apply a deletion batch (:meth:`update` sugar)."""
+        return self.update(GraphDelta.from_deletions(pairs))
+
+    def set_weights(self, triples: Iterable[EdgeInsertion]) -> Any:
+        """Apply a reweight batch (:meth:`update` sugar)."""
+        return self.update(GraphDelta.from_weight_changes(triples))
+
+    def apply_update(self, touched: Dict[int, Any]) -> Any:
         """Refresh the standing answer after fragments were updated.
 
-        ``touched`` maps fragment id to the edges inserted there (the
-        return value of :func:`apply_insertions`); the program folds them
-        into its per-fragment state and the message fixpoint resumes from
-        the current converged state.
+        ``touched`` maps fragment id to its
+        :class:`~repro.graph.delta.FragmentDelta` (the return value of
+        :func:`apply_delta`; legacy insertion lists are accepted).  The
+        batch is folded incrementally when every touched fragment's
+        delta is maintainable by the program, and answered by the
+        recompute fallback otherwise.
         """
+        if not touched:
+            return self.answer
+        if self._stale:
+            raise NonMonotoneUpdateError(
+                f"standing {type(self.program).__name__} answer is stale:"
+                " a previous non-maintainable batch was rejected "
+                "(recompute_fallback=False) after the fragmentation had "
+                "already been mutated, so this session can never be "
+                "refreshed again — cancel it")
+        touched = _coerce_touched(touched)
+        self.metrics.deltas_applied += 1
+        program = self.program
+        if all(program.maintainable(d) for d in touched.values()):
+            self.metrics.incremental_maintained += 1
+            return self._maintain(touched)
+        if not program.recompute_fallback:
+            self._stale = True
+            raise NonMonotoneUpdateError(
+                f"update batch is not incrementally maintainable by "
+                f"{type(program).__name__} (deletions or weight "
+                f"increases), and the program opted out of the "
+                f"recompute fallback (recompute_fallback=False)")
+        self.metrics.fallback_reruns += 1
+        return self._recompute()
+
+    # ------------------------------------------------------------------
+    def _maintain(self, touched: Dict[int, FragmentDelta]) -> Any:
+        """The monotone fast path: fold deltas into live state and
+        resume the message fixpoint from the current converged state."""
         program, query = self.program, self.query
         checker = MonotonicityChecker(program.aggregator,
                                       enabled=self.engine.check_monotonic)
 
         start = time.perf_counter()
-        for fid, inserted in touched.items():
+        for fid, delta in touched.items():
             program.on_graph_update(query, self.fragmentation[fid],
-                                    self.states[fid], inserted)
+                                    self.states[fid], delta)
         local_s = time.perf_counter() - start
 
         frags = self.fragmentation.fragments
-        # Full-diff collect: the insertion batch may have promoted nodes
-        # into border sets of fragments that received no edges, which the
+        # Full-diff collect: the batch may have promoted nodes into
+        # border sets of fragments that received no edges, which the
         # programs' own dirty tracking cannot see.
         up_bytes, up_msgs, dirty = self.engine._collect_reports(
             program, query, frags, self.states, self._reported,
@@ -251,4 +456,27 @@ class ContinuousQuerySession:
 
         self.answer = program.assemble(query, self.fragmentation,
                                        self.states)
+        return self.answer
+
+    def _recompute(self) -> Any:
+        """The non-monotone fallback: re-run the query from reset state
+        on the mutated fragmentation, inside this session.
+
+        Deletions and weight increases can invalidate converged values
+        *anywhere* downstream, and inflationary aggregators (min) cannot
+        raise a value once learned — so every fragment's state is reset
+        and the full PEval/IncEval fixpoint re-runs.  What is preserved
+        is everything else the session owns: the fragmentation (no
+        re-partition), the engine's warm backend (process workers keep
+        their cached fragments, brought current by delta replay rather
+        than full re-ships) and the cumulative metrics.
+        """
+        result = self.engine.run(self.program, self.query,
+                                 fragmentation=self.fragmentation)
+        self.states = result.states
+        self.answer = result.answer
+        # Fold the re-run's cost into the session's cumulative metrics
+        # in place (WatchHandle holds a reference to the object).
+        self.metrics.absorb(result.metrics)
+        self._rebaseline()
         return self.answer

@@ -2,6 +2,8 @@
 
 from repro.graph.graph import Graph, Node, Edge
 from repro.graph.csr import CSRGraph
+from repro.graph.delta import FragmentDelta, GraphDelta, NormalizedDelta
 from repro.graph import builders, generators, io
 
-__all__ = ["Graph", "Node", "Edge", "CSRGraph", "builders", "generators", "io"]
+__all__ = ["Graph", "Node", "Edge", "CSRGraph", "FragmentDelta",
+           "GraphDelta", "NormalizedDelta", "builders", "generators", "io"]

@@ -100,6 +100,23 @@ class Graph:
             self._edge_labels.pop((v, u), None)
             self._num_undirected_edges -= 1
 
+    def set_edge_weight(self, u: Node, v: Node, weight: float) -> None:
+        """Reweight existing edge ``(u, v)``; raises ``KeyError`` if absent.
+
+        Unlike :meth:`add_edge` this never creates nodes or edges, so
+        update pipelines can use it to assert the edge's existence while
+        changing its weight (both orientations for undirected graphs).
+        """
+        if not self.has_edge(u, v):
+            raise KeyError((u, v))
+        self._succ[u][v] = weight
+        self._pred[v][u] = weight
+        self._edge_weights[(u, v)] = weight
+        if not self.directed:
+            self._succ[v][u] = weight
+            self._pred[u][v] = weight
+            self._edge_weights[(v, u)] = weight
+
     def remove_node(self, v: Node) -> None:
         """Remove ``v`` and every incident edge."""
         for u in list(self._pred[v]):

@@ -30,9 +30,10 @@ only the time to compute them.
 
 **Snapshot invalidation.**  ``Fragment.csr()`` builds the snapshot
 lazily on first use and caches it.  Any structural mutation of the
-fragment — edge or node insertion through
-:func:`repro.core.updates.apply_insertions` (and therefore
-``GrapeService.insert_edges``) — calls ``Fragment.invalidate_csr()``,
+fragment — edge/node insertion, deletion or reweight through
+:func:`repro.core.updates.apply_delta` (and therefore
+``GrapeService.update`` and its sugar) — calls
+``Fragment.invalidate_csr()``,
 which drops the cached snapshot and bumps ``Fragment.csr_epoch`` so that
 program-side arrays derived from the old snapshot's dense ids are
 rebuilt.  The next kernel call rebuilds the snapshot from the mutated

@@ -26,7 +26,8 @@ from __future__ import annotations
 import abc
 import itertools
 import threading
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Sequence, Set, Tuple
+from typing import (Dict, FrozenSet, Iterable, List, Mapping, Optional,
+                    Sequence, Set, Tuple)
 
 from repro.graph.graph import Graph, Node
 
@@ -108,7 +109,7 @@ class Fragment:
 
         The snapshot is cached until :meth:`invalidate_csr` drops it
         (structural mutation through
-        :func:`repro.core.updates.apply_insertions`); CSR-capable PIE
+        :func:`repro.core.updates.apply_delta`); CSR-capable PIE
         programs call this every round and almost always hit the cache.
         Thread-safe: concurrent readers build the snapshot exactly once.
         """
@@ -217,6 +218,10 @@ class FragmentationGraph:
 #: process-wide ids distinguishing fragmentation objects across pickling
 _fragmentation_ids = itertools.count(1)
 
+#: delta-log versions retained for worker-side replay; a worker whose
+#: cached copy lags further behind is refreshed by full re-ship
+_DELTA_LOG_LIMIT = 64
+
 
 class Fragmentation:
     """A complete partition of ``G``: fragments plus the ``G_P`` index."""
@@ -228,10 +233,15 @@ class Fragmentation:
         self.strategy_name = strategy_name
         # Identity + mutation counter: the process backend caches shipped
         # fragments worker-side keyed by (identity, version); structural
-        # mutations (apply_insertions) bump the version so stale copies
-        # are re-shipped on the next lease.
+        # mutations (apply_delta) bump the version so stale copies are
+        # refreshed on the next lease — by replaying the logged
+        # per-fragment deltas when the log still covers the gap, by full
+        # re-ship otherwise.
         self._token_id = next(_fragmentation_ids)
         self.version = 0
+        # version -> {fid: FragmentDelta} for the last few applied
+        # batches (insertion-ordered; oldest evicted first)
+        self._delta_log: Dict[int, Dict[int, "FragmentDelta"]] = {}
         owner: Dict[Node, int] = {}
         holders: Dict[Node, Set[int]] = {}
         for frag in self.fragments:
@@ -253,8 +263,56 @@ class Fragmentation:
         return (self._token_id, self.version)
 
     def bump_version(self) -> None:
-        """Invalidate worker-side fragment caches after a mutation."""
+        """Invalidate worker-side fragment caches after a mutation.
+
+        Advances the version *without* a delta-log entry, so workers
+        holding older copies fall back to a full re-ship — the escape
+        hatch for mutations that bypass
+        :func:`repro.core.updates.apply_delta`.
+        """
         self.version += 1
+
+    def record_delta(self, touched: Dict[int, "FragmentDelta"]) -> None:
+        """Log one applied update batch and bump the cache token.
+
+        Called by :func:`repro.core.updates.apply_delta` after mutating
+        fragments in place.  Each fragment delta is stamped with the new
+        version as its sequence number; pooled process workers whose
+        cached fragments lag by at most ``_DELTA_LOG_LIMIT`` logged
+        versions are brought current by replaying these deltas instead
+        of re-shipping whole fragments.
+        """
+        self.version += 1
+        for delta in touched.values():
+            delta.seq = self.version
+        self._delta_log[self.version] = dict(touched)
+        while len(self._delta_log) > _DELTA_LOG_LIMIT:
+            del self._delta_log[next(iter(self._delta_log))]
+
+    def replay_chain(self, from_version: int, to_version: int,
+                     fids: Iterable[int]
+                     ) -> Optional[Dict[int, List["FragmentDelta"]]]:
+        """Per-fragment deltas turning ``from_version`` copies of the
+        given fragments into ``to_version`` ones.
+
+        Returns ``None`` when the log cannot prove the chain is complete
+        (a version was evicted, or advanced via :meth:`bump_version`
+        without a logged delta) — the caller must then fall back to a
+        full re-ship.  Fragments untouched across the whole range map to
+        no entry at all.
+        """
+        if from_version > to_version:
+            return None
+        chain: Dict[int, List["FragmentDelta"]] = {fid: [] for fid in fids}
+        for version in range(from_version + 1, to_version + 1):
+            step = self._delta_log.get(version)
+            if step is None:
+                return None
+            for fid in chain:
+                delta = step.get(fid)
+                if delta is not None:
+                    chain[fid].append(delta)
+        return {fid: deltas for fid, deltas in chain.items() if deltas}
 
     @property
     def csr_snapshots_built(self) -> int:

@@ -109,10 +109,18 @@ class CCProgram(PIEProgram):
                 if v in fragment.inner or v in fragment.outer:
                     state.dirty.add(v)
 
+    def maintainable(self, delta) -> bool:
+        """CC ignores weights entirely, so any reweight (increase or
+        decrease) is answer-preserving and maintainable; only deletions
+        can split components and force the recompute fallback."""
+        return not delta.has_deletions
+
     def on_graph_update(self, query, fragment: Fragment, state: CCState,
-                        inserted) -> None:
-        """Inserted edges merge local components (weighted union)."""
-        for u, v, _w in inserted:
+                        delta) -> None:
+        """Inserted edges merge local components (weighted union);
+        reweights need no work at all."""
+        edges = delta.insertions if hasattr(delta, "insertions") else delta
+        for u, v, _w in edges:
             for m in state.comps.add_edge(u, v):
                 if m in fragment.inner or m in fragment.outer:
                     state.dirty.add(m)

@@ -150,11 +150,18 @@ class SSSPProgram(PIEProgram):
         state._arr = None
 
     def on_graph_update(self, query: Node, fragment: Fragment,
-                        state: SSSPState, inserted) -> None:
-        """Fold inserted edges in: each may open a shortcut from its
-        source's current distance (continuous-query maintenance)."""
+                        state: SSSPState, delta) -> None:
+        """Fold a maintainable delta in: each inserted or cheapened edge
+        may open a shortcut from its source's current distance
+        (continuous-query maintenance).  Deletions and weight increases
+        are not maintainable for SSSP — distances could grow, which the
+        min-aggregated fixpoint cannot express — so the base
+        ``maintainable`` predicate (monotone only) routes them to the
+        session's recompute fallback instead of here."""
+        edges = (delta.as_insertions if hasattr(delta, "as_insertions")
+                 else delta)
         updates: Dict[Node, float] = {}
-        for u, v, w in inserted:
+        for u, v, w in edges:
             du = 0.0 if u == query else state.dist.get(u, inf)
             alt = du + w
             if alt < min(state.dist.get(v, inf), updates.get(v, inf)):

@@ -11,10 +11,16 @@ backend with three implementations:
 * :class:`ThreadBackend` — a thread pool; parallel for kernels that drop
   the GIL (numpy), still one core for pure-Python compute;
 * :class:`ProcessBackend` — a persistent ``multiprocessing`` worker pool.
-  Fragments are shipped to the workers **once per fragmentation token**
-  and cached there; afterwards only queries, step commands, messages and
-  parameter updates cross the pipe.  CSR snapshots are rebuilt worker-side
-  (they never cross the pipe), and bulk transfers ride
+  Fragments are shipped to the workers **once per fragmentation** and
+  cached there; afterwards only queries, step commands, messages and
+  parameter updates cross the pipe.  When a fragmentation is *mutated*
+  (:func:`repro.core.updates.apply_delta`), workers holding copies of
+  the previous version are brought current by replaying the logged
+  per-fragment :class:`~repro.graph.delta.FragmentDelta` records —
+  compact delta shipping keyed by the fragmentation's version sequence —
+  and only fall back to a full re-ship when the delta log no longer
+  covers the gap.  CSR snapshots are rebuilt worker-side (they never
+  cross the pipe), and bulk transfers ride
   ``multiprocessing.shared_memory`` where the platform provides it.
 
 Two execution contracts coexist:
@@ -181,6 +187,13 @@ class ExecutorSession(abc.ABC):
 
     #: serialized bytes that crossed a process pipe (0 for inline backends)
     pipe_bytes: int = 0
+    #: serialized bytes of per-fragment deltas replayed on workers to
+    #: bring cached fragment copies current (0 for inline backends)
+    delta_bytes_shipped: int = 0
+    #: fragments shipped to workers in full during open()
+    fragments_shipped: int = 0
+    #: fragments brought current worker-side by delta replay instead
+    fragments_delta_shipped: int = 0
 
     @abc.abstractmethod
     def init_states(self) -> None:
@@ -517,8 +530,24 @@ def _worker_main(conn) -> None:  # pragma: no cover - runs in child process
         try:
             kind = msg[0]
             if kind == "init":
-                token, program, query, shipped, reuse_fids = msg[1:]
+                (token, program, query, shipped, reuse_fids,
+                 base_token, replay_blob) = msg[1:]
+                # the replay chain arrives pre-pickled (the coordinator
+                # sizes it once for delta_bytes_shipped accounting)
+                replay = pickle.loads(replay_blob) if replay_blob else {}
+                if base_token is not None and base_token in frag_cache:
+                    # Cached copies of an older version: replay the
+                    # logged per-fragment deltas to bring them current,
+                    # then re-key the whole entry under the new token.
+                    # Transition order mirrors the coordinator's cache
+                    # mirror exactly.
+                    frag_cache[token] = frag_cache.pop(base_token)
                 cache = frag_cache.setdefault(token, {})
+                for fid, deltas in (replay or {}).items():
+                    frag = cache.get(fid)
+                    if frag is not None:
+                        for delta in deltas:
+                            delta.replay(frag)
                 cache.update(shipped)
                 _evict_cached(frag_cache, token)
                 fragments = {fid: cache[fid]
@@ -732,7 +761,10 @@ class ProcessBackend(ExecutorBackend):
     at a time, and returned to the pool afterwards with their fragment
     cache intact — a served graph is shipped to a given worker once, not
     once per query.  Graph mutations bump the fragmentation's cache
-    token, so stale copies are replaced on the next lease.
+    token; on the next lease a worker's stale copies are brought current
+    by replaying the fragmentation's logged per-fragment deltas (the
+    happy path for churn workloads) and re-shipped in full only when the
+    bounded delta log has a gap.
 
     Parameters
     ----------
@@ -776,6 +808,9 @@ class ProcessBackend(ExecutorBackend):
         # included.
         byte_base = sum(h.channel.bytes_sent + h.channel.bytes_received
                         for h in handles)
+        delta_bytes = 0
+        full_shipped = 0
+        delta_shipped = 0
         try:
             placement: Dict[int, _WorkerHandle] = {
                 frag.fid: handles[i % len(handles)]
@@ -783,21 +818,56 @@ class ProcessBackend(ExecutorBackend):
             for handle in handles:
                 assigned = {fid for fid, h in placement.items()
                             if h is handle}
-                cached = handle.cached.get(token, set())
+                cached = set(handle.cached.get(token, set()))
+                base_token = None
+                replay: Dict[int, list] = {}
+                if not cached:
+                    # The worker may hold this fragmentation at an older
+                    # version: if the delta log covers the gap for every
+                    # fragment it caches, ship the compact per-fragment
+                    # deltas for replay instead of whole fragments.
+                    older = [t for t in handle.cached
+                             if t[0] == token[0] and t[1] < token[1]]
+                    if older:
+                        candidate = max(older, key=lambda t: t[1])
+                        held = set(handle.cached[candidate])
+                        chain = fragmentation.replay_chain(
+                            candidate[1], token[1], held)
+                        if chain is not None:
+                            base_token = candidate
+                            replay = chain
+                            cached = held
                 ship = {fid: fragmentation[fid]
                         for fid in sorted(assigned - cached)}
                 reuse = sorted(assigned & cached)
-                handle.request(("init", token, program, query, ship, reuse))
-                # mirror the worker's LRU eviction exactly, so the
-                # coordinator never assumes a fragment the worker dropped
-                handle.cached.setdefault(token, set())
-                handle.cached[token] = cached | assigned
+                # Pickle the replay chain exactly once: the blob both
+                # crosses the pipe and is the delta_bytes_shipped figure.
+                replay_blob = None
+                if replay:
+                    replay_blob = pickle.dumps(
+                        replay, protocol=pickle.HIGHEST_PROTOCOL)
+                    delta_shipped += len(replay)
+                    delta_bytes += len(replay_blob)
+                handle.request(("init", token, program, query, ship, reuse,
+                                base_token, replay_blob))
+                # mirror the worker's cache transitions exactly (re-key,
+                # merge, LRU-evict), so the coordinator never assumes a
+                # fragment the worker dropped
+                if base_token is not None:
+                    handle.cached[token] = handle.cached.pop(base_token)
+                entry = handle.cached.setdefault(token, set())
+                handle.cached[token] = entry | assigned
                 _evict_cached(handle.cached, token)
+                full_shipped += len(ship)
         except BaseException:
             self._release(handles)
             raise
-        return _ProcessSession(self, handles, placement, fragmentation,
-                               byte_base)
+        session = _ProcessSession(self, handles, placement, fragmentation,
+                                  byte_base)
+        session.delta_bytes_shipped = delta_bytes
+        session.fragments_shipped = full_shipped
+        session.fragments_delta_shipped = delta_shipped
+        return session
 
     def run_tasks(self, thunks: Sequence[Callable[[], Any]],
                   num_workers: int) -> List[Any]:
@@ -812,8 +882,13 @@ class ProcessBackend(ExecutorBackend):
         with self._lock:
             if self._closed:
                 raise RuntimeError("process backend is closed")
-            # prefer workers that already hold fragments for this token
-            self._idle.sort(key=lambda h: token not in h.cached)
+            # prefer workers that already hold fragments for this exact
+            # token, then workers holding an older version of the same
+            # fragmentation (their copies can be brought current by
+            # compact delta replay instead of a full re-ship)
+            self._idle.sort(key=lambda h: (
+                token not in h.cached,
+                not any(t[0] == token[0] for t in h.cached)))
             handles: List[_WorkerHandle] = []
             while self._idle and len(handles) < count:
                 handle = self._idle.pop(0)

@@ -124,6 +124,15 @@ class CostModel:
                 + bytes_shipped * self.seconds_per_byte)
 
 
+#: RunMetrics fields combined by simple addition in merge()/absorb()
+_ADDITIVE_FIELDS = (
+    "supersteps", "parallel_time_s", "total_compute_s", "comm_bytes",
+    "comm_messages", "wall_clock_s", "pipe_bytes", "deltas_applied",
+    "incremental_maintained", "fallback_reruns", "delta_bytes_shipped",
+    "fragments_shipped", "fragments_delta_shipped",
+)
+
+
 @dataclass
 class RunMetrics:
     """Everything a single engine run reports.
@@ -138,6 +147,14 @@ class RunMetrics:
     process pipes (0 for in-process backends).  They vary freely between
     backends; the logical quantities above are backend-invariant —
     the differential harness asserts exactly that.
+
+    The update-pipeline counters make the incremental-vs-recompute split
+    observable: ``deltas_applied`` counts applied (non-no-op) update
+    batches on a standing query, partitioned into
+    ``incremental_maintained`` fast-path folds and ``fallback_reruns``
+    recomputes; ``delta_bytes_shipped`` / ``fragments_delta_shipped``
+    vs ``fragments_shipped`` show whether process workers were brought
+    current by compact delta replay or by full fragment re-ships.
     """
 
     supersteps: int = 0
@@ -148,6 +165,17 @@ class RunMetrics:
     backend: str = "serial"
     wall_clock_s: float = 0.0
     pipe_bytes: int = 0
+    #: update batches folded into this run's standing answer
+    deltas_applied: int = 0
+    incremental_maintained: int = 0
+    fallback_reruns: int = 0
+    #: serialized bytes of per-fragment deltas replayed on pooled
+    #: process workers (instead of re-shipping whole fragments)
+    delta_bytes_shipped: int = 0
+    #: fragments shipped to workers in full (first contact or log gap)
+    fragments_shipped: int = 0
+    #: fragments brought current worker-side by delta replay
+    fragments_delta_shipped: int = 0
     per_superstep: List[Dict[str, float]] = field(default_factory=list)
 
     def record_superstep(self, worker_times: List[float],
@@ -173,20 +201,35 @@ class RunMetrics:
     def comm_megabytes(self) -> float:
         return self.comm_bytes / 1e6
 
+    @property
+    def maintained_ratio(self) -> float:
+        """Fraction of applied update batches served incrementally."""
+        return (self.incremental_maintained / self.deltas_applied
+                if self.deltas_applied else 0.0)
+
     def merge(self, other: "RunMetrics") -> "RunMetrics":
         """Combine metrics of sequential phases (e.g. query batches)."""
         out = RunMetrics()
-        out.supersteps = self.supersteps + other.supersteps
-        out.parallel_time_s = self.parallel_time_s + other.parallel_time_s
-        out.total_compute_s = self.total_compute_s + other.total_compute_s
-        out.comm_bytes = self.comm_bytes + other.comm_bytes
-        out.comm_messages = self.comm_messages + other.comm_messages
         out.backend = (self.backend if self.backend == other.backend
                        else "mixed")
-        out.wall_clock_s = self.wall_clock_s + other.wall_clock_s
-        out.pipe_bytes = self.pipe_bytes + other.pipe_bytes
         out.per_superstep = self.per_superstep + other.per_superstep
+        for name in _ADDITIVE_FIELDS:
+            setattr(out, name, getattr(self, name) + getattr(other, name))
         return out
+
+    def absorb(self, other: "RunMetrics") -> None:
+        """Fold ``other`` into this object *in place*.
+
+        Used by :class:`~repro.core.updates.ContinuousQuerySession` to
+        accumulate a fallback re-run's cost: holders of the session's
+        metrics (e.g. :class:`~repro.service.WatchHandle`) keep their
+        reference, so the fold must mutate rather than replace.
+        """
+        if other.backend != self.backend:
+            self.backend = "mixed"
+        self.per_superstep.extend(other.per_superstep)
+        for name in _ADDITIVE_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
 
     def __repr__(self) -> str:
         return (f"RunMetrics(supersteps={self.supersteps}, "
@@ -227,19 +270,35 @@ class ServiceMetrics:
     #: serialized bytes that crossed process-backend pipes
     wall_clock_s_total: float = 0.0
     pipe_bytes_total: int = 0
+    #: the update pipeline, service-wide: how watcher refreshes split
+    #: between the incremental fast path and recompute fallbacks, and
+    #: how many serialized bytes of per-fragment deltas were replayed on
+    #: process workers instead of full fragment re-ships —
+    #: `incremental_maintained / (incremental_maintained +
+    #: fallback_reruns)` is the serving layer's incremental-vs-recompute
+    #: ratio
+    incremental_maintained: int = 0
+    fallback_reruns: int = 0
+    delta_bytes_shipped: int = 0
 
     def observe_run(self, metrics: "RunMetrics") -> None:
         """Fold one completed query run into the aggregates."""
         self.queries_served += 1
         self.wall_clock_s_total += metrics.wall_clock_s
         self.pipe_bytes_total += metrics.pipe_bytes
+        self.delta_bytes_shipped += metrics.delta_bytes_shipped
         self._observe_cost(metrics.supersteps, metrics.comm_bytes,
                            metrics.comm_messages)
 
     def observe_maintenance(self, supersteps: int, comm_bytes: int,
-                            comm_messages: int) -> None:
+                            comm_messages: int, *, maintained: int = 0,
+                            fallbacks: int = 0,
+                            delta_bytes: int = 0) -> None:
         """Fold one standing-query refresh (its *delta* cost) in."""
         self.watch_refreshes += 1
+        self.incremental_maintained += maintained
+        self.fallback_reruns += fallbacks
+        self.delta_bytes_shipped += delta_bytes
         self._observe_cost(supersteps, comm_bytes, comm_messages)
 
     def _observe_cost(self, supersteps: int, comm_bytes: int,
@@ -258,11 +317,27 @@ class ServiceMetrics:
         lookups = self.cache_hits + self.cache_misses
         return self.cache_hits / lookups if lookups else 0.0
 
+    @property
+    def deltas_applied(self) -> int:
+        """Applied (non-no-op) update batches — an alias: no-op batches
+        return before any counter moves, so every counted update *is* an
+        applied delta."""
+        return self.updates_applied
+
+    @property
+    def maintained_ratio(self) -> float:
+        """Fraction of watcher refreshes served by the incremental fast
+        path (the rest were recompute fallbacks)."""
+        total = self.incremental_maintained + self.fallback_reruns
+        return self.incremental_maintained / total if total else 0.0
+
     def __repr__(self) -> str:
         return (f"ServiceMetrics(queries={self.queries_served}, "
                 f"failed={self.queries_failed}, "
                 f"cache={self.cache_hits}h/{self.cache_misses}m, "
                 f"updates={self.updates_applied}, "
+                f"maintained={self.incremental_maintained}/"
+                f"fallback={self.fallback_reruns}, "
                 f"supersteps={self.supersteps_total}, "
                 f"comm={self.comm_megabytes_total:.4f}MB, "
                 f"csr={self.csr_snapshots_built}built/"

@@ -19,9 +19,13 @@ repo's previously separate layers into that shape:
   :class:`~repro.core.engine.EngineConfig`;
 * **updates** — ``service.watch(...)`` registers a standing query
   (a service-owned :class:`~repro.core.updates.ContinuousQuerySession`);
-  ``service.insert_edges(graph, edges)`` applies a batch to the shared
-  fragmentation once and fans the per-fragment deltas out to every
-  watcher, which maintain their answers incrementally.
+  ``service.update(graph, delta)`` applies a
+  :class:`~repro.graph.delta.GraphDelta` — insertions, deletions,
+  weight changes — to the shared fragmentation once and fans the
+  per-fragment deltas out to every watcher, which maintain their
+  answers incrementally when the batch is monotone for their program
+  and fall back to an in-session recompute otherwise
+  (``insert_edges`` / ``delete_edges`` / ``set_weights`` are sugar).
 
 Queries on a graph run concurrently (they only read the fragmentation);
 an update batch takes that graph's write lock, so it waits for in-flight
@@ -40,8 +44,9 @@ from typing import (Any, Callable, Dict, Iterable, List, Optional, Tuple,
 from repro.core.api import PIERegistry, default_registry
 from repro.core.engine import EngineConfig, GrapeEngine
 from repro.core.updates import (ContinuousQuerySession, EdgeInsertion,
-                                apply_insertions, monotone_insert)
-from repro.graph.graph import Graph
+                                NonMonotoneUpdateError, apply_delta)
+from repro.graph.delta import FragmentDelta, GraphDelta
+from repro.graph.graph import Graph, Node
 from repro.partition.base import Fragmentation, PartitionStrategy
 from repro.partition.strategies import HashPartition
 from repro.runtime.executors import ExecutorBackend
@@ -126,8 +131,9 @@ class WatchHandle:
 
     The handle owns a :class:`ContinuousQuerySession` whose fragmentation
     is the service's shared one; updates arrive through the service
-    (:meth:`GrapeService.insert_edges`), never directly, so that fragments
-    are mutated exactly once no matter how many watchers share them.
+    (:meth:`GrapeService.update` and its sugar), never directly, so that
+    fragments are mutated exactly once no matter how many watchers share
+    them.
     """
 
     def __init__(self, watch_id: int, graph: str, program: str,
@@ -153,10 +159,11 @@ class WatchHandle:
         """Stop maintaining this query; later updates skip it."""
         self.active = False
 
-    def _refresh(self, touched: Dict[int, List[EdgeInsertion]]
-                 ) -> Optional[Tuple[int, int, int]]:
-        """Fold applied insertions into the session; returns the delta
-        (supersteps, bytes, messages) this maintenance round cost.
+    def _refresh(self, touched: Dict[int, FragmentDelta]
+                 ) -> Optional[Tuple[int, int, int, int, int, int]]:
+        """Fold an applied update batch into the session; returns the
+        delta (supersteps, bytes, messages, maintained, fallbacks,
+        delta_bytes_shipped) this maintenance round cost.
 
         Guarded against cancellation: a handle cancelled after the
         service snapshotted its watcher list (or from another thread
@@ -166,11 +173,16 @@ class WatchHandle:
         if not self.active:
             return None
         m = self.session.metrics
-        before = (m.supersteps, m.comm_bytes, m.comm_messages)
+        before = (m.supersteps, m.comm_bytes, m.comm_messages,
+                  m.incremental_maintained, m.fallback_reruns,
+                  m.delta_bytes_shipped)
         self.session.apply_update(touched)
         self.refreshes += 1
         return (m.supersteps - before[0], m.comm_bytes - before[1],
-                m.comm_messages - before[2])
+                m.comm_messages - before[2],
+                m.incremental_maintained - before[3],
+                m.fallback_reruns - before[4],
+                m.delta_bytes_shipped - before[5])
 
     def __repr__(self) -> str:
         state = "active" if self.active else "cancelled"
@@ -458,7 +470,8 @@ class GrapeService:
     def watch(self, program: str, query: Any = None, *, graph: str,
               **program_kwargs) -> WatchHandle:
         """Register a standing query; its answer is maintained under
-        :meth:`insert_edges`.
+        :meth:`update` (and its ``insert_edges`` / ``delete_edges`` /
+        ``set_weights`` sugar).
 
         Standing queries always run on the service's shared engine config
         and fragmentation, so one update batch serves all of them.
@@ -484,54 +497,114 @@ class GrapeService:
                 self._sync_csr_stats()
         return handle
 
-    def insert_edges(self, graph: str,
-                     edges: Iterable[EdgeInsertion]) -> List[WatchHandle]:
-        """Apply an insertion batch to a named graph.
+    def update(self, graph: str, delta: GraphDelta) -> List[WatchHandle]:
+        """Apply an update batch — insertions, deletions, weight changes
+        — to a named graph.
 
-        The shared fragmentation is updated in place — border sets and
-        ``G_P`` maintained, no re-partition — and every active watcher
-        refreshes its answer incrementally.  Cached fragmentations built
-        under *other* engine configs are invalidated (they would go stale)
-        and lazily rebuilt on next use.  Returns the refreshed handles.
+        The batch is normalized first (deduped, no-ops dropped); an
+        empty or duplicate-only batch is a **true no-op**: nothing is
+        mutated, no cache token or CSR epoch moves, no watcher runs.
+
+        Otherwise the shared fragmentation is updated in place — border
+        sets and ``G_P`` maintained, mirror copies retired under
+        deletions, no re-partition — and every active watcher refreshes
+        its answer: incrementally when its program can maintain the
+        batch (:meth:`~repro.core.pie.PIEProgram.maintainable`), by the
+        recompute fallback otherwise.  Cached fragmentations built under
+        *other* engine configs are invalidated (they would go stale) and
+        lazily rebuilt on next use.  Returns the refreshed handles.
+
+        A watcher whose program opted out of the recompute fallback
+        (``recompute_fallback = False``) and rejects the batch is
+        **cancelled** — its answer can never match the mutated graph
+        again — and its :class:`NonMonotoneUpdateError` is re-raised
+        after every other watcher has been refreshed, so the rest of the
+        system stays consistent.
         """
-        edges = list(edges)
         with self._mutation_lock(graph):
             with self._lock:
                 g = self._require_graph(graph)
                 handles = self._active_watches(graph)
                 canon_key = self._cache_key(graph, self.engine_config)
                 canon = self._frag_cache.get(canon_key)
+                glock = self._graph_lock_locked(graph)
+
+            # Normalized outside the write lock: the mutation lock
+            # already excludes every other writer, and concurrent
+            # readers never mutate the graph.
+            norm = delta.normalize(g)
+            if not norm:
+                return []
+
+            with self._lock:
                 for key in [k for k in self._frag_cache
                             if k[0] == graph and k != canon_key]:
                     self._retire_fragmentation(self._frag_cache.pop(key))
                     self.stats.cache_invalidations += 1
-                glock = self._graph_lock_locked(graph)
 
-            deltas: List[Tuple[int, int, int]] = []
+            deltas: List[Tuple[int, int, int, int, int, int]] = []
             refreshed: List[WatchHandle] = []
+            rejected: Optional[NonMonotoneUpdateError] = None
             with glock.write():
                 if canon is not None:
-                    touched = apply_insertions(canon, edges)
+                    touched = apply_delta(canon, norm)
                 else:
-                    # No fragmentation yet: mutate the base graph
-                    # directly under the same monotonicity rule.
+                    # No fragmentation yet (and hence no watchers):
+                    # mutate the base graph directly.
+                    norm.apply_to(g)
                     touched = {}
-                    for u, v, w in edges:
-                        monotone_insert(g, u, v, w)
                 for handle in handles:
                     # Re-checked here (and inside _refresh): the handle
                     # may have been cancelled since the snapshot above.
-                    delta = handle._refresh(touched)
-                    if delta is not None:
-                        deltas.append(delta)
+                    try:
+                        cost = handle._refresh(touched)
+                    except NonMonotoneUpdateError as exc:
+                        # An opt-out program rejected the batch after the
+                        # fragments were mutated: its answer can never be
+                        # correct again, so the watch is cancelled — and
+                        # the fan-out continues, keeping every *other*
+                        # watcher consistent with the mutated graph.
+                        handle.cancel()
+                        if rejected is None:
+                            rejected = exc
+                        continue
+                    if cost is not None:
+                        deltas.append(cost)
                         refreshed.append(handle)
 
             with self._lock:
                 self.stats.updates_applied += 1
-                for supersteps, nbytes, msgs in deltas:
-                    self.stats.observe_maintenance(supersteps, nbytes, msgs)
+                for (supersteps, nbytes, msgs, maintained, fallbacks,
+                     delta_bytes) in deltas:
+                    self.stats.observe_maintenance(
+                        supersteps, nbytes, msgs, maintained=maintained,
+                        fallbacks=fallbacks, delta_bytes=delta_bytes)
                 self._sync_csr_stats()
+            if rejected is not None:
+                raise rejected
         return refreshed
+
+    def insert_edges(self, graph: str,
+                     edges: Iterable[EdgeInsertion]) -> List[WatchHandle]:
+        """Apply an insertion batch (:meth:`update` sugar).
+
+        Re-inserting an existing edge with a lower weight is a
+        maintainable decrease; with a higher weight it becomes a
+        non-monotone update served through the recompute fallback (no
+        longer an error).
+        """
+        return self.update(graph, GraphDelta.from_insertions(edges))
+
+    def delete_edges(self, graph: str,
+                     pairs: Iterable[Tuple[Node, Node]]
+                     ) -> List[WatchHandle]:
+        """Delete a batch of edges (:meth:`update` sugar)."""
+        return self.update(graph, GraphDelta.from_deletions(pairs))
+
+    def set_weights(self, graph: str,
+                    triples: Iterable[EdgeInsertion]) -> List[WatchHandle]:
+        """Reweight a batch of existing edges (:meth:`update` sugar)."""
+        return self.update(graph, GraphDelta.from_weight_changes(triples))
 
     def watches(self, graph: Optional[str] = None) -> List[WatchHandle]:
         """Active standing queries, optionally for one graph."""

@@ -1,10 +1,15 @@
-"""Continuous queries under edge insertions (the transaction-controller
-extension of paper Section 6)."""
+"""Continuous queries under general updates (the transaction-controller
+extension of paper Section 6): monotone insertions maintained
+incrementally, deletions and weight increases served by the in-session
+recompute fallback."""
 
 import pytest
 
 from repro.core.engine import GrapeEngine
-from repro.core.updates import ContinuousQuerySession, apply_insertions
+from repro.core.updates import (ContinuousQuerySession,
+                                NonMonotoneUpdateError, apply_delta,
+                                apply_insertions)
+from repro.graph.delta import GraphDelta
 from repro.graph.generators import grid_road_graph, uniform_random_graph
 from repro.pie_programs import CCProgram, SimProgram, SSSPProgram
 from repro.sequential import connected_components, sssp_distances
@@ -15,6 +20,17 @@ def cc_oracle(g):
     for v, c in connected_components(g).items():
         buckets.setdefault(c, set()).add(v)
     return buckets
+
+
+class FrozenSSSP(SSSPProgram):
+    """Module-level (picklable under the process backend): opts out of
+    the recompute fallback."""
+
+    recompute_fallback = False
+
+
+class FrozenSim(SimProgram):
+    recompute_fallback = False
 
 
 class TestApplyInsertions:
@@ -107,13 +123,56 @@ class TestContinuousSSSP:
         # One local fold, no message rounds needed.
         assert session.metrics.supersteps <= before + 1
 
-    def test_weight_increase_rejected(self, small_road):
+    def test_weight_increase_falls_back_to_recompute(self, small_road):
         session = ContinuousQuerySession(GrapeEngine(4), SSSPProgram(), 0,
                                          small_road)
         existing = next(iter(small_road.edges()))
         u, v, w = existing
-        with pytest.raises(ValueError, match="not insertion-maintainable"):
-            session.insert_edges([(u, v, w + 100.0)])
+        answer = session.insert_edges([(u, v, w + 100.0)])
+        assert small_road.edge_weight(u, v) == pytest.approx(w + 100.0)
+        assert answer == pytest.approx(sssp_distances(small_road, 0))
+        assert session.metrics.fallback_reruns == 1
+        assert session.metrics.incremental_maintained == 0
+
+    def test_deletion_falls_back_and_answer_tracks(self, small_road):
+        session = ContinuousQuerySession(GrapeEngine(4), SSSPProgram(), 0,
+                                         small_road)
+        u, v, _w = max(small_road.edges(),
+                       key=lambda e: session.answer.get(e[1], 0.0)
+                       if session.answer.get(e[1]) != float("inf") else 0.0)
+        answer = session.delete_edges([(u, v)])
+        assert not small_road.has_edge(u, v)
+        assert answer == pytest.approx(sssp_distances(small_road, 0))
+        assert session.metrics.fallback_reruns == 1
+        session.fragmentation.validate()
+
+    def test_undirected_intra_fragment_decrease_relaxes_both_ways(self):
+        """Regression: an undirected weight decrease whose edge lives in
+        one fragment must seed *both* orientations of the relaxation —
+        recording only (u, v) left dist(u) stale via the v -> u path."""
+        from repro.graph.graph import Graph
+        g = Graph(directed=False)
+        g.add_edge("s", "a", weight=1.0)
+        g.add_edge("a", "u", weight=20.0)
+        g.add_edge("s", "u", weight=30.0)
+        session = ContinuousQuerySession(GrapeEngine(1), SSSPProgram(),
+                                         "s", g)
+        assert session.answer["u"] == pytest.approx(21.0)
+        answer = session.set_weights([("u", "a", 2.0)])
+        assert session.metrics.incremental_maintained == 1
+        assert answer["u"] == pytest.approx(3.0)
+        assert answer == pytest.approx(sssp_distances(g, "s"))
+
+    def test_monotone_batches_keep_the_fast_path(self, small_road):
+        session = ContinuousQuerySession(GrapeEngine(4), SSSPProgram(), 0,
+                                         small_road)
+        session.insert_edges([(0, 35, 0.5)])
+        u, v, w = next(iter(small_road.edges()))
+        session.set_weights([(u, v, w * 0.5)])  # decrease: maintainable
+        assert session.metrics.incremental_maintained == 2
+        assert session.metrics.fallback_reruns == 0
+        assert session.answer == pytest.approx(
+            sssp_distances(small_road, 0))
 
     def test_new_node_attached(self, small_road):
         session = ContinuousQuerySession(GrapeEngine(4), SSSPProgram(), 0,
@@ -238,9 +297,169 @@ class TestSharedFragmentation:
             ContinuousQuerySession(engine, SSSPProgram(), 0)
 
 
+class TestDeletions:
+    """apply_delta border/G_P maintenance under ΔG⁻ (deletions)."""
+
+    @staticmethod
+    def _sole_cross_edge(frag):
+        """A cross-fragment edge (u, v) where the storing fragment holds
+        v only because of this edge (mirror refcount 1)."""
+        gp = frag.gp
+        for u, v, _w in frag.graph.edges():
+            fu, fv = gp.owner(u), gp.owner(v)
+            if fu != fv and frag[fu].graph.degree(v) == 1:
+                return u, v, fu, fv
+        return None
+
+    def test_mirror_retired_when_last_edge_deleted(self, small_road):
+        frag = GrapeEngine(4).make_fragmentation(small_road)
+        found = self._sole_cross_edge(frag)
+        if found is None:
+            pytest.skip("no refcount-1 cross edge in this partition")
+        u, v, fu, fv = found
+        touched = apply_delta(frag, GraphDelta().delete(u, v))
+        assert not small_road.has_edge(u, v)
+        assert not frag[fu].graph.has_node(v)     # mirror retired
+        assert v not in frag[fu].outer
+        assert fu not in frag.gp.holders(v)
+        assert fu in touched and v in touched[fu].retired_nodes
+        frag.validate()
+
+    def test_inner_membership_follows_holders(self, small_road):
+        frag = GrapeEngine(4).make_fragmentation(small_road)
+        gp = frag.gp
+        # Pick an inner node and delete every cross edge reaching it.
+        target = next((x for f in frag for x in f.inner), None)
+        assert target is not None
+        owner = gp.owner(target)
+        cross = [(u, target) for f in frag for u, v, _w in f.graph.edges()
+                 if v == target and gp.owner(u) != owner]
+        apply_delta(frag, GraphDelta.from_deletions(cross))
+        assert len(gp.holders(target)) == 1
+        assert target not in frag[owner].inner
+        frag.validate()
+
+    def test_deletions_keep_fragmentation_valid(self):
+        g = uniform_random_graph(40, 120, seed=7)
+        frag = GrapeEngine(4).make_fragmentation(g)
+        edges = list(g.edges())[::3]
+        apply_delta(frag, GraphDelta.from_deletions(
+            [(u, v) for u, v, _w in edges]))
+        for u, v, _w in edges:
+            assert not g.has_edge(u, v)
+        frag.validate()
+
+    def test_undirected_deletion_removes_both_sides(self):
+        g = uniform_random_graph(30, 60, directed=False, seed=3)
+        frag = GrapeEngine(3).make_fragmentation(g)
+        gp = frag.gp
+        u, v, _w = next((u, v, w) for u, v, w in g.edges()
+                        if gp.owner(u) != gp.owner(v))
+        apply_delta(frag, GraphDelta().delete(v, u))  # either orientation
+        assert not g.has_edge(u, v) and not g.has_edge(v, u)
+        assert not frag[gp.owner(u)].graph.has_edge(u, v)
+        assert not frag[gp.owner(v)].graph.has_edge(v, u)
+        frag.validate()
+
+
+class TestNoOpBatches:
+    """An empty or duplicate-only batch must be a true no-op: no cache
+    token movement, no CSR epoch movement (the PR-4 bugfix)."""
+
+    def test_duplicate_insert_is_noop(self, small_road):
+        frag = GrapeEngine(4).make_fragmentation(small_road)
+        u, v, w = next(iter(small_road.edges()))
+        token = frag.cache_token
+        epochs = [f.csr_epoch for f in frag]
+        touched = apply_insertions(frag, [(u, v, w)])
+        assert touched == {}
+        assert frag.cache_token == token
+        assert [f.csr_epoch for f in frag] == epochs
+
+    def test_absent_delete_and_same_weight_are_noops(self, small_road):
+        frag = GrapeEngine(4).make_fragmentation(small_road)
+        u, v, w = next(iter(small_road.edges()))
+        absent = next(x for x in small_road.nodes()
+                      if not small_road.has_edge(u, x) and x != u)
+        token = frag.cache_token
+        epochs = [f.csr_epoch for f in frag]
+        touched = apply_delta(frag, GraphDelta()
+                              .delete(u, absent)
+                              .set_weight(u, v, w)
+                              .insert(u, v, w))
+        assert touched == {}
+        assert frag.cache_token == token
+        assert [f.csr_epoch for f in frag] == epochs
+
+    def test_empty_batch_session_refresh_is_free(self, small_road):
+        session = ContinuousQuerySession(GrapeEngine(4), SSSPProgram(), 0,
+                                         small_road)
+        before = session.metrics.supersteps
+        answer = session.update(GraphDelta())
+        assert answer == session.answer
+        assert session.metrics.supersteps == before
+        assert session.metrics.deltas_applied == 0
+
+
+class TestCCUnderDeltas:
+    def test_component_split_falls_back(self):
+        g = uniform_random_graph(50, 60, directed=False, seed=13)
+        session = ContinuousQuerySession(GrapeEngine(3), CCProgram(), None,
+                                         g)
+        u, v, _w = next(iter(g.edges()))
+        answer = session.delete_edges([(u, v)])
+        assert answer == cc_oracle(g)
+        assert session.metrics.fallback_reruns == 1
+        session.fragmentation.validate()
+
+    def test_reweight_stays_incremental_for_cc(self):
+        g = uniform_random_graph(50, 60, directed=False, seed=13)
+        session = ContinuousQuerySession(GrapeEngine(3), CCProgram(), None,
+                                         g)
+        u, v, w = next(iter(g.edges()))
+        answer = session.set_weights([(u, v, w + 100.0)])  # CC: weights moot
+        assert answer == cc_oracle(g)
+        assert session.metrics.incremental_maintained == 1
+        assert session.metrics.fallback_reruns == 0
+
+
 class TestSessionErrors:
-    def test_program_without_hook_rejected(self, small_labeled,
-                                           tiny_pattern):
+    def test_program_without_hook_recomputes(self, small_labeled,
+                                             tiny_pattern):
+        """Programs without on_graph_update now serve standing queries
+        through the recompute fallback instead of being rejected."""
+        session = ContinuousQuerySession(GrapeEngine(2), SimProgram(),
+                                         tiny_pattern, small_labeled)
+        u = next(iter(small_labeled.nodes()))
+        v = next(x for x in small_labeled.nodes()
+                 if x != u and not small_labeled.has_edge(u, x))
+        answer = session.insert_edges([(u, v, 1.0)])
+        assert session.metrics.fallback_reruns == 1
+        assert answer == session.answer
+
+    def test_opt_out_program_raises_typed_error(self, small_road):
+        session = ContinuousQuerySession(GrapeEngine(2), FrozenSSSP(), 0,
+                                         small_road)
+        u, v, _w = next(iter(small_road.edges()))
+        with pytest.raises(NonMonotoneUpdateError, match="opted out"):
+            session.delete_edges([(u, v)])
+        # The fragmentation was mutated before the rejection, so the
+        # session's converged state is stale forever: folding even a
+        # monotone batch into it would be silently wrong, and must
+        # raise instead.
+        with pytest.raises(NonMonotoneUpdateError, match="stale"):
+            session.insert_edges([(0, 35, 0.25)])
+
+    def test_opt_out_program_maintains_monotone_batches(self, small_road):
+        session = ContinuousQuerySession(GrapeEngine(2), FrozenSSSP(), 0,
+                                         small_road)
+        session.insert_edges([(0, 35, 0.25)])
+        assert session.metrics.incremental_maintained == 1
+        assert session.answer == pytest.approx(
+            sssp_distances(small_road, 0))
+
+    def test_opt_out_without_hook_rejected_at_construction(
+            self, small_labeled, tiny_pattern):
         with pytest.raises(TypeError, match="on_graph_update"):
-            ContinuousQuerySession(GrapeEngine(2), SimProgram(),
+            ContinuousQuerySession(GrapeEngine(2), FrozenSim(),
                                    tiny_pattern, small_labeled)

@@ -1,0 +1,176 @@
+"""GraphDelta: dedup, classification, invertibility, replay."""
+
+import pytest
+
+from repro.core.engine import GrapeEngine
+from repro.core.updates import apply_delta
+from repro.graph.delta import FragmentDelta, GraphDelta
+from repro.graph.generators import uniform_random_graph
+from repro.graph.graph import Graph
+
+
+def line_graph(directed=True):
+    g = Graph(directed=directed)
+    g.add_edge("a", "b", weight=1.0)
+    g.add_edge("b", "c", weight=2.0)
+    g.add_edge("c", "d", weight=3.0)
+    return g
+
+
+class TestNormalization:
+    def test_classification(self):
+        g = line_graph()
+        norm = (GraphDelta()
+                .insert("a", "c", 5.0)        # brand-new
+                .insert("a", "b", 0.5)        # decrease (1.0 -> 0.5)
+                .set_weight("b", "c", 9.0)    # increase (2.0 -> 9.0)
+                .delete("c", "d")             # deletion
+                .normalize(g))
+        assert norm.insertions == {("a", "c"): 5.0}
+        assert norm.decreases == {("a", "b"): (1.0, 0.5)}
+        assert norm.increases == {("b", "c"): (2.0, 9.0)}
+        assert norm.deletions == {("c", "d"): 3.0}
+        assert not norm.monotone
+
+    def test_last_write_wins(self):
+        g = line_graph()
+        norm = (GraphDelta()
+                .delete("a", "b")
+                .insert("a", "b", 0.25)       # overrides the delete
+                .insert("x", "y", 1.0)
+                .delete("x", "y")             # net no-op on absent edge
+                .normalize(g))
+        assert norm.decreases == {("a", "b"): (1.0, 0.25)}
+        assert not norm.deletions and not norm.insertions
+
+    def test_noops_dropped(self):
+        g = line_graph()
+        norm = (GraphDelta()
+                .insert("a", "b", 1.0)        # exact duplicate
+                .set_weight("b", "c", 2.0)    # same weight
+                .delete("no", "edge")         # absent
+                .normalize(g))
+        assert not norm
+        assert norm.monotone  # vacuously
+
+    def test_undirected_orientations_unify(self):
+        g = Graph(directed=False)
+        g.add_edge(1, 2, weight=4.0)
+        norm = (GraphDelta()
+                .set_weight(2, 1, 3.0)
+                .set_weight(1, 2, 2.0)        # same edge, later wins
+                .normalize(g))
+        assert len(norm.decreases) == 1
+        ((_edge, (old, new)),) = norm.decreases.items()
+        assert (old, new) == (4.0, 2.0)
+
+    def test_set_weight_on_missing_edge_is_insertion(self):
+        norm = GraphDelta().set_weight("a", "z", 7.0).normalize(line_graph())
+        assert norm.insertions == {("a", "z"): 7.0}
+
+    def test_monotone_predicate(self):
+        g = line_graph()
+        assert GraphDelta().insert("a", "z", 1.0).normalize(g).monotone
+        assert GraphDelta().insert("a", "b", 0.1).normalize(g).monotone
+        assert not GraphDelta().delete("a", "b").normalize(g).monotone
+        assert not GraphDelta().set_weight("a", "b", 9.0) \
+            .normalize(g).monotone
+
+
+class TestInvertibility:
+    @pytest.mark.parametrize("directed", [True, False])
+    def test_apply_then_invert_restores_edges(self, directed):
+        g = uniform_random_graph(30, 80, directed=directed, seed=2)
+        before = g.copy()
+        edges = list(g.edges())
+        delta = (GraphDelta()
+                 .insert(0, 1, 0.123)
+                 .delete(*edges[0][:2])
+                 .delete(*edges[5][:2])
+                 .set_weight(edges[8][0], edges[8][1], edges[8][2] * 3))
+        norm = delta.normalize(g)
+        norm.apply_to(g)
+        assert g != before
+        norm.invert().normalize(g).apply_to(g)
+        # Edge sets and weights restored (invert does not remove nodes
+        # created by the forward pass; none were created here).
+        assert g == before
+
+
+class TestFragmentDeltaReplay:
+    def test_replay_reproduces_coordinator_fragment(self):
+        """A copy of each fragment, brought current by FragmentDelta
+        replay, must equal the mutated original — graph, owned, borders."""
+        import pickle
+
+        g = uniform_random_graph(40, 130, seed=11)
+        frag = GrapeEngine(3).make_fragmentation(g)
+        copies = {f.fid: pickle.loads(pickle.dumps(f)) for f in frag}
+
+        edges = list(g.edges())
+        delta = (GraphDelta()
+                 .insert(0, "fresh", 0.7)
+                 .insert("fresh", 1, 0.4)
+                 .delete(*edges[0][:2])
+                 .delete(*edges[7][:2])
+                 .set_weight(edges[3][0], edges[3][1], edges[3][2] * 2)
+                 .insert(2, 3, 0.01))
+        touched = apply_delta(frag, delta)
+        assert touched
+
+        for fid, fragment_delta in touched.items():
+            assert isinstance(fragment_delta, FragmentDelta)
+            fragment_delta.replay(copies[fid])
+        for f in frag:
+            copy = copies[f.fid]
+            assert copy.graph == f.graph
+            assert copy.owned == f.owned
+            assert copy.inner == f.inner
+            assert copy.outer == f.outer
+
+    def test_seq_stamped_with_fragmentation_version(self):
+        g = uniform_random_graph(20, 50, seed=1)
+        frag = GrapeEngine(2).make_fragmentation(g)
+        v0 = frag.version
+        touched = apply_delta(frag, GraphDelta().insert(0, 1, 0.5)
+                              if not g.has_edge(0, 1)
+                              else GraphDelta().insert(0, 1, 0.01))
+        assert frag.version == v0 + 1
+        for d in touched.values():
+            assert d.seq == frag.version
+
+    def test_replay_chain_and_gap(self):
+        g = uniform_random_graph(20, 50, seed=1)
+        frag = GrapeEngine(2).make_fragmentation(g)
+        base = frag.version
+        apply_delta(frag, GraphDelta().insert("n1", 0, 1.0))
+        apply_delta(frag, GraphDelta().insert("n2", 0, 1.0))
+        chain = frag.replay_chain(base, frag.version,
+                                  [f.fid for f in frag])
+        assert chain is not None
+        assert all(len(ds) >= 1 for ds in chain.values())
+        # A bump without a logged delta creates a gap: full re-ship.
+        frag.bump_version()
+        assert frag.replay_chain(base, frag.version,
+                                 [f.fid for f in frag]) is None
+        # But chains starting after the gap resolve again.
+        after = frag.version
+        apply_delta(frag, GraphDelta().insert("n3", 0, 1.0))
+        assert frag.replay_chain(after, frag.version,
+                                 [f.fid for f in frag]) is not None
+
+
+class TestGraphSetEdgeWeight:
+    def test_set_edge_weight_directed(self):
+        g = line_graph()
+        g.set_edge_weight("a", "b", 8.0)
+        assert g.edge_weight("a", "b") == 8.0
+        with pytest.raises(KeyError):
+            g.set_edge_weight("a", "zzz", 1.0)
+
+    def test_set_edge_weight_undirected_sets_both(self):
+        g = Graph(directed=False)
+        g.add_edge(1, 2, weight=1.0)
+        g.set_edge_weight(2, 1, 5.0)
+        assert g.edge_weight(1, 2) == 5.0
+        assert g.edge_weight(2, 1) == 5.0

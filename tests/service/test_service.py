@@ -9,9 +9,16 @@ from repro.core.engine import EngineConfig
 from repro.core.pie import PIEProgram
 from repro.graph.generators import grid_road_graph
 from repro.partition.strategies import HashPartition, RangePartition
+from repro.pie_programs import SSSPProgram
 from repro.sequential import sssp_distances
 from repro.service import GrapeService, QueryRequest
 from repro.core.aggregators import MaxAggregator
+
+
+class FrozenSSSP(SSSPProgram):
+    """Module-level (picklable): opts out of the recompute fallback."""
+
+    recompute_fallback = False
 
 
 def reachable_oracle(graph, source):
@@ -237,11 +244,74 @@ class TestWatchAndUpdates:
         service.play("sssp", 0, graph="roads")
         assert service.stats.cache_hits == hits + 1
 
-    def test_weight_increase_rejected(self, service, small_road):
-        service.play("sssp", 0, graph="roads")
+    def test_weight_increase_served_by_fallback(self, service, small_road):
+        handle = service.watch("sssp", 0, graph="roads")
         u, v, w = next(iter(small_road.edges()))
-        with pytest.raises(ValueError, match="not insertion-maintainable"):
-            service.insert_edges("roads", [(u, v, w + 100.0)])
+        refreshed = service.insert_edges("roads", [(u, v, w + 100.0)])
+        assert refreshed == [handle]
+        assert small_road.edge_weight(u, v) == pytest.approx(w + 100.0)
+        assert handle.answer == pytest.approx(sssp_distances(small_road, 0))
+        assert service.stats.fallback_reruns == 1
+        assert service.stats.incremental_maintained == 0
+
+    def test_mixed_update_batch_with_watch(self, service, small_road):
+        from repro import GraphDelta
+        handle = service.watch("sssp", 0, graph="roads")
+        u, v, _w = next(iter(small_road.edges()))
+        delta = (GraphDelta().delete(u, v).insert(0, 35, 0.25)
+                 .insert(0, "annex", 1.5))
+        refreshed = service.update("roads", delta)
+        assert refreshed == [handle]
+        assert not small_road.has_edge(u, v)
+        assert handle.answer == pytest.approx(sssp_distances(small_road, 0))
+        assert handle.answer["annex"] == pytest.approx(1.5)
+        service.fragmentation("roads").validate()
+
+    def test_delete_edges_and_set_weights_sugar(self, service, small_road):
+        handle = service.watch("sssp", 0, graph="roads")
+        u, v, w = next(iter(small_road.edges()))
+        service.set_weights("roads", [(u, v, w * 0.5)])   # decrease
+        assert service.stats.incremental_maintained == 1
+        service.delete_edges("roads", [(u, v)])
+        assert service.stats.fallback_reruns == 1
+        assert handle.answer == pytest.approx(sssp_distances(small_road, 0))
+
+    def test_opt_out_watch_cancelled_without_stranding_others(
+            self, service, small_road):
+        """Regression: one watcher rejecting a non-monotone batch must
+        not abort the fan-out — the other watchers refresh and stay
+        consistent with the mutated graph; the opt-out watch is
+        cancelled and its typed error surfaced afterwards."""
+        from repro.core.updates import NonMonotoneUpdateError
+
+        service.plug("frozen-sssp", FrozenSSSP)
+        frozen = service.watch("frozen-sssp", 0, graph="roads")
+        normal = service.watch("sssp", 0, graph="roads")
+        u, v, _w = next(iter(small_road.edges()))
+        with pytest.raises(NonMonotoneUpdateError, match="opted out"):
+            service.delete_edges("roads", [(u, v)])
+        # the mutation landed and the surviving watch tracks it
+        assert not small_road.has_edge(u, v)
+        assert normal.answer == pytest.approx(sssp_distances(small_road, 0))
+        assert not frozen.active
+        assert service.watches("roads") == [normal]
+        # later updates proceed normally — the service is not wedged
+        refreshed = service.insert_edges("roads", [(0, 35, 0.3)])
+        assert refreshed == [normal]
+        assert normal.answer == pytest.approx(sssp_distances(small_road, 0))
+
+    def test_noop_batch_is_free(self, service, small_road):
+        service.watch("sssp", 0, graph="roads")
+        frag = service.fragmentation("roads")
+        token = frag.cache_token
+        epochs = [f.csr_epoch for f in frag]
+        updates_before = service.stats.updates_applied
+        u, v, w = next(iter(small_road.edges()))
+        refreshed = service.insert_edges("roads", [(u, v, w)])  # duplicate
+        assert refreshed == []
+        assert frag.cache_token == token
+        assert [f.csr_epoch for f in frag] == epochs
+        assert service.stats.updates_applied == updates_before
 
 
 class TestPlugPanel:
