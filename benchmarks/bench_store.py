@@ -1,0 +1,199 @@
+"""Durability bench: cold rebuild vs warm-start from snapshot + WAL.
+
+Measures the amortization the store buys at restart time.  Both paths
+bring a :class:`~repro.service.GrapeService` from nothing to "serving
+correct answers" for a graph that has absorbed a stream of update
+batches:
+
+* **cold rebuild** — parse the edge-list file, re-apply every update
+  batch, run a CC query (which triggers partitioning);
+* **warm start** — construct ``GrapeService(store_dir=...)`` over a
+  store previously populated with the same graph + batches (snapshot +
+  delta WAL), run the same query.
+
+Answers are asserted identical between the two services, warm start is
+asserted to parse zero edge lists, and the machine-readable result lands
+in ``benchmarks/results/BENCH_store.json``.  ``--quick`` shrinks the
+graph to a CI wiring check; ``--assert-speedup`` additionally fails the
+run unless warm start beats cold rebuild.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import tempfile
+import time
+from pathlib import Path
+
+from _common import RESULTS_DIR
+from repro.graph.delta import GraphDelta
+from repro.graph.generators import uniform_random_graph
+from repro.graph.io import write_edge_list
+from repro.service import GrapeService
+
+FULL_SHAPE = (20000, 60000)   # nodes, edges
+QUICK_SHAPE = (1500, 4500)
+FULL_BATCHES = 40
+QUICK_BATCHES = 6
+BATCH = 16
+
+
+def make_delta(rng, g, round_no):
+    """A mixed batch: insertions (some attaching new nodes), deletions
+    and reweights against live edges."""
+    edges = list(g.edges())
+    nodes = list(g.nodes())
+    delta = GraphDelta()
+    for k in range(BATCH):
+        kind = rng.random()
+        if kind < 0.4:
+            u, v = rng.sample(nodes, 2)
+            delta.insert(u, v, rng.uniform(0.1, 1.0))
+        elif kind < 0.55:
+            delta.insert(10_000_000 + round_no * BATCH + k,
+                         rng.choice(nodes), rng.uniform(0.1, 1.0))
+        elif kind < 0.8:
+            u, v, _w = edges[rng.randrange(len(edges))]
+            delta.delete(u, v)
+        else:
+            u, v, w = edges[rng.randrange(len(edges))]
+            delta.set_weight(u, v, w * rng.uniform(0.5, 3.0))
+    return delta
+
+
+def populate_store(store_dir, edge_file, batches, seed):
+    """The 'previous lifetime', ending in a crash: a first service
+    loads the graph, applies most batches and shuts down gracefully
+    (close-time checkpoint folds WAL + canonical fragmentation into the
+    snapshot); a second service applies the remaining batches and dies
+    without flushing.  The store is left with a fragmentation-bearing
+    snapshot plus a WAL tail — warm start must use every recovery
+    mechanism at once.  Returns the batches (for the cold path)."""
+    rng = random.Random(seed)
+    tail = max(1, batches // 4)
+    deltas = []
+    service = GrapeService(store_dir=store_dir)
+    service.load_graph_file("social", edge_file)
+    for round_no in range(batches - tail):
+        delta = make_delta(rng, service.graph("social"), round_no)
+        deltas.append(delta)
+        service.update("social", delta)
+    service.play("cc", graph="social")  # builds the canonical partition
+    service.close()  # graceful: checkpoint incl. fragmentation
+    first = service.stats
+
+    service = GrapeService(store_dir=store_dir)
+    for round_no in range(batches - tail, batches):
+        delta = make_delta(rng, service.graph("social"), round_no)
+        deltas.append(delta)
+        service.update("social", delta)
+    stats = service.stats
+    populate = {"wal_appends": first.wal_appends + stats.wal_appends,
+                "snapshots_written": (first.snapshots_written
+                                      + stats.snapshots_written),
+                "wal_tail_batches": tail}
+    service.close(flush=False)  # crash
+    return deltas, populate
+
+
+def cold_rebuild(edge_file, deltas):
+    """Parse + re-apply + first query: the no-store restart."""
+    t0 = time.perf_counter()
+    service = GrapeService()
+    service.load_graph_file("social", edge_file)
+    for delta in deltas:
+        service.update("social", delta)
+    answer = service.play("cc", graph="social").answer
+    elapsed = time.perf_counter() - t0
+    ready_stats = service.stats
+    service.close()
+    return elapsed, answer, ready_stats
+
+
+def warm_start(store_dir):
+    """Construct over the store + first query: the durable restart."""
+    t0 = time.perf_counter()
+    service = GrapeService(store_dir=store_dir)
+    answer = service.play("cc", graph="social").answer
+    elapsed = time.perf_counter() - t0
+    stats = service.stats
+    service.close()
+    return elapsed, answer, stats
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small graph, few batches (CI wiring check)")
+    parser.add_argument("--assert-speedup", action="store_true",
+                        help="fail unless warm start beats cold rebuild")
+    parser.add_argument("--seed", type=int, default=11)
+    args = parser.parse_args()
+
+    n, m = QUICK_SHAPE if args.quick else FULL_SHAPE
+    batches = QUICK_BATCHES if args.quick else FULL_BATCHES
+    g = uniform_random_graph(n, m, directed=False, seed=args.seed)
+
+    with tempfile.TemporaryDirectory(prefix="bench-store-") as tmp:
+        tmp = Path(tmp)
+        edge_file = tmp / "social.edges"
+        write_edge_list(g, edge_file)
+        store_dir = tmp / "store"
+
+        deltas, populate = populate_store(store_dir, edge_file, batches,
+                                          args.seed)
+        cold_s, cold_answer, _ = cold_rebuild(edge_file, deltas)
+        warm_s, warm_answer, warm_stats = warm_start(store_dir)
+        store_bytes = sum(p.stat().st_size
+                          for p in store_dir.rglob("*") if p.is_file())
+
+    assert warm_answer == cold_answer, \
+        "warm-start answers diverged from cold rebuild"
+    assert warm_stats.edge_lists_parsed == 0, \
+        "warm start re-parsed an edge list"
+    assert warm_stats.warm_starts == 1
+
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    result = {
+        "bench": "store-warm-start",
+        "quick": args.quick,
+        "python": platform.python_version(),
+        "graph": {"nodes": n, "edges": m, "directed": False},
+        "update_batches": batches,
+        "batch_size": BATCH,
+        "populate": populate,
+        "cold_rebuild_s": round(cold_s, 4),
+        "warm_start_s": round(warm_s, 4),
+        "speedup": round(speedup, 2),
+        "store_bytes": store_bytes,
+        "warm": {
+            "edge_lists_parsed": warm_stats.edge_lists_parsed,
+            "warm_starts": warm_stats.warm_starts,
+            "wal_replayed": warm_stats.wal_replayed,
+        },
+    }
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    name = "BENCH_store_quick.json" if args.quick else "BENCH_store.json"
+    out = RESULTS_DIR / name
+    out.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
+
+    print(f"store warm-start ({n} nodes / {m} edges, "
+          f"{batches} update batches)")
+    print(f"  cold rebuild (parse + re-apply + query): {cold_s:8.3f} s")
+    print(f"  warm start   (snapshot + WAL + query):   {warm_s:8.3f} s")
+    print(f"  speedup: {speedup:.2f}x   store size: {store_bytes} bytes   "
+          f"wal replayed: {warm_stats.wal_replayed}")
+    print(f"  answers identical, zero edge lists parsed on warm start")
+    print(f"  wrote {out}")
+    if args.assert_speedup and speedup < 1.0:
+        print("FAIL: warm start slower than cold rebuild")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

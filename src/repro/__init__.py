@@ -40,13 +40,15 @@ from repro.partition.strategies import get_strategy
 from repro.runtime.metrics import CostModel, RunMetrics, ServiceMetrics
 from repro.service import (GrapeService, QueryRequest, QueryTicket,
                            WatchHandle)
+from repro.store import GraphStore
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Graph", "GraphDelta", "GrapeEngine", "GrapeResult", "EngineConfig",
     "PIEProgram", "PIERegistry", "Fragmentation", "get_strategy",
     "CostModel", "RunMetrics", "ServiceMetrics", "default_registry",
     "ContinuousQuerySession", "NonMonotoneUpdateError", "GrapeService",
-    "QueryRequest", "QueryTicket", "WatchHandle", "__version__",
+    "GraphStore", "QueryRequest", "QueryTicket", "WatchHandle",
+    "__version__",
 ]

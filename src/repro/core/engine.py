@@ -54,7 +54,8 @@ from repro.partition.strategies import HashPartition
 from repro.runtime.cluster import SimulatedCluster
 from repro.runtime.executors import (PHASE_INC, PHASE_NI, PHASE_PEVAL,
                                      ExecutorBackend, StepCommand,
-                                     read_report, resolve_backend)
+                                     WorkerProcessDied, read_report,
+                                     resolve_backend)
 from repro.runtime.fault import Arbitrator, FailureInjector, WorkerFailure
 from repro.runtime.message import stable_hash
 from repro.runtime.metrics import (CostModel, ParamSizeCache, RunMetrics,
@@ -89,6 +90,11 @@ class EngineConfig:
     check_monotonic: bool = False
     max_supersteps: int = 100_000
     failure_injector: Optional["FailureInjector"] = None
+    #: directory for per-superstep disk checkpoints (fault tolerance
+    #: without an injector; typically
+    #: :meth:`repro.store.GraphStore.checkpoint_dir`).  Enables recovery
+    #: from *real* worker deaths under the process backend.
+    checkpoint_dir: Optional[str] = None
 
     @property
     def effective_fragments(self) -> int:
@@ -153,7 +159,8 @@ class GrapeEngine:
                  incremental: bool = True,
                  check_monotonic: bool = False,
                  max_supersteps: int = 100_000,
-                 failure_injector: Optional[FailureInjector] = None):
+                 failure_injector: Optional[FailureInjector] = None,
+                 checkpoint_dir: Optional[str] = None):
         self.num_workers = num_workers
         self.num_fragments = num_fragments or num_workers
         if self.num_fragments < self.num_workers:
@@ -166,6 +173,7 @@ class GrapeEngine:
         self.check_monotonic = check_monotonic
         self.max_supersteps = max_supersteps
         self.failure_injector = failure_injector
+        self.checkpoint_dir = checkpoint_dir
 
     # ------------------------------------------------------------------
     @classmethod
@@ -180,7 +188,8 @@ class GrapeEngine:
                    incremental=config.incremental,
                    check_monotonic=config.check_monotonic,
                    max_supersteps=config.max_supersteps,
-                   failure_injector=config.failure_injector)
+                   failure_injector=config.failure_injector,
+                   checkpoint_dir=config.checkpoint_dir)
 
     @property
     def config(self) -> EngineConfig:
@@ -194,7 +203,8 @@ class GrapeEngine:
                             incremental=self.incremental,
                             check_monotonic=self.check_monotonic,
                             max_supersteps=self.max_supersteps,
-                            failure_injector=self.failure_injector)
+                            failure_injector=self.failure_injector,
+                            checkpoint_dir=self.checkpoint_dir)
 
     # ------------------------------------------------------------------
     def _resolve_backend(self) -> ExecutorBackend:
@@ -251,20 +261,44 @@ class GrapeEngine:
 
         backend = self._resolve_backend()
         wall_start = time.perf_counter()
-        ft_enabled = self.failure_injector is not None
+        ft_enabled = (self.failure_injector is not None
+                      or self.checkpoint_dir is not None)
         cluster = SimulatedCluster(self.num_workers,
                                    cost_model=self.cost_model,
                                    backend=backend)
-        arbitrator = Arbitrator()
+        arbitrator = Arbitrator(checkpoint_dir=self.checkpoint_dir)
         checker = MonotonicityChecker(program.aggregator,
                                       enabled=self.check_monotonic)
 
         frags = fragmentation.fragments
-        session = backend.open(program, query, fragmentation,
-                               num_workers=self.num_workers,
-                               failure_injector=self.failure_injector)
+        # The live session sits in a one-slot box: recovery from a real
+        # worker death (process backend) swaps in a fresh session on
+        # surviving/new pool workers, and every later use must see it.
+        session_box = [backend.open(program, query, fragmentation,
+                                    num_workers=self.num_workers,
+                                    failure_injector=self.failure_injector)]
+
+        def reopen():
+            try:
+                session_box[0].close()
+            except Exception:
+                pass
+            # Retried: another pool worker may die while the replacement
+            # session is being opened (each attempt culls the handles it
+            # found dead, so progress is guaranteed).
+            for attempt in range(5):
+                try:
+                    session_box[0] = backend.open(
+                        program, query, fragmentation,
+                        num_workers=self.num_workers,
+                        failure_injector=self.failure_injector)
+                    return
+                except WorkerProcessDied:
+                    if attempt == 4:
+                        raise
+
         try:
-            session.init_states()
+            session_box[0].init_states()
 
             # Optional pre-PEval data shipping (SubIso neighborhoods).
             pre_bytes = 0
@@ -272,7 +306,7 @@ class GrapeEngine:
             if payloads:
                 pre_bytes = sum(message_bytes(p)
                                 for p in payloads.values())
-                session.apply_preprocess(payloads)
+                session_box[0].apply_preprocess(payloads)
 
             # Coordinator bookkeeping: last values each fragment
             # reported, the per-parameter global table.
@@ -283,11 +317,11 @@ class GrapeEngine:
             sizer = ParamSizeCache()
 
             def snapshot_state():
-                return {"states": session.collect_states(),
+                return {"states": session_box[0].collect_states(),
                         "reported": reported, "table": global_table}
 
             def restore(snap):
-                session.replace_states(snap["states"])
+                session_box[0].replace_states(snap["states"])
                 reported.clear()
                 reported.update(snap["reported"])
                 global_table.clear()
@@ -298,10 +332,10 @@ class GrapeEngine:
                 arbitrator.checkpoint(snapshot_state())
 
             outcomes = self._step_with_recovery(
-                cluster, session, arbitrator,
+                cluster, session_box, arbitrator,
                 {f.fid: StepCommand(phase=PHASE_PEVAL) for f in frags},
                 bytes_in=pre_bytes, msgs_in=1 if payloads else 0,
-                restore=restore)
+                restore=restore, reopen=reopen)
 
             up_bytes, up_msgs, dirty = self._fold_outcomes(
                 program, frags, outcomes, reported, global_table,
@@ -341,10 +375,10 @@ class GrapeEngine:
                     for f in frags}
 
                 outcomes = self._step_with_recovery(
-                    cluster, session, arbitrator, commands,
+                    cluster, session_box, arbitrator, commands,
                     bytes_in=up_bytes + down_bytes,
                     msgs_in=up_msgs + down_msgs,
-                    restore=restore)
+                    restore=restore, reopen=reopen)
 
                 up_bytes, up_msgs, dirty = self._fold_outcomes(
                     program, frags, outcomes, reported, global_table,
@@ -365,7 +399,7 @@ class GrapeEngine:
                     "check the monotonic condition of the PIE program")
 
             # ------------- Assemble ------------------------------------
-            states = session.collect_states()
+            states = session_box[0].collect_states()
             start = time.perf_counter()
             answer = program.assemble(query, fragmentation, states)
             assemble_s = time.perf_counter() - start
@@ -374,29 +408,73 @@ class GrapeEngine:
             # Trailing reports of the final round are communication too.
             cluster.metrics.comm_bytes += up_bytes
             cluster.metrics.comm_messages += up_msgs
+            # Physical-execution figures come from the live session — a
+            # recovery mid-run re-opened it, so they describe the session
+            # that finished the run.
+            session = session_box[0]
             cluster.metrics.pipe_bytes = session.pipe_bytes
             cluster.metrics.delta_bytes_shipped = session.delta_bytes_shipped
             cluster.metrics.fragments_shipped = session.fragments_shipped
             cluster.metrics.fragments_delta_shipped = \
                 session.fragments_delta_shipped
             cluster.metrics.wall_clock_s = time.perf_counter() - wall_start
+            cluster.metrics.recoveries = arbitrator.recoveries
 
             return GrapeResult(answer=answer, metrics=cluster.metrics,
                                fragmentation=fragmentation, states=states,
                                recoveries=arbitrator.recoveries)
         finally:
-            session.close()
+            session_box[0].close()
+            arbitrator.discard()
 
     # ------------------------------------------------------------------
     @staticmethod
-    def _step_with_recovery(cluster, session, arbitrator, commands,
-                            bytes_in, msgs_in, restore):
-        """Run one superstep; on injected failure, restore the checkpoint
-        and replay (the arbitrator's task-transfer protocol)."""
+    def _step_with_recovery(cluster, session_box, arbitrator, commands,
+                            bytes_in, msgs_in, restore, reopen=None):
+        """Run one superstep; recover failures and replay (the
+        arbitrator's task-transfer protocol).
+
+        Two failure shapes are handled:
+
+        * an **injected** :exc:`WorkerFailure` (inline backends) surfaces
+          in the outcomes — the failed attempt is recorded (its compute
+          happened), the checkpoint is restored and the step replays;
+        * a **real worker death**
+          (:exc:`~repro.runtime.executors.WorkerProcessDied`, process
+          backend) aborts the exchange mid-flight — with a disk
+          checkpoint available the session is re-opened on fresh pool
+          workers, the checkpoint restored into them and the step
+          replayed.  Nothing is recorded for the aborted attempt (no
+          complete outcome set exists), so a recovered run's logical
+          metrics — supersteps, traffic — equal an uninterrupted run's.
+          A death during the recovery itself (the replacement worker
+          dies while states are being restored) retries the whole
+          sequence.  Known limitation: a death landing inside the
+          *checkpoint* exchange (``collect_states``) rather than the
+          step fails the run loudly with :exc:`WorkerProcessDied` — the
+          next consistent resume point would predate work the
+          coordinator has already folded; callers treat it as a failed
+          (safely re-runnable) query.
+        """
         attempts = 0
         while True:
             attempts += 1
-            outcomes = session.step(commands)
+            try:
+                outcomes = session_box[0].step(commands)
+            except WorkerProcessDied:
+                if (attempts > 25 or reopen is None
+                        or not arbitrator.has_checkpoint):
+                    raise
+                while True:
+                    try:
+                        reopen()
+                        restore(arbitrator.restore())
+                        break
+                    except WorkerProcessDied:
+                        attempts += 1
+                        if attempts > 25:
+                            raise
+                continue
             times = [outcomes[fid].elapsed for fid in sorted(outcomes)]
             cluster.record_superstep(times, bytes_shipped=bytes_in,
                                      num_messages=msgs_in)

@@ -62,7 +62,7 @@ class NonMonotoneUpdateError(ValueError):
 # ---------------------------------------------------------------------------
 def apply_delta(fragmentation: Fragmentation,
                 delta: Union[GraphDelta, NormalizedDelta],
-                ) -> Dict[int, FragmentDelta]:
+                *, wal=None) -> Dict[int, FragmentDelta]:
     """Apply an update batch to an edge-cut fragmentation in place.
 
     The batch is normalized against the base graph first (dedup,
@@ -88,6 +88,15 @@ def apply_delta(fragmentation: Fragmentation,
     (:meth:`~repro.partition.base.Fragmentation.record_delta`) so pooled
     process workers can replay them instead of receiving full fragment
     re-ships.
+
+    ``wal`` is the durability hook: a callable invoked as
+    ``wal(normalized, version)`` after the batch was applied and
+    sequenced, where ``version`` is the fragmentation version the batch
+    produced — exactly what
+    :meth:`~repro.store.catalog.GraphStore.append_delta` expects, so a
+    store-backed owner logs every applied batch with the same sequence
+    number the worker-replay chain uses.  No-op batches never reach the
+    hook.
     """
     graph = fragmentation.graph
     norm = delta.normalize(graph) if isinstance(delta, GraphDelta) else delta
@@ -228,6 +237,8 @@ def apply_delta(fragmentation: Fragmentation,
         # caches (process backend): the next lease replays these deltas,
         # or re-ships in full if the log no longer covers the gap.
         fragmentation.record_delta(touched)
+        if wal is not None:
+            wal(norm, fragmentation.version)
     return touched
 
 

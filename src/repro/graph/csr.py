@@ -161,6 +161,40 @@ class CSRGraph:
                    id_of, node_of, labels)
 
     # ------------------------------------------------------------------
+    # Array (de)serialization — the durable store's snapshot payload
+    # ------------------------------------------------------------------
+    def to_arrays(self) -> Dict[str, np.ndarray]:
+        """The forward CSR arrays, the complete structural payload.
+
+        The reverse (CSC) structure is derived, not stored — roughly
+        halving snapshot size; :meth:`from_arrays` rebuilds it.  Node
+        identities and labels are Python objects and travel separately
+        (the snapshot container pickles them as metadata).
+        """
+        return {"indptr": self.indptr, "indices": self.indices,
+                "weights": self.weights}
+
+    @classmethod
+    def from_arrays(cls, *, directed: bool, indptr: np.ndarray,
+                    indices: np.ndarray, weights: np.ndarray,
+                    node_of: Sequence[Node],
+                    labels: Optional[Sequence] = None) -> "CSRGraph":
+        """Rebuild a snapshot from :meth:`to_arrays` output plus the node
+        identity/label metadata; the reverse structure is re-derived."""
+        node_of = list(node_of)
+        n = len(node_of)
+        if indptr.shape[0] != n + 1:
+            raise ValueError(f"indptr has {indptr.shape[0]} entries "
+                             f"for {n} nodes")
+        id_of = {v: i for i, v in enumerate(node_of)}
+        counts = np.diff(np.asarray(indptr, dtype=np.int64))
+        label_list = list(labels) if labels is not None else [None] * n
+        return cls._assemble(n, directed, counts,
+                             np.asarray(indices, dtype=np.int64),
+                             np.asarray(weights, dtype=np.float64),
+                             id_of, node_of, label_list)
+
+    # ------------------------------------------------------------------
     def out_neighbors(self, vid: int) -> np.ndarray:
         return self.indices[self.indptr[vid]:self.indptr[vid + 1]]
 

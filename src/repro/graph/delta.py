@@ -225,6 +225,27 @@ class NormalizedDelta:
             inv.delete(u, v)
         return inv
 
+    # -- (de)serialization ----------------------------------------------
+    def to_record(self) -> Tuple:
+        """A compact plain-tuple form for the durable store's write-ahead
+        log: ``(directed, insertions, decreases, increases, deletions)``
+        as item tuples.  Stable under pickling (no dataclass module path
+        baked into every WAL record) and round-tripped exactly by
+        :meth:`from_record`."""
+        return (self.directed,
+                tuple(self.insertions.items()),
+                tuple(self.decreases.items()),
+                tuple(self.increases.items()),
+                tuple(self.deletions.items()))
+
+    @classmethod
+    def from_record(cls, record: Tuple) -> "NormalizedDelta":
+        """Rebuild a delta from :meth:`to_record` output."""
+        directed, ins, dec, inc, dele = record
+        return cls(directed=directed, insertions=dict(ins),
+                   decreases=dict(dec), increases=dict(inc),
+                   deletions=dict(dele))
+
     def apply_to(self, graph: Graph) -> None:
         """Apply to a bare :class:`Graph` (no fragmentation bookkeeping).
 

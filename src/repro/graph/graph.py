@@ -267,6 +267,67 @@ class Graph:
         return CSRGraph.from_graph(self)
 
     # ------------------------------------------------------------------
+    # Integrity
+    # ------------------------------------------------------------------
+    def content_hash(self) -> int:
+        """Cheap order-independent hash of the graph's full content.
+
+        Two graphs that compare ``==`` (same directedness, nodes, edges,
+        labels and weights) hash equal no matter what order their nodes
+        and edges were inserted in — each node and stored edge record is
+        hashed independently with :func:`~repro.runtime.message.stable_hash`
+        and the records are folded with commutative XOR/sum mixing.
+        Used by the durable store to verify a loaded snapshot decoded to
+        the graph that was saved, and usable as a content-addressed cache
+        key.  This is an integrity check, not a cryptographic digest.
+
+        Each record is hashed from its ``repr`` — stable across processes
+        and ``PYTHONHASHSEED`` values for the builtin id/label types
+        (and for custom types exactly as stable as their repr, the same
+        contract :func:`~repro.runtime.message.stable_hash` documents) —
+        and records are folded with commutative XOR/sum mixing, so
+        insertion order cannot matter.
+        """
+        from zlib import crc32
+        mask = (1 << 64) - 1
+        nl = self._node_labels
+        el = self._edge_labels
+        # One repr per node, reused across its edges — the hash runs on
+        # the store's warm-start path, so per-record cost matters.
+        reprs = {v: repr(v) for v in self._succ}
+        acc_xor = 0
+        acc_sum = 0
+        count = 0
+        for v, rv in reprs.items():
+            h = crc32(("N\x1f%s\x1f%r" % (rv, nl.get(v)))
+                      .encode("utf-8", "backslashreplace"))
+            acc_xor ^= h
+            acc_sum = (acc_sum + h * h) & mask
+            count += 1
+        # Rows of _succ: directed edges, or both orientations of each
+        # undirected edge — either way an insertion-order-free multiset.
+        for u, nbrs in self._succ.items():
+            ru = reprs[u]
+            for v, w in nbrs.items():
+                lbl = el.get((u, v))
+                # float(w): weights are hashed in their float identity,
+                # matching both dict equality (1 == 1.0 under __eq__)
+                # and the store's float64 array round trip — an
+                # int-weighted graph must hash equal to its loaded self.
+                if lbl is None:
+                    data = "E\x1f%s\x1f%s\x1f%r" % (ru, reprs[v], float(w))
+                else:
+                    data = "E\x1f%s\x1f%s\x1f%r\x1f%r" % (ru, reprs[v],
+                                                          float(w), lbl)
+                h = crc32(data.encode("utf-8", "backslashreplace"))
+                acc_xor ^= h
+                acc_sum = (acc_sum + h * h) & mask
+                count += 1
+        head = crc32(("G\x1f%r\x1f%d" % (self.directed, count))
+                     .encode("utf-8"))
+        return ((acc_sum << 32) ^ (acc_xor << 1) ^ head) & mask
+
+    # ------------------------------------------------------------------
     # Dunder conveniences
     # ------------------------------------------------------------------
     def __contains__(self, v: Node) -> bool:

@@ -14,8 +14,9 @@ as ``int``, anything else as ``str``.  This mirrors the plain edge-list files
 from __future__ import annotations
 
 import io
+import re
 from pathlib import Path
-from typing import TextIO, Union
+from typing import Optional, TextIO, Union
 
 from repro.graph.graph import Graph
 
@@ -62,27 +63,59 @@ def read_edge_list(src: Union[str, Path, TextIO]) -> Graph:
     return _read(src)
 
 
+_DIRECTED_RE = re.compile(r"directed\s*=\s*(true|false)", re.IGNORECASE)
+
+
 def _read(fh: TextIO) -> Graph:
-    header = fh.readline().strip()
-    directed = header.endswith("true")
-    g = Graph(directed=directed)
-    for line in fh:
-        line = line.rstrip("\n")
-        if not line or line.startswith("#"):
+    """Parse an edge list, tolerating real-world file noise.
+
+    Blank (or whitespace-only) lines and ``#`` comments are skipped
+    anywhere in the file — SNAP-style dumps open with several comment
+    lines and editors love trailing newlines.  The ``directed=`` header
+    may appear in any comment line before the first record (defaulting
+    to directed, the common SNAP convention).  Stray whitespace around
+    the *structural* fields — record kind, node ids, weight — and line
+    endings (including ``\\r`` from CRLF files) are tolerated; label
+    fields are preserved byte-for-byte, so a label with significant
+    leading/trailing whitespace round-trips exactly.
+    """
+    directed: bool = True
+    g: Optional[Graph] = None  # created lazily so the directed header
+    # can arrive in any leading comment line
+    for lineno, raw in enumerate(fh, start=1):
+        line = raw.rstrip("\r\n")
+        stripped = line.strip()
+        if not stripped:
             continue
+        if stripped.startswith("#"):
+            match = _DIRECTED_RE.search(stripped)
+            if match and g is None:
+                directed = match.group(1).lower() == "true"
+            continue
+        if g is None:
+            g = Graph(directed=directed)
         parts = line.split("\t")
-        kind = parts[0]
-        if kind == "N":
-            label = parts[2] if len(parts) > 2 else None
-            g.add_node(_parse_node(parts[1]), label)
-        elif kind == "E":
-            u, v = _parse_node(parts[1]), _parse_node(parts[2])
-            w = float(parts[3])
-            label = parts[4] if len(parts) > 4 else None
-            g.add_edge(u, v, weight=w, label=label)
-        else:
-            raise ValueError(f"unknown record kind {kind!r}")
-    return g
+        # trailing tabs produce empty fields; drop them
+        while parts and not parts[-1].strip():
+            parts.pop()
+        kind = parts[0].strip()
+        try:
+            if kind == "N":
+                label = parts[2] if len(parts) > 2 else None
+                g.add_node(_parse_node(parts[1].strip()), label)
+            elif kind == "E":
+                u = _parse_node(parts[1].strip())
+                v = _parse_node(parts[2].strip())
+                w = float(parts[3]) if len(parts) > 3 else 1.0
+                label = parts[4] if len(parts) > 4 else None
+                g.add_edge(u, v, weight=w, label=label)
+            else:
+                raise ValueError(f"unknown record kind {kind!r}")
+        except (IndexError, ValueError) as exc:
+            raise ValueError(
+                f"malformed edge-list record on line {lineno}: "
+                f"{line!r} ({exc})") from None
+    return g if g is not None else Graph(directed=directed)
 
 
 def dumps(g: Graph) -> str:

@@ -252,6 +252,27 @@ class Fragmentation:
         self.gp = FragmentationGraph(
             owner, {v: frozenset(fs) for v, fs in holders.items()})
 
+    @classmethod
+    def restored(cls, graph: Graph, fragments: Sequence[Fragment],
+                 strategy_name: str = "unknown",
+                 version: int = 0) -> "Fragmentation":
+        """Rebuild a fragmentation from persisted state (the durable
+        store's snapshot path).
+
+        The ``G_P`` index is recomputed from the fragments' node sets —
+        :func:`repro.core.updates.apply_delta` keeps fragment membership
+        and the live index in lockstep, so the recomputation reproduces
+        the maintained index exactly.  The restored object resumes at the
+        persisted ``version`` but with an **empty delta log and a fresh
+        cache token**: no replay chain can be proven across a process
+        restart, so pooled workers holding copies from the previous
+        incarnation are refreshed by full re-ship rather than trusted
+        with an unverifiable delta replay.
+        """
+        frag = cls(graph, fragments, strategy_name=strategy_name)
+        frag.version = version
+        return frag
+
     @property
     def num_fragments(self) -> int:
         return len(self.fragments)

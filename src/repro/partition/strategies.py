@@ -113,10 +113,21 @@ class StreamingPartition(PartitionStrategy):
         self.slack = slack
         self.seed = seed
 
+    def _rng(self) -> random.Random:
+        """A fresh, explicitly seeded generator per assignment.
+
+        Never the global ``random`` module: ambient ``random.seed(...)``
+        calls elsewhere in the process (benchmarks, fuzzers, user code)
+        must not change where nodes land — the serving layer caches
+        fragmentations and ships fragments by content, so placement must
+        be a pure function of ``(graph, strategy parameters)``.
+        """
+        return random.Random(self.seed)
+
     def assign(self, graph: Graph, num_fragments: int) -> Dict[Node, int]:
         n = graph.num_nodes
         capacity = max(1.0, self.slack * n / num_fragments)
-        rng = random.Random(self.seed)
+        rng = self._rng()
         order = list(graph.nodes())
         rng.shuffle(order)
         assignment: Dict[Node, int] = {}
@@ -160,10 +171,18 @@ class MetisLikePartition(PartitionStrategy):
         self.refine_passes = refine_passes
         self.seed = seed
 
+    def _rng(self) -> random.Random:
+        """A fresh, explicitly seeded generator per assignment (see
+        :meth:`StreamingPartition._rng` — same reproducibility
+        contract)."""
+        return random.Random(self.seed)
+
     # -- coarsening ---------------------------------------------------
     def _heavy_edge_matching(self, adj: Dict[Node, Dict[Node, float]],
-                             rng: random.Random) -> Dict[Node, Node]:
-        """Match each node with its heaviest unmatched neighbor."""
+                             ) -> Dict[Node, Node]:
+        """Match each node with its heaviest unmatched neighbor
+        (deterministic: nodes visited in degree order, ties broken by
+        adjacency order — no randomness in this phase)."""
         matched: Dict[Node, Node] = {}
         order = sorted(adj, key=lambda v: len(adj[v]))
         for v in order:
@@ -180,10 +199,9 @@ class MetisLikePartition(PartitionStrategy):
                 matched[best] = v
         return matched
 
-    def _coarsen(self, adj: Dict[Node, Dict[Node, float]],
-                 rng: random.Random):
+    def _coarsen(self, adj: Dict[Node, Dict[Node, float]]):
         """One coarsening level; returns (coarse_adj, mapping fine->coarse)."""
-        matched = self._heavy_edge_matching(adj, rng)
+        matched = self._heavy_edge_matching(adj)
         coarse_of: Dict[Node, int] = {}
         next_id = 0
         for v in adj:
@@ -260,7 +278,10 @@ class MetisLikePartition(PartitionStrategy):
                 break
 
     def assign(self, graph: Graph, num_fragments: int) -> Dict[Node, int]:
-        rng = random.Random(self.seed)
+        # One explicitly seeded generator threaded through every phase
+        # that draws randomness (initial-partition seeding/spill); the
+        # coarsening and refinement phases are deterministic.
+        rng = self._rng()
         # Symmetrized weighted adjacency for the cut objective.
         adj: Dict[Node, Dict[Node, float]] = {v: {} for v in graph.nodes()}
         for u, v, w in graph.edges():
@@ -273,7 +294,7 @@ class MetisLikePartition(PartitionStrategy):
         current = adj
         while len(current) > max(self.coarsen_until,
                                  4 * num_fragments):
-            coarse, mapping = self._coarsen(current, rng)
+            coarse, mapping = self._coarsen(current)
             if len(coarse) >= len(current):  # no progress (all isolated)
                 break
             levels.append((current, mapping))

@@ -69,6 +69,7 @@ __all__ = [
     "StepOutcome",
     "ThreadBackend",
     "UnpicklableProgramError",
+    "WorkerProcessDied",
     "available_backends",
     "resolve_backend",
 ]
@@ -85,6 +86,17 @@ PHASE_NI = "ni"            # GRAPE-NI ablation: apply message, redo PEval
 
 class UnpicklableProgramError(TypeError):
     """A program/query/fragment could not cross the process boundary."""
+
+
+class WorkerProcessDied(RuntimeError):
+    """A pooled worker process died mid-exchange (crash or ``kill -9``).
+
+    Distinct from :exc:`~repro.runtime.fault.WorkerFailure` (a *simulated*
+    failure injected into an inline backend): this is a real OS-level
+    death.  The engine recovers from it when disk checkpoints are enabled
+    — the session is re-opened on fresh workers and the last consistent
+    checkpoint restored — and re-raises it otherwise.
+    """
 
 
 @dataclass
@@ -571,6 +583,11 @@ def _worker_main(conn) -> None:  # pragma: no cover - runs in child process
                                           states[fid], command)
                     for fid, command in msg[1].items()}
                 channel.send(("ok", outcomes))
+            elif kind == "set_states":
+                # checkpoint recovery: overwrite this worker's share of
+                # the states with the coordinator's restored snapshot
+                states.update(msg[1])
+                channel.send(("ok", None))
             elif kind == "collect":
                 builds = {fid: frag.csr_builds - build_base.get(fid, 0)
                           for fid, frag in fragments.items()}
@@ -606,6 +623,11 @@ class _WorkerHandle:
         self.channel = _Channel(parent)
         #: fragmentation token -> fids this worker holds resident
         self.cached: Dict[Any, set] = {}
+        #: set the moment a pipe error is observed: ``is_alive`` can
+        #: race True for a few microseconds after a SIGKILL, and a dead
+        #: handle slipping back into the idle pool would poison the
+        #: next lease
+        self._dead = False
 
     def request(self, payload: Any) -> Any:
         """One blocking request/reply exchange; re-raises worker errors."""
@@ -618,7 +640,8 @@ class _WorkerHandle:
         except UnpicklableProgramError:
             raise
         except (BrokenPipeError, OSError) as exc:
-            raise RuntimeError(
+            self._dead = True
+            raise WorkerProcessDied(
                 f"process-backend worker {self.process.name} died "
                 f"(exitcode={self.process.exitcode})") from exc
 
@@ -626,7 +649,8 @@ class _WorkerHandle:
         try:
             reply = self.channel.recv()
         except (EOFError, OSError) as exc:
-            raise RuntimeError(
+            self._dead = True
+            raise WorkerProcessDied(
                 f"process-backend worker {self.process.name} died "
                 f"(exitcode={self.process.exitcode})") from exc
         if reply[0] == "error":
@@ -649,7 +673,7 @@ class _WorkerHandle:
 
     @property
     def alive(self) -> bool:
-        return self.process.is_alive()
+        return not self._dead and self.process.is_alive()
 
 
 class _ProcessSession(ExecutorSession):
@@ -734,6 +758,14 @@ class _ProcessSession(ExecutorSession):
         for reply in replies:
             outcomes.update(reply)
         return outcomes
+
+    def replace_states(self, states: Dict[int, Any]) -> None:
+        """Overwrite worker-resident states (checkpoint recovery): each
+        leased worker receives its placed fragments' restored states."""
+        self._broadcast(lambda handle: ("set_states", {
+            fid: states[fid] for fid in self._fids_of(handle)
+            if fid in states}))
+        self._account()
 
     def collect_states(self) -> Dict[int, Any]:
         states: Dict[int, Any] = {}

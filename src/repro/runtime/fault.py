@@ -15,13 +15,25 @@ In the simulation:
   engine: it keeps per-fragment state checkpoints and, on failure,
   restores the failed fragment's state so the superstep can be re-run
   (simulating the task transfer to a healthy worker).
+
+The arbitrator has two checkpoint modes.  The default keeps deep copies
+in memory — enough for *injected* failures, where the coordinator
+process survives.  Passing ``checkpoint_dir`` switches to **disk
+checkpoints** backed by the durable store's layout
+(:meth:`~repro.store.catalog.GraphStore.checkpoint_dir`): each
+checkpoint is pickled to a per-run file and atomically renamed into
+place, so the state a ``kill -9``'d process-backend worker held can be
+restored into a fresh worker; the file is discarded when its run ends.
 """
 
 from __future__ import annotations
 
 import copy
+import os
+import pickle
 import random
-from typing import Any, Dict, List, Optional, Set, Tuple
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Set, Tuple, Union
 
 __all__ = ["WorkerFailure", "FailureInjector", "Arbitrator"]
 
@@ -79,23 +91,80 @@ class Arbitrator:
     successful superstep; when a :exc:`WorkerFailure` surfaces, the engine
     asks the arbitrator for the last consistent snapshot and replays the
     superstep (GRAPE's "transfer its computation tasks to another worker").
+
+    Parameters
+    ----------
+    checkpoint_dir:
+        ``None`` (default) keeps checkpoints as in-memory deep copies.
+        A directory path enables the disk mode: every checkpoint is
+        pickled to a file **unique to this arbitrator instance** (so
+        concurrent runs sharing one directory can never clobber — or
+        restore — each other's checkpoints) via an atomic temp-file
+        rename, so a crash mid-write leaves the previous checkpoint
+        intact — the invariant the process-backend kill-recovery path
+        relies on.  Disk mode requires picklable fragment states (the
+        process backend already enforces that contract).  The engine
+        discards the file when its run ends (:meth:`discard`), so a
+        long-lived checkpoint directory does not accumulate debris.
     """
 
-    def __init__(self):
+    def __init__(self, checkpoint_dir: Union[str, Path, None] = None):
         self._snapshots: Dict[int, Any] = {}
+        self._dir: Optional[Path] = None
+        self.checkpoints_written = 0
         self.recoveries = 0
+        if checkpoint_dir is not None:
+            self._dir = Path(checkpoint_dir)
+            self._dir.mkdir(parents=True, exist_ok=True)
+            self._filename = (f"checkpoint-{os.getpid()}-"
+                              f"{os.urandom(4).hex()}.ckpt")
+
+    @property
+    def checkpoint_path(self) -> Optional[Path]:
+        """Where this instance's disk checkpoints land (``None`` in
+        memory mode)."""
+        return self._dir / self._filename if self._dir else None
 
     def checkpoint(self, fragment_states: Dict[int, Any]) -> None:
-        """Store a deep copy of every fragment's state."""
-        self._snapshots = {fid: copy.deepcopy(state)
-                           for fid, state in fragment_states.items()}
+        """Store a consistent copy of every fragment's state.
+
+        In-memory mode deep-copies; disk mode pickles to the checkpoint
+        file atomically (the pickle round trip *is* the copy).
+        """
+        if self._dir is None:
+            self._snapshots = {fid: copy.deepcopy(state)
+                               for fid, state in fragment_states.items()}
+        else:
+            from repro.ioutil import atomic_write_bytes
+            atomic_write_bytes(
+                self.checkpoint_path,
+                pickle.dumps(fragment_states,
+                             protocol=pickle.HIGHEST_PROTOCOL))
+        self.checkpoints_written += 1
 
     def restore(self) -> Dict[int, Any]:
-        """Return the last consistent snapshot (deep-copied back out)."""
+        """Return the last consistent snapshot (copied back out, so the
+        caller may mutate it freely)."""
         self.recoveries += 1
-        return {fid: copy.deepcopy(state)
-                for fid, state in self._snapshots.items()}
+        if self._dir is None:
+            return {fid: copy.deepcopy(state)
+                    for fid, state in self._snapshots.items()}
+        with open(self.checkpoint_path, "rb") as fh:
+            return pickle.load(fh)
 
     @property
     def has_checkpoint(self) -> bool:
-        return bool(self._snapshots)
+        if self._dir is None:
+            return bool(self._snapshots)
+        return self.checkpoint_path.is_file()
+
+    def discard(self) -> None:
+        """Delete this instance's checkpoint (called when the run that
+        owned it ends — successfully or not — so shared checkpoint
+        directories stay clean)."""
+        self._snapshots = {}
+        if self._dir is not None:
+            try:
+                os.unlink(self.checkpoint_path)
+            except OSError:
+                pass

@@ -129,7 +129,7 @@ _ADDITIVE_FIELDS = (
     "supersteps", "parallel_time_s", "total_compute_s", "comm_bytes",
     "comm_messages", "wall_clock_s", "pipe_bytes", "deltas_applied",
     "incremental_maintained", "fallback_reruns", "delta_bytes_shipped",
-    "fragments_shipped", "fragments_delta_shipped",
+    "fragments_shipped", "fragments_delta_shipped", "recoveries",
 )
 
 
@@ -176,6 +176,9 @@ class RunMetrics:
     fragments_shipped: int = 0
     #: fragments brought current worker-side by delta replay
     fragments_delta_shipped: int = 0
+    #: checkpoint restores this run performed (injected worker failures
+    #: and real process-backend worker deaths alike)
+    recoveries: int = 0
     per_superstep: List[Dict[str, float]] = field(default_factory=list)
 
     def record_superstep(self, worker_times: List[float],
@@ -280,6 +283,19 @@ class ServiceMetrics:
     incremental_maintained: int = 0
     fallback_reruns: int = 0
     delta_bytes_shipped: int = 0
+    #: the durability layer (``GrapeService(store_dir=...)``): snapshot
+    #: generations committed, WAL records appended, WAL records replayed
+    #: during warm start / loads, and graphs recovered from the store at
+    #: service construction — ``edge_lists_parsed`` counts the cold path
+    #: (``load_graph_file``), so a warm-started service serving with
+    #: ``edge_lists_parsed == 0`` provably skipped re-parsing
+    snapshots_written: int = 0
+    wal_appends: int = 0
+    wal_replayed: int = 0
+    warm_starts: int = 0
+    edge_lists_parsed: int = 0
+    #: checkpoint restores across served runs (fault tolerance)
+    recoveries: int = 0
 
     def observe_run(self, metrics: "RunMetrics") -> None:
         """Fold one completed query run into the aggregates."""
@@ -287,6 +303,7 @@ class ServiceMetrics:
         self.wall_clock_s_total += metrics.wall_clock_s
         self.pipe_bytes_total += metrics.pipe_bytes
         self.delta_bytes_shipped += metrics.delta_bytes_shipped
+        self.recoveries += metrics.recoveries
         self._observe_cost(metrics.supersteps, metrics.comm_bytes,
                            metrics.comm_messages)
 
@@ -341,4 +358,6 @@ class ServiceMetrics:
                 f"supersteps={self.supersteps_total}, "
                 f"comm={self.comm_megabytes_total:.4f}MB, "
                 f"csr={self.csr_snapshots_built}built/"
-                f"{self.csr_snapshot_invalidations}inv)")
+                f"{self.csr_snapshot_invalidations}inv, "
+                f"store={self.snapshots_written}snap/"
+                f"{self.wal_appends}wal)")

@@ -30,6 +30,12 @@ repo's previously separate layers into that shape:
 Queries on a graph run concurrently (they only read the fragmentation);
 an update batch takes that graph's write lock, so it waits for in-flight
 queries and blocks new ones while fragments are mutated.
+
+With ``store_dir=...`` the service is **durable**: registered graphs are
+snapshotted into a :class:`~repro.store.GraphStore`, every applied batch
+is written ahead to the graph's delta WAL, an outgrown WAL is compacted
+into a fresh snapshot, and construction warm-starts from the store —
+see :mod:`repro.store` and the README's "Durability & recovery".
 """
 
 from __future__ import annotations
@@ -41,17 +47,21 @@ from contextlib import contextmanager
 from typing import (Any, Callable, Dict, Iterable, List, Optional, Tuple,
                     Union)
 
+from pathlib import Path
+
 from repro.core.api import PIERegistry, default_registry
 from repro.core.engine import EngineConfig, GrapeEngine
 from repro.core.updates import (ContinuousQuerySession, EdgeInsertion,
                                 NonMonotoneUpdateError, apply_delta)
 from repro.graph.delta import FragmentDelta, GraphDelta
 from repro.graph.graph import Graph, Node
+from repro.graph.io import read_edge_list
 from repro.partition.base import Fragmentation, PartitionStrategy
 from repro.partition.strategies import HashPartition
 from repro.runtime.executors import ExecutorBackend
 from repro.runtime.metrics import ServiceMetrics
 from repro.service.tickets import QueryRequest, QueryTicket
+from repro.store.catalog import GraphStore
 
 __all__ = ["GrapeService", "WatchHandle"]
 
@@ -212,13 +222,28 @@ class GrapeService:
         library so per-service plug-ins stay local.
     concurrency:
         Thread-pool width for ``submit``/``submit_many``.
+    store_dir:
+        Optional durability root.  When given, the service owns a
+        :class:`~repro.store.GraphStore` there: registered graphs are
+        snapshotted, every applied update batch is appended to the
+        graph's delta WAL (and folded into a fresh snapshot once the WAL
+        outgrows the compaction threshold), and construction
+        **warm-starts** — every graph committed to the store is loaded
+        (snapshot + WAL replay) and immediately servable, with no
+        edge-list parsing and no eager re-partitioning (fragmentation
+        cache entries rebuild lazily on first use).
+    store_compact_threshold:
+        WAL bytes beyond which an update triggers compaction (defaults
+        to the store's own default).
     """
 
     def __init__(self, *,
                  engine: Union[EngineConfig, GrapeEngine, None] = None,
                  backend: Union[str, "ExecutorBackend", None] = None,
                  registry: Optional[PIERegistry] = None,
-                 concurrency: int = 4):
+                 concurrency: int = 4,
+                 store_dir: Union[str, Path, None] = None,
+                 store_compact_threshold: Optional[int] = None):
         if isinstance(engine, GrapeEngine):
             engine = engine.config
         self.engine_config = engine or EngineConfig()
@@ -246,6 +271,38 @@ class GrapeService:
         self._watch_ids = itertools.count(1)
         self._closed = False
 
+        self.store: Optional[GraphStore] = None
+        if store_dir is not None:
+            kwargs = ({} if store_compact_threshold is None
+                      else {"compact_threshold_bytes":
+                            store_compact_threshold})
+            self.store = GraphStore(store_dir, **kwargs)
+            self._warm_start()
+
+    def _warm_start(self) -> None:
+        """Recover every committed graph from the store: load its
+        snapshot, replay its WAL chain, and serve.
+
+        No partitioning runs here.  When the snapshot carries the
+        previous incarnation's canonical fragmentation (persisted at
+        compaction or graceful shutdown) *and* its recorded
+        ``(strategy, m)`` identity matches this service's config, the
+        maintained partition is seeded straight into the fragmentation
+        cache — the paper's "partitioned once for all queries"
+        amortization surviving the restart.  Everything else (a
+        config change, other engine configs' entries) rebuilds lazily on
+        first use."""
+        for name in self.store.names():
+            stored = self.store.load(name)
+            self._graphs[name] = stored.graph
+            self.stats.warm_starts += 1
+            canon_key = self._cache_key(name, self.engine_config)
+            if (stored.fragmentation is not None
+                    and stored.frag_key is not None
+                    and tuple(stored.frag_key) == canon_key[1:]):
+                self._frag_cache[canon_key] = stored.fragmentation
+        self._sync_store_stats()
+
     # ------------------------------------------------------------------
     # graph management
     # ------------------------------------------------------------------
@@ -255,28 +312,65 @@ class GrapeService:
         if not isinstance(name, str) or not name:
             raise TypeError(f"graph name must be a non-empty string, "
                             f"got {name!r}")
+        # The mutation lock spans registration *and* the snapshot
+        # commit: an update cannot slip between them (its WAL append
+        # needs the manifest the commit creates), and — unlike holding
+        # the service-wide lock across a multi-second snapshot write —
+        # queries and updates on *other* graphs proceed unhindered.
+        with self._mutation_lock(name):
+            with self._lock:
+                if name in self._graphs and not replace:
+                    raise ValueError(f"graph {name!r} already loaded; "
+                                     "pass replace=True to swap it")
+                if self._active_watches(name):
+                    raise ValueError(f"graph {name!r} has standing "
+                                     "queries; cancel them before "
+                                     "replacing it")
+                self._graphs[name] = graph
+                self._drop_cached(name)
+            if self.store is not None:
+                self.store.persist_graph(name, graph)
+                with self._lock:
+                    self._sync_store_stats()
+
+    def load_graph_file(self, name: str, path: Union[str, Path], *,
+                        replace: bool = False) -> Graph:
+        """Parse an edge-list file and register it — the *cold* path.
+
+        Counted in ``stats.edge_lists_parsed``, which is how a
+        warm-started service proves it never re-parsed: it serves the
+        same graphs with that counter still at zero.
+        """
+        graph = read_edge_list(path)
         with self._lock:
-            if name in self._graphs and not replace:
-                raise ValueError(f"graph {name!r} already loaded; pass "
-                                 "replace=True to swap it")
-            if self._active_watches(name):
-                raise ValueError(f"graph {name!r} has standing queries; "
-                                 "cancel them before replacing it")
-            self._graphs[name] = graph
-            self._drop_cached(name)
+            self.stats.edge_lists_parsed += 1
+        self.load_graph(name, graph, replace=replace)
+        return graph
 
     def unload_graph(self, name: str) -> Graph:
-        """Forget a named graph (and its cached fragmentations)."""
-        with self._lock:
-            if self._active_watches(name):
-                raise ValueError(f"graph {name!r} has standing queries; "
-                                 "cancel them before unloading")
-            graph = self._require_graph(name)
-            del self._graphs[name]
-            self._drop_cached(name)
-            self._graph_locks.pop(name, None)
-            self._mutation_locks.pop(name, None)
-            self._watches.pop(name, None)
+        """Forget a named graph (and its cached fragmentations).
+
+        With a store attached the graph's persisted state is removed too
+        — an unloaded graph must not resurrect on the next warm start.
+        The mutation lock is held throughout so an in-flight update
+        batch finishes (WAL append included) before the store entry
+        disappears from under it.
+        """
+        with self._mutation_lock(name):
+            with self._lock:
+                if self._active_watches(name):
+                    raise ValueError(f"graph {name!r} has standing "
+                                     "queries; cancel them before "
+                                     "unloading")
+                graph = self._require_graph(name)
+                del self._graphs[name]
+                self._drop_cached(name)
+                self._graph_locks.pop(name, None)
+                self._watches.pop(name, None)
+            if self.store is not None:
+                self.store.remove(name)
+            with self._lock:
+                self._mutation_locks.pop(name, None)
         return graph
 
     def graphs(self) -> List[str]:
@@ -523,11 +617,18 @@ class GrapeService:
         """
         with self._mutation_lock(graph):
             with self._lock:
+                if self._closed:
+                    raise RuntimeError("service is closed")
                 g = self._require_graph(graph)
                 handles = self._active_watches(graph)
                 canon_key = self._cache_key(graph, self.engine_config)
                 canon = self._frag_cache.get(canon_key)
                 glock = self._graph_lock_locked(graph)
+                # Captured under the same lock hold as the closed
+                # check: close() detaches the store atomically with
+                # setting _closed, so a sink captured here is never
+                # silently None for a batch close() will then flush.
+                wal = self._wal_sink(graph)
 
             # Normalized outside the write lock: the mutation lock
             # already excludes every other writer, and concurrent
@@ -547,12 +648,24 @@ class GrapeService:
             rejected: Optional[NonMonotoneUpdateError] = None
             with glock.write():
                 if canon is not None:
-                    touched = apply_delta(canon, norm)
+                    touched = apply_delta(canon, norm, wal=wal)
                 else:
                     # No fragmentation yet (and hence no watchers):
                     # mutate the base graph directly.
                     norm.apply_to(g)
                     touched = {}
+                    if wal is not None:
+                        wal(norm, 0)
+                if self.store is not None:
+                    # Fold an outgrown WAL into a fresh snapshot while
+                    # the write lock still excludes readers — the
+                    # snapshot must not observe a half-applied batch.
+                    # The canonical fragmentation rides along so a
+                    # restart can skip re-partitioning.
+                    self.store.maybe_compact(
+                        graph, g, fragmentation=canon,
+                        frag_key=(list(canon_key[1:])
+                                  if canon is not None else None))
                 for handle in handles:
                     # Re-checked here (and inside _refresh): the handle
                     # may have been cancelled since the snapshot above.
@@ -580,6 +693,7 @@ class GrapeService:
                         supersteps, nbytes, msgs, maintained=maintained,
                         fallbacks=fallbacks, delta_bytes=delta_bytes)
                 self._sync_csr_stats()
+                self._sync_store_stats()
             if rejected is not None:
                 raise rejected
         return refreshed
@@ -643,13 +757,90 @@ class GrapeService:
                 lock = self._mutation_locks[name] = threading.RLock()
             return lock
 
-    def close(self) -> None:
-        """Drain the engine pool and refuse further queries."""
+    def _wal_sink(self, name: str):
+        """The durability hook handed to :func:`apply_delta` — appends
+        each applied batch to the graph's WAL (``None`` without a
+        store)."""
+        if self.store is None:
+            return None
+        store = self.store
+
+        def sink(norm, seq: int) -> None:
+            store.append_delta(name, norm, seq)
+        return sink
+
+    def _sync_store_stats(self) -> None:
+        """Mirror the store's counters into :class:`ServiceMetrics`
+        (same pattern as the CSR snapshot counters)."""
+        if self.store is None:
+            return
+        m = self.store.metrics
+        self.stats.snapshots_written = m.snapshots_written
+        self.stats.wal_appends = m.wal_appends
+        self.stats.wal_replayed = m.wal_replayed
+
+    def _flush_store(self, store: GraphStore) -> None:
+        """Graceful-shutdown checkpoint: fold each graph's pending WAL
+        into a fresh snapshot, bundling the canonical fragmentation so
+        the next warm start skips both replay and re-partitioning.
+
+        A crash skips this — then warm start recovers via snapshot + WAL
+        replay and re-partitions lazily, which is exactly the degraded
+        mode the WAL exists for.
+
+        Each graph is flushed under its mutation lock: an in-flight
+        ``update()`` finishes (WAL append included) before its graph is
+        snapshotted, so the shutdown checkpoint can never capture a
+        half-applied batch.  (``update`` itself refuses to start once
+        ``close()`` has marked the service closed.)
+        """
+        with self._lock:
+            names = [name for name in self._graphs if name in store]
+        for name in names:
+            with self._mutation_lock(name):
+                with self._lock:
+                    g = self._graphs.get(name)
+                    if g is None:  # unloaded since the snapshot above
+                        continue
+                    canon_key = self._cache_key(name, self.engine_config)
+                    canon = self._frag_cache.get(canon_key)
+                    key = list(canon_key[1:])
+                stored_key = store.fragmentation_key(name)
+                dirty = store.has_pending_wal(name)
+                frag_missing = canon is not None and stored_key != key
+                if dirty or frag_missing:
+                    store.persist_graph(name, g, fragmentation=canon,
+                                        frag_key=(key if canon is not None
+                                                  else None))
+        with self._lock:
+            # self.store is already detached (close() owns it), so sync
+            # the final counters from the store directly
+            self.stats.snapshots_written = store.metrics.snapshots_written
+            self.stats.wal_appends = store.metrics.wal_appends
+            self.stats.wal_replayed = store.metrics.wal_replayed
+
+    def close(self, *, flush: bool = True) -> None:
+        """Drain the engine pool, checkpoint the store (fold pending
+        WALs + canonical fragmentations into fresh snapshots) and refuse
+        further queries.
+
+        ``flush=False`` skips the shutdown checkpoint — the store is
+        left exactly as the write path maintained it (snapshot + WAL),
+        which is also what a crash leaves behind; tests and benchmarks
+        use it to exercise the WAL-replay recovery path.
+        """
         with self._lock:
             self._closed = True
             pool, self._pool = self._pool, None
+            store, self.store = self.store, None
         if pool is not None:
             pool.shutdown(wait=True)
+        if store is not None:
+            try:
+                if flush:
+                    self._flush_store(store)
+            finally:
+                store.close()
 
     def __enter__(self) -> "GrapeService":
         return self

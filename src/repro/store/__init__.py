@@ -1,0 +1,34 @@
+"""Durable graph store: snapshots, delta WALs and the graph catalog.
+
+The persistence layer under the serving stack (paper Section 6's
+"partitioned once for all queries" amortization, made restart-proof):
+
+* :mod:`repro.store.snapshot` — checksummed binary snapshots of graphs
+  and fragmentations (npz CSR arrays + pickled metadata);
+* :mod:`repro.store.wal` — an append-only, torn-tail-truncating log of
+  applied :class:`~repro.graph.delta.NormalizedDelta` batches;
+* :mod:`repro.store.catalog` — :class:`GraphStore`, mapping graph names
+  to snapshot + WAL chains with atomic rename-based commits and
+  size-triggered compaction.
+
+``GrapeService(store_dir=...)`` wires all three in: registered graphs
+and applied deltas persist transparently, and a restarted service
+warm-starts from the store instead of re-parsing and re-building.
+"""
+
+from repro.store.catalog import GraphStore, StoreMetrics, StoredGraph
+from repro.store.snapshot import (LoadedSnapshot, SnapshotError,
+                                  load_snapshot, save_snapshot)
+from repro.store.wal import DeltaWAL, WALError
+
+__all__ = [
+    "DeltaWAL",
+    "GraphStore",
+    "LoadedSnapshot",
+    "SnapshotError",
+    "StoreMetrics",
+    "StoredGraph",
+    "WALError",
+    "load_snapshot",
+    "save_snapshot",
+]

@@ -1,0 +1,360 @@
+"""The durable graph catalog: named graphs -> snapshot + WAL chains.
+
+``GraphStore`` is the persistence root the serving layer plugs into
+(``GrapeService(store_dir=...)``).  Each stored graph owns one directory
+holding a generation-numbered snapshot, the delta WAL accumulated on top
+of it, and a ``MANIFEST.json`` naming the current pair::
+
+    <root>/
+      graphs/<dir>/
+        MANIFEST.json          # {"name", "generation", "snapshot", "wal"}
+        snapshot-<N>.snap      # repro.store.snapshot container
+        wal-<N>.log            # repro.store.wal chain on top of it
+      checkpoints/<dir>/       # Arbitrator disk checkpoints (fault path)
+
+Commits are crash-ordered: a new snapshot and a fresh WAL are fully
+written (and fsynced) under the next generation number *before* the
+manifest is atomically replaced to point at them; stale generations are
+deleted only afterwards.  A crash at any point leaves either the old
+consistent pair or the new one — never a mix.
+
+Compaction folds a WAL that outgrew ``compact_threshold_bytes`` into a
+fresh snapshot of the live graph (the write path calls
+:meth:`maybe_compact` after each append), bounding both recovery time
+and disk growth under sustained churn.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.graph.delta import NormalizedDelta
+from repro.graph.graph import Graph
+from repro.ioutil import atomic_write_bytes
+from repro.partition.base import Fragmentation
+from repro.store.snapshot import load_snapshot, save_snapshot
+from repro.store.wal import DeltaWAL
+
+__all__ = ["GraphStore", "StoreMetrics", "StoredGraph"]
+
+#: default WAL size beyond which the next append triggers compaction
+DEFAULT_COMPACT_THRESHOLD = 4 << 20
+
+
+@dataclass
+class StoreMetrics:
+    """Counters for one store's lifetime (folded into
+    :class:`~repro.runtime.metrics.ServiceMetrics` by the service)."""
+
+    snapshots_written: int = 0
+    wal_appends: int = 0
+    wal_replayed: int = 0
+    compactions: int = 0
+
+    def __repr__(self) -> str:
+        return (f"StoreMetrics(snapshots={self.snapshots_written}, "
+                f"appends={self.wal_appends}, "
+                f"replayed={self.wal_replayed}, "
+                f"compactions={self.compactions})")
+
+
+@dataclass
+class StoredGraph:
+    """What :meth:`GraphStore.load` recovered for one graph."""
+
+    name: str
+    graph: Graph
+    fragmentation: Optional[Fragmentation]
+    #: WAL records replayed on top of the snapshot
+    replayed: int = 0
+    meta: Dict = field(default_factory=dict)
+    #: caller-defined identity of the persisted fragmentation (the
+    #: service records its ``(strategy signature, m)`` so a restart can
+    #: tell whether the stored partition matches its own config)
+    frag_key: Optional[List] = None
+
+
+def _dirname(name: str) -> str:
+    """Filesystem-safe directory name for a graph name.
+
+    A readable sanitized prefix plus a crc of the *exact* name — the
+    suffix keeps distinct names distinct even where sanitization or the
+    filesystem would fold them together (``"G"`` vs ``"g"`` on a
+    case-insensitive filesystem, escaped characters, long names).
+    """
+    safe = "".join(ch if (ch.isalnum() or ch in "-_.") else "_"
+                   for ch in name)[:80]
+    tag = zlib.crc32(name.encode("utf-8"))
+    return f"{safe or 'g'}-{tag:08x}"
+
+
+class GraphStore:
+    """Catalog of durably stored graphs with atomic generation commits.
+
+    Thread-safe, with **per-graph** write locks: one graph's compaction
+    (a multi-second snapshot pack + fsync for a large graph) never
+    blocks another graph's WAL appends — the serving facade promises
+    per-graph concurrency and the store must not quietly serialize it.
+    A narrow catalog lock guards only the shared dictionaries and the
+    metrics counters.
+    """
+
+    def __init__(self, root: Union[str, Path], *,
+                 compact_threshold_bytes: int = DEFAULT_COMPACT_THRESHOLD,
+                 sync: bool = True):
+        self.root = Path(root)
+        self.compact_threshold_bytes = compact_threshold_bytes
+        self._sync = sync
+        self._graphs_dir = self.root / "graphs"
+        self._checkpoints_dir = self.root / "checkpoints"
+        self._graphs_dir.mkdir(parents=True, exist_ok=True)
+        self.metrics = StoreMetrics()
+        self._wals: Dict[str, DeltaWAL] = {}
+        self._lock = threading.RLock()  # dicts + metrics + closed flag
+        self._name_locks: Dict[str, threading.RLock] = {}
+        self._closed = False
+
+    def _name_lock(self, name: str) -> threading.RLock:
+        with self._lock:
+            lock = self._name_locks.get(name)
+            if lock is None:
+                lock = self._name_locks[name] = threading.RLock()
+            return lock
+
+    # ------------------------------------------------------------------
+    # layout helpers
+    # ------------------------------------------------------------------
+    def _graph_dir(self, name: str) -> Path:
+        return self._graphs_dir / _dirname(name)
+
+    def _manifest_path(self, name: str) -> Path:
+        return self._graph_dir(name) / "MANIFEST.json"
+
+    def _read_manifest(self, name: str) -> Optional[Dict]:
+        try:
+            return json.loads(self._manifest_path(name).read_text(
+                encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def _commit_manifest(self, name: str, manifest: Dict) -> None:
+        """Atomically publish a manifest (tmp write + durable rename)."""
+        blob = json.dumps(manifest, indent=2,
+                          sort_keys=True).encode("utf-8")
+        atomic_write_bytes(self._manifest_path(name), blob)
+
+    def checkpoint_dir(self, name: str) -> Path:
+        """Directory for this graph's engine-run disk checkpoints
+        (handed to :class:`~repro.runtime.fault.Arbitrator`)."""
+        path = self._checkpoints_dir / _dirname(name)
+        path.mkdir(parents=True, exist_ok=True)
+        return path
+
+    # ------------------------------------------------------------------
+    # catalog
+    # ------------------------------------------------------------------
+    def names(self) -> List[str]:
+        """Every committed graph name, sorted."""
+        found = []
+        for child in sorted(self._graphs_dir.iterdir()):
+            manifest = child / "MANIFEST.json"
+            if manifest.is_file():
+                try:
+                    found.append(json.loads(
+                        manifest.read_text(encoding="utf-8"))["name"])
+                except (OSError, json.JSONDecodeError, KeyError):
+                    continue
+        return sorted(found)
+
+    def __contains__(self, name: str) -> bool:
+        return self._read_manifest(name) is not None
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+    def persist_graph(self, name: str, graph: Graph, *,
+                      fragmentation: Optional[Fragmentation] = None,
+                      frag_key: Optional[List] = None,
+                      meta: Optional[Dict] = None) -> None:
+        """Commit a fresh snapshot generation for ``name`` (new graph or
+        compaction target) with an empty WAL on top.
+
+        ``frag_key`` is an opaque JSON-serializable identity recorded in
+        the manifest alongside a persisted fragmentation; loaders use it
+        to decide whether the stored partition matches their config.
+        """
+        with self._name_lock(name):
+            self._require_open()
+            gdir = self._graph_dir(name)
+            gdir.mkdir(parents=True, exist_ok=True)
+            old = self._read_manifest(name)
+            generation = (old["generation"] + 1) if old else 1
+            snap_name = f"snapshot-{generation}.snap"
+            wal_name = f"wal-{generation}.log"
+
+            save_snapshot(gdir / snap_name, graph,
+                          fragmentation=fragmentation, meta=meta)
+            fresh = DeltaWAL(gdir / wal_name, sync=self._sync)
+            self._commit_manifest(name, {
+                "name": name, "generation": generation,
+                "snapshot": snap_name, "wal": wal_name,
+                "frag_key": (frag_key if fragmentation is not None
+                             else None),
+            })
+            # The open WAL handle is swapped only after the manifest
+            # committed: if the commit fails, appends keep landing in
+            # the WAL the manifest still points at.
+            with self._lock:
+                self.metrics.snapshots_written += 1
+                wal = self._wals.pop(name, None)
+                self._wals[name] = fresh
+            if wal is not None:
+                wal.close()
+            # Only after the manifest points at the new pair are the old
+            # generation's files garbage.
+            if old is not None:
+                for stale in (old.get("snapshot"), old.get("wal")):
+                    if stale and stale not in (snap_name, wal_name):
+                        try:
+                            os.unlink(gdir / stale)
+                        except OSError:
+                            pass
+
+    def _wal_for(self, name: str) -> DeltaWAL:
+        """The graph's open WAL handle (callers hold its name lock)."""
+        with self._lock:
+            wal = self._wals.get(name)
+        if wal is None:
+            manifest = self._read_manifest(name)
+            if manifest is None:
+                raise KeyError(f"no stored graph named {name!r}")
+            wal = DeltaWAL(self._graph_dir(name) / manifest["wal"],
+                           sync=self._sync)
+            with self._lock:
+                self._wals[name] = wal
+        return wal
+
+    def append_delta(self, name: str, delta: NormalizedDelta,
+                     seq: int) -> int:
+        """Durably log one applied batch; returns bytes appended."""
+        with self._name_lock(name):
+            self._require_open()
+            written = self._wal_for(name).append(seq, delta)
+            with self._lock:
+                self.metrics.wal_appends += 1
+            return written
+
+    def wal_size(self, name: str) -> int:
+        with self._name_lock(name):
+            return self._wal_for(name).size_bytes
+
+    def has_pending_wal(self, name: str) -> bool:
+        """Whether any batch was appended since the last snapshot
+        (O(1): compares the log size against its bare header)."""
+        with self._name_lock(name):
+            return self._wal_for(name).has_records
+
+    def fragmentation_key(self, name: str) -> Optional[List]:
+        """The ``frag_key`` of the stored snapshot's fragmentation, or
+        ``None`` when the snapshot is graph-only."""
+        manifest = self._read_manifest(name)
+        return manifest.get("frag_key") if manifest else None
+
+    def maybe_compact(self, name: str, graph: Graph, *,
+                      fragmentation: Optional[Fragmentation] = None,
+                      frag_key: Optional[List] = None) -> bool:
+        """Fold the WAL into a fresh snapshot if it outgrew the
+        threshold; returns whether compaction ran."""
+        with self._name_lock(name):
+            self._require_open()
+            if self._wal_for(name).size_bytes < self.compact_threshold_bytes:
+                return False
+            self.persist_graph(name, graph, fragmentation=fragmentation,
+                               frag_key=frag_key)
+            with self._lock:
+                self.metrics.compactions += 1
+            return True
+
+    def remove(self, name: str) -> None:
+        """Forget a stored graph (manifest first, then the files)."""
+        with self._name_lock(name):
+            with self._lock:
+                wal = self._wals.pop(name, None)
+            if wal is not None:
+                wal.close()
+            gdir = self._graph_dir(name)
+            try:
+                os.unlink(self._manifest_path(name))
+            except OSError:
+                pass
+            if gdir.is_dir():
+                for child in gdir.iterdir():
+                    try:
+                        os.unlink(child)
+                    except OSError:
+                        pass
+                try:
+                    os.rmdir(gdir)
+                except OSError:
+                    pass
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+    def load(self, name: str) -> StoredGraph:
+        """Recover one graph: load its snapshot, replay the WAL chain.
+
+        When the snapshot carried a fragmentation, deltas are replayed
+        through :func:`repro.core.updates.apply_delta` so fragments,
+        border sets and the ``G_P`` index are maintained exactly as they
+        were live; otherwise they are applied to the bare graph.
+        """
+        with self._name_lock(name):
+            self._require_open()
+            manifest = self._read_manifest(name)
+            if manifest is None:
+                raise KeyError(f"no stored graph named {name!r}")
+            gdir = self._graph_dir(name)
+            snap = load_snapshot(gdir / manifest["snapshot"])
+            replayed = 0
+            for _seq, delta in self._wal_for(name).replay():
+                if snap.fragmentation is not None:
+                    from repro.core.updates import apply_delta
+                    apply_delta(snap.fragmentation, delta)
+                else:
+                    delta.apply_to(snap.graph)
+                replayed += 1
+            with self._lock:
+                self.metrics.wal_replayed += replayed
+            return StoredGraph(name=name, graph=snap.graph,
+                               fragmentation=snap.fragmentation,
+                               replayed=replayed, meta=snap.meta,
+                               frag_key=manifest.get("frag_key"))
+
+    # ------------------------------------------------------------------
+    def _require_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("graph store is closed")
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            wals, self._wals = list(self._wals.values()), {}
+        for wal in wals:
+            wal.close()
+
+    def __enter__(self) -> "GraphStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (f"GraphStore({str(self.root)!r}, "
+                f"graphs={len(self.names())}, {self.metrics!r})")

@@ -1,0 +1,175 @@
+"""Delta write-ahead log: the durable form of applied update batches.
+
+Every non-no-op batch applied to a stored graph is appended here as its
+:class:`~repro.graph.delta.NormalizedDelta` (via
+:meth:`~repro.graph.delta.NormalizedDelta.to_record`) together with the
+fragmentation version sequence number the batch produced — the same
+``seq`` stamped into the in-memory delta log by
+:meth:`~repro.partition.base.Fragmentation.record_delta`, so the on-disk
+chain and the worker-replay chain speak the same version language.
+
+File layout::
+
+    MAGIC (8 bytes, ``b"GRAPEWAL"``) + format version (1 byte)
+    records: [payload length (4 bytes BE) | crc32 (4 bytes BE) | payload]*
+
+Each record's payload is the pickled ``(seq, delta_record)`` tuple.  The
+length/crc framing makes a torn tail — a writer killed mid-append —
+detectable: on reopen the log is scanned and truncated back to the last
+intact record, so a crash can lose at most the batch being written when
+it died, never corrupt the replayable prefix.
+
+Appends are flushed and (by default) fsynced before returning: once
+``append`` returns, the batch survives a crash.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import zlib
+from pathlib import Path
+from typing import Iterator, List, Tuple, Union
+
+from repro.graph.delta import NormalizedDelta
+
+__all__ = ["DeltaWAL", "WALError"]
+
+MAGIC = b"GRAPEWAL"
+FORMAT_VERSION = 1
+_FILE_HEADER = MAGIC + bytes([FORMAT_VERSION])
+_REC_HEADER = struct.Struct(">II")
+
+
+class WALError(RuntimeError):
+    """The log file exists but is not a WAL (bad magic/version)."""
+
+
+class DeltaWAL:
+    """An append-only, crash-truncating log of normalized deltas.
+
+    Opening an existing log validates the header and truncates any torn
+    tail; opening a missing path creates an empty log.  One ``DeltaWAL``
+    owns its file handle — the store keeps one open per graph.
+    """
+
+    def __init__(self, path: Union[str, Path], *, sync: bool = True):
+        self.path = Path(path)
+        self._sync = sync
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        created = not self.path.exists()
+        self._fh = open(self.path, "a+b")
+        if created or self.path.stat().st_size == 0:
+            self._fh.write(_FILE_HEADER)
+            self._fh.flush()
+            self._size = len(_FILE_HEADER)
+        else:
+            self._size = self._recover()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _scan(fh) -> Iterator[Tuple[int, bytes]]:
+        """Walk intact records from the current position, yielding
+        ``(end_offset, payload)`` per record and stopping at the first
+        torn or corrupt frame.  The single framing implementation both
+        recovery truncation and replay consume — they must never
+        disagree about where the intact prefix ends.
+        """
+        offset = fh.tell()
+        while True:
+            head = fh.read(_REC_HEADER.size)
+            if len(head) < _REC_HEADER.size:
+                return  # clean end, or a tail torn inside the header
+            length, crc = _REC_HEADER.unpack(head)
+            payload = fh.read(length)
+            if len(payload) < length or zlib.crc32(payload) != crc:
+                return  # torn or corrupt tail record
+            offset += _REC_HEADER.size + length
+            yield offset, payload
+
+    def _recover(self) -> int:
+        """Validate the header, scan records, truncate any torn tail.
+
+        Returns the size of the intact prefix (which the file is
+        truncated to).
+        """
+        self._fh.seek(0)
+        header = self._fh.read(len(_FILE_HEADER))
+        if header[:len(MAGIC)] != MAGIC:
+            raise WALError(f"{self.path} is not a delta WAL (bad magic)")
+        if header[len(MAGIC):] != bytes([FORMAT_VERSION]):
+            raise WALError(f"{self.path} has an unsupported WAL version")
+        good = len(_FILE_HEADER)
+        for offset, payload in self._scan(self._fh):
+            try:
+                pickle.loads(payload)
+            except Exception:
+                break  # framing intact but payload undecodable
+            good = offset
+        actual = self.path.stat().st_size
+        if actual > good:
+            self._fh.truncate(good)
+            self._fh.flush()
+        return good
+
+    # ------------------------------------------------------------------
+    @property
+    def size_bytes(self) -> int:
+        """Current log size including the file header."""
+        return self._size
+
+    @property
+    def has_records(self) -> bool:
+        """Whether the log holds any record (anything past the header)."""
+        return self._size > len(_FILE_HEADER)
+
+    def append(self, seq: int, delta: NormalizedDelta) -> int:
+        """Durably append one applied batch; returns bytes written."""
+        payload = pickle.dumps((seq, delta.to_record()),
+                               protocol=pickle.HIGHEST_PROTOCOL)
+        record = _REC_HEADER.pack(len(payload),
+                                  zlib.crc32(payload)) + payload
+        self._fh.seek(0, os.SEEK_END)
+        self._fh.write(record)
+        self._fh.flush()
+        if self._sync:
+            os.fsync(self._fh.fileno())
+        self._size += len(record)
+        return len(record)
+
+    def records(self) -> List[Tuple[int, NormalizedDelta]]:
+        """Every intact ``(seq, delta)`` record, in append order."""
+        return list(self.replay())
+
+    def replay(self) -> Iterator[Tuple[int, NormalizedDelta]]:
+        """Iterate the intact records (used by warm start)."""
+        self._fh.flush()
+        with open(self.path, "rb") as fh:
+            fh.seek(len(_FILE_HEADER))
+            for offset, payload in self._scan(fh):
+                if offset > self._size:
+                    break  # past the recovered prefix
+                seq, record = pickle.loads(payload)
+                yield seq, NormalizedDelta.from_record(record)
+
+    def reset(self) -> None:
+        """Drop every record (after the chain was folded into a fresh
+        snapshot by compaction)."""
+        self._fh.truncate(len(_FILE_HEADER))
+        self._fh.flush()
+        if self._sync:
+            os.fsync(self._fh.fileno())
+        self._size = len(_FILE_HEADER)
+
+    def close(self) -> None:
+        self._fh.close()
+
+    def __enter__(self) -> "DeltaWAL":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"DeltaWAL({self.path.name}, {self._size}B)"

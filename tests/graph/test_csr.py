@@ -130,3 +130,44 @@ class TestRoundTrip:
                      for v in range(csr.n)
                      for i in csr.out_neighbors(v))
         assert len(fwd) == csr.num_directed_edges
+
+
+class TestArraySerialization:
+    """to_arrays/from_arrays: the durable store's snapshot payload."""
+
+    def test_round_trip(self):
+        from repro.graph.generators import uniform_random_graph
+        g = uniform_random_graph(40, 120, seed=6)
+        csr = CSRGraph.from_graph(g)
+        arrays = csr.to_arrays()
+        assert set(arrays) == {"indptr", "indices", "weights"}
+        back = CSRGraph.from_arrays(directed=csr.directed,
+                                    node_of=csr.node_of,
+                                    labels=csr.labels, **arrays)
+        assert back.n == csr.n
+        assert (back.indptr == csr.indptr).all()
+        assert (back.indices == csr.indices).all()
+        assert (back.weights == csr.weights).all()
+        # the reverse structure is re-derived, not stored
+        assert (back.rev_indptr == csr.rev_indptr).all()
+        assert (back.rev_indices == csr.rev_indices).all()
+        assert (back.rev_weights == csr.rev_weights).all()
+        assert back.id_of == csr.id_of
+        assert back.to_graph() == csr.to_graph()
+
+    def test_undirected_round_trip(self):
+        from repro.graph.generators import uniform_random_graph
+        g = uniform_random_graph(30, 50, directed=False, seed=2)
+        csr = CSRGraph.from_graph(g)
+        back = CSRGraph.from_arrays(directed=False, node_of=csr.node_of,
+                                    labels=csr.labels, **csr.to_arrays())
+        assert back.to_graph() == g
+
+    def test_indptr_length_validated(self):
+        import numpy as np
+        with pytest.raises(ValueError, match="indptr"):
+            CSRGraph.from_arrays(directed=True,
+                                 indptr=np.array([0, 1]),
+                                 indices=np.array([0]),
+                                 weights=np.array([1.0]),
+                                 node_of=[1, 2, 3])

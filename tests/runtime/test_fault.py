@@ -67,3 +67,66 @@ class TestArbitrator:
         arb.restore()
         arb.restore()
         assert arb.recoveries == 2
+
+
+class TestDiskArbitrator:
+    def test_round_trip(self, tmp_path):
+        arb = Arbitrator(checkpoint_dir=tmp_path / "ckpt")
+        state = {0: {"dist": {1: 2.0}}, 1: {"dist": {}}}
+        arb.checkpoint(state)
+        assert arb.has_checkpoint
+        assert arb.checkpoint_path.is_file()
+        restored = arb.restore()
+        assert restored == state
+        assert arb.recoveries == 1
+
+    def test_restore_is_independent_copy(self, tmp_path):
+        arb = Arbitrator(checkpoint_dir=tmp_path)
+        state = {0: {"values": [1, 2]}}
+        arb.checkpoint(state)
+        state[0]["values"].append(3)
+        restored = arb.restore()
+        assert restored[0]["values"] == [1, 2]
+        restored[0]["values"].append(9)
+        assert arb.restore()[0]["values"] == [1, 2]
+
+    def test_no_checkpoint_until_written(self, tmp_path):
+        arb = Arbitrator(checkpoint_dir=tmp_path)
+        assert not arb.has_checkpoint
+
+    def test_instances_are_isolated(self, tmp_path):
+        """Concurrent runs sharing one checkpoint directory must never
+        see (or clobber) each other's checkpoints: every instance owns
+        a unique file."""
+        a = Arbitrator(checkpoint_dir=tmp_path)
+        b = Arbitrator(checkpoint_dir=tmp_path)
+        a.checkpoint({0: "alpha"})
+        assert a.has_checkpoint and not b.has_checkpoint
+        b.checkpoint({0: "beta"})
+        assert a.restore() == {0: "alpha"}
+        assert b.restore() == {0: "beta"}
+
+    def test_discard_removes_file(self, tmp_path):
+        arb = Arbitrator(checkpoint_dir=tmp_path)
+        arb.checkpoint({0: 1})
+        path = arb.checkpoint_path
+        assert path.is_file()
+        arb.discard()
+        assert not path.exists() and not arb.has_checkpoint
+        arb.discard()  # idempotent
+
+    def test_atomic_overwrite(self, tmp_path):
+        arb = Arbitrator(checkpoint_dir=tmp_path)
+        arb.checkpoint({0: "first"})
+        arb.checkpoint({0: "second"})
+        assert arb.restore() == {0: "second"}
+        # no stray temp files left behind
+        leftovers = [p for p in tmp_path.iterdir()
+                     if p != arb.checkpoint_path]
+        assert leftovers == []
+
+    def test_checkpoints_written_counted(self, tmp_path):
+        arb = Arbitrator(checkpoint_dir=tmp_path)
+        arb.checkpoint({0: 1})
+        arb.checkpoint({0: 2})
+        assert arb.checkpoints_written == 2

@@ -1,0 +1,174 @@
+"""Snapshot format: exact round trips, checksums, corruption rejection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.updates import apply_delta
+from repro.graph.delta import GraphDelta
+from repro.graph.generators import labeled_graph, uniform_random_graph
+from repro.graph.graph import Graph
+from repro.partition.strategies import HashPartition, MetisLikePartition
+from repro.store import SnapshotError, load_snapshot, save_snapshot
+
+
+def _float_copy(g):
+    dup = Graph(directed=g.directed)
+    for v in g.nodes():
+        dup.add_node(v, g.node_label(v))
+    for u, v, w in g.edges():
+        dup.add_edge(u, v, weight=float(w))
+    return dup
+
+
+class TestGraphRoundTrip:
+    def test_directed_weighted(self, tmp_path):
+        g = uniform_random_graph(80, 240, seed=5)
+        path = tmp_path / "g.snap"
+        save_snapshot(path, g)
+        loaded = load_snapshot(path)
+        assert loaded.graph == g
+        assert loaded.fragmentation is None
+        assert loaded.content_hash == g.content_hash()
+
+    def test_undirected(self, tmp_path):
+        g = uniform_random_graph(60, 90, directed=False, seed=8)
+        save_snapshot(tmp_path / "g.snap", g)
+        back = load_snapshot(tmp_path / "g.snap").graph
+        assert back == g
+        assert back.num_edges == g.num_edges  # undirected count intact
+
+    def test_labels_and_edge_labels(self, tmp_path):
+        g = labeled_graph(50, 140, num_labels=3, seed=2)
+        u, v, _w = next(g.edges())
+        g._edge_labels[(u, v)] = "special"
+        save_snapshot(tmp_path / "g.snap", g)
+        back = load_snapshot(tmp_path / "g.snap").graph
+        assert back == g
+        assert back.edge_label(u, v) == "special"
+
+    def test_string_and_tuple_node_ids(self, tmp_path):
+        g = Graph()
+        g.add_edge("user:1", ("item", 9), weight=4.5)
+        g.add_node("iso", "alone")
+        save_snapshot(tmp_path / "g.snap", g)
+        assert load_snapshot(tmp_path / "g.snap").graph == g
+
+    def test_int_weights_round_trip(self, tmp_path):
+        """Regression: weights land in float64 arrays, so an
+        int-weighted graph (any unweighted graph built with default
+        weights) must still pass the loader's content-hash check."""
+        g = Graph()
+        g.add_edge(1, 2, weight=1)
+        g.add_edge(2, 3, weight=7)
+        assert g.content_hash() == _float_copy(g).content_hash()
+        save_snapshot(tmp_path / "g.snap", g)
+        back = load_snapshot(tmp_path / "g.snap").graph
+        assert back == g
+
+    def test_empty_graph(self, tmp_path):
+        g = Graph(directed=False)
+        save_snapshot(tmp_path / "g.snap", g)
+        back = load_snapshot(tmp_path / "g.snap").graph
+        assert back.num_nodes == 0 and not back.directed
+
+    def test_caller_meta_round_trips(self, tmp_path):
+        g = Graph()
+        g.add_node(1)
+        save_snapshot(tmp_path / "g.snap", g, meta={"origin": "test"})
+        assert load_snapshot(tmp_path / "g.snap").meta == {"origin": "test"}
+
+    def test_no_temp_files_left(self, tmp_path):
+        g = uniform_random_graph(30, 60, seed=1)
+        save_snapshot(tmp_path / "g.snap", g)
+        assert [p.name for p in tmp_path.iterdir()] == ["g.snap"]
+
+
+class TestFragmentationRoundTrip:
+    @pytest.mark.parametrize("strategy", [HashPartition(),
+                                          MetisLikePartition(seed=4)])
+    def test_maintained_fragmentation_round_trips(self, tmp_path, strategy):
+        """A fragmentation *mutated by deltas* (not just freshly
+        partitioned) must round trip exactly: fragments, border sets,
+        the G_P index and the version."""
+        g = uniform_random_graph(70, 200, directed=False, seed=13)
+        frag = strategy.partition(g, 4)
+        edges = list(g.edges())
+        delta = (GraphDelta().insert(0, 999, 0.3).insert(999, 1, 0.4)
+                 .delete(*edges[0][:2]).delete(*edges[9][:2])
+                 .set_weight(edges[4][0], edges[4][1], edges[4][2] * 3.0))
+        apply_delta(frag, delta)
+
+        save_snapshot(tmp_path / "f.snap", g, fragmentation=frag)
+        loaded = load_snapshot(tmp_path / "f.snap")
+        lf = loaded.fragmentation
+        assert loaded.graph == g
+        assert lf.version == frag.version
+        assert lf.strategy_name == frag.strategy_name
+        assert lf.num_fragments == frag.num_fragments
+        for a, b in zip(lf.fragments, frag.fragments):
+            assert a.graph == b.graph
+            assert a.owned == b.owned
+            assert a.inner == b.inner
+            assert a.outer == b.outer
+        assert lf.gp._owner == frag.gp._owner
+        assert lf.gp._holders == frag.gp._holders
+        lf.validate()
+
+    def test_restored_fragmentation_honors_delta_log(self, tmp_path):
+        """Across a restore no replay chain is provable: the restored
+        object has a fresh cache token and an empty delta log, so pooled
+        workers holding pre-restart copies get full re-ships."""
+        g = uniform_random_graph(40, 100, seed=3)
+        frag = HashPartition().partition(g, 3)
+        apply_delta(frag, GraphDelta().insert(0, 777, 0.5))
+        save_snapshot(tmp_path / "f.snap", g, fragmentation=frag)
+        lf = load_snapshot(tmp_path / "f.snap").fragmentation
+
+        assert lf.version == frag.version
+        assert lf.cache_token != frag.cache_token  # fresh identity
+        # the old incarnation can prove its own chain; the restored one
+        # cannot prove any pre-restore chain
+        fids = [f.fid for f in frag]
+        assert frag.replay_chain(0, frag.version, fids) is not None
+        assert lf.replay_chain(0, lf.version, fids) is None
+
+    def test_mismatched_fragmentation_rejected(self, tmp_path):
+        g = uniform_random_graph(20, 40, seed=1)
+        other = uniform_random_graph(20, 40, seed=2)
+        frag = HashPartition().partition(other, 2)
+        with pytest.raises(ValueError, match="does not partition"):
+            save_snapshot(tmp_path / "f.snap", g, fragmentation=frag)
+
+
+class TestCorruption:
+    def _snap(self, tmp_path):
+        g = uniform_random_graph(40, 80, seed=9)
+        path = tmp_path / "g.snap"
+        save_snapshot(path, g)
+        return path
+
+    def test_flipped_payload_byte_detected(self, tmp_path):
+        path = self._snap(tmp_path)
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(SnapshotError, match="checksum"):
+            load_snapshot(path)
+
+    def test_truncation_detected(self, tmp_path):
+        path = self._snap(tmp_path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[:len(raw) - 64])
+        with pytest.raises(SnapshotError, match="truncated"):
+            load_snapshot(path)
+
+    def test_bad_magic_detected(self, tmp_path):
+        path = tmp_path / "not.snap"
+        path.write_bytes(b"Z" * 128)
+        with pytest.raises(SnapshotError, match="magic"):
+            load_snapshot(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SnapshotError, match="cannot read"):
+            load_snapshot(tmp_path / "absent.snap")

@@ -1,0 +1,125 @@
+"""Delta WAL: durable append, replay, torn-tail truncation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.delta import GraphDelta
+from repro.graph.graph import Graph
+from repro.store import DeltaWAL, WALError
+
+
+def make_graph():
+    g = Graph()
+    for u, v, w in [(1, 2, 1.0), (2, 3, 2.0), (3, 4, 3.0), (4, 1, 4.0)]:
+        g.add_edge(u, v, weight=w)
+    return g
+
+
+def norm_of(g, build):
+    return build(GraphDelta()).normalize(g)
+
+
+class TestAppendReplay:
+    def test_round_trip(self, tmp_path):
+        g = make_graph()
+        wal = DeltaWAL(tmp_path / "w.log")
+        n1 = norm_of(g, lambda d: d.insert(9, 10, 0.5).delete(1, 2))
+        n2 = norm_of(g, lambda d: d.set_weight(2, 3, 9.0))
+        wal.append(1, n1)
+        wal.append(2, n2)
+        records = wal.records()
+        assert [seq for seq, _ in records] == [1, 2]
+        assert records[0][1].insertions == {(9, 10): 0.5}
+        assert records[0][1].deletions == {(1, 2): 1.0}
+        assert records[1][1].increases == {(2, 3): (2.0, 9.0)}
+        wal.close()
+
+    def test_replay_reproduces_graph(self, tmp_path):
+        g = make_graph()
+        mirror = make_graph()
+        wal = DeltaWAL(tmp_path / "w.log")
+        for build in (lambda d: d.insert(7, 8, 0.1),
+                      lambda d: d.delete(2, 3),
+                      lambda d: d.set_weight(3, 4, 0.5)):
+            norm = norm_of(g, build)
+            norm.apply_to(g)
+            wal.append(0, norm)
+        wal.close()
+
+        reopened = DeltaWAL(tmp_path / "w.log")
+        for _seq, delta in reopened.replay():
+            delta.apply_to(mirror)
+        assert mirror == g
+        reopened.close()
+
+    def test_persists_across_reopen_and_appends_continue(self, tmp_path):
+        g = make_graph()
+        with DeltaWAL(tmp_path / "w.log") as wal:
+            wal.append(1, norm_of(g, lambda d: d.insert(5, 6, 1.0)))
+        with DeltaWAL(tmp_path / "w.log") as wal:
+            assert len(wal.records()) == 1
+            wal.append(2, norm_of(g, lambda d: d.insert(6, 7, 1.0)))
+            assert [s for s, _ in wal.records()] == [1, 2]
+
+    def test_reset_empties(self, tmp_path):
+        g = make_graph()
+        with DeltaWAL(tmp_path / "w.log") as wal:
+            wal.append(1, norm_of(g, lambda d: d.insert(5, 6, 1.0)))
+            size_before = wal.size_bytes
+            wal.reset()
+            assert wal.records() == []
+            assert wal.size_bytes < size_before
+
+
+class TestTornTail:
+    def _seeded(self, tmp_path, n=3):
+        g = make_graph()
+        wal = DeltaWAL(tmp_path / "w.log")
+        offsets = [wal.size_bytes]
+        for i in range(n):
+            wal.append(i + 1, norm_of(
+                g, lambda d, i=i: d.insert(100 + i, 200 + i, 1.0)))
+            offsets.append(wal.size_bytes)
+        wal.close()
+        return tmp_path / "w.log", offsets
+
+    def test_truncated_mid_record_drops_only_tail(self, tmp_path):
+        path, offsets = self._seeded(tmp_path)
+        # kill -9 mid-append: the last record is half-written
+        raw = path.read_bytes()
+        path.write_bytes(raw[:offsets[2] + 5])
+        wal = DeltaWAL(path)
+        assert [s for s, _ in wal.records()] == [1, 2]
+        assert wal.size_bytes == offsets[2]  # physically truncated back
+        wal.close()
+
+    def test_truncated_mid_header_drops_only_tail(self, tmp_path):
+        path, offsets = self._seeded(tmp_path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[:offsets[1] + 3])  # 3 bytes of rec-2 header
+        with DeltaWAL(path) as wal:
+            assert [s for s, _ in wal.records()] == [1]
+
+    def test_corrupt_tail_crc_dropped(self, tmp_path):
+        path, offsets = self._seeded(tmp_path)
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0xFF  # flip a byte inside the last record's payload
+        path.write_bytes(bytes(raw))
+        with DeltaWAL(path) as wal:
+            assert [s for s, _ in wal.records()] == [1, 2]
+
+    def test_append_after_truncation(self, tmp_path):
+        path, offsets = self._seeded(tmp_path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[:offsets[2] + 7])
+        g = make_graph()
+        with DeltaWAL(path) as wal:
+            wal.append(9, norm_of(g, lambda d: d.insert(999, 998, 2.0)))
+            assert [s for s, _ in wal.records()] == [1, 2, 9]
+
+    def test_not_a_wal_rejected(self, tmp_path):
+        path = tmp_path / "junk.log"
+        path.write_bytes(b"definitely not a wal file")
+        with pytest.raises(WALError, match="magic"):
+            DeltaWAL(path)
