@@ -1,0 +1,200 @@
+"""Replication bench: read scale-out and WAL-tailing lag under churn.
+
+Two measurements around the replication tier:
+
+* **read throughput** — a fixed batch of SSSP queries (distinct
+  sources) served by the primary alone vs the same batch spread across
+  the primary plus two WAL-tailing replicas on the same store.  Answers
+  are spot-asserted identical across nodes.  All "nodes" share this
+  process, so on a single-core box the scale-out ratio is a floor —
+  what the tier buys is isolation (reads keep flowing while the
+  primary churns) and, on real hardware, added CPUs (see
+  ``--backend process``).
+* **replication lag under churn** — the primary applies mixed
+  insert/delete/reweight batches at full speed; a replica syncs after
+  each batch (steady state: per-batch observable lag in bytes) and then
+  once from a cold backlog (catch-up: batches/s through the follower +
+  apply path).
+
+The machine-readable result lands in
+``benchmarks/results/BENCH_replication.json``; ``--quick`` shrinks the
+graph and counts to a CI wiring check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import statistics
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from _common import RESULTS_DIR
+from repro.graph.delta import GraphDelta
+from repro.graph.generators import uniform_random_graph
+from repro.replication import ReplicaService
+from repro.service import GrapeService
+
+FULL_SHAPE = (4000, 14000)    # nodes, edges
+QUICK_SHAPE = (800, 2500)
+FULL_QUERIES = 96
+QUICK_QUERIES = 16
+FULL_BATCHES = 60
+QUICK_BATCHES = 10
+BATCH = 8
+THREADS_PER_NODE = 4
+
+
+def make_delta(rng, g, round_no):
+    edges = list(g.edges())
+    nodes = list(g.nodes())
+    delta = GraphDelta()
+    for k in range(BATCH):
+        kind = rng.random()
+        if kind < 0.45:
+            u, v = rng.sample(nodes, 2)
+            delta.insert(u, v, rng.uniform(0.1, 1.0))
+        elif kind < 0.6:
+            delta.insert(10_000_000 + round_no * BATCH + k,
+                         rng.choice(nodes), rng.uniform(0.1, 1.0))
+        elif kind < 0.8:
+            u, v, _w = edges[rng.randrange(len(edges))]
+            delta.delete(u, v)
+        else:
+            u, v, w = edges[rng.randrange(len(edges))]
+            delta.set_weight(u, v, w * rng.uniform(0.5, 3.0))
+    return delta
+
+
+def read_throughput(services, sources):
+    """Serve ``sources`` (round-robined across ``services``, each node
+    hammered by THREADS_PER_NODE threads) and return queries/second."""
+    work = [(services[i % len(services)], src)
+            for i, src in enumerate(sources)]
+    cursor = iter(work)
+    lock = threading.Lock()
+
+    def pump():
+        while True:
+            with lock:
+                item = next(cursor, None)
+            if item is None:
+                return
+            service, src = item
+            service.play("sssp", src, graph="soc")
+
+    threads = [threading.Thread(target=pump)
+               for _ in range(THREADS_PER_NODE * len(services))]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - t0
+    return len(sources) / elapsed, elapsed
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small graph, few queries (CI wiring check)")
+    parser.add_argument("--backend", default="thread",
+                        choices=["serial", "thread", "process"],
+                        help="engine executor per node; on a multi-core "
+                             "host pick 'process' so each node gets its "
+                             "own worker pool and the scale-out number "
+                             "reflects added CPUs rather than "
+                             "GIL-shared threads")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    n, m = QUICK_SHAPE if args.quick else FULL_SHAPE
+    num_queries = QUICK_QUERIES if args.quick else FULL_QUERIES
+    batches = QUICK_BATCHES if args.quick else FULL_BATCHES
+    rng = random.Random(args.seed)
+    g = uniform_random_graph(n, m, directed=False, seed=args.seed)
+    sources = [rng.randrange(n) for _ in range(num_queries)]
+
+    with tempfile.TemporaryDirectory(prefix="bench-repl-") as tmp:
+        store = Path(tmp) / "store"
+        primary = GrapeService(store_dir=store, node_id="primary",
+                               backend=args.backend,
+                               concurrency=THREADS_PER_NODE)
+        primary.load_graph("soc", g)
+        primary.play("sssp", sources[0], graph="soc")  # build partition
+
+        # --- read scale-out -------------------------------------------
+        solo_qps, solo_s = read_throughput([primary], sources)
+        replicas = [ReplicaService(store, replica_id=f"r{i}",
+                                   backend=args.backend,
+                                   concurrency=THREADS_PER_NODE)
+                    for i in (1, 2)]
+        spot = primary.play("sssp", sources[0], graph="soc").answer
+        for replica in replicas:
+            assert (replica.play("sssp", sources[0], graph="soc").answer
+                    == spot), "replica diverged from primary"
+        tier_qps, tier_s = read_throughput([primary, *replicas], sources)
+
+        # --- lag under churn ------------------------------------------
+        tail = replicas[0]
+        lags = []
+        t0 = time.perf_counter()
+        for round_no in range(batches):
+            primary.update("soc", make_delta(rng, g, round_no))
+            lags.append(tail.lag_bytes("soc"))
+            tail.sync("soc")
+        churn_s = time.perf_counter() - t0
+        assert tail.applied_seq("soc") == batches
+
+        # Catch-up: the second replica never synced during the churn.
+        cold = replicas[1]
+        backlog_bytes = cold.lag_bytes("soc")
+        t0 = time.perf_counter()
+        applied = cold.sync("soc")
+        catchup_s = time.perf_counter() - t0
+        assert (cold.play("sssp", sources[0], graph="soc").answer
+                == primary.play("sssp", sources[0], graph="soc").answer)
+
+        for replica in replicas:
+            replica.close()
+        primary.close()
+
+    result = {
+        "bench": "replication",
+        "quick": args.quick,
+        "python": platform.python_version(),
+        "graph": {"nodes": n, "edges": m, "directed": False},
+        "backend": args.backend,
+        "read_throughput": {
+            "queries": num_queries,
+            "threads_per_node": THREADS_PER_NODE,
+            "primary_only_qps": round(solo_qps, 1),
+            "primary_plus_2_replicas_qps": round(tier_qps, 1),
+            "scaleout": round(tier_qps / solo_qps, 2),
+        },
+        "lag_under_churn": {
+            "batches": batches,
+            "batch_size": BATCH,
+            "churn_s": round(churn_s, 3),
+            "per_batch_lag_bytes_max": max(lags),
+            "per_batch_lag_bytes_mean": round(statistics.mean(lags), 1),
+            "catchup_backlog_bytes": backlog_bytes,
+            "catchup_batches": applied,
+            "catchup_s": round(catchup_s, 4),
+            "catchup_batches_per_s": round(applied / catchup_s, 1),
+        },
+    }
+    text = json.dumps(result, indent=2)
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_replication.json").write_text(text + "\n",
+                                                       encoding="utf-8")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

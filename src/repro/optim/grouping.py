@@ -1,18 +1,31 @@
-"""Dynamic message grouping (paper Section 6).
+"""Dynamic grouping (paper Section 6): messages and queries.
 
 GRAPE groups border-node updates behind a "dummy node" and ships them in
 batches instead of one by one, cutting per-message envelope overhead.  The
-GRAPE engine already ships one grouped dict per destination; this module
-quantifies what grouping saves, powering the grouping ablation bench.
+GRAPE engine already ships one grouped dict per destination; the byte
+helpers here quantify what that saves, powering the grouping ablation
+bench.
+
+The same idea one level up is **multi-query grouping**: when identical
+read queries arrive concurrently — the common case on a hot read tier,
+many users asking the same question of the same graph — running one
+engine per request duplicates the whole superstep pipeline for bitwise
+identical answers.  :class:`QueryGrouper` coalesces them: the first
+arrival becomes the *leader* and runs the engine; concurrent identical
+arrivals become *followers* that wait on the leader's result and share
+it.  The serving facade (primary and replica alike) threads every query
+through a grouper, so the saving applies wherever the load does.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Mapping, Tuple
+import threading
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.runtime.metrics import message_bytes
 
-__all__ = ["grouped_bytes", "ungrouped_bytes", "grouping_savings"]
+__all__ = ["QueryGroup", "QueryGrouper", "grouped_bytes",
+           "ungrouped_bytes", "grouping_savings"]
 
 
 def grouped_bytes(message: Mapping) -> int:
@@ -42,3 +55,104 @@ def grouping_savings(messages: Iterable[Mapping]) -> Dict[str, float]:
     return {"grouped_bytes": float(grouped),
             "ungrouped_bytes": float(ungrouped),
             "savings_fraction": ratio}
+
+
+# ---------------------------------------------------------------------------
+# Multi-query grouping
+# ---------------------------------------------------------------------------
+class QueryGroup:
+    """One in-flight engine run shared by identical concurrent queries.
+
+    The leader runs the engine and :meth:`publish`\\ es; followers block
+    in :meth:`wait` and receive the same result object (or the leader's
+    exception, re-raised).
+    """
+
+    __slots__ = ("key", "followers", "_event", "_result", "_error")
+
+    def __init__(self, key: Tuple):
+        self.key = key
+        #: concurrent identical queries that joined instead of running
+        self.followers = 0
+        self._event = threading.Event()
+        self._result: Any = None
+        self._error: Optional[BaseException] = None
+
+    def publish(self, result: Any, error: Optional[BaseException]) -> None:
+        self._result = result
+        self._error = error
+        self._event.set()
+
+    def wait(self, timeout: Optional[float] = None) -> Any:
+        if not self._event.wait(timeout):
+            raise TimeoutError(f"grouped query {self.key!r} still "
+                               f"running after {timeout}s")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+
+class QueryGrouper:
+    """Coalesces concurrent identical read queries into one engine run.
+
+    ``lead_or_join`` is the only decision point: the first caller for a
+    key becomes the leader (runs the engine, then ``publish``\\ es via
+    :meth:`finish`), later callers joining *while the leader is still
+    in flight* become followers.  The group leaves the in-flight table
+    **before** its result is published, so a request arriving after
+    completion never receives a stale answer — it leads a fresh run
+    against the graph's current state.
+
+    Keys must capture everything that determines the answer:
+    ``(graph name, program, query, sorted program kwargs)``; the facade
+    only groups queries bound for its shared engine config, so the
+    config is fixed per grouper.  Unhashable queries opt out (key
+    ``None``) rather than guess at equality.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._inflight: Dict[Tuple, QueryGroup] = {}
+        #: engine runs saved by grouping (total follower joins)
+        self.grouped_queries = 0
+        #: groups that ran (leader count, grouped or not)
+        self.groups_led = 0
+
+    @staticmethod
+    def key_for(graph: str, program: str, query: Any,
+                program_kwargs: Mapping) -> Optional[Tuple]:
+        """A grouping key, or ``None`` when the query is unhashable."""
+        try:
+            kw = tuple(sorted(program_kwargs.items()))
+            key = (graph, program, query, kw)
+            hash(key)
+        except TypeError:
+            return None
+        return key
+
+    def lead_or_join(self, key: Tuple) -> Tuple[QueryGroup, bool]:
+        """Returns ``(group, is_leader)`` for one arriving query."""
+        with self._lock:
+            group = self._inflight.get(key)
+            if group is None:
+                group = QueryGroup(key)
+                self._inflight[key] = group
+                self.groups_led += 1
+                return group, True
+            group.followers += 1
+            self.grouped_queries += 1
+            return group, False
+
+    def finish(self, group: QueryGroup, result: Any,
+               error: Optional[BaseException] = None) -> None:
+        """Leader-side: retire the group, then publish to followers."""
+        with self._lock:
+            if self._inflight.get(group.key) is group:
+                del self._inflight[group.key]
+        group.publish(result, error)
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (f"QueryGrouper(inflight={len(self._inflight)}, "
+                    f"grouped={self.grouped_queries}, "
+                    f"led={self.groups_led})")

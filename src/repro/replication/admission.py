@@ -1,0 +1,162 @@
+"""Admission control: per-graph concurrency caps with load shedding.
+
+A serving tier sized for steady traffic dies on bursts unless it can
+say no.  The controller in this module is the service facade's gate:
+every query must :meth:`~AdmissionController.admit` before it may touch
+an engine.  Per graph it allows at most ``max_concurrent`` queries to
+run; up to ``max_queue`` more may wait (bounded, so memory is bounded);
+anything beyond that is **shed immediately** with a typed
+:class:`AdmissionRejected` — the caller gets a fast, explicit rejection
+it can retry against another replica, instead of an unbounded queue that
+turns overload into timeouts for everyone.
+
+The controller never deadlocks under burst: running queries hold no
+controller state while executing (the slot is a counter, released in a
+``finally``), waiting queries block on a condition variable that every
+release notifies, and a full queue rejects instead of waiting.  An
+optional ``queue_timeout`` additionally sheds waiters whose queueing
+delay exceeds the latency budget — a query that waited longer than its
+caller will wait for the answer is pure wasted work.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+__all__ = ["AdmissionController", "AdmissionRejected"]
+
+
+class AdmissionRejected(RuntimeError):
+    """A query was shed by admission control (typed, retryable).
+
+    Carries enough to make the rejection actionable: which graph, how
+    many queries were running and queued against what limits, and
+    whether the shed happened at arrival (queue full) or after a queue
+    timeout.
+    """
+
+    def __init__(self, graph: str, *, running: int, queued: int,
+                 max_concurrent: int, max_queue: int,
+                 reason: str = "queue full"):
+        self.graph = graph
+        self.running = running
+        self.queued = queued
+        self.max_concurrent = max_concurrent
+        self.max_queue = max_queue
+        self.reason = reason
+        super().__init__(
+            f"query on {graph!r} shed ({reason}): {running} running "
+            f"(cap {max_concurrent}), {queued} queued (cap {max_queue}) "
+            "— retry later or against another replica")
+
+
+class AdmissionController:
+    """Bounded per-graph admission: cap + queue + shed.
+
+    Use as a context manager around the engine run::
+
+        with controller.admit("social"):
+            result = engine.run(...)
+
+    Shared by every query path of one service (synchronous ``play`` and
+    pooled ``submit`` alike).  A single controller may also be shared by
+    several services to enforce a machine-wide budget — the counters are
+    keyed by graph name only.
+    """
+
+    def __init__(self, *, max_concurrent: int = 8, max_queue: int = 16,
+                 queue_timeout: Optional[float] = None):
+        if max_concurrent < 1:
+            raise ValueError("max_concurrent must be >= 1")
+        if max_queue < 0:
+            raise ValueError("max_queue must be >= 0")
+        self.max_concurrent = max_concurrent
+        self.max_queue = max_queue
+        self.queue_timeout = queue_timeout
+        self._cond = threading.Condition()
+        self._running: Dict[str, int] = {}
+        self._queued: Dict[str, int] = {}
+        #: queries shed (rejected) since construction
+        self.sheds = 0
+        #: queries admitted since construction
+        self.admissions = 0
+
+    # ------------------------------------------------------------------
+    def admit(self, graph: str) -> "_AdmissionSlot":
+        """Acquire a run slot for one query on ``graph`` (or raise
+        :class:`AdmissionRejected`).  Returns a context manager whose
+        exit releases the slot."""
+        with self._cond:
+            if self._running.get(graph, 0) < self.max_concurrent:
+                self._running[graph] = self._running.get(graph, 0) + 1
+                self.admissions += 1
+                return _AdmissionSlot(self, graph)
+            if self._queued.get(graph, 0) >= self.max_queue:
+                self.sheds += 1
+                raise AdmissionRejected(
+                    graph, running=self._running.get(graph, 0),
+                    queued=self._queued.get(graph, 0),
+                    max_concurrent=self.max_concurrent,
+                    max_queue=self.max_queue)
+            self._queued[graph] = self._queued.get(graph, 0) + 1
+            try:
+                while self._running.get(graph, 0) >= self.max_concurrent:
+                    if not self._cond.wait(timeout=self.queue_timeout):
+                        self.sheds += 1
+                        raise AdmissionRejected(
+                            graph, running=self._running.get(graph, 0),
+                            queued=self._queued.get(graph, 0),
+                            max_concurrent=self.max_concurrent,
+                            max_queue=self.max_queue,
+                            reason=f"queued > {self.queue_timeout}s")
+            finally:
+                self._queued[graph] -= 1
+            self._running[graph] = self._running.get(graph, 0) + 1
+            self.admissions += 1
+            return _AdmissionSlot(self, graph)
+
+    def _release(self, graph: str) -> None:
+        with self._cond:
+            self._running[graph] -= 1
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    def running(self, graph: str) -> int:
+        with self._cond:
+            return self._running.get(graph, 0)
+
+    def queued(self, graph: str) -> int:
+        with self._cond:
+            return self._queued.get(graph, 0)
+
+    def __repr__(self) -> str:
+        with self._cond:
+            running = sum(self._running.values())
+            queued = sum(self._queued.values())
+        return (f"AdmissionController(cap={self.max_concurrent}/graph, "
+                f"queue={self.max_queue}, running={running}, "
+                f"queued={queued}, admitted={self.admissions}, "
+                f"shed={self.sheds})")
+
+
+class _AdmissionSlot:
+    """A held run slot; releases on exit exactly once."""
+
+    __slots__ = ("_controller", "_graph", "_released")
+
+    def __init__(self, controller: AdmissionController, graph: str):
+        self._controller = controller
+        self._graph = graph
+        self._released = False
+
+    def __enter__(self) -> "_AdmissionSlot":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self._controller._release(self._graph)

@@ -1,0 +1,103 @@
+"""Failover: elect the most-advanced replica, fence the deposed primary.
+
+The coordinator's whole protocol is three steps against shared storage:
+
+1. **Fence.**  Bump the epoch in the store root's ``EPOCH`` file (with
+   no leader yet).  Every writable store handle re-reads that file on
+   each write, so the moment the bump lands, a still-running deposed
+   primary's next append raises
+   :class:`~repro.store.catalog.FencedError` — it can no longer ack
+   updates that the new primary would not have.
+2. **Elect.**  Let every candidate replica drain the (now quiescent)
+   WAL chain, then pick the one with the greatest position vector —
+   per graph the ``(generation, seq)`` its follower reached.  Because
+   the chain is totally ordered and fenced, the most-advanced replica
+   has applied a superset of every other's acked state: promoting it
+   loses no acked update.
+3. **Publish + promote.**  Write the winner's id as leader at the new
+   epoch, then :meth:`~repro.replication.ReplicaService.promote` it.
+   A deposed primary that *restarts* and tries to reopen the store
+   under its own name is rejected at open (the published leader is
+   someone else); one that kept running is already fenced by step 1.
+
+No consensus service is modeled — the EPOCH file on shared storage
+plays the role the paper's coordinator (and production systems' etcd/
+ZooKeeper) plays; what this module reproduces is the *fencing and
+election discipline* on top of the WAL chain.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Sequence, Tuple, Union
+
+from repro.ioutil import atomic_write_bytes
+from repro.replication.replica import ReplicaService
+from repro.store.catalog import EPOCH_FILE
+
+__all__ = ["FailoverCoordinator", "read_epoch", "write_epoch"]
+
+
+def read_epoch(store_root: Union[str, Path]) -> Tuple[int, Optional[str]]:
+    """The fencing state ``(epoch, leader)`` at a store root;
+    ``(0, None)`` when no coordinator ever wrote one."""
+    try:
+        data = json.loads((Path(store_root) / EPOCH_FILE).read_text(
+            encoding="utf-8"))
+        return int(data["epoch"]), data.get("leader")
+    except (OSError, json.JSONDecodeError, KeyError, ValueError):
+        return 0, None
+
+
+def write_epoch(store_root: Union[str, Path], epoch: int,
+                leader: Optional[str]) -> None:
+    """Atomically publish a fencing epoch (tmp write + rename, same
+    durability discipline as the store's manifests)."""
+    blob = json.dumps({"epoch": epoch, "leader": leader},
+                      indent=2, sort_keys=True).encode("utf-8")
+    atomic_write_bytes(Path(store_root) / EPOCH_FILE, blob)
+
+
+class FailoverCoordinator:
+    """Runs the fence → elect → promote protocol over one store root."""
+
+    def __init__(self, store_root: Union[str, Path]):
+        self.root = Path(store_root)
+
+    # ------------------------------------------------------------------
+    def epoch(self) -> Tuple[int, Optional[str]]:
+        return read_epoch(self.root)
+
+    def fence(self) -> int:
+        """Bump the epoch with no leader: from this point the previous
+        primary's writes are rejected.  Returns the new epoch."""
+        epoch, _leader = read_epoch(self.root)
+        new_epoch = epoch + 1
+        write_epoch(self.root, new_epoch, None)
+        return new_epoch
+
+    def promote(self, replicas: Sequence[ReplicaService]
+                ) -> ReplicaService:
+        """Fail over to the most-advanced of ``replicas``.
+
+        Fences first, then lets every candidate drain the chain, elects
+        by position vector (ties broken by replica id, so the outcome
+        is deterministic), publishes the winner as leader and promotes
+        it.  Returns the new primary.
+        """
+        if not replicas:
+            raise ValueError("cannot fail over with no replicas")
+        new_epoch = self.fence()
+        for replica in replicas:
+            replica.sync()
+        winner = max(replicas,
+                     key=lambda r: (r.position_vector(), r.replica_id))
+        write_epoch(self.root, new_epoch, winner.replica_id)
+        winner.promote(epoch=new_epoch)
+        return winner
+
+    def __repr__(self) -> str:
+        epoch, leader = read_epoch(self.root)
+        return (f"FailoverCoordinator({str(self.root)!r}, epoch={epoch}, "
+                f"leader={leader!r})")

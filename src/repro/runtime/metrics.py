@@ -296,6 +296,21 @@ class ServiceMetrics:
     edge_lists_parsed: int = 0
     #: checkpoint restores across served runs (fault tolerance)
     recoveries: int = 0
+    #: the HA serving layer: queries rejected by admission control
+    #: (typed load shedding, not failures of the engine) and queries
+    #: answered from another identical in-flight query's engine run
+    #: (multi-query grouping) — ``queries_grouped`` counts *followers*,
+    #: so N coalesced submissions show up as 1 engine run observed via
+    #: :meth:`observe_run` plus N-1 grouped queries
+    queries_shed: int = 0
+    queries_grouped: int = 0
+    #: the replication tier (:class:`~repro.replication.ReplicaService`):
+    #: WAL batches applied by tailing, generation rollovers followed,
+    #: and full re-bootstraps from a snapshot after falling behind the
+    #: primary's GC retention window
+    replica_batches_applied: int = 0
+    replica_rollovers: int = 0
+    replica_resnapshots: int = 0
 
     def observe_run(self, metrics: "RunMetrics") -> None:
         """Fold one completed query run into the aggregates."""

@@ -53,15 +53,18 @@ from repro.core.api import PIERegistry, default_registry
 from repro.core.engine import EngineConfig, GrapeEngine
 from repro.core.updates import (ContinuousQuerySession, EdgeInsertion,
                                 NonMonotoneUpdateError, apply_delta)
-from repro.graph.delta import FragmentDelta, GraphDelta
+from repro.graph.delta import FragmentDelta, GraphDelta, NormalizedDelta
 from repro.graph.graph import Graph, Node
 from repro.graph.io import read_edge_list
+from repro.optim.grouping import QueryGrouper
 from repro.partition.base import Fragmentation, PartitionStrategy
 from repro.partition.strategies import HashPartition
+from repro.replication.admission import (AdmissionController,
+                                         AdmissionRejected)
 from repro.runtime.executors import ExecutorBackend
 from repro.runtime.metrics import ServiceMetrics
 from repro.service.tickets import QueryRequest, QueryTicket
-from repro.store.catalog import GraphStore
+from repro.store.catalog import GraphStore, StoredGraph
 
 __all__ = ["GrapeService", "WatchHandle"]
 
@@ -235,6 +238,23 @@ class GrapeService:
     store_compact_threshold:
         WAL bytes beyond which an update triggers compaction (defaults
         to the store's own default).
+    store_retain_generations:
+        Superseded snapshot/WAL generations compaction keeps on disk
+        for lagging replicas (store default: 0 — GC immediately).
+    node_id:
+        This writer's identity for fencing: recorded against the
+        store's ``EPOCH`` file so a deposed primary rejoining after a
+        failover is rejected at open (see
+        :class:`~repro.replication.FailoverCoordinator`).
+    admission:
+        Optional :class:`~repro.replication.AdmissionController` gating
+        every query (per-graph concurrency caps, bounded queues, typed
+        shedding) — unset, every query is admitted, as before.
+    grouping:
+        Multi-query grouping (default on): identical concurrent read
+        queries on the shared engine config coalesce into one engine
+        run — the first arrival runs, the rest share its result
+        (``stats.queries_grouped`` counts the shared ones).
     """
 
     def __init__(self, *,
@@ -243,7 +263,11 @@ class GrapeService:
                  registry: Optional[PIERegistry] = None,
                  concurrency: int = 4,
                  store_dir: Union[str, Path, None] = None,
-                 store_compact_threshold: Optional[int] = None):
+                 store_compact_threshold: Optional[int] = None,
+                 store_retain_generations: Optional[int] = None,
+                 node_id: Optional[str] = None,
+                 admission: Optional[AdmissionController] = None,
+                 grouping: bool = True):
         if isinstance(engine, GrapeEngine):
             engine = engine.config
         self.engine_config = engine or EngineConfig()
@@ -253,6 +277,10 @@ class GrapeService:
                          else default_registry().copy())
         self.concurrency = max(1, concurrency)
         self.stats = ServiceMetrics()
+        self.admission = admission
+        self._grouper: Optional[QueryGrouper] = (QueryGrouper()
+                                                 if grouping else None)
+        self.node_id = node_id
 
         self._graphs: Dict[str, Graph] = {}
         self._frag_cache: Dict[FragCacheKey, Fragmentation] = {}
@@ -273,9 +301,11 @@ class GrapeService:
 
         self.store: Optional[GraphStore] = None
         if store_dir is not None:
-            kwargs = ({} if store_compact_threshold is None
-                      else {"compact_threshold_bytes":
-                            store_compact_threshold})
+            kwargs: Dict[str, Any] = {"node_id": node_id}
+            if store_compact_threshold is not None:
+                kwargs["compact_threshold_bytes"] = store_compact_threshold
+            if store_retain_generations is not None:
+                kwargs["retain_generations"] = store_retain_generations
             self.store = GraphStore(store_dir, **kwargs)
             self._warm_start()
 
@@ -293,15 +323,24 @@ class GrapeService:
         config change, other engine configs' entries) rebuilds lazily on
         first use."""
         for name in self.store.names():
-            stored = self.store.load(name)
-            self._graphs[name] = stored.graph
-            self.stats.warm_starts += 1
-            canon_key = self._cache_key(name, self.engine_config)
-            if (stored.fragmentation is not None
-                    and stored.frag_key is not None
-                    and tuple(stored.frag_key) == canon_key[1:]):
-                self._frag_cache[canon_key] = stored.fragmentation
+            self._install_recovered(name, self.store.load(name))
         self._sync_store_stats()
+
+    def _install_recovered(self, name: str, stored: StoredGraph) -> None:
+        """Register a store-recovered graph (and, when its persisted
+        fragmentation matches this service's config, seed the cache).
+        Shared by warm start and a replica's bootstrap/re-bootstrap."""
+        self._graphs[name] = stored.graph
+        # Any cached fragmentation was built from the *previous* graph
+        # object (a no-op at warm start; load-bearing when a replica
+        # re-bootstraps over live state).
+        self._drop_cached(name)
+        self.stats.warm_starts += 1
+        canon_key = self._cache_key(name, self.engine_config)
+        if (stored.fragmentation is not None
+                and stored.frag_key is not None
+                and tuple(stored.frag_key) == canon_key[1:]):
+            self._frag_cache[canon_key] = stored.fragmentation
 
     # ------------------------------------------------------------------
     # graph management
@@ -541,22 +580,69 @@ class GrapeService:
                     config: EngineConfig) -> None:
         ticket._mark_running()
         try:
-            prog = self.registry.create(ticket.program,
-                                        **ticket.request.program_kwargs)
-            frag = self._fragmentation_for(ticket.graph, config)
-            glock = self._graph_lock(ticket.graph)
-            with glock.read():
-                result = config.build().run(prog, ticket.query,
-                                            fragmentation=frag)
+            result, grouped = self._grouped_run(ticket, config)
         except BaseException as exc:
             with self._lock:
+                if isinstance(exc, AdmissionRejected):
+                    self.stats.queries_shed += 1
                 self.stats.queries_failed += 1
             ticket._fail(exc)
             return
         with self._lock:
-            self.stats.observe_run(result.metrics)
-            self._sync_csr_stats()
+            if grouped:
+                # A follower: the leader's run was already observed;
+                # count the served query without double-counting its
+                # supersteps/bytes (they happened exactly once).
+                self.stats.queries_served += 1
+                self.stats.queries_grouped += 1
+            else:
+                self.stats.observe_run(result.metrics)
+                self._sync_csr_stats()
         ticket._finish(result)
+
+    def _grouped_run(self, ticket: QueryTicket, config: EngineConfig):
+        """Run one query, coalescing with identical in-flight ones.
+
+        Returns ``(result, grouped)`` where ``grouped`` marks a
+        follower that shared a leader's engine run.  Grouping joins
+        happen *before* admission: a follower consumes no run slot —
+        sharing an answer is precisely how the tier survives a hot-key
+        burst.  Only queries on the shared engine config group (an
+        override's answer could differ in fragmentation-shaped ways).
+        """
+        grouper = self._grouper
+        if grouper is None or config is not self.engine_config:
+            return self._admit_and_execute(ticket, config), False
+        key = grouper.key_for(ticket.graph, ticket.program, ticket.query,
+                              ticket.request.program_kwargs)
+        if key is None:  # unhashable query: run it ungrouped
+            return self._admit_and_execute(ticket, config), False
+        group, leader = grouper.lead_or_join(key)
+        if leader:
+            try:
+                result = self._admit_and_execute(ticket, config)
+            except BaseException as exc:
+                grouper.finish(group, None, exc)
+                raise
+            grouper.finish(group, result)
+            return result, False
+        return group.wait(), True
+
+    def _admit_and_execute(self, ticket: QueryTicket,
+                           config: EngineConfig):
+        if self.admission is None:
+            return self._execute(ticket, config)
+        with self.admission.admit(ticket.graph):
+            return self._execute(ticket, config)
+
+    def _execute(self, ticket: QueryTicket, config: EngineConfig):
+        prog = self.registry.create(ticket.program,
+                                    **ticket.request.program_kwargs)
+        frag = self._fragmentation_for(ticket.graph, config)
+        glock = self._graph_lock(ticket.graph)
+        with glock.read():
+            return config.build().run(prog, ticket.query,
+                                      fragmentation=frag)
 
     # ------------------------------------------------------------------
     # standing queries and updates
@@ -620,10 +706,6 @@ class GrapeService:
                 if self._closed:
                     raise RuntimeError("service is closed")
                 g = self._require_graph(graph)
-                handles = self._active_watches(graph)
-                canon_key = self._cache_key(graph, self.engine_config)
-                canon = self._frag_cache.get(canon_key)
-                glock = self._graph_lock_locked(graph)
                 # Captured under the same lock hold as the closed
                 # check: close() detaches the store atomically with
                 # setting _closed, so a sink captured here is never
@@ -636,66 +718,86 @@ class GrapeService:
             norm = delta.normalize(g)
             if not norm:
                 return []
+            return self._apply_batch(graph, norm, wal=wal, compact=True)
 
-            with self._lock:
-                for key in [k for k in self._frag_cache
-                            if k[0] == graph and k != canon_key]:
-                    self._retire_fragmentation(self._frag_cache.pop(key))
-                    self.stats.cache_invalidations += 1
+    def _apply_batch(self, graph: str, norm: NormalizedDelta, *,
+                     wal=None, compact: bool = False
+                     ) -> List[WatchHandle]:
+        """Apply one already-normalized, non-empty batch: mutate the
+        shared fragmentation (or bare graph), optionally WAL + compact,
+        and fan the per-fragment deltas out to every active watcher.
 
-            deltas: List[Tuple[int, int, int, int, int, int]] = []
-            refreshed: List[WatchHandle] = []
-            rejected: Optional[NonMonotoneUpdateError] = None
-            with glock.write():
-                if canon is not None:
-                    touched = apply_delta(canon, norm, wal=wal)
-                else:
-                    # No fragmentation yet (and hence no watchers):
-                    # mutate the base graph directly.
-                    norm.apply_to(g)
-                    touched = {}
-                    if wal is not None:
-                        wal(norm, 0)
-                if self.store is not None:
-                    # Fold an outgrown WAL into a fresh snapshot while
-                    # the write lock still excludes readers — the
-                    # snapshot must not observe a half-applied batch.
-                    # The canonical fragmentation rides along so a
-                    # restart can skip re-partitioning.
-                    self.store.maybe_compact(
-                        graph, g, fragmentation=canon,
-                        frag_key=(list(canon_key[1:])
-                                  if canon is not None else None))
-                for handle in handles:
-                    # Re-checked here (and inside _refresh): the handle
-                    # may have been cancelled since the snapshot above.
-                    try:
-                        cost = handle._refresh(touched)
-                    except NonMonotoneUpdateError as exc:
-                        # An opt-out program rejected the batch after the
-                        # fragments were mutated: its answer can never be
-                        # correct again, so the watch is cancelled — and
-                        # the fan-out continues, keeping every *other*
-                        # watcher consistent with the mutated graph.
-                        handle.cancel()
-                        if rejected is None:
-                            rejected = exc
-                        continue
-                    if cost is not None:
-                        deltas.append(cost)
-                        refreshed.append(handle)
+        The one write path both roles share: the primary's
+        :meth:`update` calls it with a WAL sink and compaction enabled;
+        a :class:`~repro.replication.ReplicaService` calls it for every
+        batch tailed off the primary's WAL — same fragmentation
+        maintenance, same watcher fan-out, no re-logging.  Callers hold
+        the graph's mutation lock.
+        """
+        with self._lock:
+            handles = self._active_watches(graph)
+            canon_key = self._cache_key(graph, self.engine_config)
+            canon = self._frag_cache.get(canon_key)
+            glock = self._graph_lock_locked(graph)
+            g = self._require_graph(graph)
+            for key in [k for k in self._frag_cache
+                        if k[0] == graph and k != canon_key]:
+                self._retire_fragmentation(self._frag_cache.pop(key))
+                self.stats.cache_invalidations += 1
 
-            with self._lock:
-                self.stats.updates_applied += 1
-                for (supersteps, nbytes, msgs, maintained, fallbacks,
-                     delta_bytes) in deltas:
-                    self.stats.observe_maintenance(
-                        supersteps, nbytes, msgs, maintained=maintained,
-                        fallbacks=fallbacks, delta_bytes=delta_bytes)
-                self._sync_csr_stats()
-                self._sync_store_stats()
-            if rejected is not None:
-                raise rejected
+        deltas: List[Tuple[int, int, int, int, int, int]] = []
+        refreshed: List[WatchHandle] = []
+        rejected: Optional[NonMonotoneUpdateError] = None
+        with glock.write():
+            if canon is not None:
+                touched = apply_delta(canon, norm, wal=wal)
+            else:
+                # No fragmentation yet (and hence no watchers):
+                # mutate the base graph directly.
+                norm.apply_to(g)
+                touched = {}
+                if wal is not None:
+                    wal(norm, 0)
+            if compact and self.store is not None:
+                # Fold an outgrown WAL into a fresh snapshot while
+                # the write lock still excludes readers — the
+                # snapshot must not observe a half-applied batch.
+                # The canonical fragmentation rides along so a
+                # restart can skip re-partitioning.
+                self.store.maybe_compact(
+                    graph, g, fragmentation=canon,
+                    frag_key=(list(canon_key[1:])
+                              if canon is not None else None))
+            for handle in handles:
+                # Re-checked here (and inside _refresh): the handle
+                # may have been cancelled since the snapshot above.
+                try:
+                    cost = handle._refresh(touched)
+                except NonMonotoneUpdateError as exc:
+                    # An opt-out program rejected the batch after the
+                    # fragments were mutated: its answer can never be
+                    # correct again, so the watch is cancelled — and
+                    # the fan-out continues, keeping every *other*
+                    # watcher consistent with the mutated graph.
+                    handle.cancel()
+                    if rejected is None:
+                        rejected = exc
+                    continue
+                if cost is not None:
+                    deltas.append(cost)
+                    refreshed.append(handle)
+
+        with self._lock:
+            self.stats.updates_applied += 1
+            for (supersteps, nbytes, msgs, maintained, fallbacks,
+                 delta_bytes) in deltas:
+                self.stats.observe_maintenance(
+                    supersteps, nbytes, msgs, maintained=maintained,
+                    fallbacks=fallbacks, delta_bytes=delta_bytes)
+            self._sync_csr_stats()
+            self._sync_store_stats()
+        if rejected is not None:
+            raise rejected
         return refreshed
 
     def insert_edges(self, graph: str,

@@ -8,27 +8,41 @@ The persistence layer under the serving stack (paper Section 6's
 * :mod:`repro.store.wal` — an append-only, torn-tail-truncating log of
   applied :class:`~repro.graph.delta.NormalizedDelta` batches;
 * :mod:`repro.store.catalog` — :class:`GraphStore`, mapping graph names
-  to snapshot + WAL chains with atomic rename-based commits and
-  size-triggered compaction.
+  to snapshot + WAL chains with atomic rename-based commits,
+  size-triggered compaction and retention-windowed generation GC.
 
 ``GrapeService(store_dir=...)`` wires all three in: registered graphs
 and applied deltas persist transparently, and a restarted service
 warm-starts from the store instead of re-parsing and re-building.
+
+The store is also the replication substrate: read-only stores
+(:class:`GraphStore` with ``read_only=True``) load snapshots without
+touching the writer's files, :class:`WALTailer` / :class:`WALFollower`
+stream the WAL chain live (within one file / across generation
+rollovers), and the ``EPOCH``-file fencing protocol
+(:class:`FencedError`) keeps a deposed primary from acking writes —
+see :mod:`repro.replication`.
 """
 
-from repro.store.catalog import GraphStore, StoreMetrics, StoredGraph
+from repro.store.catalog import (FencedError, GenerationGapError,
+                                 GraphStore, StoreMetrics, StoredGraph,
+                                 WALFollower)
 from repro.store.snapshot import (LoadedSnapshot, SnapshotError,
                                   load_snapshot, save_snapshot)
-from repro.store.wal import DeltaWAL, WALError
+from repro.store.wal import DeltaWAL, WALError, WALTailer
 
 __all__ = [
     "DeltaWAL",
+    "FencedError",
+    "GenerationGapError",
     "GraphStore",
     "LoadedSnapshot",
     "SnapshotError",
     "StoreMetrics",
     "StoredGraph",
     "WALError",
+    "WALFollower",
+    "WALTailer",
     "load_snapshot",
     "save_snapshot",
 ]

@@ -21,6 +21,14 @@ it died, never corrupt the replayable prefix.
 
 Appends are flushed and (by default) fsynced before returning: once
 ``append`` returns, the batch survives a crash.
+
+Besides the owning writer, a log supports any number of concurrent
+**tailers** (:class:`WALTailer`, via :meth:`DeltaWAL.tail` or
+:meth:`~repro.store.catalog.GraphStore.follow`): read-only cursors that
+never truncate, advance only past records the writer's own recovery
+would keep (same framing scan *and* the same decodability check), and
+pick up live appends on every :meth:`~WALTailer.poll`.  This is what
+read replicas ride on.
 """
 
 from __future__ import annotations
@@ -30,15 +38,17 @@ import pickle
 import struct
 import zlib
 from pathlib import Path
-from typing import Iterator, List, Tuple, Union
+from typing import Iterator, List, Optional, Tuple, Union
 
 from repro.graph.delta import NormalizedDelta
 
-__all__ = ["DeltaWAL", "WALError"]
+__all__ = ["DeltaWAL", "WALError", "WALTailer", "WAL_HEADER_SIZE"]
 
 MAGIC = b"GRAPEWAL"
 FORMAT_VERSION = 1
 _FILE_HEADER = MAGIC + bytes([FORMAT_VERSION])
+#: size of the file header (the "empty log" size) for offset math
+WAL_HEADER_SIZE = len(_FILE_HEADER)
 _REC_HEADER = struct.Struct(">II")
 
 
@@ -88,11 +98,33 @@ class DeltaWAL:
             offset += _REC_HEADER.size + length
             yield offset, payload
 
+    @staticmethod
+    def _scan_decoded(fh) -> Iterator[Tuple[int, int, NormalizedDelta]]:
+        """Walk *decodable* records from the current position, yielding
+        ``(end_offset, seq, delta)`` and stopping at the first frame a
+        writer's recovery would truncate.
+
+        This is the one definition of "replayable prefix" shared by
+        recovery truncation, replay and live tailers: a record must be
+        intact (framing + CRC) **and** unpickle.  A tailer that used a
+        laxer check could advance past a record the writer later
+        truncates — the torn-tail-under-active-reader hazard.
+        """
+        for offset, payload in DeltaWAL._scan(fh):
+            try:
+                seq, record = pickle.loads(payload)
+            except Exception:
+                return  # framing intact but payload undecodable
+            yield offset, seq, NormalizedDelta.from_record(record)
+
     def _recover(self) -> int:
         """Validate the header, scan records, truncate any torn tail.
 
         Returns the size of the intact prefix (which the file is
-        truncated to).
+        truncated to).  Truncation only ever removes the torn suffix —
+        bytes no tailer can have advanced past (tailers use the same
+        :meth:`_scan_decoded` prefix definition) — so it is safe under
+        concurrently open readers.
         """
         self._fh.seek(0)
         header = self._fh.read(len(_FILE_HEADER))
@@ -101,11 +133,7 @@ class DeltaWAL:
         if header[len(MAGIC):] != bytes([FORMAT_VERSION]):
             raise WALError(f"{self.path} has an unsupported WAL version")
         good = len(_FILE_HEADER)
-        for offset, payload in self._scan(self._fh):
-            try:
-                pickle.loads(payload)
-            except Exception:
-                break  # framing intact but payload undecodable
+        for offset, _seq, _delta in self._scan_decoded(self._fh):
             good = offset
         actual = self.path.stat().st_size
         if actual > good:
@@ -147,11 +175,21 @@ class DeltaWAL:
         self._fh.flush()
         with open(self.path, "rb") as fh:
             fh.seek(len(_FILE_HEADER))
-            for offset, payload in self._scan(fh):
+            for offset, seq, delta in self._scan_decoded(fh):
                 if offset > self._size:
                     break  # past the recovered prefix
-                seq, record = pickle.loads(payload)
-                yield seq, NormalizedDelta.from_record(record)
+                yield seq, delta
+
+    def tail(self, from_seq: int = 0) -> "WALTailer":
+        """A live read cursor over this log (see :class:`WALTailer`).
+
+        ``from_seq`` is the number of *records* to skip — the tailer's
+        resume cursor is positional (record index within this file), not
+        the embedded per-record seq stamp, which is advisory (it mirrors
+        the producing fragmentation's version and is not strictly
+        monotone across a graph's whole history).
+        """
+        return WALTailer(self.path, from_seq=from_seq)
 
     def reset(self) -> None:
         """Drop every record (after the chain was folded into a fresh
@@ -173,3 +211,103 @@ class DeltaWAL:
 
     def __repr__(self) -> str:
         return f"DeltaWAL({self.path.name}, {self._size}B)"
+
+
+class WALTailer:
+    """A read-only live cursor over one WAL file.
+
+    The tailer opens its own handle (never the writer's), remembers the
+    byte offset of the last record it yielded, and on every
+    :meth:`poll` scans forward from there — so live appends show up
+    poll by poll, in append order, each exactly once.
+
+    **Safety under writer recovery.**  The tailer advances only past
+    records the writer's own reopen-recovery would keep (the shared
+    :meth:`DeltaWAL._scan_decoded` prefix), so a crashed writer's
+    torn-tail truncation always lands at or after the tailer's offset —
+    the file can never shrink below a position the tailer has consumed.
+    If the file *does* shrink below the cursor (a reset or an unrelated
+    rewrite), :meth:`poll` raises :class:`WALError` so the consumer can
+    fall back to a fresh snapshot instead of replaying garbage.
+
+    The handle survives the file being unlinked (generation GC after
+    compaction): a tailer mid-drain keeps reading its open handle, which
+    is exactly how a replica finishes a superseded generation's chain
+    before switching to the next one.
+    """
+
+    def __init__(self, path: Union[str, Path], *, from_seq: int = 0):
+        self.path = Path(path)
+        self._fh = open(self.path, "rb")
+        header = self._fh.read(len(_FILE_HEADER))
+        if header[:len(MAGIC)] != MAGIC:
+            self._fh.close()
+            raise WALError(f"{self.path} is not a delta WAL (bad magic)")
+        if header[len(MAGIC):] != bytes([FORMAT_VERSION]):
+            self._fh.close()
+            raise WALError(f"{self.path} has an unsupported WAL version")
+        self._offset = len(_FILE_HEADER)
+        #: records yielded so far (== the record index of the cursor)
+        self.records_read = 0
+        #: embedded seq stamp of the last yielded record (advisory)
+        self.last_seq: Optional[int] = None
+        if from_seq:
+            for _ in range(from_seq):
+                if not self._advance_one():
+                    raise WALError(
+                        f"{self.path} holds only {self.records_read} "
+                        f"records, cannot resume at {from_seq}")
+
+    def _advance_one(self) -> bool:
+        self._fh.seek(self._offset)
+        for offset, seq, _delta in DeltaWAL._scan_decoded(self._fh):
+            self._offset = offset
+            self.records_read += 1
+            self.last_seq = seq
+            return True
+        return False
+
+    @property
+    def offset(self) -> int:
+        """Byte offset of the cursor (end of the last yielded record)."""
+        return self._offset
+
+    def poll(self) -> List[Tuple[int, NormalizedDelta]]:
+        """Every record appended since the last poll, in append order.
+
+        Returns an empty list at the (current) end of the replayable
+        prefix; a torn or still-in-flight tail record is left for the
+        next poll.
+        """
+        size = os.fstat(self._fh.fileno()).st_size
+        if size < self._offset:
+            raise WALError(
+                f"{self.path} shrank below the tail cursor "
+                f"({size} < {self._offset}); the log was reset — "
+                "re-bootstrap from a snapshot")
+        out: List[Tuple[int, NormalizedDelta]] = []
+        self._fh.seek(self._offset)
+        for offset, seq, delta in DeltaWAL._scan_decoded(self._fh):
+            self._offset = offset
+            self.records_read += 1
+            self.last_seq = seq
+            out.append((seq, delta))
+        return out
+
+    def lag_bytes(self) -> int:
+        """Bytes between the cursor and the file's current end (includes
+        any torn tail byte-for-byte; 0 when fully caught up)."""
+        return max(0, os.fstat(self._fh.fileno()).st_size - self._offset)
+
+    def close(self) -> None:
+        self._fh.close()
+
+    def __enter__(self) -> "WALTailer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (f"WALTailer({self.path.name}, records={self.records_read}, "
+                f"offset={self._offset})")

@@ -1,0 +1,213 @@
+"""Admission control and multi-query grouping: the HA serving knobs."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.graph.generators import uniform_random_graph
+from repro.optim.grouping import QueryGrouper
+from repro.replication import AdmissionController, AdmissionRejected
+from repro.service import GrapeService
+
+
+class TestAdmissionController:
+    def test_admits_up_to_cap(self):
+        ctrl = AdmissionController(max_concurrent=2, max_queue=0)
+        a = ctrl.admit("g")
+        b = ctrl.admit("g")
+        with pytest.raises(AdmissionRejected) as exc:
+            ctrl.admit("g")
+        assert exc.value.graph == "g"
+        assert exc.value.running == 2
+        assert exc.value.max_concurrent == 2
+        a.release()
+        c = ctrl.admit("g")  # slot freed -> admitted again
+        b.release()
+        c.release()
+        assert ctrl.sheds == 1
+        assert ctrl.admissions == 3
+
+    def test_caps_are_per_graph(self):
+        ctrl = AdmissionController(max_concurrent=1, max_queue=0)
+        a = ctrl.admit("g1")
+        b = ctrl.admit("g2")  # different graph: own budget
+        a.release()
+        b.release()
+        assert ctrl.sheds == 0
+
+    def test_queue_admits_when_slot_frees(self):
+        ctrl = AdmissionController(max_concurrent=1, max_queue=4)
+        slot = ctrl.admit("g")
+        admitted = []
+
+        def waiter():
+            with ctrl.admit("g"):
+                admitted.append(threading.current_thread().name)
+
+        threads = [threading.Thread(target=waiter) for _ in range(3)]
+        for t in threads:
+            t.start()
+        time.sleep(0.05)
+        assert ctrl.queued("g") == 3
+        assert not admitted
+        slot.release()
+        for t in threads:
+            t.join(timeout=10)
+        assert len(admitted) == 3
+
+    def test_queue_timeout_sheds(self):
+        ctrl = AdmissionController(max_concurrent=1, max_queue=2,
+                                   queue_timeout=0.05)
+        slot = ctrl.admit("g")
+        with pytest.raises(AdmissionRejected, match="queued >"):
+            ctrl.admit("g")
+        slot.release()
+
+    def test_burst_of_4x_cap_sheds_instead_of_deadlocking(self):
+        """The acceptance property in miniature: cap C, queue C, burst
+        4C.  C run, C wait, 2C shed immediately; everyone terminates."""
+        cap = 2
+        ctrl = AdmissionController(max_concurrent=cap, max_queue=cap)
+        gate = threading.Event()
+        outcomes = []
+
+        def query(i):
+            try:
+                with ctrl.admit("g"):
+                    gate.wait(timeout=30)
+                outcomes.append("ran")
+            except AdmissionRejected:
+                outcomes.append("shed")
+
+        threads = [threading.Thread(target=query, args=(i,))
+                   for i in range(4 * cap)]
+        for t in threads:
+            t.start()
+        deadline = time.time() + 5
+        while len(outcomes) < 2 * cap and time.time() < deadline:
+            time.sleep(0.01)  # the overflow sheds arrive immediately
+        gate.set()
+        for t in threads:
+            t.join(timeout=30)
+        assert len(outcomes) == 4 * cap
+        assert outcomes.count("shed") == 2 * cap
+        assert outcomes.count("ran") == 2 * cap
+        assert ctrl.sheds == 2 * cap
+
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_concurrent=0)
+        with pytest.raises(ValueError):
+            AdmissionController(max_queue=-1)
+
+
+class TestQueryGrouper:
+    def test_leader_then_followers_share_result(self):
+        grouper = QueryGrouper()
+        key = QueryGrouper.key_for("g", "sssp", 0, {})
+        group, leader = grouper.lead_or_join(key)
+        assert leader
+        _g2, leader2 = grouper.lead_or_join(key)
+        assert _g2 is group and not leader2
+        grouper.finish(group, "answer")
+        assert group.wait(timeout=1) == "answer"
+        assert grouper.grouped_queries == 1
+
+    def test_retired_group_is_not_joined(self):
+        grouper = QueryGrouper()
+        key = QueryGrouper.key_for("g", "sssp", 0, {})
+        group, _ = grouper.lead_or_join(key)
+        grouper.finish(group, "answer")
+        fresh, leader = grouper.lead_or_join(key)
+        assert leader and fresh is not group
+
+    def test_leader_error_propagates_to_followers(self):
+        grouper = QueryGrouper()
+        key = QueryGrouper.key_for("g", "sssp", 0, {})
+        group, _ = grouper.lead_or_join(key)
+        grouper.lead_or_join(key)
+        boom = RuntimeError("engine died")
+        grouper.finish(group, None, boom)
+        with pytest.raises(RuntimeError, match="engine died"):
+            group.wait(timeout=1)
+
+    def test_unhashable_query_opts_out(self):
+        assert QueryGrouper.key_for("g", "sim", {"a": 1}, {}) is None
+        assert QueryGrouper.key_for("g", "sssp", 0, {}) is not None
+
+
+class TestServiceIntegration:
+    @pytest.fixture
+    def graph(self):
+        return uniform_random_graph(60, 180, directed=False, seed=11)
+
+    def test_grouped_queries_share_one_engine_run(self, graph):
+        """N identical concurrent queries: followers are counted in
+        ``queries_grouped`` and the engine's superstep total is that of
+        the leader's single run — the metric-level proof of sharing."""
+        with GrapeService(concurrency=8) as service:
+            service.load_graph("soc", graph)
+            solo = service.play("sssp", 0, graph="soc")
+            solo_supersteps = solo.metrics.supersteps
+            before = service.stats.supersteps_total
+
+            # Hold the graph's write lock so every submitted query
+            # blocks at the same point and the joins are deterministic.
+            glock = service._graph_lock("soc")
+            tickets = []
+            with glock.write():
+                tickets = [service.submit("sssp", 0, graph="soc")
+                           for _ in range(6)]
+                time.sleep(0.2)  # let all six reach the grouper
+            for t in tickets:
+                assert t.result(timeout=60) == solo.answer
+            assert service.stats.queries_grouped == 5
+            assert (service.stats.supersteps_total - before
+                    == solo_supersteps)
+            assert service.stats.queries_served == 1 + 6
+
+    def test_distinct_queries_do_not_group(self, graph):
+        with GrapeService(concurrency=4) as service:
+            service.load_graph("soc", graph)
+            tickets = [service.submit("sssp", q, graph="soc")
+                       for q in range(4)]
+            for t in tickets:
+                t.result(timeout=60)
+            assert service.stats.queries_grouped == 0
+
+    def test_admission_wired_through_service(self, graph):
+        """A burst of 4x the cap on the service: every ticket resolves,
+        the overflow resolves to a *typed* rejection."""
+        ctrl = AdmissionController(max_concurrent=1, max_queue=1)
+        with GrapeService(admission=ctrl, concurrency=8,
+                          grouping=False) as service:
+            service.load_graph("soc", graph)
+            service.play("sssp", 0, graph="soc")  # warm the frag cache
+            tickets = [service.submit("sssp", q, graph="soc")
+                       for q in range(8)]
+            outcomes = {"done": 0, "shed": 0}
+            for t in tickets:
+                assert t.wait(timeout=120), "admission deadlocked"
+                if t.status == "done":
+                    outcomes["done"] += 1
+                else:
+                    assert isinstance(t.error, AdmissionRejected)
+                    outcomes["shed"] += 1
+            assert outcomes["shed"] >= 1
+            assert outcomes["done"] >= 2  # cap + queue at least
+            assert service.stats.queries_shed == outcomes["shed"]
+            assert ctrl.sheds == outcomes["shed"]
+
+    def test_shed_query_play_raises_typed(self, graph):
+        ctrl = AdmissionController(max_concurrent=1, max_queue=0)
+        with GrapeService(admission=ctrl, grouping=False) as service:
+            service.load_graph("soc", graph)
+            service.play("sssp", 0, graph="soc")
+            slot = ctrl.admit("soc")  # occupy the only slot
+            with pytest.raises(AdmissionRejected):
+                service.play("sssp", 1, graph="soc")
+            slot.release()
+            assert service.play("sssp", 1, graph="soc").answer

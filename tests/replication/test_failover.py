@@ -1,0 +1,195 @@
+"""Failover: election by replication position, fencing, no acked loss.
+
+Two tiers of tests: in-process failovers (primary closed or still live
+but deposed), and a real kill — the primary runs in a child process,
+acks each applied batch to a file, and gets ``SIGKILL``-ed mid-stream;
+the promoted replica must serve every acked batch.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import signal
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.graph.delta import GraphDelta
+from repro.graph.generators import uniform_random_graph
+from repro.replication import (FailoverCoordinator, ReplicaService,
+                               read_epoch)
+from repro.service import GrapeService
+from repro.store import FencedError
+
+
+def make_primary(tmp_path, **kwargs):
+    g = uniform_random_graph(40, 130, directed=False, seed=23)
+    primary = GrapeService(store_dir=tmp_path / "store", node_id="primary",
+                           **kwargs)
+    primary.load_graph("soc", g)
+    return primary, g
+
+
+class TestElection:
+    def test_promotes_the_most_advanced_replica(self, tmp_path):
+        """The replica that replayed further wins — a laggard (its
+        drain stubbed out, as if unreachable during the failover) must
+        not be elected even though it sorts later by id."""
+        primary, g = make_primary(tmp_path)
+        root = tmp_path / "store"
+        fast = ReplicaService(root, replica_id="r1")
+        lag = ReplicaService(root, replica_id="r2")
+        for i in range(5):
+            primary.insert_edges("soc", [(i, 1000 + i, 0.5)])
+            fast.sync()  # lag never syncs
+        primary.close()
+        lag.sync = lambda name=None: 0  # unreachable during the drain
+        winner = FailoverCoordinator(root).promote([fast, lag])
+        del lag.sync
+        assert winner is fast
+        assert winner.promoted and not lag.promoted
+        assert read_epoch(root) == (1, "r1")
+        # The loser keeps serving, now tailing the new primary.
+        winner.insert_edges("soc", [(0, 2000, 0.25)])
+        lag.sync()
+        assert (lag.play("sssp", 0, graph="soc").answer
+                == winner.play("sssp", 0, graph="soc").answer)
+        winner.close()
+        lag.close()
+
+    def test_promote_requires_a_candidate(self, tmp_path):
+        make_primary(tmp_path)[0].close()
+        with pytest.raises(ValueError):
+            FailoverCoordinator(tmp_path / "store").promote([])
+
+    def test_each_failover_bumps_the_epoch(self, tmp_path):
+        primary, g = make_primary(tmp_path)
+        primary.close()
+        root = tmp_path / "store"
+        coord = FailoverCoordinator(root)
+        assert coord.epoch() == (0, None)
+        r1 = ReplicaService(root, replica_id="r1")
+        coord.promote([r1]).close()
+        assert read_epoch(root) == (1, "r1")
+        r2 = ReplicaService(root, replica_id="r2")
+        coord.promote([r2]).close()
+        assert read_epoch(root) == (2, "r2")
+
+
+class TestEndToEndHA:
+    def test_failover_fences_the_old_primary(self, tmp_path):
+        """The full acceptance arc with a *live* deposed primary: warm
+        replicas tail 20+ batches, the coordinator fences + promotes,
+        the old primary's next write dies with :class:`FencedError`,
+        a restart under its old identity is refused at open, and no
+        acked update is missing from the new primary."""
+        primary, g = make_primary(tmp_path)
+        root = tmp_path / "store"
+        r1 = ReplicaService(root, replica_id="r1")
+        r2 = ReplicaService(root, replica_id="r2")
+        for i in range(21):
+            delta = GraphDelta().insert(i % 40, 1000 + i, 0.5)
+            if i % 3 == 0:
+                edges = sorted(g.edges())
+                u, v, _w = edges[i % len(edges)]
+                delta.delete(u, v)
+            primary.update("soc", delta)
+            r1.sync()
+        r2.sync()
+        oracle = primary.play("sssp", 0, graph="soc").answer
+
+        # The primary is partitioned away (but still running!) and the
+        # coordinator fails over.
+        winner = FailoverCoordinator(root).promote([r1, r2])
+        loser = r2 if winner is r1 else r1
+
+        # 1. Every acked update survived the failover.
+        assert winner.play("sssp", 0, graph="soc").answer == oracle
+        # 2. The deposed primary can no longer ack writes.
+        with pytest.raises(FencedError):
+            primary.insert_edges("soc", [(0, 9999, 0.1)])
+        primary.close(flush=False)
+        # 3. ...nor rejoin under its stale identity after a restart.
+        with pytest.raises(FencedError):
+            GrapeService(store_dir=root, node_id="primary")
+        # 4. The new primary writes; the surviving replica tails it.
+        winner.insert_edges("soc", [(0, 5000, 0.125)])
+        loser.sync()
+        assert (loser.play("sssp", 0, graph="soc").answer
+                == winner.play("sssp", 0, graph="soc").answer)
+        # 5. A node *adopting the published leader's identity* (the old
+        # box rejoining demoted, re-imaged as a replica) is fine.
+        rejoined = ReplicaService(root, replica_id="old-primary-demoted")
+        assert (rejoined.play("sssp", 0, graph="soc").answer
+                == winner.play("sssp", 0, graph="soc").answer)
+        rejoined.close()
+        loser.close()
+        winner.close()
+
+
+# ----------------------------------------------------------------------
+# kill-the-primary: a real process death, not a polite close()
+# ----------------------------------------------------------------------
+def _churning_primary(root: str, ack_path: str) -> None:
+    """Child-process body: apply deterministic batches forever, acking
+    each one (atomically) only after ``update`` returned — i.e. after
+    the batch is fsync-durable in the WAL."""
+    service = GrapeService(store_dir=root, node_id="primary")
+    for i in itertools.count():
+        delta = GraphDelta().insert(i % 30, 1000 + i, (i % 7 + 1) / 8)
+        service.update("soc", delta)
+        tmp = ack_path + ".tmp"
+        with open(tmp, "w") as fh:
+            fh.write(str(i + 1))
+        os.replace(tmp, ack_path)
+
+
+class TestKillThePrimary:
+    def test_sigkill_mid_churn_loses_no_acked_update(self, tmp_path):
+        primary, g = make_primary(tmp_path)
+        primary.close()
+        root = tmp_path / "store"
+        ack_path = tmp_path / "acked"
+
+        ctx = multiprocessing.get_context("fork")
+        proc = ctx.Process(target=_churning_primary,
+                           args=(str(root), str(ack_path)), daemon=True)
+        proc.start()
+        try:
+            deadline = time.time() + 60
+            while time.time() < deadline:
+                if ack_path.exists() and int(ack_path.read_text()) >= 20:
+                    break
+                time.sleep(0.01)
+            else:
+                pytest.fail("child primary never reached 20 acked batches")
+        finally:
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.join(timeout=30)
+        acked = int(ack_path.read_text())
+        assert acked >= 20
+
+        r1 = ReplicaService(root, replica_id="r1")
+        r2 = ReplicaService(root, replica_id="r2")
+        winner = FailoverCoordinator(root).promote([r1, r2])
+        loser = r2 if winner is r1 else r1
+
+        graph = winner.play("cc", graph="soc")  # the service is live
+        assert graph.answer
+        got = winner._graphs["soc"]
+        for i in range(acked):
+            u, v = i % 30, 1000 + i
+            assert got.has_edge(u, v), f"acked batch {i} lost"
+            assert got.edge_weight(u, v) == (i % 7 + 1) / 8
+        # The dead primary's identity is fenced out on rejoin.
+        with pytest.raises(FencedError):
+            GrapeService(store_dir=root, node_id="primary")
+        # And the promoted node is a fully writable primary.
+        winner.insert_edges("soc", [(0, 7777, 0.5)])
+        loser.sync()
+        assert loser._graphs["soc"].has_edge(0, 7777)
+        loser.close()
+        winner.close()

@@ -1,0 +1,110 @@
+"""Generation GC: superseded chain files are collected, retention kept.
+
+The satellite fix: before this, only the immediately superseded pair was
+removed and any generation skipped by a crashed commit (or left behind
+by an older layout) accumulated forever.  Now every commit sweeps the
+graph directory against a retention window: files outside
+``[current - retain_generations, current]`` are garbage.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.graph.delta import GraphDelta
+from repro.graph.graph import Graph
+from repro.store import GraphStore
+
+
+def make_graph():
+    g = Graph()
+    for u, v, w in [(1, 2, 1.0), (2, 3, 2.0), (3, 4, 3.0)]:
+        g.add_edge(u, v, weight=w)
+    return g
+
+
+def chain_files(store, name):
+    gdir = store._graph_dir(name)
+    return sorted(p.name for p in gdir.iterdir()
+                  if p.name != "MANIFEST.json")
+
+
+def roll(store, g, rounds):
+    """Force ``rounds`` generation rollovers with one record each."""
+    for i in range(rounds):
+        norm = GraphDelta().insert(9, 100 + i, 0.5).normalize(g)
+        norm.apply_to(g)
+        store.append_delta("soc", norm, i + 1)
+        store.persist_graph("soc", g)
+
+
+class TestGenerationGC:
+    def test_default_deletes_superseded_immediately(self, tmp_path):
+        store = GraphStore(tmp_path / "s", sync=False)
+        g = make_graph()
+        store.persist_graph("soc", g)
+        roll(store, g, 3)
+        assert chain_files(store, "soc") == ["snapshot-4.snap",
+                                             "wal-4.log"]
+        assert store.metrics.files_gced == 6  # three superseded pairs
+        store.close()
+
+    def test_retention_window_keeps_previous_generations(self, tmp_path):
+        store = GraphStore(tmp_path / "s", sync=False,
+                           retain_generations=2)
+        g = make_graph()
+        store.persist_graph("soc", g)
+        roll(store, g, 4)  # generations 1..5 existed
+        assert chain_files(store, "soc") == [
+            "snapshot-3.snap", "snapshot-4.snap", "snapshot-5.snap",
+            "wal-3.log", "wal-4.log", "wal-5.log"]
+        store.close()
+
+    def test_orphans_from_crashed_commits_are_swept(self, tmp_path):
+        """Files of a generation *newer* than the committed manifest —
+        a commit that crashed between writing files and publishing —
+        are garbage too, and must not poison the next real commit."""
+        store = GraphStore(tmp_path / "s", sync=False)
+        g = make_graph()
+        store.persist_graph("soc", g)
+        gdir = store._graph_dir("soc")
+        (gdir / "snapshot-9.snap").write_bytes(b"half-written junk")
+        (gdir / "wal-9.log").write_bytes(b"half-written junk")
+        store.persist_graph("soc", g)  # commits generation 2 + sweeps
+        assert chain_files(store, "soc") == ["snapshot-2.snap",
+                                             "wal-2.log"]
+        manifest = json.loads((gdir / "MANIFEST.json").read_text())
+        assert manifest["generation"] == 2
+        store.close()
+
+    def test_unrelated_files_survive_the_sweep(self, tmp_path):
+        store = GraphStore(tmp_path / "s", sync=False)
+        g = make_graph()
+        store.persist_graph("soc", g)
+        gdir = store._graph_dir("soc")
+        (gdir / "NOTES.txt").write_text("keep me")
+        store.persist_graph("soc", g)
+        assert "NOTES.txt" in {p.name for p in gdir.iterdir()}
+        store.close()
+
+    def test_gc_never_strands_an_active_follower_within_retention(
+            self, tmp_path):
+        """A follower at most ``retain_generations`` rollovers behind
+        can still complete the chain byte-for-byte."""
+        store = GraphStore(tmp_path / "s", sync=False,
+                           retain_generations=1)
+        g = make_graph()
+        store.persist_graph("soc", g)
+        follower = store.follow("soc")
+        norm = GraphDelta().insert(9, 10, 0.5).normalize(g)
+        norm.apply_to(g)
+        store.append_delta("soc", norm, 1)
+        store.persist_graph("soc", g)  # generation 2; wal-1 retained
+        norm2 = GraphDelta().insert(9, 11, 0.5).normalize(g)
+        norm2.apply_to(g)
+        store.append_delta("soc", norm2, 2)
+        got = follower.poll()
+        assert [seq for seq, _ in got] == [1, 2]
+        assert follower.generation == 2
+        follower.close()
+        store.close()

@@ -1,0 +1,247 @@
+"""WAL tailers and chain followers: the replication read path.
+
+Covers the live-append cursor (:class:`repro.store.wal.WALTailer`), the
+regression for reopen-with-torn-tail while a concurrent reader holds the
+file, and the cross-generation :class:`repro.store.catalog.WALFollower`
+(drain-then-switch rollover, gap detection past the retention window).
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+
+import pytest
+
+from repro.graph.delta import GraphDelta
+from repro.graph.graph import Graph
+from repro.store import DeltaWAL, GraphStore, WALError
+from repro.store.catalog import GenerationGapError
+from repro.store.wal import WAL_HEADER_SIZE
+
+
+def make_graph():
+    g = Graph()
+    for u, v, w in [(1, 2, 1.0), (2, 3, 2.0), (3, 4, 3.0), (4, 1, 4.0)]:
+        g.add_edge(u, v, weight=w)
+    return g
+
+
+def norm(g, u, v, w):
+    return GraphDelta().insert(u, v, w).normalize(g)
+
+
+class TestWALTailer:
+    def test_sees_live_appends_poll_by_poll(self, tmp_path):
+        g = make_graph()
+        wal = DeltaWAL(tmp_path / "w.log")
+        tailer = wal.tail()
+        assert tailer.poll() == []
+        wal.append(1, norm(g, 9, 10, 0.5))
+        got = tailer.poll()
+        assert [seq for seq, _ in got] == [1]
+        assert got[0][1].insertions == {(9, 10): 0.5}
+        assert tailer.poll() == []  # caught up
+        wal.append(2, norm(g, 9, 11, 0.25))
+        wal.append(3, norm(g, 9, 12, 0.75))
+        assert [seq for seq, _ in tailer.poll()] == [2, 3]
+        assert tailer.records_read == 3
+        assert tailer.lag_bytes() == 0
+        tailer.close()
+        wal.close()
+
+    def test_from_seq_resumes_positionally(self, tmp_path):
+        g = make_graph()
+        wal = DeltaWAL(tmp_path / "w.log")
+        for i in range(5):
+            wal.append(i + 1, norm(g, 9, 100 + i, 0.5))
+        tailer = wal.tail(from_seq=3)
+        assert [seq for seq, _ in tailer.poll()] == [4, 5]
+        tailer.close()
+        with pytest.raises(WALError, match="cannot resume"):
+            wal.tail(from_seq=9)
+        wal.close()
+
+    def test_reset_below_cursor_is_detected(self, tmp_path):
+        g = make_graph()
+        wal = DeltaWAL(tmp_path / "w.log")
+        wal.append(1, norm(g, 9, 10, 0.5))
+        tailer = wal.tail()
+        tailer.poll()
+        wal.reset()  # compaction folded the chain into a snapshot
+        with pytest.raises(WALError, match="shrank below"):
+            tailer.poll()
+        tailer.close()
+        wal.close()
+
+    def test_tailer_survives_unlink(self, tmp_path):
+        """POSIX semantics the follower's drain relies on: the open
+        handle keeps reading a GC'd file."""
+        g = make_graph()
+        wal = DeltaWAL(tmp_path / "w.log")
+        wal.append(1, norm(g, 9, 10, 0.5))
+        tailer = wal.tail()
+        os.unlink(tmp_path / "w.log")
+        assert [seq for seq, _ in tailer.poll()] == [1]
+        tailer.close()
+        wal.close()
+
+
+class TestTornTailUnderActiveReader:
+    """The satellite regression: a writer reopening (and truncating a
+    torn tail) must never invalidate a concurrent tailer's position."""
+
+    def _torn_file(self, tmp_path, intact=2):
+        g = make_graph()
+        wal = DeltaWAL(tmp_path / "w.log")
+        for i in range(intact):
+            wal.append(i + 1, norm(g, 9, 100 + i, 0.5))
+        wal.close()
+        # A crash mid-append: half a record's framing at the tail.
+        with open(tmp_path / "w.log", "ab") as fh:
+            fh.write(struct.pack(">II", 1 << 20, 0xDEAD))
+            fh.write(b"\x01\x02\x03")
+        return tmp_path / "w.log"
+
+    def test_tailer_never_advances_into_torn_tail(self, tmp_path):
+        path = self._torn_file(tmp_path)
+        from repro.store.wal import WALTailer
+        tailer = WALTailer(path)
+        assert len(tailer.poll()) == 2  # stops at the torn frame
+        cursor = tailer.offset
+        # The writer reopens concurrently and truncates the torn tail.
+        wal = DeltaWAL(path)
+        assert os.path.getsize(path) == cursor  # truncation == cursor
+        # The surviving tailer keeps working: nothing below its cursor
+        # moved, and fresh appends show up as usual.
+        g = make_graph()
+        wal.append(7, norm(g, 9, 200, 0.1))
+        assert [seq for seq, _ in tailer.poll()] == [7]
+        tailer.close()
+        wal.close()
+
+    def test_undecodable_payload_stops_tailer_and_recovery_alike(
+            self, tmp_path):
+        """Framing-intact but unpicklable record: recovery truncates it,
+        so the tailer must not have advanced past it either."""
+        g = make_graph()
+        path = tmp_path / "w.log"
+        wal = DeltaWAL(path)
+        wal.append(1, norm(g, 9, 10, 0.5))
+        wal.close()
+        junk = b"not a pickle at all"
+        with open(path, "ab") as fh:
+            fh.write(struct.pack(">II", len(junk), zlib.crc32(junk)))
+            fh.write(junk)
+        from repro.store.wal import WALTailer
+        tailer = WALTailer(path)
+        assert len(tailer.poll()) == 1
+        cursor = tailer.offset
+        reopened = DeltaWAL(path)  # recovery truncates the junk frame
+        assert os.path.getsize(path) == cursor
+        assert reopened.size_bytes == cursor
+        tailer.close()
+        reopened.close()
+
+    def test_empty_log_cursor_is_header(self, tmp_path):
+        wal = DeltaWAL(tmp_path / "w.log")
+        tailer = wal.tail()
+        assert tailer.offset == WAL_HEADER_SIZE
+        tailer.close()
+        wal.close()
+
+
+class TestWALFollower:
+    def _store_with_graph(self, tmp_path, **kwargs):
+        store = GraphStore(tmp_path / "store", sync=False, **kwargs)
+        g = make_graph()
+        store.persist_graph("soc", g)
+        return store, g
+
+    def test_streams_appends(self, tmp_path):
+        store, g = self._store_with_graph(tmp_path)
+        follower = store.follow("soc")
+        assert follower.position == (1, 0)
+        store.append_delta("soc", norm(g, 9, 10, 0.5), 1)
+        store.append_delta("soc", norm(g, 9, 11, 0.5), 2)
+        assert [seq for seq, _ in follower.poll()] == [1, 2]
+        assert follower.position == (1, 2)
+        assert follower.caught_up
+        follower.close()
+        store.close()
+
+    def test_drain_then_switch_across_rollover(self, tmp_path):
+        store, g = self._store_with_graph(tmp_path, retain_generations=1)
+        follower = store.follow("soc")
+        store.append_delta("soc", norm(g, 9, 10, 0.5), 1)
+        # Rollover: compaction commits generation 2 with a fresh WAL.
+        store.persist_graph("soc", g)
+        store.append_delta("soc", norm(g, 9, 11, 0.5), 2)
+        got = follower.poll()
+        # Both records arrive, in order, across the generation switch.
+        assert [seq for seq, _ in got] == [1, 2]
+        assert follower.generation == 2
+        assert follower.position == (2, 1)
+        follower.close()
+        store.close()
+
+    def test_multi_rollover_in_one_poll(self, tmp_path):
+        store, g = self._store_with_graph(tmp_path, retain_generations=3)
+        follower = store.follow("soc")
+        seqs = []
+        for i in range(3):
+            store.append_delta("soc", norm(g, 9, 100 + i, 0.5), i + 1)
+            seqs.append(i + 1)
+            store.persist_graph("soc", g)
+        got = follower.poll()
+        assert [seq for seq, _ in got] == seqs
+        assert follower.generation == 4
+        follower.close()
+        store.close()
+
+    def test_gap_past_retention_raises(self, tmp_path):
+        store, g = self._store_with_graph(tmp_path, retain_generations=0)
+        follower = store.follow("soc")
+        store.append_delta("soc", norm(g, 9, 10, 0.5), 1)
+        follower.poll()  # on generation 1, fully drained
+        # Two rollovers with zero retention: wal-2 is created then GC'd
+        # before the follower ever polls again — the chain has a hole.
+        store.persist_graph("soc", g)
+        store.append_delta("soc", norm(g, 9, 11, 0.5), 2)
+        store.persist_graph("soc", g)
+        with pytest.raises(GenerationGapError):
+            follower.poll()
+        follower.close()
+        store.close()
+
+    def test_lag_bytes_spans_generations(self, tmp_path):
+        store, g = self._store_with_graph(tmp_path, retain_generations=1)
+        follower = store.follow("soc")
+        store.append_delta("soc", norm(g, 9, 10, 0.5), 1)
+        lag_one = follower.lag_bytes()
+        assert lag_one > 0
+        store.persist_graph("soc", g)
+        store.append_delta("soc", norm(g, 9, 11, 0.5), 2)
+        assert follower.lag_bytes() > lag_one
+        follower.poll()
+        assert follower.lag_bytes() == 0
+        follower.close()
+        store.close()
+
+    def test_follow_from_recorded_position(self, tmp_path):
+        """(generation, replayed) from GraphStore.load is exactly the
+        resume point: nothing is duplicated, nothing skipped."""
+        store, g = self._store_with_graph(tmp_path)
+        store.append_delta("soc", norm(g, 9, 10, 0.5), 1)
+        ro = GraphStore(tmp_path / "store", read_only=True)
+        stored = ro.load("soc")
+        assert (stored.generation, stored.replayed) == (1, 1)
+        follower = ro.follow("soc", from_generation=stored.generation,
+                             from_seq=stored.replayed)
+        assert follower.poll() == []
+        store.append_delta("soc", norm(g, 9, 11, 0.5), 2)
+        assert [seq for seq, _ in follower.poll()] == [2]
+        follower.close()
+        ro.close()
+        store.close()
