@@ -1,0 +1,151 @@
+"""Resilience bench: fault-free overhead of the guardrails + recovery
+latency under injected worker crashes and hangs.
+
+Two measurements around the resilience plane:
+
+* **fault-free overhead** — a fixed batch of SSSP queries served by a
+  plain process-backend service vs the same service with every
+  guardrail armed (query deadline, heartbeat-based hung-worker
+  detection, retry policy, degradation breaker).  No fault fires, so
+  the difference is pure bookkeeping: the polling pipe waits, the
+  breaker lookup, the per-superstep deadline checks.  The acceptance
+  target is **< 5%** (asserted with ``--assert-overhead``; timing noise
+  makes an unconditional CI assert flaky).
+* **recovery latency** — one engine run whose worker crashes
+  (``exec.step`` crash fault) and one whose worker hangs (heartbeat
+  detection at 0.3s), each compared against the same engine fault-free.
+  Reported as added seconds: checkpoint + kill/detect + respawn +
+  replay.
+
+The machine-readable result lands in
+``benchmarks/results/BENCH_resilience.json``; ``--quick`` shrinks the
+graph and counts to a CI wiring check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import time
+
+from _common import RESULTS_DIR
+from repro.core.engine import GrapeEngine
+from repro.graph.generators import uniform_random_graph
+from repro.pie_programs import SSSPProgram
+from repro.resilience import FaultPlane, RetryPolicy
+from repro.service import GrapeService
+
+FULL_SHAPE = (3000, 10_000)   # nodes, edges
+QUICK_SHAPE = (600, 2000)
+FULL_QUERIES = 12
+QUICK_QUERIES = 4
+REPEATS = 3
+
+
+def batch_seconds(service, sources):
+    t0 = time.perf_counter()
+    for src in sources:
+        service.play("sssp", src, graph="soc")
+    return time.perf_counter() - t0
+
+
+def serve_overhead(g, sources, backend):
+    """Best-of-REPEATS batch time, plain vs fully guarded."""
+    timings = {}
+    for label, kwargs in (
+            ("plain", {}),
+            ("guarded", {"deadline_s": 300.0,
+                         "heartbeat_timeout_s": 5.0,
+                         "retry": RetryPolicy(),
+                         "degradation": True})):
+        svc = GrapeService(backend=backend, grouping=False, **kwargs)
+        svc.load_graph("soc", g)
+        svc.play("sssp", sources[0], graph="soc")  # partition + pool warm
+        timings[label] = min(batch_seconds(svc, sources)
+                             for _ in range(REPEATS))
+        svc.close()
+    return timings
+
+
+def recovery_latency(g, backend):
+    """Added seconds when a worker crashes / hangs mid-run."""
+    def one_run(**kwargs):
+        engine = GrapeEngine(4, backend=backend, **kwargs)
+        t0 = time.perf_counter()
+        result = engine.run(SSSPProgram(), query=0, graph=g)
+        return time.perf_counter() - t0, result
+
+    one_run()  # warm the pool + partition cost out of the comparison
+    base_s = min(one_run()[0] for _ in range(REPEATS))
+
+    crash_s, crashed = one_run(
+        fault_plane=FaultPlane().plan("exec.step", "crash", key=0, at=2))
+    assert crashed.recoveries >= 1
+
+    hang_s, hung = one_run(
+        heartbeat_timeout_s=0.3,
+        fault_plane=FaultPlane().plan("exec.step", "hang", key=0, at=2,
+                                      hang_s=30.0))
+    assert hung.recoveries >= 1
+    return {
+        "fault_free_s": round(base_s, 4),
+        "crash_recovery_added_s": round(max(0.0, crash_s - base_s), 4),
+        "hang_detect_recovery_added_s": round(max(0.0, hang_s - base_s),
+                                              4),
+        "heartbeat_timeout_s": 0.3,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small graph, few queries (CI wiring check)")
+    parser.add_argument("--backend", default="process",
+                        choices=["serial", "thread", "process"])
+    parser.add_argument("--assert-overhead", action="store_true",
+                        help="fail unless guarded overhead < 5%%")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    n, m = QUICK_SHAPE if args.quick else FULL_SHAPE
+    num_queries = QUICK_QUERIES if args.quick else FULL_QUERIES
+    rng = random.Random(args.seed)
+    g = uniform_random_graph(n, m, directed=False, seed=args.seed)
+    sources = [rng.randrange(n) for _ in range(num_queries)]
+
+    timings = serve_overhead(g, sources, args.backend)
+    overhead_pct = 100.0 * (timings["guarded"] - timings["plain"]) \
+        / timings["plain"]
+    recovery = recovery_latency(g, args.backend)
+
+    result = {
+        "bench": "resilience",
+        "quick": args.quick,
+        "python": platform.python_version(),
+        "graph": {"nodes": n, "edges": m, "directed": False},
+        "backend": args.backend,
+        "fault_free_overhead": {
+            "queries": num_queries,
+            "repeats": REPEATS,
+            "plain_batch_s": round(timings["plain"], 4),
+            "guarded_batch_s": round(timings["guarded"], 4),
+            "overhead_pct": round(overhead_pct, 2),
+            "target_pct": 5.0,
+        },
+        "recovery_latency": recovery,
+    }
+    text = json.dumps(result, indent=2)
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_resilience.json").write_text(text + "\n",
+                                                       encoding="utf-8")
+    if args.assert_overhead and overhead_pct >= 5.0:
+        raise SystemExit(
+            f"guarded overhead {overhead_pct:.2f}% >= 5% target")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -40,6 +40,7 @@ The engine also implements:
 from __future__ import annotations
 
 import dataclasses
+import threading
 import time
 from dataclasses import dataclass
 from typing import Any, Dict, Hashable, List, Optional, Set, Tuple
@@ -51,11 +52,14 @@ from repro.core.pie import ParamKey, ParamUpdates, PIEProgram
 from repro.graph.graph import Graph
 from repro.partition.base import Fragmentation, PartitionStrategy
 from repro.partition.strategies import HashPartition
+from repro.resilience import faults as fault_plane_mod
+from repro.resilience.errors import DeadlineExceeded, QueryCancelled
+from repro.resilience.faults import FaultPlane
 from repro.runtime.cluster import SimulatedCluster
 from repro.runtime.executors import (PHASE_INC, PHASE_NI, PHASE_PEVAL,
                                      ExecutorBackend, StepCommand,
-                                     WorkerProcessDied, read_report,
-                                     resolve_backend)
+                                     WorkerHung, WorkerProcessDied,
+                                     read_report, resolve_backend)
 from repro.runtime.fault import Arbitrator, FailureInjector, WorkerFailure
 from repro.runtime.message import stable_hash
 from repro.runtime.metrics import (CostModel, ParamSizeCache, RunMetrics,
@@ -95,6 +99,21 @@ class EngineConfig:
     #: :meth:`repro.store.GraphStore.checkpoint_dir`).  Enables recovery
     #: from *real* worker deaths under the process backend.
     checkpoint_dir: Optional[str] = None
+    #: per-query time budget in seconds; past it the run raises
+    #: :exc:`~repro.resilience.errors.DeadlineExceeded`.  Enforced at
+    #: every superstep boundary on all backends and *inside* worker
+    #: pipe waits on the process backend (an inline superstep already in
+    #: compute finishes first — boundary granularity).
+    deadline_s: Optional[float] = None
+    #: seconds without a worker heartbeat before the process backend
+    #: declares the worker hung, kills it and (checkpoint permitting)
+    #: replaces it.  ``None`` disables detection (seed behavior:
+    #: pipe recvs block indefinitely).
+    heartbeat_timeout_s: Optional[float] = None
+    #: deterministic fault schedule for this run's ``exec.step`` site
+    #: (see :class:`~repro.resilience.faults.FaultPlane`); ``None``
+    #: falls back to the process-globally installed plane, if any.
+    fault_plane: Optional[FaultPlane] = None
 
     @property
     def effective_fragments(self) -> int:
@@ -160,7 +179,10 @@ class GrapeEngine:
                  check_monotonic: bool = False,
                  max_supersteps: int = 100_000,
                  failure_injector: Optional[FailureInjector] = None,
-                 checkpoint_dir: Optional[str] = None):
+                 checkpoint_dir: Optional[str] = None,
+                 deadline_s: Optional[float] = None,
+                 heartbeat_timeout_s: Optional[float] = None,
+                 fault_plane: Optional[FaultPlane] = None):
         self.num_workers = num_workers
         self.num_fragments = num_fragments or num_workers
         if self.num_fragments < self.num_workers:
@@ -174,6 +196,9 @@ class GrapeEngine:
         self.max_supersteps = max_supersteps
         self.failure_injector = failure_injector
         self.checkpoint_dir = checkpoint_dir
+        self.deadline_s = deadline_s
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.fault_plane = fault_plane
 
     # ------------------------------------------------------------------
     @classmethod
@@ -189,7 +214,10 @@ class GrapeEngine:
                    check_monotonic=config.check_monotonic,
                    max_supersteps=config.max_supersteps,
                    failure_injector=config.failure_injector,
-                   checkpoint_dir=config.checkpoint_dir)
+                   checkpoint_dir=config.checkpoint_dir,
+                   deadline_s=config.deadline_s,
+                   heartbeat_timeout_s=config.heartbeat_timeout_s,
+                   fault_plane=config.fault_plane)
 
     @property
     def config(self) -> EngineConfig:
@@ -204,7 +232,10 @@ class GrapeEngine:
                             check_monotonic=self.check_monotonic,
                             max_supersteps=self.max_supersteps,
                             failure_injector=self.failure_injector,
-                            checkpoint_dir=self.checkpoint_dir)
+                            checkpoint_dir=self.checkpoint_dir,
+                            deadline_s=self.deadline_s,
+                            heartbeat_timeout_s=self.heartbeat_timeout_s,
+                            fault_plane=self.fault_plane)
 
     # ------------------------------------------------------------------
     def _resolve_backend(self) -> ExecutorBackend:
@@ -241,7 +272,8 @@ class GrapeEngine:
     # ------------------------------------------------------------------
     def run(self, program: PIEProgram, query: Any,
             graph: Optional[Graph] = None,
-            fragmentation: Optional[Fragmentation] = None) -> GrapeResult:
+            fragmentation: Optional[Fragmentation] = None, *,
+            cancel: Optional[threading.Event] = None) -> GrapeResult:
         """Compute ``Q(G)`` with the given PIE program.
 
         Execution is delegated to the configured backend through the PIE
@@ -253,6 +285,17 @@ class GrapeEngine:
         message composition, byte accounting — runs here regardless of
         backend, so answers, superstep counts and communication volumes
         are backend-invariant.
+
+        ``cancel`` is a cooperative abort flag (set by
+        :meth:`~repro.service.tickets.QueryTicket.cancel`): the run
+        checks it at every superstep boundary — and inside process-
+        backend pipe waits — and raises
+        :exc:`~repro.resilience.errors.QueryCancelled`.  With
+        ``deadline_s`` set, a budget overrun raises
+        :exc:`~repro.resilience.errors.DeadlineExceeded` at the same
+        points; with ``heartbeat_timeout_s`` set, a process worker that
+        stops heart-beating is killed and — when checkpoints are
+        enabled — replaced, the run continuing with identical answers.
         """
         if fragmentation is None:
             if graph is None:
@@ -261,8 +304,19 @@ class GrapeEngine:
 
         backend = self._resolve_backend()
         wall_start = time.perf_counter()
+        plane = self.fault_plane or fault_plane_mod.active()
+        deadline = (time.monotonic() + self.deadline_s
+                    if self.deadline_s is not None else None)
+        # Checkpoint fault tolerance turns on whenever something can
+        # fail mid-run *and* recovery is possible: an injector, a disk
+        # checkpoint dir, or a fault plane with pending executor faults
+        # (in-memory checkpoints suffice for inline backends; the
+        # process backend additionally needs a checkpoint_dir only for
+        # real cross-process restores — in-memory copies restore
+        # through replace_states just as well).
         ft_enabled = (self.failure_injector is not None
-                      or self.checkpoint_dir is not None)
+                      or self.checkpoint_dir is not None
+                      or (plane is not None and plane.may_fire("exec.")))
         cluster = SimulatedCluster(self.num_workers,
                                    cost_model=self.cost_model,
                                    backend=backend)
@@ -277,6 +331,7 @@ class GrapeEngine:
         session_box = [backend.open(program, query, fragmentation,
                                     num_workers=self.num_workers,
                                     failure_injector=self.failure_injector)]
+        session_box[0].hang_timeout = self.heartbeat_timeout_s
 
         def reopen():
             try:
@@ -292,6 +347,7 @@ class GrapeEngine:
                         program, query, fragmentation,
                         num_workers=self.num_workers,
                         failure_injector=self.failure_injector)
+                    session_box[0].hang_timeout = self.heartbeat_timeout_s
                     return
                 except WorkerProcessDied:
                     if attempt == 4:
@@ -335,7 +391,9 @@ class GrapeEngine:
                 cluster, session_box, arbitrator,
                 {f.fid: StepCommand(phase=PHASE_PEVAL) for f in frags},
                 bytes_in=pre_bytes, msgs_in=1 if payloads else 0,
-                restore=restore, reopen=reopen)
+                restore=restore, reopen=reopen, plane=plane,
+                deadline=deadline, budget_s=self.deadline_s,
+                cancel=cancel)
 
             up_bytes, up_msgs, dirty = self._fold_outcomes(
                 program, frags, outcomes, reported, global_table,
@@ -378,7 +436,9 @@ class GrapeEngine:
                     cluster, session_box, arbitrator, commands,
                     bytes_in=up_bytes + down_bytes,
                     msgs_in=up_msgs + down_msgs,
-                    restore=restore, reopen=reopen)
+                    restore=restore, reopen=reopen, plane=plane,
+                    deadline=deadline, budget_s=self.deadline_s,
+                    cancel=cancel)
 
                 up_bytes, up_msgs, dirty = self._fold_outcomes(
                     program, frags, outcomes, reported, global_table,
@@ -430,7 +490,9 @@ class GrapeEngine:
     # ------------------------------------------------------------------
     @staticmethod
     def _step_with_recovery(cluster, session_box, arbitrator, commands,
-                            bytes_in, msgs_in, restore, reopen=None):
+                            bytes_in, msgs_in, restore, reopen=None, *,
+                            plane=None, deadline=None, budget_s=None,
+                            cancel=None):
         """Run one superstep; recover failures and replay (the
         arbitrator's task-transfer protocol).
 
@@ -441,29 +503,73 @@ class GrapeEngine:
           happened), the checkpoint is restored and the step replays;
         * a **real worker death**
           (:exc:`~repro.runtime.executors.WorkerProcessDied`, process
-          backend) aborts the exchange mid-flight — with a disk
-          checkpoint available the session is re-opened on fresh pool
-          workers, the checkpoint restored into them and the step
-          replayed.  Nothing is recorded for the aborted attempt (no
-          complete outcome set exists), so a recovered run's logical
-          metrics — supersteps, traffic — equal an uninterrupted run's.
-          A death during the recovery itself (the replacement worker
-          dies while states are being restored) retries the whole
-          sequence.  Known limitation: a death landing inside the
-          *checkpoint* exchange (``collect_states``) rather than the
-          step fails the run loudly with :exc:`WorkerProcessDied` — the
-          next consistent resume point would predate work the
-          coordinator has already folded; callers treat it as a failed
-          (safely re-runnable) query.
+          backend — including :exc:`~repro.runtime.executors.WorkerHung`,
+          a worker killed for missing heartbeats) aborts the exchange
+          mid-flight — with a checkpoint available the session is
+          re-opened on fresh pool workers, the checkpoint restored into
+          them and the step replayed.  Nothing is recorded for the
+          aborted attempt (no complete outcome set exists), so a
+          recovered run's logical metrics — supersteps, traffic — equal
+          an uninterrupted run's.  A death during the recovery itself
+          (the replacement worker dies while states are being restored)
+          retries the whole sequence.  Known limitation: a death landing
+          inside the *checkpoint* exchange (``collect_states``) rather
+          than the step fails the run loudly with
+          :exc:`WorkerProcessDied` — the next consistent resume point
+          would predate work the coordinator has already folded; callers
+          treat it as a failed (safely re-runnable) query.
+
+        The fault plane's ``exec.step`` site is consulted here, exactly
+        once per fragment per *logical* superstep; a fired action rides
+        the :class:`StepCommand` to wherever the fragment executes.
+        Every replay strips the embedded faults first — matching the
+        injector's "each failure fires exactly once" semantics, so
+        recovery always converges.  ``deadline`` (absolute monotonic)
+        and ``cancel`` are checked before every attempt; an
+        unrecoverable hang is reported as
+        :exc:`~repro.resilience.errors.DeadlineExceeded` when the query
+        had a time budget (the caller asked for bounded latency, and
+        that is the bound that broke).
         """
+        if plane is not None:
+            for fid in sorted(commands):
+                action = plane.check("exec.step", key=fid)
+                if action is not None:
+                    commands[fid].fault = action
+
+        def strip_faults():
+            for command in commands.values():
+                command.fault = None
+
         attempts = 0
         while True:
             attempts += 1
+            if cancel is not None and cancel.is_set():
+                raise QueryCancelled(
+                    "query cancelled at a superstep boundary")
+            if deadline is not None and time.monotonic() > deadline:
+                raise DeadlineExceeded(
+                    f"query exceeded its {budget_s}s budget at a "
+                    "superstep boundary", budget_s=budget_s)
             try:
-                outcomes = session_box[0].step(commands)
-            except WorkerProcessDied:
+                outcomes = session_box[0].step(commands, deadline=deadline,
+                                               cancel=cancel)
+            except DeadlineExceeded as exc:
+                # Raised inside a pipe wait, where only the absolute
+                # deadline is known — stamp the budget on the way out.
+                strip_faults()
+                if exc.budget_s is None:
+                    exc.budget_s = budget_s
+                raise
+            except WorkerProcessDied as exc:
+                strip_faults()
                 if (attempts > 25 or reopen is None
                         or not arbitrator.has_checkpoint):
+                    if isinstance(exc, WorkerHung) and deadline is not None:
+                        raise DeadlineExceeded(
+                            f"worker hung and could not be replaced "
+                            f"within the {budget_s}s budget: {exc}",
+                            budget_s=budget_s) from exc
                     raise
                 while True:
                     try:
@@ -482,6 +588,7 @@ class GrapeEngine:
                             if o.failed is not None), None)
             if failure is None:
                 return outcomes
+            strip_faults()
             if attempts > 25:
                 raise failure
             if arbitrator.has_checkpoint:

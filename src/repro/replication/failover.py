@@ -29,11 +29,14 @@ election discipline* on top of the WAL chain.
 from __future__ import annotations
 
 import json
+import time
 from pathlib import Path
 from typing import Optional, Sequence, Tuple, Union
 
 from repro.ioutil import atomic_write_bytes
 from repro.replication.replica import ReplicaService
+from repro.resilience import faults as _faults
+from repro.resilience.errors import FailoverInterrupted
 from repro.store.catalog import EPOCH_FILE
 
 __all__ = ["FailoverCoordinator", "read_epoch", "write_epoch"]
@@ -85,10 +88,26 @@ class FailoverCoordinator:
         by position vector (ties broken by replica id, so the outcome
         is deterministic), publishes the winner as leader and promotes
         it.  Returns the new primary.
+
+        The ``replication.promote`` fault site sits between fence and
+        publish — the promote-race window.  A *crash* there raises
+        :exc:`~repro.resilience.errors.FailoverInterrupted`, leaving
+        the epoch bumped with **no leader**: the old primary stays
+        fenced, no replica was promoted, and a re-run of ``promote``
+        (the coordinator restarting) completes the failover at a fresh
+        epoch with nothing lost.  A *delay* widens the window instead.
         """
         if not replicas:
             raise ValueError("cannot fail over with no replicas")
         new_epoch = self.fence()
+        fault = _faults.check("replication.promote", key=str(self.root))
+        if fault is not None:
+            if fault.kind == "crash":
+                raise FailoverInterrupted(
+                    f"injected coordinator crash after fencing epoch "
+                    f"{new_epoch} (no leader published)")
+            if fault.kind == "delay":
+                time.sleep(float(fault.param("delay_s", 0.05)))
         for replica in replicas:
             replica.sync()
         winner = max(replicas,

@@ -1,0 +1,40 @@
+"""repro.resilience: the production half of fault tolerance.
+
+The paper's Section 6 gives the *recovery* machinery (arbitrator
+checkpoints, task transfer, WAL replay — PR 5/6); this package adds the
+serving-side discipline around it — detect, bound, retry, degrade:
+
+* :mod:`~repro.resilience.faults` — the :class:`FaultPlane`, one
+  deterministic seeded injection registry consulted by the executor,
+  store and replication layers;
+* :mod:`~repro.resilience.errors` — the typed error taxonomy
+  (:exc:`DeadlineExceeded`, :exc:`RetryExhausted`,
+  :exc:`QueryCancelled`, :exc:`FailoverInterrupted`);
+* :mod:`~repro.resilience.retry` — bounded seeded-backoff retry of
+  transient infrastructure faults;
+* :mod:`~repro.resilience.breaker` — the per-graph circuit breaker
+  degrading ``process → thread → serial`` after repeated pool failures.
+
+See the README's "Resilience" section for how the knobs compose on
+:class:`~repro.service.GrapeService`.
+"""
+
+from repro.resilience.breaker import (DEGRADATION_CHAIN,
+                                      BackendCircuitBreaker)
+from repro.resilience.errors import (DeadlineExceeded, FailoverInterrupted,
+                                     QueryCancelled, RetryExhausted)
+from repro.resilience.faults import FaultAction, FaultPlane
+from repro.resilience.retry import RetryPolicy, run_with_retry
+
+__all__ = [
+    "BackendCircuitBreaker",
+    "DEGRADATION_CHAIN",
+    "DeadlineExceeded",
+    "FailoverInterrupted",
+    "FaultAction",
+    "FaultPlane",
+    "QueryCancelled",
+    "RetryExhausted",
+    "RetryPolicy",
+    "run_with_retry",
+]

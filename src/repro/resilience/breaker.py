@@ -1,0 +1,159 @@
+"""Backend circuit breaker: degrade process → thread → serial.
+
+The process backend is the fast path for heavy graphs, but it has the
+most infrastructure to go wrong: worker processes can be OOM-killed,
+crash in native code, or be reaped by an operator.  Retrying rides out
+one death; a *pattern* of deaths means the pool itself is unhealthy for
+that workload, and burning a full retry budget per query turns every
+request into worst-case latency.
+
+The breaker watches consecutive infrastructure failures per graph.  At
+``failure_threshold`` it **opens**: queries on that graph transparently
+run one step down the degradation chain (``process → thread →
+serial``), trading peak throughput for certainty — the inline backends
+share no failure domain with the pool.  After ``cooldown_s`` the next
+query is a **probe** on the configured backend: success restores it,
+failure re-opens the breaker (fresh cooldown).  Repeated failures while
+degraded step further down the chain.
+
+Everything is observable: ``transitions`` records every degrade /
+probe / restore with a monotonic timestamp, and the service mirrors the
+counts into :class:`~repro.runtime.metrics.ServiceMetrics`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = ["BackendCircuitBreaker", "DEGRADATION_CHAIN"]
+
+#: default degradation order, fastest/most-fragile first
+DEGRADATION_CHAIN: Tuple[str, ...] = ("process", "thread", "serial")
+
+
+@dataclass
+class _GraphState:
+    failures: int = 0          # consecutive failures at the current level
+    degraded_to: Optional[str] = None
+    opened_at: float = 0.0
+    probing: bool = False
+
+
+@dataclass
+class BackendCircuitBreaker:
+    """Per-graph backend health tracking with a degradation chain.
+
+    ``on_transition(kind, graph, from_backend, to_backend)`` is invoked
+    (outside the breaker lock) for kinds ``"degrade"``, ``"probe"`` and
+    ``"restore"`` — the service wires it to its metrics.
+    """
+
+    failure_threshold: int = 3
+    cooldown_s: float = 30.0
+    chain: Tuple[str, ...] = DEGRADATION_CHAIN
+    clock: Callable[[], float] = time.monotonic
+    on_transition: Optional[Callable[[str, str, str, str], None]] = None
+    #: every transition: ``(kind, graph, from, to, at)``
+    transitions: List[Tuple[str, str, str, str, float]] = field(
+        default_factory=list)
+    _states: Dict[str, _GraphState] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+
+    # ------------------------------------------------------------------
+    def resolve(self, graph: str, configured: str) -> str:
+        """The backend a query on ``graph`` should actually use.
+
+        Healthy → the configured backend.  Open → the degraded level.
+        Open past the cooldown → the configured backend again, as a
+        half-open probe (one query; its outcome decides).
+        """
+        event = None
+        result = configured
+        with self._lock:
+            state = self._states.get(graph)
+            if (state is not None and state.degraded_to is not None
+                    and configured in self.chain):
+                if (not state.probing and
+                        self.clock() - state.opened_at >= self.cooldown_s):
+                    state.probing = True
+                    event = ("probe", graph, state.degraded_to, configured)
+                    self._record(event)
+                result = configured if state.probing else state.degraded_to
+        self._emit(event)
+        return result
+
+    def record_success(self, graph: str, used: str) -> None:
+        """A query completed on ``used``; closes the breaker when that
+        was a successful probe of the configured backend."""
+        event = None
+        with self._lock:
+            state = self._states.get(graph)
+            if state is None:
+                return
+            state.failures = 0
+            if state.probing and used != state.degraded_to:
+                event = ("restore", graph, state.degraded_to, used)
+                state.degraded_to = None
+                state.probing = False
+                self._record(event)
+        self._emit(event)
+
+    def record_failure(self, graph: str, used: str) -> None:
+        """An infrastructure failure on ``used``; trips or deepens the
+        breaker once the consecutive-failure threshold is reached."""
+        if used not in self.chain:
+            return
+        event = None
+        with self._lock:
+            state = self._states.setdefault(graph, _GraphState())
+            now = self.clock()
+            if state.probing:
+                # the probe failed: re-open at the previous level
+                state.probing = False
+                state.opened_at = now
+                state.failures = 0
+                event = ("degrade", graph, used, state.degraded_to)
+                self._record(event)
+            else:
+                state.failures += 1
+                if state.failures >= self.failure_threshold:
+                    nxt = self._next_level(used)
+                    if nxt is not None:
+                        state.degraded_to = nxt
+                        state.opened_at = now
+                        state.failures = 0
+                        event = ("degrade", graph, used, nxt)
+                        self._record(event)
+        self._emit(event)
+
+    # ------------------------------------------------------------------
+    def degraded_backend(self, graph: str) -> Optional[str]:
+        """The degraded level for ``graph`` (``None`` when healthy)."""
+        with self._lock:
+            state = self._states.get(graph)
+            return state.degraded_to if state else None
+
+    def _next_level(self, used: str) -> Optional[str]:
+        try:
+            index = self.chain.index(used)
+        except ValueError:
+            return None
+        return self.chain[index + 1] if index + 1 < len(self.chain) else None
+
+    def _record(self, event) -> None:
+        kind, graph, src, dst = event
+        self.transitions.append((kind, graph, src, dst, self.clock()))
+
+    def _emit(self, event) -> None:
+        if event is not None and self.on_transition is not None:
+            self.on_transition(*event)
+
+    def __repr__(self) -> str:
+        with self._lock:
+            degraded = {g: s.degraded_to for g, s in self._states.items()
+                        if s.degraded_to}
+        return (f"BackendCircuitBreaker(threshold={self.failure_threshold},"
+                f" cooldown={self.cooldown_s}s, degraded={degraded})")

@@ -1,0 +1,106 @@
+"""Bounded retry with seeded exponential backoff.
+
+The policy decides *what* is worth retrying (transient infrastructure
+faults — a pooled worker death, a failed WAL append whose log was
+truncated back to its last durable record) and *how long* to wait
+between attempts.  Deterministic on purpose: jitter draws from a seeded
+stream so a replayed schedule backs off identically.
+
+Never retried: :exc:`~repro.resilience.errors.DeadlineExceeded` (the
+budget is spent), :exc:`~repro.resilience.errors.QueryCancelled` (the
+caller asked us to stop), shedding, and anything that looks like a
+*logic* error — retrying those would only repeat them.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple, Type
+
+from repro.resilience.errors import (DeadlineExceeded, QueryCancelled,
+                                     RetryExhausted)
+
+__all__ = ["RetryPolicy", "run_with_retry"]
+
+
+def _default_retryable() -> Tuple[Type[BaseException], ...]:
+    # Imported lazily: executors/wal import must not be forced on
+    # policy construction in contexts that never touch them.
+    from repro.runtime.executors import WorkerProcessDied
+    from repro.store.wal import WALWriteError
+    return (WorkerProcessDied, WALWriteError)
+
+
+@dataclass
+class RetryPolicy:
+    """How many times to retry and how long to back off.
+
+    ``max_attempts`` counts every try (so ``1`` disables retries);
+    backoff for retry ``k`` (0-based) is
+    ``min(base * multiplier**k, max_backoff) * (1 ± jitter)`` with the
+    jitter factor drawn from a stream seeded by ``seed``.
+    """
+
+    max_attempts: int = 3
+    base_backoff_s: float = 0.02
+    multiplier: float = 2.0
+    max_backoff_s: float = 1.0
+    jitter: float = 0.1
+    seed: int = 0
+    #: extra exception types to treat as retryable (on top of worker
+    #: deaths and WAL write failures)
+    extra_retryable: Tuple[Type[BaseException], ...] = ()
+    _rng: random.Random = field(init=False, repr=False, compare=False,
+                                default=None)
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self._rng = random.Random(self.seed)
+
+    def is_retryable(self, exc: BaseException) -> bool:
+        if isinstance(exc, (DeadlineExceeded, QueryCancelled)):
+            return False
+        return isinstance(exc, _default_retryable() + self.extra_retryable)
+
+    def backoff_s(self, attempt: int) -> float:
+        """Sleep before retry ``attempt`` (0-based: the wait after the
+        first failure is ``backoff_s(0)``)."""
+        base = min(self.base_backoff_s * (self.multiplier ** attempt),
+                   self.max_backoff_s)
+        if self.jitter:
+            base *= 1.0 + self.jitter * (2.0 * self._rng.random() - 1.0)
+        return max(0.0, base)
+
+
+def run_with_retry(fn: Callable[[], "object"], policy: RetryPolicy, *,
+                   on_retry: Optional[Callable[[int, BaseException],
+                                               None]] = None,
+                   sleep: Callable[[float], None] = time.sleep):
+    """Call ``fn`` under ``policy``.
+
+    Non-retryable errors propagate unchanged; a retryable error that
+    survives every attempt is wrapped in
+    :exc:`~repro.resilience.errors.RetryExhausted` (the last error
+    chained).  ``on_retry(attempt_index, exc)`` fires before each
+    backoff sleep — the service uses it to count retries and feed the
+    circuit breaker.
+    """
+    last: Optional[BaseException] = None
+    for attempt in range(policy.max_attempts):
+        try:
+            return fn()
+        except BaseException as exc:
+            if not policy.is_retryable(exc):
+                raise
+            last = exc
+            if attempt + 1 >= policy.max_attempts:
+                break
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            sleep(policy.backoff_s(attempt))
+    raise RetryExhausted(
+        f"still failing after {policy.max_attempts} attempts: {last}",
+        attempts=policy.max_attempts, last_error=last) from last

@@ -57,6 +57,8 @@ from dataclasses import dataclass, field
 from typing import (Any, Callable, Dict, Hashable, List, Optional, Sequence,
                     Tuple, Union)
 
+from repro.resilience.errors import DeadlineExceeded, QueryCancelled
+from repro.resilience.faults import FaultAction
 from repro.runtime.fault import FailureInjector, WorkerFailure
 
 __all__ = [
@@ -69,6 +71,7 @@ __all__ = [
     "StepOutcome",
     "ThreadBackend",
     "UnpicklableProgramError",
+    "WorkerHung",
     "WorkerProcessDied",
     "available_backends",
     "resolve_backend",
@@ -99,6 +102,18 @@ class WorkerProcessDied(RuntimeError):
     """
 
 
+class WorkerHung(WorkerProcessDied):
+    """A pooled worker stopped heart-beating mid-exchange.
+
+    Raised by the coordinator after ``heartbeat_timeout_s`` without a
+    beat: the worker was killed (a frozen process cannot be trusted to
+    ever reply) and its handle marked dead.  Subclasses
+    :exc:`WorkerProcessDied` so every death-recovery path — checkpoint
+    restore on fresh workers, service-level retry, the circuit breaker
+    — treats a hang exactly like a crash, which operationally it is.
+    """
+
+
 @dataclass
 class StepCommand:
     """One fragment's share of a superstep, expressed as data.
@@ -116,6 +131,11 @@ class StepCommand:
     designated: Optional[list] = None
     keyvalue: Optional[Dict[Hashable, list]] = None
     full_report: bool = False
+    #: injected fault to act out before computing (``exec.step`` site of
+    #: the :class:`~repro.resilience.faults.FaultPlane`); embedded by the
+    #: engine — and stripped before any replay, so a recovered step
+    #: never re-fires the same fault
+    fault: Optional[FaultAction] = None
 
 
 @dataclass
@@ -206,6 +226,10 @@ class ExecutorSession(abc.ABC):
     fragments_shipped: int = 0
     #: fragments brought current worker-side by delta replay instead
     fragments_delta_shipped: int = 0
+    #: hung-worker grace (seconds without a heartbeat before the worker
+    #: is declared dead); set by the engine after open, honored by
+    #: remote sessions on every exchange, ignored by inline ones
+    hang_timeout: Optional[float] = None
 
     @abc.abstractmethod
     def init_states(self) -> None:
@@ -216,9 +240,18 @@ class ExecutorSession(abc.ABC):
         """Deliver pre-PEval payloads (``program.apply_preprocess``)."""
 
     @abc.abstractmethod
-    def step(self, commands: Dict[int, StepCommand],
+    def step(self, commands: Dict[int, StepCommand], *,
+             deadline: Optional[float] = None,
+             cancel: Optional[threading.Event] = None,
              ) -> Dict[int, StepOutcome]:
-        """Execute one superstep: one command per fragment id."""
+        """Execute one superstep: one command per fragment id.
+
+        ``deadline`` is an absolute ``time.monotonic`` cutoff and
+        ``cancel`` a cooperative abort flag; remote sessions watch both
+        while waiting on worker replies, inline sessions leave
+        enforcement to the engine's superstep-boundary checks (an
+        in-process compute cannot be preempted safely).
+        """
 
     @abc.abstractmethod
     def collect_states(self) -> Dict[int, Any]:
@@ -290,7 +323,9 @@ class _InlineSession(ExecutorSession):
             self._program.apply_preprocess(self._query, self._fragments[fid],
                                            self._states[fid], payload)
 
-    def step(self, commands: Dict[int, StepCommand],
+    def step(self, commands: Dict[int, StepCommand], *,
+             deadline: Optional[float] = None,
+             cancel: Optional[threading.Event] = None,
              ) -> Dict[int, StepOutcome]:
         step_index = self._step_index
         self._step_index += 1
@@ -300,6 +335,19 @@ class _InlineSession(ExecutorSession):
                     worker=fid, superstep=step_index):
                 return fid, StepOutcome(
                     failed=WorkerFailure(worker=fid, superstep=step_index))
+            fault = commands[fid].fault
+            if fault is not None:
+                # Inline acting of plane faults: a "crash" surfaces as a
+                # simulated WorkerFailure (same recovery path as the
+                # injector); "hang"/"slow" stall the compute, which the
+                # engine's deadline check bounds at the next superstep.
+                if fault.kind == "crash":
+                    return fid, StepOutcome(failed=WorkerFailure(
+                        worker=fid, superstep=step_index))
+                if fault.kind == "hang":
+                    time.sleep(float(fault.param("hang_s", 0.5)))
+                elif fault.kind == "slow":
+                    time.sleep(float(fault.param("delay_s", 0.05)))
             outcome = _execute_command(self._program, self._query,
                                        self._fragments[fid],
                                        self._states[fid], commands[fid])
@@ -468,6 +516,10 @@ class _Channel:
         self._conn.send_bytes(blob)
         return len(blob)
 
+    def poll(self, timeout: float) -> bool:
+        """Whether a reply is ready within ``timeout`` seconds."""
+        return self._conn.poll(timeout)
+
     def recv(self) -> Any:
         header = pickle.loads(self._conn.recv_bytes())
         if header[0] == "shm":
@@ -519,7 +571,38 @@ def _evict_cached(cache: Dict[Any, Any], token) -> None:
         del cache[oldest]
 
 
-def _worker_main(conn) -> None:  # pragma: no cover - runs in child process
+#: how often a pooled worker writes its heartbeat (seconds)
+_HEARTBEAT_INTERVAL_S = 0.02
+#: how often a waiting coordinator re-polls the reply pipe (seconds)
+_RECV_POLL_S = 0.02
+
+
+def _apply_worker_fault(action: FaultAction,
+                        hb_pause: "threading.Event") -> None:
+    # pragma: no cover - runs in child process
+    """Act out an injected ``exec.step`` fault inside a pooled worker.
+
+    ``crash`` exits the process hard (no cleanup — that is the point);
+    ``hang`` freezes the worker *including its heartbeat thread* for
+    ``hang_s`` (a truly wedged process beats nothing), which is what
+    makes coordinator-side missed-heartbeat detection honest; ``slow``
+    just delays the compute, heartbeats still flowing.
+    """
+    kind = action.kind
+    if kind == "crash":
+        os._exit(32)
+    elif kind == "hang":
+        hb_pause.set()
+        try:
+            time.sleep(float(action.param("hang_s", 30.0)))
+        finally:
+            hb_pause.clear()
+    elif kind == "slow":
+        time.sleep(float(action.param("delay_s", 0.05)))
+
+
+def _worker_main(conn, heartbeat=None) -> None:
+    # pragma: no cover - runs in child process
     """Worker process loop: hold fragments + states resident, serve steps.
 
     Fragments are cached per fragmentation token across sessions (LRU,
@@ -527,8 +610,22 @@ def _worker_main(conn) -> None:  # pragma: no cover - runs in child process
     served a graph skips the re-ship entirely; CSR snapshots are rebuilt
     lazily on this side of the pipe (they are dropped from the
     fragment's pickled form).
+
+    ``heartbeat`` is a shared ``multiprocessing.Value('d')`` this worker
+    keeps stamped with ``time.monotonic()`` from a daemon thread; the
+    coordinator reads it to distinguish *slow* (still beating) from
+    *hung* (beats stopped) while waiting on a reply.
     """
     channel = _Channel(conn)
+    hb_pause = threading.Event()
+    if heartbeat is not None:
+        def _beat():
+            while True:
+                if not hb_pause.is_set():
+                    heartbeat.value = time.monotonic()
+                time.sleep(_HEARTBEAT_INTERVAL_S)
+        threading.Thread(target=_beat, daemon=True,
+                         name="repro-heartbeat").start()
     program = query = None
     fragments: Dict[int, Any] = {}
     states: Dict[int, Any] = {}
@@ -578,6 +675,9 @@ def _worker_main(conn) -> None:  # pragma: no cover - runs in child process
                                              states[fid], payload)
                 channel.send(("ok", None))
             elif kind == "step":
+                for command in msg[1].values():
+                    if command.fault is not None:
+                        _apply_worker_fault(command.fault, hb_pause)
                 outcomes = {
                     fid: _execute_command(program, query, fragments[fid],
                                           states[fid], command)
@@ -615,7 +715,12 @@ class _WorkerHandle:
 
     def __init__(self, ctx, index: int):
         parent, child = ctx.Pipe(duplex=True)
-        self.process = ctx.Process(target=_worker_main, args=(child,),
+        #: last heartbeat the worker stamped (CLOCK_MONOTONIC is
+        #: system-wide on the platforms we run on, so parent and child
+        #: read the same clock)
+        self.heartbeat = ctx.Value("d", time.monotonic())
+        self.process = ctx.Process(target=_worker_main,
+                                   args=(child, self.heartbeat),
                                    daemon=True,
                                    name=f"repro-worker-{index}")
         self.process.start()
@@ -645,7 +750,63 @@ class _WorkerHandle:
                 f"process-backend worker {self.process.name} died "
                 f"(exitcode={self.process.exitcode})") from exc
 
-    def receive(self) -> Any:
+    def receive(self, *, deadline: Optional[float] = None,
+                hang_timeout: Optional[float] = None,
+                cancel: Optional[threading.Event] = None) -> Any:
+        """Wait for the worker's reply.
+
+        With no watch parameters this blocks indefinitely (seed
+        behavior).  Otherwise the reply pipe is polled and, between
+        polls: a set ``cancel`` event abandons the exchange
+        (:exc:`~repro.resilience.errors.QueryCancelled`); a heartbeat
+        older than ``hang_timeout`` declares the worker hung
+        (:exc:`WorkerHung`); a ``time.monotonic()`` past ``deadline``
+        raises :exc:`~repro.resilience.errors.DeadlineExceeded`.  In
+        all three cases the worker is killed and the handle marked dead
+        — a worker mid-compute would otherwise push a stale reply at
+        whichever session leases it next.  A reply that is already
+        ready is always consumed, even past the deadline.
+        """
+        if deadline is None and hang_timeout is None and cancel is None:
+            return self._receive_blocking()
+        while True:
+            try:
+                ready = self.channel.poll(_RECV_POLL_S)
+            except (EOFError, OSError) as exc:
+                self._dead = True
+                raise WorkerProcessDied(
+                    f"process-backend worker {self.process.name} died "
+                    f"(exitcode={self.process.exitcode})") from exc
+            if ready:
+                return self._receive_blocking()
+            now = time.monotonic()
+            if cancel is not None and cancel.is_set():
+                self._abandon()
+                raise QueryCancelled(
+                    f"query cancelled while worker {self.process.name} "
+                    "was mid-superstep; the worker was replaced")
+            if (hang_timeout is not None
+                    and now - self.heartbeat.value > hang_timeout):
+                self._abandon()
+                raise WorkerHung(
+                    f"process-backend worker {self.process.name} missed "
+                    f"heartbeats for {hang_timeout:.3f}s and was killed")
+            if deadline is not None and now > deadline:
+                self._abandon()
+                raise DeadlineExceeded(
+                    f"query deadline passed while waiting on worker "
+                    f"{self.process.name}; the worker was replaced")
+
+    def _abandon(self) -> None:
+        """Kill the worker and mark this handle dead (the exchange it
+        owes a reply for will never complete usefully)."""
+        self._dead = True
+        try:
+            self.process.kill()
+        except Exception:  # pragma: no cover - already gone
+            pass
+
+    def _receive_blocking(self) -> Any:
         try:
             reply = self.channel.recv()
         except (EOFError, OSError) as exc:
@@ -699,7 +860,9 @@ class _ProcessSession(ExecutorSession):
         self._account()
 
     # -- plumbing -------------------------------------------------------
-    def _broadcast(self, make_payload) -> List[Any]:
+    def _broadcast(self, make_payload, *,
+                   deadline: Optional[float] = None,
+                   cancel: Optional[threading.Event] = None) -> List[Any]:
         """Send one request to every leased worker, then gather replies.
 
         Requests are written before any reply is read so the workers
@@ -707,6 +870,14 @@ class _ProcessSession(ExecutorSession):
         reply drained even when one worker errors — an unconsumed reply
         would desynchronize the channel for whichever session leases the
         worker next.  The first error is re-raised after the drain.
+
+        Every receive watches the session's ``hang_timeout`` (hung-worker
+        detection applies to any exchange, checkpoint collection
+        included); step exchanges additionally thread the query's
+        ``deadline`` and ``cancel`` through.  A timed-out/hung/cancelled
+        worker was killed by its handle, so its "reply" surfaces as the
+        typed error — the drain loop's job is only to keep healthy
+        workers' channels synchronized.
         """
         first_error: Optional[BaseException] = None
         sent: List[_WorkerHandle] = []
@@ -720,7 +891,9 @@ class _ProcessSession(ExecutorSession):
         replies: List[Any] = []
         for handle in sent:
             try:
-                replies.append(handle.receive())
+                replies.append(handle.receive(
+                    deadline=deadline, hang_timeout=self.hang_timeout,
+                    cancel=cancel))
             except BaseException as exc:
                 if first_error is None:
                     first_error = exc
@@ -748,11 +921,13 @@ class _ProcessSession(ExecutorSession):
             if fid in payloads}))
         self._account()
 
-    def step(self, commands: Dict[int, StepCommand],
+    def step(self, commands: Dict[int, StepCommand], *,
+             deadline: Optional[float] = None,
+             cancel: Optional[threading.Event] = None,
              ) -> Dict[int, StepOutcome]:
         replies = self._broadcast(lambda handle: ("step", {
             fid: commands[fid] for fid in self._fids_of(handle)
-            if fid in commands}))
+            if fid in commands}), deadline=deadline, cancel=cancel)
         self._account()
         outcomes: Dict[int, StepOutcome] = {}
         for reply in replies:

@@ -32,6 +32,7 @@ import copy
 import os
 import pickle
 import random
+import re
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Set, Tuple, Union
 
@@ -105,19 +106,57 @@ class Arbitrator:
         relies on.  Disk mode requires picklable fragment states (the
         process backend already enforces that contract).  The engine
         discards the file when its run ends (:meth:`discard`), so a
-        long-lived checkpoint directory does not accumulate debris.
+        long-lived checkpoint directory does not accumulate debris —
+        and because a coordinator crash can still leak its file,
+        opening the directory garbage-collects any checkpoint whose
+        owning pid (embedded in the file name) no longer exists
+        (``stale_discarded`` counts them).
     """
+
+    #: disk checkpoint file names: checkpoint-<owner pid>-<nonce>.ckpt
+    _CKPT_RE = re.compile(r"^checkpoint-(\d+)-[0-9a-f]+\.ckpt$")
 
     def __init__(self, checkpoint_dir: Union[str, Path, None] = None):
         self._snapshots: Dict[int, Any] = {}
         self._dir: Optional[Path] = None
         self.checkpoints_written = 0
         self.recoveries = 0
+        self.stale_discarded = 0
         if checkpoint_dir is not None:
             self._dir = Path(checkpoint_dir)
             self._dir.mkdir(parents=True, exist_ok=True)
             self._filename = (f"checkpoint-{os.getpid()}-"
                               f"{os.urandom(4).hex()}.ckpt")
+            self.stale_discarded = self._gc_stale()
+
+    def _gc_stale(self) -> int:
+        """Remove checkpoint files whose owning process is gone.
+
+        A coordinator that crashes between :meth:`checkpoint` and
+        :meth:`discard` leaks its file; every file name embeds the
+        owner's pid, so on startup any file whose pid no longer exists
+        is debris and is unlinked.  Files of live processes (including
+        our own pid's other instances) are left alone — they may still
+        be restored from.  Returns the number of files removed.
+        """
+        removed = 0
+        for entry in self._dir.glob("checkpoint-*.ckpt"):
+            match = self._CKPT_RE.match(entry.name)
+            if match is None:
+                continue
+            pid = int(match.group(1))
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                try:
+                    entry.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+            except (PermissionError, OSError):
+                # pid exists (owned by someone else) — not stale
+                continue
+        return removed
 
     @property
     def checkpoint_path(self) -> Optional[Path]:

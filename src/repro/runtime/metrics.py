@@ -311,6 +311,18 @@ class ServiceMetrics:
     replica_batches_applied: int = 0
     replica_rollovers: int = 0
     replica_resnapshots: int = 0
+    #: the resilience plane: queries that needed at least one retry (and
+    #: the total retry attempts behind them), deadline misses, caller
+    #: cancellations, and the circuit breaker's life — backends degraded
+    #: down the process→thread→serial chain, half-open probes of the
+    #: configured backend after cooldown, and successful restorations
+    queries_retried: int = 0
+    retries_total: int = 0
+    deadlines_exceeded: int = 0
+    queries_cancelled: int = 0
+    backend_degradations: int = 0
+    backend_probes: int = 0
+    backend_restorations: int = 0
 
     def observe_run(self, metrics: "RunMetrics") -> None:
         """Fold one completed query run into the aggregates."""

@@ -61,7 +61,9 @@ from repro.partition.base import Fragmentation, PartitionStrategy
 from repro.partition.strategies import HashPartition
 from repro.replication.admission import (AdmissionController,
                                          AdmissionRejected)
-from repro.runtime.executors import ExecutorBackend
+from repro.resilience import (BackendCircuitBreaker, DeadlineExceeded,
+                              QueryCancelled, RetryPolicy, run_with_retry)
+from repro.runtime.executors import ExecutorBackend, WorkerProcessDied
 from repro.runtime.metrics import ServiceMetrics
 from repro.service.tickets import QueryRequest, QueryTicket
 from repro.store.catalog import GraphStore, StoredGraph
@@ -255,6 +257,30 @@ class GrapeService:
         queries on the shared engine config coalesce into one engine
         run — the first arrival runs, the rest share its result
         (``stats.queries_grouped`` counts the shared ones).
+    retry:
+        Optional :class:`~repro.resilience.RetryPolicy`: transient
+        infrastructure failures (a pooled worker death, a WAL append
+        whose log was truncated back clean) are retried with seeded
+        exponential backoff before the query is failed with
+        :exc:`~repro.resilience.RetryExhausted`.  Logic errors,
+        deadline misses and cancellations are never retried.
+    degradation:
+        Backend circuit breaker: ``True`` for defaults, or a configured
+        :class:`~repro.resilience.BackendCircuitBreaker`.  Repeated
+        infrastructure failures on a graph degrade its queries down the
+        ``process → thread → serial`` chain; after the cooldown the
+        configured backend is probed and restored on success.  Every
+        transition is mirrored into ``stats``
+        (``backend_degradations`` / ``backend_probes`` /
+        ``backend_restorations``).
+    deadline_s / heartbeat_timeout_s:
+        Per-query time budget and hung-worker detection threshold,
+        folded into the shared engine config (see
+        :class:`~repro.core.engine.EngineConfig`).  A budget overrun
+        fails the query with
+        :exc:`~repro.resilience.DeadlineExceeded` (and is counted in
+        ``stats.deadlines_exceeded``); a process worker that stops
+        heart-beating is killed and, when checkpoints allow, replaced.
     """
 
     def __init__(self, *,
@@ -267,12 +293,29 @@ class GrapeService:
                  store_retain_generations: Optional[int] = None,
                  node_id: Optional[str] = None,
                  admission: Optional[AdmissionController] = None,
-                 grouping: bool = True):
+                 grouping: bool = True,
+                 retry: Optional[RetryPolicy] = None,
+                 degradation: Union[bool, BackendCircuitBreaker] = False,
+                 deadline_s: Optional[float] = None,
+                 heartbeat_timeout_s: Optional[float] = None):
         if isinstance(engine, GrapeEngine):
             engine = engine.config
         self.engine_config = engine or EngineConfig()
         if backend is not None:
             self.engine_config = self.engine_config.replace(backend=backend)
+        if deadline_s is not None:
+            self.engine_config = self.engine_config.replace(
+                deadline_s=deadline_s)
+        if heartbeat_timeout_s is not None:
+            self.engine_config = self.engine_config.replace(
+                heartbeat_timeout_s=heartbeat_timeout_s)
+        self.retry = retry
+        if isinstance(degradation, BackendCircuitBreaker):
+            self.breaker: Optional[BackendCircuitBreaker] = degradation
+        else:
+            self.breaker = BackendCircuitBreaker() if degradation else None
+        if self.breaker is not None:
+            self.breaker.on_transition = self._on_breaker_transition
         self.registry = (registry if registry is not None
                          else default_registry().copy())
         self.concurrency = max(1, concurrency)
@@ -578,6 +621,14 @@ class GrapeService:
 
     def _run_ticket(self, ticket: QueryTicket,
                     config: EngineConfig) -> None:
+        if ticket.cancelled:
+            # Cancelled while still queued: fail fast, never run.
+            with self._lock:
+                self.stats.queries_cancelled += 1
+                self.stats.queries_failed += 1
+            ticket._fail(QueryCancelled(
+                f"ticket #{ticket.ticket_id} cancelled before it started"))
+            return
         ticket._mark_running()
         try:
             result, grouped = self._grouped_run(ticket, config)
@@ -585,6 +636,10 @@ class GrapeService:
             with self._lock:
                 if isinstance(exc, AdmissionRejected):
                     self.stats.queries_shed += 1
+                elif isinstance(exc, DeadlineExceeded):
+                    self.stats.deadlines_exceeded += 1
+                elif isinstance(exc, QueryCancelled):
+                    self.stats.queries_cancelled += 1
                 self.stats.queries_failed += 1
             ticket._fail(exc)
             return
@@ -626,7 +681,14 @@ class GrapeService:
                 raise
             grouper.finish(group, result)
             return result, False
-        return group.wait(), True
+        try:
+            return group.wait(), True
+        except QueryCancelled:
+            if ticket.cancelled:
+                raise
+            # The *leader's* caller cancelled, not this one: its abort
+            # must not take the followers down with it — re-run alone.
+            return self._admit_and_execute(ticket, config), False
 
     def _admit_and_execute(self, ticket: QueryTicket,
                            config: EngineConfig):
@@ -640,9 +702,41 @@ class GrapeService:
                                     **ticket.request.program_kwargs)
         frag = self._fragmentation_for(ticket.graph, config)
         glock = self._graph_lock(ticket.graph)
-        with glock.read():
-            return config.build().run(prog, ticket.query,
-                                      fragmentation=frag)
+        cancel = ticket._cancel_event
+
+        def attempt():
+            run_config, used = config, None
+            if self.breaker is not None:
+                configured = config.build()._resolve_backend().name
+                used = self.breaker.resolve(ticket.graph, configured)
+                if used != configured:
+                    run_config = config.replace(backend=used)
+            try:
+                with glock.read():
+                    result = run_config.build().run(
+                        prog, ticket.query, fragmentation=frag,
+                        cancel=cancel)
+            except WorkerProcessDied:
+                # Infrastructure, not logic: feed the breaker.  Other
+                # failures (bad queries, deadline misses) say nothing
+                # about the backend's health.
+                if used is not None:
+                    self.breaker.record_failure(ticket.graph, used)
+                raise
+            if used is not None:
+                self.breaker.record_success(ticket.graph, used)
+            return result
+
+        if self.retry is None:
+            return attempt()
+
+        def on_retry(attempt_index, exc):
+            with self._lock:
+                self.stats.retries_total += 1
+                if attempt_index == 0:
+                    self.stats.queries_retried += 1
+
+        return run_with_retry(attempt, self.retry, on_retry=on_retry)
 
     # ------------------------------------------------------------------
     # standing queries and updates
@@ -862,14 +956,35 @@ class GrapeService:
     def _wal_sink(self, name: str):
         """The durability hook handed to :func:`apply_delta` — appends
         each applied batch to the graph's WAL (``None`` without a
-        store)."""
+        store).
+
+        With a retry policy configured, a failed append is retried under
+        it: :meth:`~repro.store.wal.DeltaWAL.append` truncates the log
+        back to its last durable record before raising
+        :exc:`~repro.store.wal.WALWriteError`, so a re-append never
+        duplicates a half-written record.
+        """
         if self.store is None:
             return None
         store = self.store
 
         def sink(norm, seq: int) -> None:
-            store.append_delta(name, norm, seq)
+            if self.retry is not None:
+                run_with_retry(lambda: store.append_delta(name, norm, seq),
+                               self.retry)
+            else:
+                store.append_delta(name, norm, seq)
         return sink
+
+    def _on_breaker_transition(self, kind: str, graph: str,
+                               src: str, dst: str) -> None:
+        with self._lock:
+            if kind == "degrade":
+                self.stats.backend_degradations += 1
+            elif kind == "probe":
+                self.stats.backend_probes += 1
+            elif kind == "restore":
+                self.stats.backend_restorations += 1
 
     def _sync_store_stats(self) -> None:
         """Mirror the store's counters into :class:`ServiceMetrics`

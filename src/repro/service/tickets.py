@@ -47,12 +47,15 @@ class QueryTicket:
     DONE = "done"
     FAILED = "failed"
 
+    CANCELLED = "cancelled"
+
     def __init__(self, ticket_id: int, request: QueryRequest):
         self.ticket_id = ticket_id
         self.request = request
         self.submitted_at = time.time()
         self.finished_at: Optional[float] = None
         self._event = threading.Event()
+        self._cancel_event = threading.Event()
         self._status = self.PENDING
         self._result: Optional[GrapeResult] = None
         self._error: Optional[BaseException] = None
@@ -71,7 +74,8 @@ class QueryTicket:
 
     def _fail(self, error: BaseException) -> None:
         self._error = error
-        self._status = self.FAILED
+        self._status = (self.CANCELLED if self._cancel_event.is_set()
+                        else self.FAILED)
         self.finished_at = time.time()
         self._event.set()
 
@@ -116,14 +120,45 @@ class QueryTicket:
         """The full engine result (fragmentation, states, recoveries)."""
         return self._result
 
+    @property
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` has been requested (the run may
+        still be unwinding; :attr:`done` reports when it has)."""
+        return self._cancel_event.is_set()
+
+    # ------------------------------------------------------------------
+    def cancel(self) -> bool:
+        """Request cancellation of this query.
+
+        Best-effort and asynchronous: the engine observes the flag at
+        the next superstep boundary (process backend: the next receive
+        poll, killing a mid-step worker), fails the run with
+        :exc:`~repro.resilience.errors.QueryCancelled`, and releases the
+        pool slot, admission ticket and read lock on the way out.  A
+        ticket that already finished is unaffected.  Returns ``False``
+        when the ticket was already done, ``True`` otherwise.
+        """
+        if self._event.is_set():
+            return False
+        self._cancel_event.set()
+        return True
+
     # ------------------------------------------------------------------
     def wait(self, timeout: Optional[float] = None) -> bool:
         """Block until the ticket finishes; True if it did in time."""
         return self._event.wait(timeout)
 
-    def result(self, timeout: Optional[float] = None) -> Any:
-        """Block until done and return the answer (re-raising failures)."""
+    def result(self, timeout: Optional[float] = None, *,
+               cancel_on_timeout: bool = False) -> Any:
+        """Block until done and return the answer (re-raising failures).
+
+        With ``cancel_on_timeout=True`` a timeout also calls
+        :meth:`cancel` before raising, so an abandoned query releases
+        its pool slot instead of running to completion unobserved.
+        """
         if not self._event.wait(timeout):
+            if cancel_on_timeout:
+                self.cancel()
             raise TimeoutError(
                 f"ticket #{self.ticket_id} ({self.program!r} on "
                 f"{self.graph!r}) not finished after {timeout}s")

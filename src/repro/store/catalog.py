@@ -55,6 +55,7 @@ from repro.graph.delta import NormalizedDelta
 from repro.graph.graph import Graph
 from repro.ioutil import atomic_write_bytes
 from repro.partition.base import Fragmentation
+from repro.resilience import faults as _faults
 from repro.store.snapshot import load_snapshot, save_snapshot
 from repro.store.wal import (DeltaWAL, WALError, WALTailer,
                              WAL_HEADER_SIZE)
@@ -648,7 +649,16 @@ class WALFollower:
         Raises :class:`GenerationGapError` when the chain cannot be
         proven gap-free (a needed superseded WAL was GC'd) — the
         consumer must re-bootstrap from the current snapshot.
+
+        An injected ``replication.tail`` *stall* fault makes this poll
+        return nothing — indistinguishable from a quiet primary, which
+        is exactly what a stalled tail looks like to the consumer; the
+        cursor does not move, so draining resumes cleanly once the
+        schedule is exhausted.
         """
+        fault = _faults.check("replication.tail", key=self.name)
+        if fault is not None and fault.kind == "stall":
+            return []
         out: List[Tuple[int, NormalizedDelta]] = []
         while True:
             out.extend(self._tailer.poll())

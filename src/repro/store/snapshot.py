@@ -45,6 +45,7 @@ from repro.graph.csr import CSRGraph
 from repro.graph.graph import Graph
 from repro.ioutil import atomic_write_bytes
 from repro.partition.base import Fragment, Fragmentation
+from repro.resilience import faults as _faults
 
 __all__ = ["LoadedSnapshot", "SnapshotError", "load_snapshot",
            "save_snapshot"]
@@ -241,6 +242,17 @@ def save_snapshot(path: Union[str, Path], graph: Graph, *,
 
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
+    fault = _faults.check("store.snapshot.write", key=path.name)
+    if fault is not None and fault.kind == "torn":
+        # A writer crashing mid-snapshot: a truncated file lands at the
+        # *new* generation's path (the manifest never moves to it, and
+        # load_snapshot refuses it by size/checksum), then the save
+        # "crashes".  The committed generation is untouched.
+        data = header + payload
+        cut = max(1, int(len(data) * float(fault.param("keep_fraction",
+                                                       0.5))))
+        path.write_bytes(data[:cut])
+        raise SnapshotError(f"injected torn snapshot write: {path.name}")
     atomic_write_bytes(path, header + payload)
     return len(header) + len(payload)
 

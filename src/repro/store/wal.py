@@ -41,8 +41,10 @@ from pathlib import Path
 from typing import Iterator, List, Optional, Tuple, Union
 
 from repro.graph.delta import NormalizedDelta
+from repro.resilience import faults as _faults
 
-__all__ = ["DeltaWAL", "WALError", "WALTailer", "WAL_HEADER_SIZE"]
+__all__ = ["DeltaWAL", "WALError", "WALTailer", "WALWriteError",
+           "WAL_HEADER_SIZE"]
 
 MAGIC = b"GRAPEWAL"
 FORMAT_VERSION = 1
@@ -54,6 +56,16 @@ _REC_HEADER = struct.Struct(">II")
 
 class WALError(RuntimeError):
     """The log file exists but is not a WAL (bad magic/version)."""
+
+
+class WALWriteError(WALError):
+    """An append failed to reach the disk.
+
+    Raised by :meth:`DeltaWAL.append` after the log has been truncated
+    back to its last durable record, so the failed (possibly torn)
+    record is gone and a retry of the same append is safe — this is the
+    store error the service's retry policy treats as recoverable.
+    """
 
 
 class DeltaWAL:
@@ -153,18 +165,54 @@ class DeltaWAL:
         return self._size > len(_FILE_HEADER)
 
     def append(self, seq: int, delta: NormalizedDelta) -> int:
-        """Durably append one applied batch; returns bytes written."""
+        """Durably append one applied batch; returns bytes written.
+
+        Failure-atomic: any error past the seek — a torn write, a failed
+        flush/fsync, an injected ``store.wal.append`` fault — truncates
+        the file back to the last durable record before the typed
+        :exc:`WALWriteError` is raised, so retrying the same append can
+        never duplicate a record or leave a torn frame mid-log.
+        """
         payload = pickle.dumps((seq, delta.to_record()),
                                protocol=pickle.HIGHEST_PROTOCOL)
         record = _REC_HEADER.pack(len(payload),
                                   zlib.crc32(payload)) + payload
-        self._fh.seek(0, os.SEEK_END)
-        self._fh.write(record)
-        self._fh.flush()
-        if self._sync:
-            os.fsync(self._fh.fileno())
+        fault = _faults.check("store.wal.append", key=self.path.name)
+        try:
+            self._fh.seek(0, os.SEEK_END)
+            if fault is not None and fault.kind == "torn":
+                # A writer dying mid-write: a prefix of the record lands
+                # on disk, then the append "crashes".
+                cut = max(1, int(len(record)
+                                 * float(fault.param("keep_fraction",
+                                                     0.5))))
+                self._fh.write(record[:cut])
+                self._fh.flush()
+                raise OSError("injected torn WAL append")
+            self._fh.write(record)
+            self._fh.flush()
+            if fault is not None and fault.kind == "fsync":
+                raise OSError("injected fsync failure")
+            if self._sync:
+                os.fsync(self._fh.fileno())
+        except Exception as exc:
+            self._truncate_back()
+            raise WALWriteError(
+                f"append to {self.path.name} failed: {exc}") from exc
         self._size += len(record)
         return len(record)
+
+    def _truncate_back(self) -> None:
+        """Drop whatever a failed append left behind (best effort: if
+        even the truncate fails, reopen-recovery and the framing scan
+        still refuse the torn tail)."""
+        try:
+            self._fh.truncate(self._size)
+            self._fh.flush()
+            if self._sync:
+                os.fsync(self._fh.fileno())
+        except OSError:
+            pass
 
     def records(self) -> List[Tuple[int, NormalizedDelta]]:
         """Every intact ``(seq, delta)`` record, in append order."""

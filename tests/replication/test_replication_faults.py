@@ -1,0 +1,98 @@
+"""Injected replication faults: tail stalls and the promote race.
+
+A stalled tail leaves the replica's cursor where it was — the next poll
+resumes with nothing skipped.  A coordinator crash inside failover's
+fence→publish window leaves the epoch bumped with *no* leader: the old
+primary stays fenced, and re-running promote completes the failover at
+a fresh epoch with nothing lost.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.graph.delta import GraphDelta
+from repro.graph.generators import uniform_random_graph
+from repro.replication import (FailoverCoordinator, ReplicaService,
+                               read_epoch)
+from repro.resilience import FailoverInterrupted, FaultPlane
+from repro.resilience.faults import installed
+from repro.sequential import sssp_distances
+from repro.service import GrapeService
+
+
+def make_primary(tmp_path, **kwargs):
+    g = uniform_random_graph(40, 130, directed=False, seed=23)
+    primary = GrapeService(store_dir=tmp_path / "store", node_id="primary",
+                           **kwargs)
+    primary.load_graph("soc", g)
+    return primary, g
+
+
+class TestTailStall:
+    def test_stalled_poll_resumes_without_skipping(self, tmp_path):
+        primary, g = make_primary(tmp_path)
+        replica = ReplicaService(tmp_path / "store", replica_id="r1")
+        primary.update("soc", GraphDelta().insert(0, 999, 0.5))
+
+        plane = FaultPlane().plan("replication.tail", "stall",
+                                  key="soc", at=1)
+        with installed(plane):
+            assert replica.sync() == 0       # the stall ate this poll
+            assert replica.lag_bytes("soc") > 0
+            assert replica.sync() >= 1       # next poll resumes cleanly
+        assert plane.drained()
+        assert replica.lag_bytes("soc") == 0
+        assert (replica.play("sssp", 0, graph="soc").answer
+                == primary.play("sssp", 0, graph="soc").answer)
+        replica.close()
+        primary.close()
+
+
+class TestPromoteRace:
+    def _fenced_setup(self, tmp_path):
+        primary, g = make_primary(tmp_path)
+        root = tmp_path / "store"
+        replica = ReplicaService(root, replica_id="r1")
+        for i in range(3):
+            primary.insert_edges("soc", [(i, 1000 + i, 0.5)])
+            replica.sync()
+        primary.close()
+        return root, replica, g
+
+    def test_crash_between_fence_and_publish_is_recoverable(self, tmp_path):
+        root, replica, g = self._fenced_setup(tmp_path)
+        coord = FailoverCoordinator(root)
+
+        plane = FaultPlane().plan("replication.promote", "crash", at=1)
+        with installed(plane):
+            with pytest.raises(FailoverInterrupted, match="no leader"):
+                coord.promote([replica])
+        # Fenced but leaderless: the epoch moved, nobody was promoted.
+        assert read_epoch(root) == (1, None)
+        assert not replica.promoted
+
+        # The restarted coordinator completes at a fresh epoch.
+        winner = coord.promote([replica])
+        assert winner is replica and replica.promoted
+        assert read_epoch(root) == (2, "r1")
+        # Nothing acked was lost across the interrupted failover.
+        answer = winner.play("sssp", 0, graph="soc").answer
+        assert answer == pytest.approx(
+            sssp_distances(winner.graph("soc"), 0))
+        assert winner.graph("soc").has_edge(2, 1002)
+        winner.close()
+
+    def test_delay_widens_the_window_but_completes(self, tmp_path):
+        root, replica, _g = self._fenced_setup(tmp_path)
+        plane = FaultPlane().plan("replication.promote", "delay", at=1,
+                                  delay_s=0.05)
+        start = time.monotonic()
+        with installed(plane):
+            winner = FailoverCoordinator(root).promote([replica])
+        assert time.monotonic() - start >= 0.05
+        assert winner is replica and replica.promoted
+        assert read_epoch(root) == (1, "r1")
+        winner.close()

@@ -1,0 +1,108 @@
+"""BackendCircuitBreaker: degrade, probe, restore — with a fake clock."""
+
+from __future__ import annotations
+
+from repro.resilience import DEGRADATION_CHAIN, BackendCircuitBreaker
+
+
+def make(threshold=3, cooldown=30.0):
+    clock = [0.0]
+    breaker = BackendCircuitBreaker(failure_threshold=threshold,
+                                    cooldown_s=cooldown,
+                                    clock=lambda: clock[0])
+    return breaker, clock
+
+
+class TestDegrade:
+    def test_healthy_resolves_configured(self):
+        breaker, _clock = make()
+        assert breaker.resolve("g", "process") == "process"
+        assert breaker.degraded_backend("g") is None
+
+    def test_trips_at_threshold(self):
+        breaker, _clock = make(threshold=3)
+        for _ in range(2):
+            breaker.record_failure("g", "process")
+            assert breaker.resolve("g", "process") == "process"
+        breaker.record_failure("g", "process")
+        assert breaker.degraded_backend("g") == "thread"
+        assert breaker.resolve("g", "process") == "thread"
+        kinds = [t[0] for t in breaker.transitions]
+        assert kinds == ["degrade"]
+        assert breaker.transitions[0][1:4] == ("g", "process", "thread")
+
+    def test_success_resets_the_failure_count(self):
+        breaker, _clock = make(threshold=2)
+        breaker.record_failure("g", "process")
+        breaker.record_success("g", "process")
+        breaker.record_failure("g", "process")
+        assert breaker.degraded_backend("g") is None
+
+    def test_failures_while_degraded_deepen_the_chain(self):
+        breaker, _clock = make(threshold=1)
+        breaker.record_failure("g", "process")
+        assert breaker.degraded_backend("g") == "thread"
+        breaker.record_failure("g", "thread")
+        assert breaker.degraded_backend("g") == "serial"
+        # serial is the chain's floor: further failures cannot deepen
+        breaker.record_failure("g", "serial")
+        assert breaker.degraded_backend("g") == "serial"
+
+    def test_graphs_are_independent(self):
+        breaker, _clock = make(threshold=1)
+        breaker.record_failure("a", "process")
+        assert breaker.degraded_backend("a") == "thread"
+        assert breaker.resolve("b", "process") == "process"
+
+    def test_non_chain_backend_is_ignored(self):
+        breaker, _clock = make(threshold=1)
+        breaker.record_failure("g", "custom")
+        assert breaker.degraded_backend("g") is None
+        assert breaker.resolve("g", "custom") == "custom"
+
+
+class TestProbeAndRestore:
+    def test_probe_after_cooldown_then_restore(self):
+        breaker, clock = make(threshold=1, cooldown=30.0)
+        breaker.record_failure("g", "process")
+        assert breaker.resolve("g", "process") == "thread"
+        clock[0] = 31.0
+        # half-open: one query probes the configured backend
+        assert breaker.resolve("g", "process") == "process"
+        breaker.record_success("g", "process")
+        assert breaker.degraded_backend("g") is None
+        assert breaker.resolve("g", "process") == "process"
+        kinds = [t[0] for t in breaker.transitions]
+        assert kinds == ["degrade", "probe", "restore"]
+
+    def test_failed_probe_reopens_with_fresh_cooldown(self):
+        breaker, clock = make(threshold=1, cooldown=30.0)
+        breaker.record_failure("g", "process")
+        clock[0] = 31.0
+        assert breaker.resolve("g", "process") == "process"  # probe
+        breaker.record_failure("g", "process")
+        assert breaker.degraded_backend("g") == "thread"
+        clock[0] = 40.0  # fresh cooldown not yet over (31 + 30)
+        assert breaker.resolve("g", "process") == "thread"
+        clock[0] = 62.0
+        assert breaker.resolve("g", "process") == "process"  # probes again
+
+    def test_success_while_degraded_does_not_restore(self):
+        breaker, _clock = make(threshold=1, cooldown=30.0)
+        breaker.record_failure("g", "process")
+        breaker.record_success("g", "thread")  # a degraded run succeeded
+        assert breaker.degraded_backend("g") == "thread"
+
+    def test_on_transition_fires_outside_the_lock(self):
+        events = []
+        breaker, clock = make(threshold=1, cooldown=10.0)
+        breaker.on_transition = lambda *e: events.append(e)
+        breaker.record_failure("g", "process")
+        clock[0] = 11.0
+        breaker.resolve("g", "process")
+        breaker.record_success("g", "process")
+        assert [e[0] for e in events] == ["degrade", "probe", "restore"]
+
+
+def test_chain_constant():
+    assert DEGRADATION_CHAIN == ("process", "thread", "serial")

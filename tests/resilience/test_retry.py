@@ -1,0 +1,112 @@
+"""RetryPolicy / run_with_retry: bounded seeded-backoff retry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience import (DeadlineExceeded, QueryCancelled,
+                              RetryExhausted, RetryPolicy, run_with_retry)
+from repro.runtime.executors import WorkerProcessDied
+from repro.store.wal import WALWriteError
+
+
+class TestPolicy:
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(base_backoff_s=0.1, multiplier=2.0,
+                             max_backoff_s=0.3, jitter=0.0)
+        assert policy.backoff_s(0) == pytest.approx(0.1)
+        assert policy.backoff_s(1) == pytest.approx(0.2)
+        assert policy.backoff_s(2) == pytest.approx(0.3)  # capped
+        assert policy.backoff_s(5) == pytest.approx(0.3)
+
+    def test_jitter_is_seeded_and_bounded(self):
+        a = RetryPolicy(seed=9, jitter=0.5, base_backoff_s=0.1)
+        b = RetryPolicy(seed=9, jitter=0.5, base_backoff_s=0.1)
+        seq_a = [a.backoff_s(0) for _ in range(10)]
+        seq_b = [b.backoff_s(0) for _ in range(10)]
+        assert seq_a == seq_b
+        assert all(0.05 <= s <= 0.15 for s in seq_a)
+        assert len(set(seq_a)) > 1  # jitter actually varies
+
+    def test_retryable_taxonomy(self):
+        policy = RetryPolicy()
+        assert policy.is_retryable(WorkerProcessDied("died"))
+        assert policy.is_retryable(WALWriteError("torn"))
+        assert not policy.is_retryable(ValueError("logic"))
+        assert not policy.is_retryable(DeadlineExceeded("late"))
+        assert not policy.is_retryable(QueryCancelled("stop"))
+
+    def test_extra_retryable(self):
+        policy = RetryPolicy(extra_retryable=(KeyError,))
+        assert policy.is_retryable(KeyError("x"))
+
+    def test_max_attempts_validated(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+
+class TestRunWithRetry:
+    def test_succeeds_after_transient_failures(self):
+        calls, sleeps = [], []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise WorkerProcessDied("pool worker died")
+            return "answer"
+
+        retries = []
+        result = run_with_retry(
+            flaky, RetryPolicy(max_attempts=3, jitter=0.0,
+                               base_backoff_s=0.01),
+            on_retry=lambda i, exc: retries.append((i, type(exc))),
+            sleep=sleeps.append)
+        assert result == "answer"
+        assert len(calls) == 3
+        assert retries == [(0, WorkerProcessDied), (1, WorkerProcessDied)]
+        assert sleeps == pytest.approx([0.01, 0.02])
+
+    def test_non_retryable_propagates_unchanged(self):
+        sleeps = []
+
+        def broken():
+            raise ValueError("bad query")
+
+        with pytest.raises(ValueError, match="bad query"):
+            run_with_retry(broken, RetryPolicy(), sleep=sleeps.append)
+        assert sleeps == []
+
+    def test_deadline_is_never_retried(self):
+        calls = []
+
+        def late():
+            calls.append(1)
+            raise DeadlineExceeded("budget spent", budget_s=1.0)
+
+        with pytest.raises(DeadlineExceeded):
+            run_with_retry(late, RetryPolicy(max_attempts=5),
+                           sleep=lambda s: None)
+        assert len(calls) == 1
+
+    def test_exhausted_wraps_last_error(self):
+        def always():
+            raise WorkerProcessDied("still dead")
+
+        with pytest.raises(RetryExhausted) as info:
+            run_with_retry(always, RetryPolicy(max_attempts=3),
+                           sleep=lambda s: None)
+        assert info.value.attempts == 3
+        assert isinstance(info.value.last_error, WorkerProcessDied)
+        assert isinstance(info.value.__cause__, WorkerProcessDied)
+
+    def test_single_attempt_disables_retries(self):
+        calls = []
+
+        def once():
+            calls.append(1)
+            raise WorkerProcessDied("died")
+
+        with pytest.raises(RetryExhausted):
+            run_with_retry(once, RetryPolicy(max_attempts=1),
+                           sleep=lambda s: None)
+        assert len(calls) == 1

@@ -1,0 +1,49 @@
+"""Arbitrator startup GC of stale disk checkpoints.
+
+A coordinator that crashes between ``checkpoint()`` and ``discard()``
+leaks its file.  File names embed the owner's pid, so opening the
+directory removes any checkpoint whose process no longer exists and
+leaves live owners' files alone.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+
+from repro.runtime.fault import Arbitrator
+
+
+def _dead_pid() -> int:
+    proc = subprocess.Popen(["sleep", "0"])
+    proc.wait()
+    return proc.pid
+
+
+def test_stale_checkpoints_are_collected_on_startup(tmp_path):
+    stale = tmp_path / f"checkpoint-{_dead_pid()}-abcd.ckpt"
+    stale.write_bytes(b"debris")
+    live = tmp_path / f"checkpoint-{os.getpid()}-ffff.ckpt"
+    live.write_bytes(b"mine")
+    other = tmp_path / "not-a-checkpoint.ckpt"
+    other.write_bytes(b"unrelated")
+
+    arb = Arbitrator(checkpoint_dir=tmp_path)
+    assert arb.stale_discarded == 1
+    assert not stale.exists()
+    assert live.exists()          # owner (this process) is alive
+    assert other.exists()         # unrecognized names are never touched
+
+
+def test_own_instances_never_collect_each_other(tmp_path):
+    first = Arbitrator(checkpoint_dir=tmp_path)
+    first.checkpoint({0: {"d": 1.0}})
+    second = Arbitrator(checkpoint_dir=tmp_path)
+    assert second.stale_discarded == 0
+    assert first.has_checkpoint
+    assert first.restore() == {0: {"d": 1.0}}
+
+
+def test_memory_mode_has_nothing_to_collect():
+    arb = Arbitrator()
+    assert arb.stale_discarded == 0

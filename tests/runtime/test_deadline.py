@@ -1,0 +1,80 @@
+"""Query deadlines and hung-worker detection at the engine layer.
+
+Three enforcement points, one typed error: a budget overrun raises
+:class:`~repro.resilience.errors.DeadlineExceeded` whether the run is
+inline (checked at superstep boundaries) or on the process backend
+(checked inside every pipe wait, so a worker stuck mid-superstep cannot
+outlive the budget).  Independently, ``heartbeat_timeout_s`` detects a
+*hung* worker — one whose heartbeat thread stopped stamping — kills it,
+and recovers the run from the last checkpoint with identical answers.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.core.engine import GrapeEngine
+from repro.graph.generators import grid_road_graph
+from repro.pie_programs import SSSPProgram
+from repro.resilience import DeadlineExceeded, FaultPlane
+from repro.sequential import sssp_distances
+
+needs_posix = pytest.mark.skipif(os.name != "posix",
+                                 reason="worker kill semantics are POSIX")
+
+
+@needs_posix
+def test_hung_worker_is_killed_and_replaced():
+    """Heartbeat-based detection: the hang pauses the worker's
+    heartbeat thread (honest detection, not a side channel), the
+    coordinator kills the frozen worker, and the run recovers from the
+    superstep checkpoint with the fault-free answer."""
+    g = grid_road_graph(6, 6, seed=3)
+    plane = FaultPlane().plan("exec.step", "hang", key=0, at=2,
+                              hang_s=30.0)
+    engine = GrapeEngine(4, backend="process",
+                         heartbeat_timeout_s=0.25, fault_plane=plane)
+    result = engine.run(SSSPProgram(), query=0, graph=g)
+    assert result.answer == pytest.approx(sssp_distances(g, 0))
+    assert result.recoveries >= 1
+    assert [k for (_s, _k, _o, k) in plane.fired] == ["hang"]
+
+
+@needs_posix
+def test_deadline_preempts_a_hung_worker():
+    """Without heartbeat detection the budget is still a hard bound:
+    the pipe wait notices the deadline, kills the stuck worker, and the
+    typed error surfaces long before the hang would have ended."""
+    g = grid_road_graph(6, 6, seed=3)
+    plane = FaultPlane().plan("exec.step", "hang", key=0, at=1,
+                              hang_s=5.0)
+    engine = GrapeEngine(4, backend="process", deadline_s=0.4,
+                         fault_plane=plane)
+    start = time.monotonic()
+    with pytest.raises(DeadlineExceeded) as info:
+        engine.run(SSSPProgram(), query=0, graph=g)
+    assert time.monotonic() - start < 3.0  # never waits out the hang
+    assert info.value.budget_s == pytest.approx(0.4)
+
+
+def test_deadline_enforced_inline_at_superstep_boundaries():
+    g = grid_road_graph(6, 6, seed=3)
+    plane = FaultPlane().plan("exec.step", "slow", at=1, times=50,
+                              delay_s=0.1)
+    engine = GrapeEngine(4, backend="serial", deadline_s=0.15,
+                         fault_plane=plane)
+    with pytest.raises(DeadlineExceeded, match="budget"):
+        engine.run(SSSPProgram(), query=0, graph=g)
+
+
+@needs_posix
+def test_generous_budget_does_not_perturb_answers():
+    g = grid_road_graph(6, 6, seed=3)
+    engine = GrapeEngine(4, backend="process", deadline_s=120.0,
+                         heartbeat_timeout_s=30.0)
+    result = engine.run(SSSPProgram(), query=0, graph=g)
+    assert result.answer == pytest.approx(sssp_distances(g, 0))
+    assert result.recoveries == 0

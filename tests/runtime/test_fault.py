@@ -30,6 +30,52 @@ class TestFailureInjector:
         pattern_b = [b.should_fail(0, s) for s in range(20)]
         assert pattern_a == pattern_b
 
+    def test_same_seed_records_identical_fired_lists(self):
+        a = FailureInjector(rate=0.3, seed=7)
+        b = FailureInjector(rate=0.3, seed=7)
+        for inj in (a, b):
+            for w in range(4):
+                for s in range(30):
+                    inj.should_fail(w, s)
+        assert a.fired == b.fired
+        assert a.fired  # the schedule actually fired something
+
+    def test_different_seeds_give_different_schedules(self):
+        a = FailureInjector(rate=0.5, seed=1)
+        b = FailureInjector(rate=0.5, seed=2)
+        pattern_a = [a.should_fail(0, s) for s in range(40)]
+        pattern_b = [b.should_fail(0, s) for s in range(40)]
+        assert pattern_a != pattern_b
+
+    def test_max_failures_caps_fractional_rates(self):
+        inj = FailureInjector(rate=0.5, seed=0, max_failures=4)
+        fires = sum(inj.should_fail(w, s)
+                    for w in range(8) for s in range(100))
+        assert fires == 4
+        assert len(inj.fired) == 4
+
+    def test_planned_failures_count_toward_the_cap(self):
+        inj = FailureInjector(planned=[(0, 1), (1, 1), (2, 1)],
+                              max_failures=2)
+        fires = sum(inj.should_fail(w, 1) for w in range(3))
+        assert fires == 2
+
+    def test_rate_mode_end_to_end_recovers_with_exact_answers(self):
+        from repro.core.engine import GrapeEngine
+        from repro.graph.generators import grid_road_graph
+        from repro.pie_programs import SSSPProgram
+        from repro.sequential import sssp_distances
+
+        g = grid_road_graph(6, 6, seed=3)
+        inj = FailureInjector(rate=0.15, seed=11, max_failures=5)
+        result = GrapeEngine(4, backend="serial",
+                             failure_injector=inj).run(
+            SSSPProgram(), query=0, graph=g)
+        assert inj.fired  # the seeded schedule really injected failures
+        # Failures landing in the same superstep share one recovery.
+        assert 1 <= result.recoveries <= len(inj.fired)
+        assert result.answer == pytest.approx(sssp_distances(g, 0))
+
 
 class TestWorkerFailure:
     def test_attributes(self):

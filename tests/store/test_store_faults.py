@@ -1,0 +1,127 @@
+"""Injected storage faults: torn/failed WAL appends, torn snapshots.
+
+The durability contracts under test: a failed ``append`` is
+failure-atomic (the file is truncated back to the last durable record,
+so a retry can never duplicate or tear), and a torn snapshot write
+never moves the manifest — the committed generation stays loadable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.delta import GraphDelta
+from repro.graph.generators import uniform_random_graph
+from repro.graph.graph import Graph
+from repro.resilience import FaultPlane, RetryPolicy
+from repro.resilience.faults import installed
+from repro.sequential import sssp_distances
+from repro.service import GrapeService
+from repro.store import DeltaWAL
+from repro.store.snapshot import SnapshotError, load_snapshot, save_snapshot
+from repro.store.wal import WALWriteError
+
+
+def make_graph():
+    g = Graph()
+    for u, v, w in [(1, 2, 1.0), (2, 3, 2.0), (3, 4, 3.0), (4, 1, 4.0)]:
+        g.add_edge(u, v, weight=w)
+    return g
+
+
+def norm(g, build):
+    return build(GraphDelta()).normalize(g)
+
+
+class TestWALAppendFaults:
+    @pytest.mark.parametrize("kind", ["torn", "fsync"])
+    def test_failed_append_is_atomic_and_retryable(self, tmp_path, kind):
+        g = make_graph()
+        wal = DeltaWAL(tmp_path / "w.log")
+        wal.append(1, norm(g, lambda d: d.insert(9, 10, 0.5)))
+        size_before = wal.size_bytes
+
+        plane = FaultPlane().plan("store.wal.append", kind, at=1)
+        with installed(plane):
+            with pytest.raises(WALWriteError, match="injected"):
+                wal.append(2, norm(g, lambda d: d.delete(1, 2)))
+        assert plane.drained()
+
+        # Atomic: nothing of the failed record remains, on disk or in
+        # the writer's accounting.
+        assert wal.size_bytes == size_before
+        assert (tmp_path / "w.log").stat().st_size == size_before
+        assert [seq for seq, _ in wal.records()] == [1]
+
+        # Retryable: the same append lands exactly once.
+        wal.append(2, norm(g, lambda d: d.delete(1, 2)))
+        assert [seq for seq, _ in wal.records()] == [1, 2]
+        wal.close()
+
+        reopened = DeltaWAL(tmp_path / "w.log")
+        assert [seq for seq, _ in reopened.records()] == [1, 2]
+        reopened.close()
+
+    def test_fault_is_scoped_to_the_keyed_file(self, tmp_path):
+        g = make_graph()
+        a = DeltaWAL(tmp_path / "a.log")
+        b = DeltaWAL(tmp_path / "b.log")
+        plane = FaultPlane().plan("store.wal.append", "fsync",
+                                  key="a.log", at=1)
+        with installed(plane):
+            b.append(1, norm(g, lambda d: d.insert(9, 10, 0.5)))
+            with pytest.raises(WALWriteError):
+                a.append(1, norm(g, lambda d: d.insert(9, 10, 0.5)))
+        a.close()
+        b.close()
+
+
+class TestSnapshotFaults:
+    def test_torn_snapshot_never_clobbers_the_committed_one(self, tmp_path):
+        g = make_graph()
+        committed = tmp_path / "snapshot-1.npz"
+        save_snapshot(committed, g)
+
+        g.add_edge(4, 5, weight=0.5)
+        next_gen = tmp_path / "snapshot-2.npz"
+        plane = FaultPlane().plan("store.snapshot.write", "torn", at=1)
+        with installed(plane):
+            with pytest.raises(SnapshotError, match="injected torn"):
+                save_snapshot(next_gen, g)
+
+        # The torn file is refused outright; the committed generation
+        # still loads in full.
+        with pytest.raises(SnapshotError):
+            load_snapshot(next_gen)
+        loaded = load_snapshot(committed)
+        assert sorted(loaded.graph.edges()) == sorted(make_graph().edges())
+
+        # Retrying the save overwrites the torn file and commits.
+        save_snapshot(next_gen, g)
+        assert sorted(load_snapshot(next_gen).graph.edges()) == \
+            sorted(g.edges())
+
+
+class TestServiceRetryOverStoreFaults:
+    def test_update_retries_a_recoverable_wal_fault(self, tmp_path):
+        g = uniform_random_graph(40, 130, directed=False, seed=23)
+        svc = GrapeService(store_dir=tmp_path / "store", node_id="p",
+                           retry=RetryPolicy(max_attempts=3,
+                                             base_backoff_s=0.001,
+                                             jitter=0.0))
+        svc.load_graph("soc", g)
+        plane = FaultPlane().plan("store.wal.append", "fsync", at=1)
+        with installed(plane):
+            svc.update("soc", GraphDelta().insert(0, 999, 0.5))
+        assert plane.drained()
+        answer = svc.play("sssp", 0, graph="soc").answer
+        assert answer == pytest.approx(sssp_distances(g, 0))
+        svc.close()
+
+        # Durable exactly once: a cold restart replays the retried
+        # append's single record.
+        revived = GrapeService(store_dir=tmp_path / "store", node_id="p2")
+        assert revived.graph("soc").has_edge(0, 999)
+        assert (revived.play("sssp", 0, graph="soc").answer
+                == pytest.approx(answer))
+        revived.close()
