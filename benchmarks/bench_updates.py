@@ -6,14 +6,21 @@ standing queries (SSSP + CC) through rounds of
     play("sssp")  ->  insert-only batch  ->  mixed batch
 
 where insert-only batches ride the incremental fast path and mixed
-batches (deletions + weight increases) exercise the recompute fallback.
-Reports per-batch latencies and the incremental-vs-recompute split, and
-emits machine-readable ``benchmarks/results/BENCH_updates.json``.
+batches (deletions + weight increases) exercise the delete-aware
+bounded path (partial reset of the affected region; the recompute
+fallback is reserved for hook-less programs).  Reports per-batch
+latencies, the incremental/bounded/recompute split and the measured
+affected-region sizes, runs a deletion sweep targeting ~1%/5%/20% of
+``|G|``, and emits machine-readable
+``benchmarks/results/BENCH_updates.json``.
 
 Run with ``--backend process`` to also measure worker-side delta replay
 (``delta_bytes_shipped`` vs full fragment re-ships); the default serial
 backend keeps CI runs deterministic and fast.  ``--quick`` shrinks the
-graph and round count to a wiring check.
+graph and round count to a wiring check.  ``--assert-cliff [RATIO]``
+turns the run into a perf-smoke gate: mixed batches must stay within
+``RATIO``x of insert-only (default 2.5 — the recompute cliff this
+bench once measured was 6.6x) with at most 2 recompute fallbacks.
 """
 
 from __future__ import annotations
@@ -77,7 +84,8 @@ def run_phase(service, g, rng, rounds, make_delta, fresh):
     latencies = []
     stats = service.stats
     base = (stats.incremental_maintained, stats.fallback_reruns,
-            stats.delta_bytes_shipped)
+            stats.delta_bytes_shipped, stats.partial_resets,
+            stats.affected_vertices)
     for _ in range(rounds):
         service.play("sssp", 0, graph="churn")
         delta = make_delta(rng, g) if fresh is None \
@@ -94,7 +102,55 @@ def run_phase(service, g, rng, rounds, make_delta, fresh):
         "incremental_maintained": stats.incremental_maintained - base[0],
         "fallback_reruns": stats.fallback_reruns - base[1],
         "delta_bytes_shipped": stats.delta_bytes_shipped - base[2],
+        "partial_resets": stats.partial_resets - base[3],
+        "affected_vertices": stats.affected_vertices - base[4],
     }
+
+
+def region_sweep(service, g, rng, pcts, repeats=3):
+    """Latency as a function of affected-region size.
+
+    For each target percentage, delete ``pct * |G|`` random live edges
+    in one batch (the region the bounded path must reset grows with the
+    number of severed support edges), measure the update, then undo it
+    with the inverse insertion batch (monotone, excluded from timing)
+    so every sweep point starts from the same graph.  The *measured*
+    region is reported from the ``affected_vertices`` counter — the
+    nominal percentage only steers batch size.
+    """
+    stats = service.stats
+    points = []
+    for pct in pcts:
+        k = max(1, int(pct * g.num_nodes))
+        lat = []
+        base = (stats.partial_resets, stats.affected_vertices,
+                stats.fallback_reruns)
+        for _ in range(repeats):
+            picked = rng.sample(sorted(g.edges()), k)
+            delta = GraphDelta()
+            for u, v, _w in picked:
+                delta.delete(u, v)
+            t0 = time.perf_counter()
+            service.update("churn", delta)
+            lat.append(time.perf_counter() - t0)
+            undo = GraphDelta()
+            for u, v, w in picked:
+                undo.insert(u, v, w)
+            service.update("churn", undo)
+        resets = stats.partial_resets - base[0]
+        affected = stats.affected_vertices - base[1]
+        points.append({
+            "target_pct": pct,
+            "deleted_edges": k,
+            "repeats": repeats,
+            "mean_update_ms": round(1e3 * sum(lat) / len(lat), 3),
+            "partial_resets": resets,
+            "fallback_reruns": stats.fallback_reruns - base[2],
+            "affected_vertices": affected,
+            "mean_affected_per_reset": round(affected / resets, 1)
+            if resets else 0.0,
+        })
+    return points
 
 
 def verify(service, g):
@@ -119,6 +175,11 @@ def main() -> int:
     parser.add_argument("--backend", default="serial",
                         help="execution backend (serial/thread/process)")
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--assert-cliff", nargs="?", type=float,
+                        const=2.5, default=None, metavar="RATIO",
+                        help="fail unless mixed batches stay within "
+                             "RATIO x insert-only (default 2.5) with "
+                             "at most 2 recompute fallbacks")
     args = parser.parse_args()
 
     n, m = QUICK_SHAPE if args.quick else FULL_SHAPE
@@ -137,6 +198,8 @@ def main() -> int:
         insert_only = run_phase(service, g, rng, rounds,
                                 insert_only_delta, fresh)
         mixed = run_phase(service, g, rng, rounds, mixed_delta, None)
+        sweep = region_sweep(service, g, rng, (0.01, 0.05, 0.20),
+                             repeats=1 if args.quick else 3)
         verify(service, g)
         stats = service.stats
 
@@ -149,12 +212,18 @@ def main() -> int:
             "watch_setup_s": round(watch_setup_s, 4),
             "insert_only": insert_only,
             "mixed": mixed,
+            "mixed_over_insert_only": round(
+                mixed["mean_update_ms"]
+                / max(insert_only["mean_update_ms"], 1e-9), 2),
+            "region_sweep": sweep,
             "service": {
                 "updates_applied": stats.updates_applied,
                 "watch_refreshes": stats.watch_refreshes,
                 "incremental_maintained": stats.incremental_maintained,
                 "fallback_reruns": stats.fallback_reruns,
                 "maintained_ratio": round(stats.maintained_ratio, 4),
+                "partial_resets": stats.partial_resets,
+                "affected_vertices": stats.affected_vertices,
                 "delta_bytes_shipped": stats.delta_bytes_shipped,
                 "supersteps_total": stats.supersteps_total,
             },
@@ -171,9 +240,31 @@ def main() -> int:
           f"fallbacks {insert_only['fallback_reruns']})")
     print(f"  mixed:       {mixed['mean_update_ms']:8.2f} ms/batch  "
           f"(maintained {mixed['incremental_maintained']}, "
-          f"fallbacks {mixed['fallback_reruns']})")
+          f"fallbacks {mixed['fallback_reruns']}, "
+          f"resets {mixed['partial_resets']}, "
+          f"|AFF| {mixed['affected_vertices']})")
+    print(f"  mixed / insert-only: {result['mixed_over_insert_only']:.2f}x")
+    for p in sweep:
+        print(f"  sweep {100 * p['target_pct']:4.0f}%: "
+              f"{p['mean_update_ms']:8.2f} ms/batch  "
+              f"({p['deleted_edges']} deletions, mean |AFF|/reset "
+              f"{p['mean_affected_per_reset']})")
     print(f"  watch answers verified against sequential oracles")
     print(f"  wrote {out}")
+
+    if args.assert_cliff is not None:
+        ratio = result["mixed_over_insert_only"]
+        if ratio > args.assert_cliff:
+            print(f"  FAIL: mixed/insert-only {ratio:.2f}x exceeds "
+                  f"{args.assert_cliff:.2f}x")
+            return 1
+        if mixed["fallback_reruns"] > 2:
+            print(f"  FAIL: {mixed['fallback_reruns']} recompute "
+                  f"fallbacks in the mixed phase (allowed: 2)")
+            return 1
+        print(f"  cliff gate passed: {ratio:.2f}x <= "
+              f"{args.assert_cliff:.2f}x, "
+              f"{mixed['fallback_reruns']} fallbacks")
     return 0
 
 

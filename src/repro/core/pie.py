@@ -180,6 +180,52 @@ class PIEProgram(abc.ABC):
     # relax ``delta.as_insertions`` as shortcut candidates (SSSP) or
     # union the endpoints of ``delta.insertions`` (CC).
 
+    def invalidates(self, delta) -> bool:
+        """Does ``delta`` threaten already-converged values?
+
+        Consulted only for batches :meth:`maintainable` accepted.  When
+        any touched fragment's delta invalidates, the session routes the
+        batch through the bounded non-monotone path (affected-region
+        reset + re-convergence) instead of the plain ``on_graph_update``
+        fold.  The bounded path requires the three optional hooks below;
+        the default is therefore "non-monotone and the program
+        implements them".  Programs whose answers ignore parts of a
+        delta narrow this — BFS and CC, for example, treat weight
+        increases as no-ops and only dispatch on deletions.
+        """
+        return not delta.monotone and hasattr(self, "apply_nonmonotone")
+
+    # The bounded non-monotone path (delete-aware IncEval) is three more
+    # optional hooks, detected via ``hasattr`` and required together:
+    #
+    # * ``affected_seeds(query, fragment, state, delta) -> Set[Node]`` —
+    #   the direct hits: vertices whose converged value was supported by
+    #   a deleted or raised edge of this fragment's delta (old weights
+    #   ride on ``delta.deletions`` / ``delta.weight_changes``);
+    # * ``expand_affected(query, fragment, state, nodes) -> Set[Node]``
+    #   — grow the region locally: given vertices invalidated anywhere,
+    #   return the locally-known ones plus every vertex whose current
+    #   value is supported by one of them (closure over the fragment's
+    #   value-dependency chains; over-approximation is safe);
+    # * ``apply_nonmonotone(query, fragment, state, delta, affected)`` —
+    #   reset the affected vertices to neutral, re-seed them from
+    #   unaffected in-neighbors on the mutated graph, fold the monotone
+    #   part of ``delta`` (which may be ``None`` for fragments affected
+    #   only transitively) and re-converge locally.
+    #
+    # A fourth, optional on top of those three:
+    #
+    # * ``report_entries(query, fragment, state, nodes) -> ParamUpdates``
+    #   — the per-node restriction of ``read_update_params``: current
+    #   report entries for the listed nodes only.  Programs that provide
+    #   it — and whose ``apply_nonmonotone`` keeps the dirty tracking
+    #   behind ``read_changed_params`` alive — get the session's
+    #   *incremental* rebaseline after a bounded reset: the coordinator
+    #   re-reads and re-aggregates only the dirty values plus a probe of
+    #   the vertices the batch could have touched (affected, retired, or
+    #   moved between border sets), instead of full ``O(border)``
+    #   reports.
+
     def apply_message(self, query: Any, fragment: Fragment, state: Any,
                       message: ParamUpdates) -> None:
         """Write message values into the state *without* propagating.

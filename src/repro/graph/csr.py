@@ -56,22 +56,30 @@ class CSRGraph:
     # ------------------------------------------------------------------
     @classmethod
     def from_graph(cls, g: Graph) -> "CSRGraph":
-        node_of = list(g.nodes())
+        # Reads the adjacency rows directly: this runs on every snapshot
+        # rebuild after a structural mutation, which lands inside the
+        # update latency of the first query or maintenance pass to touch
+        # the fragment — C-speed row copies instead of per-edge
+        # generator hops keep that rebuild off the critical path.
+        succ = g._succ
+        node_of = list(succ)
         id_of = {v: i for i, v in enumerate(node_of)}
         n = len(node_of)
         labels = [g.node_label(v) for v in node_of]
 
         # For undirected graphs Graph stores both orientations already; use
         # successors directly so CSR mirrors the symmetric adjacency.
-        counts = np.fromiter((g.out_degree(v) for v in node_of),
-                             dtype=np.int64, count=n)
-        m = int(counts.sum())
-        dst = np.fromiter((id_of[u] for v in node_of
-                           for u in g.successors(v)),
-                          dtype=np.int64, count=m)
-        wgt = np.fromiter((w for v in node_of
-                           for _u, w in g.successors_with_weights(v)),
-                          dtype=np.float64, count=m)
+        counts = np.empty(n, dtype=np.int64)
+        dst_ids: List[int] = []
+        wgts: List[float] = []
+        get_id = id_of.__getitem__
+        for i, v in enumerate(node_of):
+            row = succ[v]
+            counts[i] = len(row)
+            dst_ids.extend(map(get_id, row))
+            wgts.extend(row.values())
+        dst = np.array(dst_ids, dtype=np.int64)
+        wgt = np.array(wgts, dtype=np.float64)
         return cls._assemble(n, g.directed, counts, dst, wgt,
                              id_of, node_of, labels)
 

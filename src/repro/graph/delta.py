@@ -296,8 +296,10 @@ class FragmentDelta:
     seq: int = 0
     #: brand-new local edges ``(u, v, w)``
     insertions: List[Tuple[Node, Node, float]] = field(default_factory=list)
-    #: removed local edges ``(u, v)``
-    deletions: List[Tuple[Node, Node]] = field(default_factory=list)
+    #: removed local edges ``(u, v, old weight)`` — the weight at deletion
+    #: time, so programs can test whether a converged value was supported
+    #: by the vanished edge (the bounded non-monotone IncEval path)
+    deletions: List[Tuple[Node, Node, float]] = field(default_factory=list)
     #: reweighted local edges ``(u, v, old, new)``
     weight_changes: List[Tuple[Node, Node, float, float]] = \
         field(default_factory=list)
@@ -363,7 +365,7 @@ class FragmentDelta:
             g.add_edge(u, v, weight=w)
         for u, v, _old, new in self.weight_changes:
             g.set_edge_weight(u, v, new)
-        for u, v in self.deletions:
+        for u, v, _old in self.deletions:
             if g.has_edge(u, v):
                 g.remove_edge(u, v)
         for v in self.retired_nodes:

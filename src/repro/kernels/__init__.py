@@ -47,15 +47,21 @@ bookkeeping that is naturally O(|changed|) in dict form (e.g. CC's
 component and gains nothing from vectorization).
 """
 
-from repro.kernels.bfs import UNREACHED_HOPS, csr_bfs
-from repro.kernels.cc import csr_components
+from repro.kernels.bfs import (UNREACHED_HOPS, csr_bfs, csr_bfs_affected,
+                               csr_bfs_reseed)
+from repro.kernels.cc import csr_components, csr_region_components
 from repro.kernels.pagerank import csr_pagerank_push
-from repro.kernels.sssp import csr_sssp
+from repro.kernels.sssp import csr_sssp, csr_sssp_affected, csr_sssp_reseed
 
 __all__ = [
     "csr_sssp",
+    "csr_sssp_affected",
+    "csr_sssp_reseed",
     "csr_bfs",
+    "csr_bfs_affected",
+    "csr_bfs_reseed",
     "csr_components",
+    "csr_region_components",
     "csr_pagerank_push",
     "UNREACHED_HOPS",
 ]

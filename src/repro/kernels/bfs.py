@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.kernels._segments import edge_positions
 
-__all__ = ["csr_bfs", "UNREACHED_HOPS"]
+__all__ = ["csr_bfs", "csr_bfs_affected", "csr_bfs_reseed", "UNREACHED_HOPS"]
 
 #: sentinel for "not reached" (matches the dict path's ``1 << 60`` bound)
 UNREACHED_HOPS = 1 << 60
@@ -64,3 +64,63 @@ def csr_bfs(csr, seeds: Dict[int, int],
             frontier = np.unique(dst[hops[dst] < before])
         changed[frontier] = True
     return hops, np.nonzero(changed)[0]
+
+
+def csr_bfs_affected(csr, hops: np.ndarray, seeds) -> np.ndarray:
+    """Forward closure of a BFS-tree invalidation (delete-aware IncEval).
+
+    Integer analog of :func:`repro.kernels.sssp.csr_sssp_affected`: every
+    node whose current hop count is supported by an affected in-neighbor
+    (``hops[x] == hops[y] + 1``) joins the region.  Returns the sorted
+    affected dense ids, seeds included.
+    """
+    n = csr.n
+    affected = np.zeros(n, dtype=bool)
+    seeds = np.asarray(sorted(seeds), dtype=np.int64)
+    if not seeds.size:
+        return seeds
+    affected[seeds] = True
+    indptr, indices = csr.indptr, csr.indices
+    frontier = seeds[hops[seeds] < UNREACHED_HOPS]
+    while frontier.size:
+        starts = indptr[frontier]
+        counts = indptr[frontier + 1] - starts
+        pos = edge_positions(starts, counts)
+        if not pos.size:
+            break
+        cand = np.repeat(hops[frontier], counts) + 1
+        dst = indices[pos]
+        hit = (hops[dst] == cand) & ~affected[dst]
+        frontier = np.unique(dst[hit])
+        affected[frontier] = True
+    return np.nonzero(affected)[0]
+
+
+def csr_bfs_reseed(csr, hops: np.ndarray, affected) -> Dict[int, int]:
+    """Boundary re-seeding after a region reset: for every affected id,
+    the best hop candidate through an *unaffected* in-neighbor
+    (``hops[y] + 1`` over the reverse structure).  ``hops`` must already
+    be neutralized (``UNREACHED_HOPS``) on the affected ids; returns a
+    seed dict fit for :func:`csr_bfs`.
+    """
+    affected = np.asarray(sorted(affected), dtype=np.int64)
+    if not affected.size:
+        return {}
+    mask = np.zeros(csr.n, dtype=bool)
+    mask[affected] = True
+    starts = csr.rev_indptr[affected]
+    counts = csr.rev_indptr[affected + 1] - starts
+    pos = edge_positions(starts, counts)
+    if not pos.size:
+        return {}
+    src = csr.rev_indices[pos]
+    keep = ~mask[src]
+    dst = np.repeat(affected, counts)[keep]
+    cand = hops[src[keep]] + 1
+    reached = cand < UNREACHED_HOPS
+    dst, cand = dst[reached], cand[reached]
+    if not dst.size:
+        return {}
+    best = np.full(csr.n, UNREACHED_HOPS, dtype=np.int64)
+    np.minimum.at(best, dst, cand)
+    return {int(i): int(best[i]) for i in np.unique(dst).tolist()}

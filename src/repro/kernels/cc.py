@@ -12,9 +12,13 @@ semantics.
 
 from __future__ import annotations
 
+from typing import List
+
 import numpy as np
 
-__all__ = ["csr_components"]
+from repro.kernels._segments import edge_positions
+
+__all__ = ["csr_components", "csr_region_components"]
 
 
 def csr_components(csr) -> np.ndarray:
@@ -39,3 +43,44 @@ def csr_components(csr) -> np.ndarray:
         if np.array_equal(new, comp):
             return comp
         comp = new
+
+
+def csr_region_components(csr, region) -> List[np.ndarray]:
+    """Components of the subgraph induced on the ``region`` dense ids.
+
+    The delete-aware CC path condemns whole components and rebuilds them
+    from the mutated snapshot: only edges with *both* endpoints inside
+    the region participate (the condemned components were closed, so no
+    surviving edge crosses the boundary).  Same min-label + pointer
+    jumping as :func:`csr_components`, restricted to the region's edges.
+    Returns the region partitioned into groups of dense ids.
+    """
+    region = np.asarray(sorted(region), dtype=np.int64)
+    if not region.size:
+        return []
+    mask = np.zeros(csr.n, dtype=bool)
+    mask[region] = True
+    starts = csr.indptr[region]
+    counts = csr.indptr[region + 1] - starts
+    pos = edge_positions(starts, counts)
+    src = np.repeat(region, counts)
+    dst = csr.indices[pos]
+    keep = mask[dst]
+    src, dst = src[keep], dst[keep]
+    comp = np.arange(csr.n, dtype=np.int64)
+    while src.size:
+        new = comp.copy()
+        np.minimum.at(new, dst, comp[src])
+        np.minimum.at(new, src, comp[dst])
+        while True:
+            jumped = new[new]
+            if np.array_equal(jumped, new):
+                break
+            new = jumped
+        if np.array_equal(new, comp):
+            break
+        comp = new
+    labels = comp[region]
+    order = np.argsort(labels, kind="stable")
+    bounds = np.nonzero(np.diff(labels[order]))[0] + 1
+    return [region[idx] for idx in np.split(order, bounds)]

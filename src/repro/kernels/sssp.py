@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.kernels._segments import edge_positions
 
-__all__ = ["csr_sssp"]
+__all__ = ["csr_sssp", "csr_sssp_affected", "csr_sssp_reseed"]
 
 
 def csr_sssp(csr, seeds: Dict[int, float],
@@ -93,3 +93,71 @@ def csr_sssp(csr, seeds: Dict[int, float],
             frontier = np.unique(dst[dist[dst] < before])
         changed[frontier] = True
     return dist, np.nonzero(changed)[0]
+
+
+def csr_sssp_affected(csr, dist: np.ndarray, seeds) -> np.ndarray:
+    """Forward closure of a shortest-path invalidation (delete-aware
+    IncEval, Ramalingam & Reps).
+
+    ``seeds`` are dense ids whose converged distance is known to be
+    invalidated (their parent edge was deleted or raised); the closure
+    adds every id whose *current* distance is supported by an affected
+    in-neighbor — ``dist[x] == dist[y] + w`` is exactly the provenance
+    relation the converged distances encode, tested edge-parallel over
+    the snapshot.  Returns the sorted affected ids, seeds included.
+    Ties over-approximate, which is safe: the re-seeded re-convergence
+    restores any value that was also supported elsewhere.
+    """
+    n = csr.n
+    affected = np.zeros(n, dtype=bool)
+    seeds = np.asarray(sorted(seeds), dtype=np.int64)
+    if not seeds.size:
+        return seeds
+    affected[seeds] = True
+    indptr, indices, weights = csr.indptr, csr.indices, csr.weights
+    frontier = seeds[np.isfinite(dist[seeds])]
+    while frontier.size:
+        starts = indptr[frontier]
+        counts = indptr[frontier + 1] - starts
+        pos = edge_positions(starts, counts)
+        if not pos.size:
+            break
+        cand = np.repeat(dist[frontier], counts) + weights[pos]
+        dst = indices[pos]
+        hit = (dist[dst] == cand) & ~affected[dst]
+        frontier = np.unique(dst[hit])
+        affected[frontier] = True
+    return np.nonzero(affected)[0]
+
+
+def csr_sssp_reseed(csr, dist: np.ndarray, affected) -> Dict[int, float]:
+    """Boundary re-seeding after a region reset.
+
+    For every affected id, the best candidate through an *unaffected*
+    in-neighbor (``dist[y] + w`` over the reverse/CSC structure) — the
+    surviving boundary the re-convergence restarts from.  ``dist`` must
+    already be neutralized (``inf``) on the affected ids.  Returns a
+    seed dict fit for :func:`csr_sssp`; candidates are the same IEEE-754
+    sums the dict path computes, so the fixpoint stays bitwise-equal.
+    """
+    affected = np.asarray(sorted(affected), dtype=np.int64)
+    if not affected.size:
+        return {}
+    mask = np.zeros(csr.n, dtype=bool)
+    mask[affected] = True
+    starts = csr.rev_indptr[affected]
+    counts = csr.rev_indptr[affected + 1] - starts
+    pos = edge_positions(starts, counts)
+    if not pos.size:
+        return {}
+    src = csr.rev_indices[pos]
+    keep = ~mask[src]
+    dst = np.repeat(affected, counts)[keep]
+    cand = dist[src[keep]] + csr.rev_weights[pos][keep]
+    finite = np.isfinite(cand)
+    dst, cand = dst[finite], cand[finite]
+    if not dst.size:
+        return {}
+    best = np.full(csr.n, np.inf, dtype=np.float64)
+    np.minimum.at(best, dst, cand)
+    return {int(i): float(best[i]) for i in np.unique(dst).tolist()}

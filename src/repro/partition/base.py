@@ -124,6 +124,20 @@ class Fragment:
                     self.csr_builds += 1
         return snap
 
+    @property
+    def csr_cached(self) -> bool:
+        """Whether a current CSR snapshot is already built.
+
+        The bounded maintenance paths use this to pick their
+        representation: with a live snapshot the vectorized kernels are
+        free, but after a mutation has dropped it, rebuilding the whole
+        snapshot to process a small affected region would charge
+        ``O(|G|)`` work to an ``O(|AFF|)`` operation — the dict
+        algorithms serve the region instead and the next full scan
+        (which amortizes it) pays the rebuild.
+        """
+        return self._csr is not None
+
     def invalidate_csr(self) -> None:
         """Drop the cached snapshot after a mutation of ``graph``.
 

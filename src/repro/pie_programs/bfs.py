@@ -24,7 +24,8 @@ import numpy as np
 from repro.core.aggregators import MinAggregator
 from repro.core.pie import ParamUpdates, PIEProgram
 from repro.graph.graph import Node
-from repro.kernels import UNREACHED_HOPS, csr_bfs
+from repro.kernels import (UNREACHED_HOPS, csr_bfs, csr_bfs_affected,
+                           csr_bfs_reseed)
 from repro.partition.base import Fragment, Fragmentation
 
 __all__ = ["BFSProgram", "BFSState"]
@@ -115,7 +116,7 @@ class BFSProgram(PIEProgram):
 
     def inceval(self, query: Node, fragment: Fragment, state: BFSState,
                 message: ParamUpdates) -> None:
-        if self.use_csr:
+        if self.use_csr and fragment.csr_cached:
             changed = self._inceval_csr(fragment, state, message)
         else:
             frontier = []
@@ -129,15 +130,22 @@ class BFSProgram(PIEProgram):
             if v in fragment.outer:
                 state.dirty.add(v)
 
-    def _inceval_csr(self, fragment: Fragment, state: BFSState,
-                     message: ParamUpdates) -> Set[Node]:
-        csr = fragment.csr()
+    @staticmethod
+    def _ensure_arr(fragment: Fragment, state: BFSState, csr) -> np.ndarray:
+        """Dense-id mirror of ``state.hops``, rebuilt when the snapshot
+        epoch moved or a dict mutation cleared the cache."""
         arr = state._arr
         if arr is None or state._arr_epoch != fragment.csr_epoch:
             arr = np.fromiter((state.hops.get(v, _FAR) for v in csr.node_of),
                               dtype=np.int64, count=csr.n)
             state._arr = arr
             state._arr_epoch = fragment.csr_epoch
+        return arr
+
+    def _inceval_csr(self, fragment: Fragment, state: BFSState,
+                     message: ParamUpdates) -> Set[Node]:
+        csr = fragment.csr()
+        arr = self._ensure_arr(fragment, state, csr)
         id_of = csr.id_of
         seeds: Dict[int, int] = {}
         for (node, _name), hop in message.items():
@@ -159,10 +167,191 @@ class BFSProgram(PIEProgram):
                 state.hops[v] = hop
         state._arr = None
 
+    def maintainable(self, delta) -> bool:
+        """Every batch is maintainable: insertions fold through
+        :meth:`on_graph_update`, reweights are invisible to hop counts,
+        and deletions go through the bounded affected-region path."""
+        return True
+
+    def invalidates(self, delta) -> bool:
+        """Hop counts ignore weights, so only deletions (and the mirror
+        retirements they cause) can raise a converged value; a
+        reweight-only batch stays on the monotone fold."""
+        return delta.has_deletions
+
+    def on_graph_update(self, query: Node, fragment: Fragment,
+                        state: BFSState, delta) -> None:
+        """Fold a monotone delta in: each inserted edge may open a
+        shorter hop path from its tail's current level."""
+        edges = (delta.as_insertions if hasattr(delta, "as_insertions")
+                 else delta)
+        hops = state.hops
+        frontier = []
+        for u, v, _w in edges:
+            hu = 0 if u == query else hops.get(u, _FAR)
+            if hu + 1 < hops.get(v, _FAR):
+                hops[v] = hu + 1
+                frontier.append(v)
+        if frontier:
+            state._arr = None
+            changed = _bfs_from(fragment, hops, frontier)
+            changed.update(frontier)
+            for v in changed:
+                if v in fragment.outer:
+                    state.dirty.add(v)
+
+    # ------------------------------------------------------------------
+    # Bounded non-monotone maintenance (delete-aware IncEval)
+    # ------------------------------------------------------------------
+    def affected_seeds(self, query: Node, fragment: Fragment,
+                       state: BFSState, delta) -> Set[Node]:
+        """Direct hits: heads of deleted edges whose converged hop count
+        was exactly supported by that edge, plus retired mirror copies.
+        Both orientations are tested on undirected fragments."""
+        hops = state.hops
+        undirected = not fragment.graph.directed
+        seeds: Set[Node] = set()
+
+        def hit(u: Node, v: Node) -> bool:
+            hu = hops.get(u, _FAR)
+            return hu < _FAR and hops.get(v, _FAR) == hu + 1
+
+        for u, v, _w in delta.deletions:
+            if hit(u, v):
+                seeds.add(v)
+            if undirected and hit(v, u):
+                seeds.add(u)
+        seeds.update(delta.retired_nodes)
+        return seeds
+
+    def expand_affected(self, query: Node, fragment: Fragment,
+                        state: BFSState, nodes: Set[Node]) -> Set[Node]:
+        """Close the region along BFS-tree support chains
+        (``hops[x] == hops[y] + 1``)."""
+        hops = state.hops
+        graph = fragment.graph
+        local = {v for v in nodes if v in hops or graph.has_node(v)}
+        if not local:
+            return local
+        if self.use_csr and fragment.csr_cached:
+            return self._expand_affected_csr(fragment, state, local)
+        affected = set(local)
+        dq = deque(v for v in local
+                   if graph.has_node(v) and hops.get(v, _FAR) < _FAR)
+        while dq:
+            y = dq.popleft()
+            hy = hops[y]
+            for x in graph.successors(y):
+                if x not in affected and hops.get(x, _FAR) == hy + 1:
+                    affected.add(x)
+                    dq.append(x)
+        return affected
+
+    def _expand_affected_csr(self, fragment: Fragment, state: BFSState,
+                             local: Set[Node]) -> Set[Node]:
+        csr = fragment.csr()
+        arr = self._ensure_arr(fragment, state, csr)
+        id_of = csr.id_of
+        seed_ids = [id_of[v] for v in local if v in id_of]
+        out = set(local)
+        if seed_ids:
+            aff = csr_bfs_affected(csr, arr, seed_ids)
+            node_of = csr.node_of
+            out.update(node_of[i] for i in aff.tolist())
+        return out
+
+    def apply_nonmonotone(self, query: Node, fragment: Fragment,
+                          state: BFSState, delta,
+                          affected: Set[Node]) -> None:
+        """Reset the affected vertices to unreached, re-seed them from
+        unaffected in-neighbors on the mutated graph, fold the batch's
+        insertions, and re-converge locally."""
+        graph = fragment.graph
+        hops = state.hops
+        state._arr = None
+        for v in affected:
+            hops.pop(v, None)
+        if delta is not None:
+            for v in delta.retired_nodes:
+                hops.pop(v, None)
+        if self.use_csr and fragment.csr_cached:
+            self._apply_nonmonotone_csr(query, fragment, state, delta,
+                                        affected)
+            return
+        seeds: Dict[Node, int] = {}
+
+        def offer(v: Node, h: int) -> None:
+            if h < min(hops.get(v, _FAR), seeds.get(v, _FAR)):
+                seeds[v] = h
+
+        if graph.has_node(query) and query in affected:
+            offer(query, 0)
+        for x in affected:
+            if not graph.has_node(x):
+                continue
+            for y in graph.predecessors(x):
+                if y not in affected:
+                    hy = hops.get(y, _FAR)
+                    if hy < _FAR:
+                        offer(x, hy + 1)
+        if delta is not None:
+            for u, v, _w in delta.as_insertions:
+                hu = 0 if u == query else hops.get(u, _FAR)
+                if hu < _FAR:
+                    offer(v, hu + 1)
+        frontier = []
+        for v, h in seeds.items():
+            hops[v] = h
+            frontier.append(v)
+        changed = _bfs_from(fragment, hops, frontier)
+        changed.update(frontier)
+        outer = fragment.outer
+        for v in changed:
+            if v in outer:
+                state.dirty.add(v)
+
+    def _apply_nonmonotone_csr(self, query: Node, fragment: Fragment,
+                               state: BFSState, delta,
+                               affected: Set[Node]) -> None:
+        csr = fragment.csr()
+        arr = self._ensure_arr(fragment, state, csr)
+        id_of = csr.id_of
+        aff_ids = [id_of[v] for v in affected if v in id_of]
+        seeds = csr_bfs_reseed(csr, arr, aff_ids)
+        if fragment.graph.has_node(query) and query in affected:
+            sid = id_of[query]
+            seeds[sid] = min(seeds.get(sid, _FAR), 0)
+        hops = state.hops
+        if delta is not None:
+            for u, v, _w in delta.as_insertions:
+                hu = 0 if u == query else hops.get(u, _FAR)
+                vid = id_of.get(v)
+                if vid is not None and hu + 1 < min(int(arr[vid]),
+                                                    seeds.get(vid, _FAR)):
+                    seeds[vid] = hu + 1
+        _arr, changed_ids = csr_bfs(csr, seeds, arr)
+        node_of = csr.node_of
+        outer = fragment.outer
+        for vid, h in zip(changed_ids.tolist(), arr[changed_ids].tolist()):
+            node = node_of[vid]
+            hops[node] = h
+            if node in outer:
+                state.dirty.add(node)
+
     def read_update_params(self, query: Node, fragment: Fragment,
                            state: BFSState) -> ParamUpdates:
         return {(v, "hop"): state.hops[v] for v in fragment.outer
                 if v in state.hops}
+
+    def report_entries(self, query: Node, fragment: Fragment,
+                       state: BFSState, nodes: Set[Node]) -> ParamUpdates:
+        """Per-node restriction of :meth:`read_update_params` — the
+        session's incremental rebaseline probes exactly the vertices a
+        non-monotone batch could have touched."""
+        hops = state.hops
+        outer = fragment.outer
+        return {(v, "hop"): hops[v] for v in nodes
+                if v in outer and v in hops}
 
     def read_changed_params(self, query: Node, fragment: Fragment,
                             state: BFSState) -> ParamUpdates:

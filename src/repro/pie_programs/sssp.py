@@ -17,6 +17,7 @@ dirty border entries without a full-dict diff.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from math import inf
 from typing import Dict, Optional, Set
@@ -26,7 +27,7 @@ import numpy as np
 from repro.core.aggregators import MinAggregator
 from repro.core.pie import ParamUpdates, PIEProgram
 from repro.graph.graph import Node
-from repro.kernels import csr_sssp
+from repro.kernels import csr_sssp, csr_sssp_affected, csr_sssp_reseed
 from repro.partition.base import Fragment, Fragmentation
 from repro.sequential.inc_sssp import incremental_sssp_decrease
 from repro.sequential.sssp import dijkstra
@@ -102,7 +103,7 @@ class SSSPProgram(PIEProgram):
     def inceval(self, query: Node, fragment: Fragment, state: SSSPState,
                 message: ParamUpdates) -> None:
         updates = {node: value for (node, _name), value in message.items()}
-        if self.use_csr:
+        if self.use_csr and fragment.csr_cached:
             changed = self._inceval_csr(fragment, state, updates)
         else:
             changed = incremental_sssp_decrease(fragment.graph, state.dist,
@@ -111,15 +112,25 @@ class SSSPProgram(PIEProgram):
             if v in fragment.outer:
                 state.dirty.add(v)
 
-    def _inceval_csr(self, fragment: Fragment, state: SSSPState,
-                     updates: Dict[Node, float]) -> Set[Node]:
-        csr = fragment.csr()
+    @staticmethod
+    def _ensure_arr(fragment: Fragment, state: SSSPState,
+                    csr) -> np.ndarray:
+        """Dense-id mirror of ``state.dist``, rebuilt when the snapshot
+        epoch moved or a dict mutation cleared the cache
+        (``state._arr = None`` — every path that touches ``dist``
+        without going through the kernels must clear it)."""
         arr = state._arr
         if arr is None or state._arr_epoch != fragment.csr_epoch:
             arr = np.fromiter((state.dist.get(v, inf) for v in csr.node_of),
                               dtype=np.float64, count=csr.n)
             state._arr = arr
             state._arr_epoch = fragment.csr_epoch
+        return arr
+
+    def _inceval_csr(self, fragment: Fragment, state: SSSPState,
+                     updates: Dict[Node, float]) -> Set[Node]:
+        csr = fragment.csr()
+        arr = self._ensure_arr(fragment, state, csr)
         id_of = csr.id_of
         changed: Set[Node] = set()
         seeds: Dict[int, float] = {}
@@ -149,15 +160,20 @@ class SSSPProgram(PIEProgram):
                 state.dist[node] = value
         state._arr = None
 
+    def maintainable(self, delta) -> bool:
+        """Every batch is maintainable: the monotone part folds through
+        :meth:`on_graph_update`, deletions and weight increases go
+        through the bounded affected-region path
+        (:meth:`apply_nonmonotone`)."""
+        return True
+
     def on_graph_update(self, query: Node, fragment: Fragment,
                         state: SSSPState, delta) -> None:
-        """Fold a maintainable delta in: each inserted or cheapened edge
+        """Fold a monotone delta in: each inserted or cheapened edge
         may open a shortcut from its source's current distance
         (continuous-query maintenance).  Deletions and weight increases
-        are not maintainable for SSSP — distances could grow, which the
-        min-aggregated fixpoint cannot express — so the base
-        ``maintainable`` predicate (monotone only) routes them to the
-        session's recompute fallback instead of here."""
+        never reach this hook — the session's ``invalidates`` dispatch
+        routes them through the bounded affected-region path below."""
         edges = (delta.as_insertions if hasattr(delta, "as_insertions")
                  else delta)
         updates: Dict[Node, float] = {}
@@ -176,12 +192,178 @@ class SSSPProgram(PIEProgram):
                 if v in fragment.outer:
                     state.dirty.add(v)
 
+    # ------------------------------------------------------------------
+    # Bounded non-monotone maintenance (delete-aware IncEval)
+    # ------------------------------------------------------------------
+    def affected_seeds(self, query: Node, fragment: Fragment,
+                       state: SSSPState, delta) -> Set[Node]:
+        """Direct hits: heads of deleted or reweighted edges whose
+        converged distance was exactly supported by that edge — tested
+        with the *old* weight, on the values the edge helped converge —
+        plus retired mirror copies holding stale estimates.  *Every*
+        reweight seeds, not just increases: a decreased edge in the same
+        non-monotone batch makes the old support equality unrecognizable
+        to the closure (the stored weight moved), so its head could
+        otherwise keep a stale value whose upstream support was raised.
+        Conservative resets are safe — the re-seeding re-derives the
+        value.  For undirected fragments both orientations are tested (a
+        local deletion removes both stored directions but records one
+        triple)."""
+        dist = state.dist
+        undirected = not fragment.graph.directed
+        seeds: Set[Node] = set()
+
+        def hit(u: Node, v: Node, w: float) -> bool:
+            du = dist.get(u, inf)
+            return du < inf and dist.get(v, inf) == du + w
+
+        for u, v, w in delta.deletions:
+            if hit(u, v, w):
+                seeds.add(v)
+            if undirected and hit(v, u, w):
+                seeds.add(u)
+        for u, v, old, _new in delta.weight_changes:
+            if hit(u, v, old):
+                seeds.add(v)
+            if undirected and hit(v, u, old):
+                seeds.add(u)
+        seeds.update(delta.retired_nodes)
+        return seeds
+
+    def expand_affected(self, query: Node, fragment: Fragment,
+                        state: SSSPState, nodes: Set[Node]) -> Set[Node]:
+        """Close the region along still-standing support chains: a
+        vertex whose current distance equals an affected in-neighbor's
+        distance plus the (current) edge weight may have lost its
+        support too.  Mutated edges need no closure step of their own —
+        their heads are direct hits of :meth:`affected_seeds`.  Vertices
+        with no finite distance are never expanded through (``inf`` is
+        not a support)."""
+        dist = state.dist
+        graph = fragment.graph
+        local = {v for v in nodes if v in dist or graph.has_node(v)}
+        if not local:
+            return local
+        if self.use_csr and fragment.csr_cached:
+            return self._expand_affected_csr(fragment, state, local)
+        affected = set(local)
+        dq = deque(v for v in local
+                   if graph.has_node(v) and dist.get(v, inf) < inf)
+        while dq:
+            y = dq.popleft()
+            dy = dist[y]
+            for x, w in graph.successors_with_weights(y):
+                if x not in affected and dist.get(x, inf) == dy + w:
+                    affected.add(x)
+                    dq.append(x)
+        return affected
+
+    def _expand_affected_csr(self, fragment: Fragment, state: SSSPState,
+                             local: Set[Node]) -> Set[Node]:
+        csr = fragment.csr()
+        arr = self._ensure_arr(fragment, state, csr)
+        id_of = csr.id_of
+        seed_ids = [id_of[v] for v in local if v in id_of]
+        out = set(local)
+        if seed_ids:
+            aff = csr_sssp_affected(csr, arr, seed_ids)
+            node_of = csr.node_of
+            out.update(node_of[i] for i in aff.tolist())
+        return out
+
+    def apply_nonmonotone(self, query: Node, fragment: Fragment,
+                          state: SSSPState, delta,
+                          affected: Set[Node]) -> None:
+        """Reset the affected vertices to neutral (``inf``), re-seed
+        them from *unaffected* in-neighbors on the mutated graph, fold
+        the batch's monotone part, and re-converge locally.  Every seed
+        is a real path length, so the monotone relaxation from here
+        reaches the exact (bitwise) Bellman fixpoint."""
+        graph = fragment.graph
+        dist = state.dist
+        # The graph was (possibly) mutated and the pops below bypass the
+        # kernels, so any cached dense mirror is stale either way.
+        state._arr = None
+        for v in affected:
+            dist.pop(v, None)
+        if delta is not None:
+            for v in delta.retired_nodes:
+                dist.pop(v, None)
+        if self.use_csr and fragment.csr_cached:
+            self._apply_nonmonotone_csr(query, fragment, state, delta,
+                                        affected)
+            return
+        seeds: Dict[Node, float] = {}
+
+        def offer(v: Node, d: float) -> None:
+            if d < min(dist.get(v, inf), seeds.get(v, inf)):
+                seeds[v] = d
+
+        if graph.has_node(query) and query in affected:
+            offer(query, 0.0)
+        for x in affected:
+            if not graph.has_node(x):
+                continue
+            for y, w in graph.predecessors_with_weights(x):
+                if y not in affected:
+                    dy = dist.get(y, inf)
+                    if dy < inf:
+                        offer(x, dy + w)
+        if delta is not None:
+            for u, v, w in delta.as_insertions:
+                du = 0.0 if u == query else dist.get(u, inf)
+                offer(v, du + w)
+        changed = incremental_sssp_decrease(graph, dist, seeds)
+        outer = fragment.outer
+        for v in changed:
+            if v in outer:
+                state.dirty.add(v)
+
+    def _apply_nonmonotone_csr(self, query: Node, fragment: Fragment,
+                               state: SSSPState, delta,
+                               affected: Set[Node]) -> None:
+        csr = fragment.csr()
+        arr = self._ensure_arr(fragment, state, csr)
+        id_of = csr.id_of
+        aff_ids = [id_of[v] for v in affected if v in id_of]
+        seeds = csr_sssp_reseed(csr, arr, aff_ids)
+        if fragment.graph.has_node(query) and query in affected:
+            sid = id_of[query]
+            seeds[sid] = min(seeds.get(sid, inf), 0.0)
+        dist = state.dist
+        if delta is not None:
+            for u, v, w in delta.as_insertions:
+                du = 0.0 if u == query else dist.get(u, inf)
+                alt = du + w
+                vid = id_of.get(v)
+                if vid is not None and alt < min(float(arr[vid]),
+                                                 seeds.get(vid, inf)):
+                    seeds[vid] = alt
+        _arr, changed_ids = csr_sssp(csr, seeds, arr)
+        node_of = csr.node_of
+        outer = fragment.outer
+        for vid, d in zip(changed_ids.tolist(), arr[changed_ids].tolist()):
+            node = node_of[vid]
+            dist[node] = d
+            if node in outer:
+                state.dirty.add(node)
+
     def read_update_params(self, query: Node, fragment: Fragment,
                            state: SSSPState) -> ParamUpdates:
         # C_i = F_i.O; infinite estimates carry no information and are
         # never shipped.
         return {(v, "dist"): state.dist[v] for v in fragment.outer
                 if state.dist.get(v, inf) < inf}
+
+    def report_entries(self, query: Node, fragment: Fragment,
+                       state: SSSPState, nodes: Set[Node]) -> ParamUpdates:
+        """Per-node restriction of :meth:`read_update_params` — the
+        session's incremental rebaseline probes exactly the vertices a
+        non-monotone batch could have touched."""
+        dist = state.dist
+        outer = fragment.outer
+        return {(v, "dist"): dist[v] for v in nodes
+                if v in outer and dist.get(v, inf) < inf}
 
     def read_changed_params(self, query: Node, fragment: Fragment,
                             state: SSSPState) -> ParamUpdates:

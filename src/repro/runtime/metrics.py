@@ -128,7 +128,8 @@ class CostModel:
 _ADDITIVE_FIELDS = (
     "supersteps", "parallel_time_s", "total_compute_s", "comm_bytes",
     "comm_messages", "wall_clock_s", "pipe_bytes", "deltas_applied",
-    "incremental_maintained", "fallback_reruns", "delta_bytes_shipped",
+    "incremental_maintained", "fallback_reruns", "partial_resets",
+    "affected_vertices", "delta_bytes_shipped",
     "fragments_shipped", "fragments_delta_shipped", "recoveries",
 )
 
@@ -169,6 +170,13 @@ class RunMetrics:
     deltas_applied: int = 0
     incremental_maintained: int = 0
     fallback_reruns: int = 0
+    #: non-monotone batches served by the bounded delete-aware path
+    #: (affected-region reset + re-convergence) instead of a recompute;
+    #: a subset of ``incremental_maintained``
+    partial_resets: int = 0
+    #: total size of the affected regions those partial resets touched —
+    #: ``affected_vertices / partial_resets`` is the measured |AFF|
+    affected_vertices: int = 0
     #: serialized bytes of per-fragment deltas replayed on pooled
     #: process workers (instead of re-shipping whole fragments)
     delta_bytes_shipped: int = 0
@@ -282,6 +290,10 @@ class ServiceMetrics:
     #: ratio
     incremental_maintained: int = 0
     fallback_reruns: int = 0
+    #: bounded delete-aware refreshes (a subset of
+    #: ``incremental_maintained``) and the total |AFF| they reset
+    partial_resets: int = 0
+    affected_vertices: int = 0
     delta_bytes_shipped: int = 0
     #: the durability layer (``GrapeService(store_dir=...)``): snapshot
     #: generations committed, WAL records appended, WAL records replayed
@@ -336,12 +348,15 @@ class ServiceMetrics:
 
     def observe_maintenance(self, supersteps: int, comm_bytes: int,
                             comm_messages: int, *, maintained: int = 0,
-                            fallbacks: int = 0,
+                            fallbacks: int = 0, partial_resets: int = 0,
+                            affected_vertices: int = 0,
                             delta_bytes: int = 0) -> None:
         """Fold one standing-query refresh (its *delta* cost) in."""
         self.watch_refreshes += 1
         self.incremental_maintained += maintained
         self.fallback_reruns += fallbacks
+        self.partial_resets += partial_resets
+        self.affected_vertices += affected_vertices
         self.delta_bytes_shipped += delta_bytes
         self._observe_cost(supersteps, comm_bytes, comm_messages)
 

@@ -149,6 +149,12 @@ class LocalComponents:
             self._root_of[v] = root
             self.cid[v] = root
 
+    def install(self, members: List[Node]) -> None:
+        """Register one rebuilt component (public entry for callers that
+        discovered the partition externally, e.g. the CSR region
+        rebuild)."""
+        self._install(list(members))
+
     def lower_cid(self, v: Node, new_cid: Node) -> List[Node]:
         """Lower the cid of ``v``'s whole component to ``new_cid``.
 
@@ -173,6 +179,75 @@ class LocalComponents:
 
     def component_members(self, v: Node) -> List[Node]:
         return list(self._members[self._root_of[v]])
+
+    def detach(self, v: Node) -> None:
+        """Remove one node from its component without condemning it.
+
+        Used for retired mirror copies whose component is known to
+        survive globally: the node leaves the fragment, the remaining
+        members keep their (still valid) cids.  The blob may end up
+        coarser than true local connectivity, which the maintenance
+        invariant allows — members of one stored component always
+        belong to one global component.
+        """
+        root = self._root_of.pop(v, None)
+        if root is None:
+            return
+        self.cid.pop(v, None)
+        members = self._members.pop(root)
+        members.remove(v)
+        if not members:
+            return
+        new_root = root if v != root else min(members)
+        self._members[new_root] = members
+        if new_root != root:
+            for m in members:
+                self._root_of[m] = new_root
+
+    def drop_components(self, nodes: Iterable[Node]) -> Set[Node]:
+        """Condemn the whole local component of every listed node.
+
+        The delete-aware path cannot tell which members a deletion
+        actually disconnects without re-traversing, so it condemns the
+        closed component and rebuilds it (:meth:`rebuild_region`) on the
+        mutated graph.  Returns the removed members.
+        """
+        removed: Set[Node] = set()
+        for v in nodes:
+            root = self._root_of.get(v)
+            if root is None:
+                continue
+            for member in self._members.pop(root):
+                del self._root_of[member]
+                del self.cid[member]
+                removed.add(member)
+        return removed
+
+    def rebuild_region(self, graph: Graph, nodes: Set[Node]) -> None:
+        """Re-discover components inside a condemned region.
+
+        BFS restricted to ``nodes`` on the (already mutated) graph; edges
+        leaving the region are ignored — the condemned components were
+        closed under local edges, so a region-crossing edge can only be a
+        batch insertion, and those are folded separately via
+        :meth:`add_edge`.  Nodes no longer in the graph (retired by the
+        batch) simply stay dropped.
+        """
+        seen: Set[Node] = set()
+        for start in nodes:
+            if start in seen or not graph.has_node(start):
+                continue
+            members: List[Node] = []
+            dq = deque([start])
+            seen.add(start)
+            while dq:
+                v = dq.popleft()
+                members.append(v)
+                for w in graph.neighbors(v):
+                    if w in nodes and w not in seen:
+                        seen.add(w)
+                        dq.append(w)
+            self._install(members)
 
     def add_node(self, v: Node) -> None:
         """Register a newly inserted node as its own component."""

@@ -23,8 +23,10 @@ repo's previously separate layers into that shape:
   :class:`~repro.graph.delta.GraphDelta` — insertions, deletions,
   weight changes — to the shared fragmentation once and fans the
   per-fragment deltas out to every watcher, which maintain their
-  answers incrementally when the batch is monotone for their program
-  and fall back to an in-session recompute otherwise
+  answers incrementally — a monotone fold for insertions and
+  answer-preserving reweights, the bounded affected-region path for
+  deletions and weight increases — falling back to an in-session
+  recompute only for programs without the maintenance hooks
   (``insert_edges`` / ``delete_edges`` / ``set_weights`` are sugar).
 
 Queries on a graph run concurrently (they only read the fragmentation);
@@ -175,10 +177,14 @@ class WatchHandle:
         self.active = False
 
     def _refresh(self, touched: Dict[int, FragmentDelta]
-                 ) -> Optional[Tuple[int, int, int, int, int, int]]:
+                 ) -> Optional[Tuple[int, int, int, int, int, int, int,
+                                     int]]:
         """Fold an applied update batch into the session; returns the
         delta (supersteps, bytes, messages, maintained, fallbacks,
-        delta_bytes_shipped) this maintenance round cost.
+        partial_resets, affected_vertices, delta_bytes_shipped) this
+        maintenance round cost — measured per handle, so a batch that
+        maintains one watcher and falls back for another charges each
+        bucket its own session's outcome.
 
         Guarded against cancellation: a handle cancelled after the
         service snapshotted its watcher list (or from another thread
@@ -190,6 +196,7 @@ class WatchHandle:
         m = self.session.metrics
         before = (m.supersteps, m.comm_bytes, m.comm_messages,
                   m.incremental_maintained, m.fallback_reruns,
+                  m.partial_resets, m.affected_vertices,
                   m.delta_bytes_shipped)
         self.session.apply_update(touched)
         self.refreshes += 1
@@ -197,7 +204,9 @@ class WatchHandle:
                 m.comm_messages - before[2],
                 m.incremental_maintained - before[3],
                 m.fallback_reruns - before[4],
-                m.delta_bytes_shipped - before[5])
+                m.partial_resets - before[5],
+                m.affected_vertices - before[6],
+                m.delta_bytes_shipped - before[7])
 
     def __repr__(self) -> str:
         state = "active" if self.active else "cancelled"
@@ -839,7 +848,7 @@ class GrapeService:
                 self._retire_fragmentation(self._frag_cache.pop(key))
                 self.stats.cache_invalidations += 1
 
-        deltas: List[Tuple[int, int, int, int, int, int]] = []
+        deltas: List[Tuple[int, int, int, int, int, int, int, int]] = []
         refreshed: List[WatchHandle] = []
         rejected: Optional[NonMonotoneUpdateError] = None
         with glock.write():
@@ -884,10 +893,12 @@ class GrapeService:
         with self._lock:
             self.stats.updates_applied += 1
             for (supersteps, nbytes, msgs, maintained, fallbacks,
-                 delta_bytes) in deltas:
+                 partial_resets, affected_vertices, delta_bytes) in deltas:
                 self.stats.observe_maintenance(
                     supersteps, nbytes, msgs, maintained=maintained,
-                    fallbacks=fallbacks, delta_bytes=delta_bytes)
+                    fallbacks=fallbacks, partial_resets=partial_resets,
+                    affected_vertices=affected_vertices,
+                    delta_bytes=delta_bytes)
             self._sync_csr_stats()
             self._sync_store_stats()
         if rejected is not None:

@@ -1,7 +1,8 @@
 """Continuous queries under general updates (the transaction-controller
 extension of paper Section 6): monotone insertions maintained
-incrementally, deletions and weight increases served by the in-session
-recompute fallback."""
+incrementally, deletions and weight increases served by the bounded
+affected-region path, with the in-session recompute fallback reserved
+for programs without the maintenance hooks."""
 
 import pytest
 
@@ -11,6 +12,8 @@ from repro.core.updates import (ContinuousQuerySession,
                                 apply_insertions)
 from repro.graph.delta import GraphDelta
 from repro.graph.generators import grid_road_graph, uniform_random_graph
+from repro.graph.graph import Graph
+from repro.partition import RangePartition
 from repro.pie_programs import CCProgram, SimProgram, SSSPProgram
 from repro.sequential import connected_components, sssp_distances
 
@@ -24,9 +27,13 @@ def cc_oracle(g):
 
 class FrozenSSSP(SSSPProgram):
     """Module-level (picklable under the process backend): opts out of
-    the recompute fallback."""
+    the recompute fallback *and* of the bounded non-monotone path, so
+    non-monotone batches genuinely reach the opt-out error."""
 
     recompute_fallback = False
+
+    def maintainable(self, delta):
+        return delta.monotone
 
 
 class FrozenSim(SimProgram):
@@ -123,7 +130,7 @@ class TestContinuousSSSP:
         # One local fold, no message rounds needed.
         assert session.metrics.supersteps <= before + 1
 
-    def test_weight_increase_falls_back_to_recompute(self, small_road):
+    def test_weight_increase_served_by_bounded_path(self, small_road):
         session = ContinuousQuerySession(GrapeEngine(4), SSSPProgram(), 0,
                                          small_road)
         existing = next(iter(small_road.edges()))
@@ -131,10 +138,11 @@ class TestContinuousSSSP:
         answer = session.insert_edges([(u, v, w + 100.0)])
         assert small_road.edge_weight(u, v) == pytest.approx(w + 100.0)
         assert answer == pytest.approx(sssp_distances(small_road, 0))
-        assert session.metrics.fallback_reruns == 1
-        assert session.metrics.incremental_maintained == 0
+        assert session.metrics.fallback_reruns == 0
+        assert session.metrics.incremental_maintained == 1
+        assert session.metrics.partial_resets == 1
 
-    def test_deletion_falls_back_and_answer_tracks(self, small_road):
+    def test_deletion_served_by_bounded_path(self, small_road):
         session = ContinuousQuerySession(GrapeEngine(4), SSSPProgram(), 0,
                                          small_road)
         u, v, _w = max(small_road.edges(),
@@ -143,7 +151,11 @@ class TestContinuousSSSP:
         answer = session.delete_edges([(u, v)])
         assert not small_road.has_edge(u, v)
         assert answer == pytest.approx(sssp_distances(small_road, 0))
-        assert session.metrics.fallback_reruns == 1
+        assert session.metrics.fallback_reruns == 0
+        assert session.metrics.partial_resets == 1
+        # The reset is bounded: only part of the graph was touched.
+        assert 0 < session.metrics.affected_vertices \
+            <= small_road.num_nodes
         session.fragmentation.validate()
 
     def test_undirected_intra_fragment_decrease_relaxes_both_ways(self):
@@ -362,6 +374,62 @@ class TestDeletions:
         frag.validate()
 
 
+class TestBorderRetraction:
+    """Regression (two fragments): a deletion that *worsens* a border
+    node's value must retract the stale parameter from the peer
+    fragment's aggregator table.  The min aggregator alone can only
+    lower values — without the bounded path's rebaseline (full re-read
+    of each touched fragment's params, absent keys becoming tombstones)
+    the peer would keep serving the old, smaller value forever."""
+
+    @staticmethod
+    def _session(graph, program, query):
+        engine = GrapeEngine(2, partition=RangePartition())
+        return ContinuousQuerySession(engine, program, query, graph)
+
+    def test_sssp_border_distance_raised_after_delete(self):
+        g = Graph(directed=True)
+        g.add_edge(0, 3, weight=0.1)   # cheap cross-fragment edge
+        g.add_edge(0, 1, weight=1.0)   # detour inside fragment A...
+        g.add_edge(1, 3, weight=9.0)   # ...reaching 3 at cost 10.0
+        g.add_edge(3, 4, weight=1.0)   # downstream chain in fragment B
+        session = self._session(g, SSSPProgram(), 0)
+        frag = session.fragmentation
+        assert frag.gp.owner(0) != frag.gp.owner(3)
+        assert session.answer[3] == pytest.approx(0.1)
+
+        session.update(GraphDelta().delete(0, 3))
+        # The stale 0.1 must be gone everywhere: the maintained answer
+        # re-converges to the detour, downstream chain included.
+        assert session.answer[3] == pytest.approx(10.0)
+        assert session.answer[4] == pytest.approx(11.0)
+        assert session.answer == pytest.approx(sssp_distances(g, 0))
+        m = session.metrics
+        assert m.fallback_reruns == 0
+        assert m.partial_resets == 1
+
+    def test_cc_border_cid_raised_after_split(self):
+        g = Graph(directed=False)
+        for u, v in ((0, 1), (1, 2), (2, 3), (3, 4), (4, 5)):
+            g.add_edge(u, v, weight=1.0)
+        session = self._session(g, CCProgram(), None)
+        frag = session.fragmentation
+        assert frag.gp.owner(2) != frag.gp.owner(3)
+        assert {k: set(v) for k, v in session.answer.items()} \
+            == {0: {0, 1, 2, 3, 4, 5}}
+
+        session.update(GraphDelta().delete(2, 3))
+        # Fragment B's nodes lose the global minimum 0: the cid 0 border
+        # param must be retracted so the split-off half re-derives its
+        # own minimum (3), exactly like a from-scratch run.
+        assert {k: set(v) for k, v in session.answer.items()} \
+            == {0: {0, 1, 2}, 3: {3, 4, 5}}
+        assert session.answer == cc_oracle(g)
+        m = session.metrics
+        assert m.fallback_reruns == 0
+        assert m.partial_resets == 1
+
+
 class TestNoOpBatches:
     """An empty or duplicate-only batch must be a true no-op: no cache
     token movement, no CSR epoch movement (the PR-4 bugfix)."""
@@ -402,15 +470,43 @@ class TestNoOpBatches:
 
 
 class TestCCUnderDeltas:
-    def test_component_split_falls_back(self):
+    def test_component_split_served_by_bounded_path(self):
+        """Deleting a bridge condemns and relabels the severed side."""
         g = uniform_random_graph(50, 60, directed=False, seed=13)
+        # Graft a pendant chain onto the graph: its first edge is a
+        # bridge whose deletion provably splits a component.
+        anchor = next(iter(g.nodes()))
+        g.add_edge(anchor, 900, 1.0)
+        g.add_edge(900, 901, 1.0)
         session = ContinuousQuerySession(GrapeEngine(3), CCProgram(), None,
                                          g)
-        u, v, _w = next(iter(g.edges()))
-        answer = session.delete_edges([(u, v)])
+        answer = session.delete_edges([(anchor, 900)])
         assert answer == cc_oracle(g)
-        assert session.metrics.fallback_reruns == 1
+        assert answer[900] == {900, 901}
+        assert session.metrics.fallback_reruns == 0
+        assert session.metrics.partial_resets == 1
+        assert session.metrics.affected_vertices > 0
         session.fragmentation.validate()
+
+    def test_redundant_deletion_affects_nothing(self):
+        """Split detection is exact: deleting an edge whose endpoints
+        stay connected (checked across fragments on the driver) resets
+        no vertex at all — the old cids remain valid."""
+        g = uniform_random_graph(50, 60, directed=False, seed=13)
+        # A triangle glued onto the graph: deleting one of its edges
+        # leaves the other two as the reconnecting path.
+        anchor = next(iter(g.nodes()))
+        g.add_edge(anchor, 900, 1.0)
+        g.add_edge(900, 901, 1.0)
+        g.add_edge(901, anchor, 1.0)
+        session = ContinuousQuerySession(GrapeEngine(3), CCProgram(), None,
+                                         g)
+        before = session.answer
+        answer = session.delete_edges([(900, 901)])
+        assert answer == before == cc_oracle(g)
+        assert session.metrics.affected_vertices == 0
+        assert session.metrics.fallback_reruns == 0
+        assert session.metrics.partial_resets == 1
 
     def test_reweight_stays_incremental_for_cc(self):
         g = uniform_random_graph(50, 60, directed=False, seed=13)

@@ -3,10 +3,13 @@
 ``GrapeService.update`` applies a mixed insertion+deletion batch to a
 graph with active SSSP and CC watches; afterwards **every** watch answer
 must equal a from-scratch computation on the mutated graph — asserted
-for the serial, thread and process backends.  Under the process backend
-the fallback re-runs must reach the pooled workers as compact
-per-fragment deltas, not full fragment re-ships (asserted via the
-``delta_bytes_shipped`` / ``fragments_shipped`` accounting).
+for the serial, thread and process backends.  Since the delete-aware
+bounded path landed, mixed batches are *maintained* (partial reset of
+the affected region + resumed fixpoint), not recomputed; the counters
+assert that.  Under the process backend the maintenance runs against
+the session's live driver-side states — no worker lease, so neither
+full fragments nor per-fragment deltas cross the pipe (asserted via
+the ``fragments_shipped`` / ``delta_bytes_shipped`` accounting).
 """
 
 from __future__ import annotations
@@ -66,27 +69,31 @@ def test_mixed_update_with_active_watches(backend):
         assert normalize(cc_watch.answer) == normalize(cc_oracle(g))
         service.fragmentation("social").validate()
 
-        # The batch has deletions: neither program can maintain it, so
-        # both watches went through the recompute fallback.
-        assert service.stats.fallback_reruns == 2
-        assert service.stats.incremental_maintained == 0
+        # The batch has deletions: both watches were served by the
+        # delete-aware bounded path — a partial reset of the affected
+        # region, not a recompute fallback.
+        assert service.stats.fallback_reruns == 0
+        assert service.stats.incremental_maintained == 2
+        assert service.stats.partial_resets == 2
+        assert service.stats.affected_vertices > 0
         assert service.stats.deltas_applied == 1
 
         if backend == "process":
-            # Happy path: the re-runs lease workers that already cache
-            # the fragmentation and are brought current by per-fragment
-            # delta replay — zero additional full fragment ships.
-            assert service.stats.delta_bytes_shipped > 0
+            # The bounded maintenance runs on the session's live states
+            # in the driver; no worker is leased, so no fragments ship —
+            # neither full re-ships nor delta replays.
+            assert service.stats.delta_bytes_shipped == 0
             after = (sssp_watch.session.metrics.fragments_shipped,
                      cc_watch.session.metrics.fragments_shipped)
             assert after == shipped_before
             assert (sssp_watch.session.metrics.fragments_delta_shipped
-                    + cc_watch.session.metrics.fragments_delta_shipped) > 0
+                    + cc_watch.session.metrics.fragments_delta_shipped) == 0
 
         # A follow-up monotone batch stays on the incremental fast path
         # for both programs.
         service.insert_edges("social", [(0, 778, 0.9)])
-        assert service.stats.incremental_maintained == 2
+        assert service.stats.incremental_maintained == 4
+        assert service.stats.partial_resets == 2  # monotone batch: no reset
         assert sssp_watch.answer == pytest.approx(sssp_distances(g, 0))
         assert normalize(cc_watch.answer) == normalize(cc_oracle(g))
 
@@ -113,7 +120,8 @@ def test_watch_answers_survive_update_streams(backend):
             service.update("g", delta)
             assert sssp_watch.answer == pytest.approx(sssp_distances(g, 0))
             assert normalize(cc_watch.answer) == normalize(cc_oracle(g))
-        # CC maintained the reweight batch incrementally even though
-        # SSSP needed a fallback for it.
-        assert service.stats.incremental_maintained >= 1
-        assert service.stats.fallback_reruns >= 1
+        # Every batch — including the deletion and the weight increase —
+        # was maintained; the non-monotone ones via partial resets.
+        assert service.stats.incremental_maintained == 2 * len(batches)
+        assert service.stats.fallback_reruns == 0
+        assert service.stats.partial_resets > 0

@@ -29,7 +29,7 @@ from repro.core.engine import GrapeEngine
 from repro.core.updates import ContinuousQuerySession
 from repro.graph.delta import GraphDelta
 from repro.graph.generators import uniform_random_graph
-from repro.pie_programs import CCProgram, SSSPProgram
+from repro.pie_programs import BFSProgram, CCProgram, SSSPProgram
 
 from .harness import BACKENDS, CSR_MODES, normalize
 
@@ -162,13 +162,17 @@ def _fuzz(make_program, query, graph_factory, backend, seed,
 def _random_op_batches(seed: int, reference, *, num_batches: int = 3,
                        batch_size: int = 6,
                        new_node: Callable[[int, int], Any] = None,
+                       insert_rate: float = 0.35,
+                       delete_rate: float = 0.25,
                        ) -> List[OpBatch]:
     """Seeded mixed batches of :class:`GraphDelta` operations.
 
     ``reference`` is a throwaway copy of the graph under test, mutated
     alongside generation so deletions and reweights always target live
-    edges.  Roughly: 35% insertions (some attaching brand-new nodes),
-    25% deletions, 20% weight increases, 20% weight decreases.
+    edges.  Default mix: 35% insertions (some attaching brand-new
+    nodes), 25% deletions, 20% weight increases, 20% weight decreases;
+    ``insert_rate`` / ``delete_rate`` skew the mix (the remainder is
+    reweights, half increases half decreases).
     """
     if new_node is None:
         new_node = lambda s, i: f"mix-{s}-{i}"  # noqa: E731
@@ -181,8 +185,8 @@ def _random_op_batches(seed: int, reference, *, num_batches: int = 3,
         for _e in range(batch_size):
             kind = rng.random()
             live = list(reference.edges())
-            if kind < 0.35 or not live:
-                if kind < 0.12:
+            if kind < insert_rate or not live:
+                if kind < 0.34 * insert_rate:
                     fresh += 1
                     u, v = new_node(seed, fresh), rng.choice(known)
                     known.append(u)
@@ -193,13 +197,15 @@ def _random_op_batches(seed: int, reference, *, num_batches: int = 3,
                 reference.add_node(v)
                 reference.add_edge(u, v, weight=w)
                 batch.append(("+", u, v, w))
-            elif kind < 0.6:
+            elif kind < insert_rate + delete_rate:
                 u, v, _w = rng.choice(live)
                 reference.remove_edge(u, v)
                 batch.append(("-", u, v))
             else:
                 u, v, w = rng.choice(live)
-                factor = (rng.uniform(1.1, 3.0) if kind < 0.8
+                mid = insert_rate + delete_rate + (1 - insert_rate
+                                                   - delete_rate) / 2
+                factor = (rng.uniform(1.1, 3.0) if kind < mid
                           else rng.uniform(0.3, 0.9))
                 reference.set_edge_weight(u, v, w * factor)
                 batch.append(("w", u, v, w * factor))
@@ -230,8 +236,11 @@ def _fails_mixed(make_program, query, graph_factory, backend, use_csr,
 
 
 def _fuzz_mixed(make_program, query, graph_factory, backend, use_csr,
-                seed, new_node=None) -> None:
-    batches = _random_op_batches(seed, graph_factory(), new_node=new_node)
+                seed, new_node=None, insert_rate=0.35,
+                delete_rate=0.25) -> None:
+    batches = _random_op_batches(seed, graph_factory(), new_node=new_node,
+                                 insert_rate=insert_rate,
+                                 delete_rate=delete_rate)
     applied: OpBatch = []
     engine = GrapeEngine(3, backend=backend)
     session = ContinuousQuerySession(engine,
@@ -283,6 +292,29 @@ def test_sssp_mixed_fuzz_undirected(use_csr, seed):
     _fuzz_mixed(SSSPProgram, 0,
                 lambda: uniform_random_graph(50, 120, directed=False,
                                              seed=5000 + seed),
+                "serial", use_csr, seed)
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_sssp_deletion_heavy_fuzz_csr(seed):
+    """Deletion-dominated batches under ``use_csr=True``: every bounded
+    round resets distances on the dict side, so the dense CSR mirror
+    (``state._arr``) must be invalidated and rebuilt before the next
+    kernel call — a stale mirror diverges from recomputation here."""
+    _fuzz_mixed(SSSPProgram, 0,
+                lambda: uniform_random_graph(60, 200, seed=6000 + seed),
+                "serial", True, seed,
+                insert_rate=0.15, delete_rate=0.55)
+
+
+@pytest.mark.parametrize("use_csr", CSR_MODES)
+@pytest.mark.parametrize("seed", range(2))
+def test_bfs_mixed_fuzz(use_csr, seed):
+    """BFS under mixed churn: reweights must be no-ops for hop counts,
+    deletions must route through the bounded path (integer analog of the
+    SSSP affected-region machinery)."""
+    _fuzz_mixed(BFSProgram, 0,
+                lambda: uniform_random_graph(60, 200, seed=7000 + seed),
                 "serial", use_csr, seed)
 
 

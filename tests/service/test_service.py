@@ -16,9 +16,23 @@ from repro.core.aggregators import MaxAggregator
 
 
 class FrozenSSSP(SSSPProgram):
-    """Module-level (picklable): opts out of the recompute fallback."""
+    """Module-level (picklable): opts out of the recompute fallback and
+    of the bounded delete-aware path (maintains monotone batches only),
+    so non-monotone batches raise instead of being served."""
 
     recompute_fallback = False
+
+    def maintainable(self, delta):
+        return delta.monotone
+
+
+class RecomputingSSSP(SSSPProgram):
+    """Module-level (picklable): keeps the recompute fallback but does
+    not claim non-monotone batches — the pre-bounded-path dispatch,
+    preserved to pin the mixed-watchers accounting."""
+
+    def maintainable(self, delta):
+        return delta.monotone
 
 
 def reachable_oracle(graph, source):
@@ -244,15 +258,18 @@ class TestWatchAndUpdates:
         service.play("sssp", 0, graph="roads")
         assert service.stats.cache_hits == hits + 1
 
-    def test_weight_increase_served_by_fallback(self, service, small_road):
+    def test_weight_increase_served_by_bounded_path(self, service,
+                                                    small_road):
         handle = service.watch("sssp", 0, graph="roads")
         u, v, w = next(iter(small_road.edges()))
         refreshed = service.insert_edges("roads", [(u, v, w + 100.0)])
         assert refreshed == [handle]
         assert small_road.edge_weight(u, v) == pytest.approx(w + 100.0)
         assert handle.answer == pytest.approx(sssp_distances(small_road, 0))
-        assert service.stats.fallback_reruns == 1
-        assert service.stats.incremental_maintained == 0
+        assert service.stats.fallback_reruns == 0
+        assert service.stats.incremental_maintained == 1
+        assert service.stats.partial_resets == 1
+        assert service.stats.affected_vertices >= 0
 
     def test_mixed_update_batch_with_watch(self, service, small_road):
         from repro import GraphDelta
@@ -273,7 +290,9 @@ class TestWatchAndUpdates:
         service.set_weights("roads", [(u, v, w * 0.5)])   # decrease
         assert service.stats.incremental_maintained == 1
         service.delete_edges("roads", [(u, v)])
-        assert service.stats.fallback_reruns == 1
+        assert service.stats.fallback_reruns == 0
+        assert service.stats.incremental_maintained == 2
+        assert service.stats.partial_resets == 1
         assert handle.answer == pytest.approx(sssp_distances(small_road, 0))
 
     def test_opt_out_watch_cancelled_without_stranding_others(
@@ -299,6 +318,26 @@ class TestWatchAndUpdates:
         refreshed = service.insert_edges("roads", [(0, 35, 0.3)])
         assert refreshed == [normal]
         assert normal.answer == pytest.approx(sssp_distances(small_road, 0))
+
+    def test_mixed_watchers_split_maintained_ratio(self, service,
+                                                   small_road):
+        """One batch, two watches, two outcomes: the bounded-path SSSP
+        watch is *maintained* while the hook-less one recomputes — the
+        per-session accounting must split the batch across both buckets
+        instead of attributing it wholesale to one."""
+        service.plug("legacy-sssp", RecomputingSSSP)
+        fast = service.watch("sssp", 0, graph="roads")
+        slow = service.watch("legacy-sssp", 0, graph="roads")
+        u, v, _w = next(iter(small_road.edges()))
+        refreshed = service.delete_edges("roads", [(u, v)])
+        assert set(refreshed) == {fast, slow}
+        truth = sssp_distances(small_road, 0)
+        assert fast.answer == pytest.approx(truth)
+        assert slow.answer == pytest.approx(truth)
+        assert service.stats.incremental_maintained == 1
+        assert service.stats.fallback_reruns == 1
+        assert service.stats.partial_resets == 1
+        assert service.stats.maintained_ratio == pytest.approx(0.5)
 
     def test_noop_batch_is_free(self, service, small_road):
         service.watch("sssp", 0, graph="roads")
