@@ -37,6 +37,7 @@ from repro.core.engine import GrapeEngine
 from repro.graph.generators import grid_road_graph
 from repro.partition.base import PartitionStrategy
 from repro.pie_programs import PageRankProgram, PageRankQuery, SSSPProgram
+from repro.runtime import shm
 from repro.runtime.executors import resolve_backend
 
 BACKENDS = ("serial", "thread", "process")
@@ -104,13 +105,18 @@ def workloads():
 
 def measure(backend_name, make_program, query, fragmentation, m, repeat):
     """Best-of-``repeat`` wall-clock on a warm pool; answers returned
-    for cross-backend verification."""
+    for cross-backend verification.  The warm-up run is the *cold
+    lease* — the one that transfers fragments — so its shipping figures
+    (``fragment_bytes_cold``/``shm_fallbacks_cold``) are what the
+    ``--assert-zero-ship`` gate checks."""
     engine = GrapeEngine(m, partition=BlockPartition(),
                          backend=backend_name)
-    engine.run(make_program(), query, fragmentation=fragmentation)  # warm
+    cold = engine.run(make_program(), query,
+                      fragmentation=fragmentation)  # warm the pool
     best = None
     answer = None
     pipe = 0
+    frag_bytes_warm = 0
     for _ in range(repeat):
         start = time.perf_counter()
         result = engine.run(make_program(), query,
@@ -119,8 +125,15 @@ def measure(backend_name, make_program, query, fragmentation, m, repeat):
         if best is None or elapsed < best:
             best = elapsed
             pipe = result.metrics.pipe_bytes
+        frag_bytes_warm = max(frag_bytes_warm,
+                              result.metrics.fragment_bytes_shipped)
         answer = result.answer
-    return best, pipe, answer
+    shipping = {
+        "fragment_bytes_cold": cold.metrics.fragment_bytes_shipped,
+        "shm_fallbacks_cold": cold.metrics.shm_fallbacks,
+        "fragment_bytes_warm": frag_bytes_warm,
+    }
+    return best, pipe, answer, shipping
 
 
 def approx_equal(a, b, tol=1e-9):
@@ -137,6 +150,10 @@ def main(argv=None):
     parser.add_argument("--assert-speedup", action="store_true",
                         help="require process >= 2x serial at m=4 on "
                              "pagerank-dict (needs >= 4 cores)")
+    parser.add_argument("--assert-zero-ship", action="store_true",
+                        help="require the process backend to ship zero "
+                             "fragment pickle bytes (shared-memory "
+                             "descriptor path) with zero fallbacks")
     args = parser.parse_args(argv)
 
     rows, cols = QUICK_SHAPE if args.quick else FULL_SHAPE
@@ -156,6 +173,8 @@ def main(argv=None):
         "python": platform.python_version(),
         "pagerank_iterations": PAGERANK_ITERATIONS,
         "quick": args.quick,
+        "shm": {"available": shm.shm_available(),
+                "provider": getattr(shm.provider(), "kind", None)},
         "workloads": {},
     }
 
@@ -167,11 +186,12 @@ def main(argv=None):
                 m, partition=BlockPartition()).make_fragmentation(graph)
             reference = None
             for backend in BACKENDS:
-                wall, pipe, answer = measure(backend, make_program, query,
-                                             frag, m, args.repeat)
+                wall, pipe, answer, shipping = measure(
+                    backend, make_program, query, frag, m, args.repeat)
                 table.setdefault(backend, {})[m] = {
                     "wall_s": round(wall, 4),
                     "pipe_bytes": pipe,
+                    **shipping,
                 }
                 if reference is None:
                     reference = answer
@@ -198,6 +218,32 @@ def main(argv=None):
     if failures:
         print("ANSWER MISMATCHES:", *failures, sep="\n  ")
         return 1
+
+    if args.assert_zero_ship:
+        # The zero-copy plane's acceptance bar: on a platform with
+        # shared memory, the process backend's cold lease publishes
+        # segments and ships descriptors — zero fragment pickle bytes,
+        # zero fallbacks — and warm leases ship nothing at all.
+        if not shm.shm_available():
+            print("--assert-zero-ship skipped: no shared-memory "
+                  "provider on this platform")
+        else:
+            bad = []
+            for name, table in results["workloads"].items():
+                for m, cell in table["process"].items():
+                    if (cell["fragment_bytes_cold"] != 0
+                            or cell["shm_fallbacks_cold"] != 0
+                            or cell["fragment_bytes_warm"] != 0):
+                        bad.append(
+                            f"{name} m={m}: cold "
+                            f"{cell['fragment_bytes_cold']}B/"
+                            f"{cell['shm_fallbacks_cold']} fallbacks, "
+                            f"warm {cell['fragment_bytes_warm']}B")
+            if bad:
+                print("ZERO-SHIP REGRESSION:", *bad, sep="\n  ")
+                return 1
+            print("zero-ship OK: process backend shipped 0 fragment "
+                  "bytes with 0 fallbacks across the sweep")
 
     if args.assert_speedup:
         # The full x2.0 bar assumes 4 *physical* workers; SMT hosts with

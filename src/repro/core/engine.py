@@ -477,6 +477,14 @@ class GrapeEngine:
             cluster.metrics.fragments_shipped = session.fragments_shipped
             cluster.metrics.fragments_delta_shipped = \
                 session.fragments_delta_shipped
+            cluster.metrics.fragment_bytes_shipped = \
+                session.fragment_bytes_shipped
+            cluster.metrics.shm_fallbacks = session.shm_fallbacks
+            shm_stats = getattr(backend, "shm_stats", None)
+            if shm_stats is not None:
+                segs, mapped = shm_stats()
+                cluster.metrics.shm_segments_active = segs
+                cluster.metrics.shm_bytes_mapped = mapped
             cluster.metrics.wall_clock_s = time.perf_counter() - wall_start
             cluster.metrics.recoveries = arbitrator.recoveries
 

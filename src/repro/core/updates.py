@@ -242,8 +242,21 @@ def apply_delta(fragmentation: Fragmentation,
         fix_inner(u)
         fix_inner(v)
 
+    # Published shared-memory segments absorb the batch before the
+    # invalidation pass: weight-only fragment deltas are patched into
+    # the mapped arrays in place, and the patched fragments keep their
+    # (shared) snapshots — only a structural change drops them.
+    patched: Dict[int, Any] = {}
+    if touched:
+        from repro.runtime import shm
+        patched = shm.notify_delta(fragmentation.cache_token[0],
+                                   fragmentation.version + 1, touched)
     for fid in mutated_graphs:
-        fragmentation[fid].invalidate_csr()
+        snap = patched.get(fid)
+        if snap is not None:
+            fragmentation[fid].keep_patched_csr(snap)
+        else:
+            fragmentation[fid].invalidate_csr()
     if touched:
         # Stamp sequence numbers and invalidate worker-side fragment
         # caches (process backend): the next lease replays these deltas,

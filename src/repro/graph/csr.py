@@ -203,6 +203,67 @@ class CSRGraph:
                              id_of, node_of, label_list)
 
     # ------------------------------------------------------------------
+    # Shared-memory (de)serialization — the process backend's zero-copy
+    # fragment plane (repro.runtime.shm)
+    # ------------------------------------------------------------------
+    #: the six structural arrays a shared segment carries, in layout order
+    SHARED_FIELDS = ("indptr", "indices", "weights",
+                     "rev_indptr", "rev_indices", "rev_weights")
+    _SHARED_ALIGN = 64
+
+    @classmethod
+    def _aligned(cls, offset: int) -> int:
+        a = cls._SHARED_ALIGN
+        return (offset + a - 1) // a * a
+
+    def shared_nbytes(self, offset: int = 0) -> int:
+        """Bytes needed to place the structural arrays in a shared
+        buffer starting at ``offset`` (each array 64-byte aligned)."""
+        for name in self.SHARED_FIELDS:
+            offset = self._aligned(offset) + getattr(self, name).nbytes
+        return self._aligned(offset)
+
+    def to_shared(self, buf, offset: int = 0
+                  ) -> List[Tuple[str, str, int, int]]:
+        """Copy the six structural arrays into ``buf`` (any writable
+        buffer — typically a mapped shared segment) starting at
+        ``offset``.  Unlike :meth:`to_arrays` both orientations are
+        stored: attachers must not pay the reverse-derivation pass.
+        Returns the ``(field, dtype, count, offset)`` layout placed."""
+        layout: List[Tuple[str, str, int, int]] = []
+        for name in self.SHARED_FIELDS:
+            arr = np.ascontiguousarray(getattr(self, name))
+            offset = self._aligned(offset)
+            count = int(arr.shape[0])
+            np.frombuffer(buf, dtype=arr.dtype, count=count,
+                          offset=offset)[:] = arr
+            layout.append((name, arr.dtype.str, count, offset))
+            offset += arr.nbytes
+        return layout
+
+    @classmethod
+    def from_shared(cls, buf, layout, *, n: int, directed: bool,
+                    id_of: Dict[Node, int], node_of: List[Node],
+                    labels: List) -> "CSRGraph":
+        """Zero-copy snapshot over a shared buffer written by
+        :meth:`to_shared`: every array is a view into ``buf`` (read-only
+        when the buffer is, and flagged read-only regardless), so the
+        buffer must stay mapped for the snapshot's lifetime."""
+        views: Dict[str, np.ndarray] = {}
+        for name, dtype, count, off in layout:
+            if name not in cls.SHARED_FIELDS:
+                continue
+            arr = np.frombuffer(buf, dtype=dtype, count=count, offset=off)
+            if arr.flags.writeable:
+                arr = arr.view()
+                arr.flags.writeable = False
+            views[name] = arr
+        return cls(n, directed, views["indptr"], views["indices"],
+                   views["weights"], views["rev_indptr"],
+                   views["rev_indices"], views["rev_weights"],
+                   id_of, node_of, labels)
+
+    # ------------------------------------------------------------------
     def out_neighbors(self, vid: int) -> np.ndarray:
         return self.indices[self.indptr[vid]:self.indptr[vid + 1]]
 

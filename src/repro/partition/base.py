@@ -63,8 +63,8 @@ class Fragment:
     """
 
     __slots__ = ("fid", "graph", "owned", "inner", "outer",
-                 "_csr", "_csr_lock", "_remote_csr_live", "csr_epoch",
-                 "csr_builds", "csr_invalidations")
+                 "_csr", "_csr_lock", "_csr_shared", "_remote_csr_live",
+                 "csr_epoch", "csr_builds", "csr_invalidations")
 
     def __init__(self, fid: int, graph: Graph, owned: Set[Node],
                  inner: Set[Node], outer: Set[Node]):
@@ -78,6 +78,9 @@ class Fragment:
         # fragmentation (they hold only the graph's read lock), so the
         # lazy build must be guarded against duplicate construction.
         self._csr_lock = threading.Lock()
+        #: the installed snapshot's arrays live in a shared-memory
+        #: segment (repro.runtime.shm) rather than private heap memory
+        self._csr_shared = False
         #: a worker-side copy of this fragment holds a live snapshot
         #: (process backend); used only for invalidation accounting
         self._remote_csr_live = False
@@ -124,6 +127,42 @@ class Fragment:
                     self.csr_builds += 1
         return snap
 
+    def install_csr(self, snap, *, shared: bool = False) -> None:
+        """Adopt a prebuilt CSR snapshot without counting a build.
+
+        Two callers: warm start (the snapshot loader rebuilds the arrays
+        while decoding, so the first query should not pay
+        ``from_graph`` again) and the shared-memory fragment plane
+        (``shared=True`` — the snapshot's arrays are views over a mapped
+        segment, patched in place by weight-only deltas)."""
+        with self._csr_lock:
+            self._csr = snap
+            self._csr_shared = shared
+
+    def touch_csr_epoch(self) -> None:
+        """Advance the epoch while keeping the snapshot: its mapped
+        arrays were patched in place, so derived arrays keyed on the
+        old epoch must refresh but the snapshot itself stays valid."""
+        with self._csr_lock:
+            self.csr_epoch += 1
+
+    def keep_patched_csr(self, snap) -> bool:
+        """After a weight-only delta the arena patched ``snap`` (the
+        shared snapshot) in place: keep it and advance the epoch if it
+        is still the installed shared snapshot, else fall back to a
+        normal invalidation.  Returns whether the snapshot was kept."""
+        with self._csr_lock:
+            if self._csr_shared and self._csr is snap:
+                self.csr_epoch += 1
+                return True
+        self.invalidate_csr()
+        return False
+
+    @property
+    def csr_shared(self) -> bool:
+        """Whether the cached snapshot maps a shared-memory segment."""
+        return self._csr_shared and self._csr is not None
+
     @property
     def csr_cached(self) -> bool:
         """Whether a current CSR snapshot is already built.
@@ -155,6 +194,7 @@ class Fragment:
             self.csr_epoch += 1
             if self._csr is not None or self._remote_csr_live:
                 self._csr = None
+                self._csr_shared = False
                 self._remote_csr_live = False
                 self.csr_invalidations += 1
 
@@ -303,9 +343,13 @@ class Fragmentation:
         Advances the version *without* a delta-log entry, so workers
         holding older copies fall back to a full re-ship — the escape
         hatch for mutations that bypass
-        :func:`repro.core.updates.apply_delta`.
+        :func:`repro.core.updates.apply_delta`.  Published shared-memory
+        segments for this token are staled for the same reason: no delta
+        describes the mutation, so in-place patching is impossible.
         """
         self.version += 1
+        from repro.runtime import shm
+        shm.invalidate_token(self._token_id)
 
     def record_delta(self, touched: Dict[int, "FragmentDelta"]) -> None:
         """Log one applied update batch and bump the cache token.

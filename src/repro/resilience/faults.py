@@ -12,6 +12,10 @@ site                      where it is checked                   kinds
 ``exec.step``             engine, once per fragment+superstep   ``crash``
                           (embedded into the StepCommand)       ``hang``
                                                                 ``slow``
+``exec.shm.attach``       :meth:`~repro.runtime.executors.      ``error``
+                          ProcessBackend.open`, once per worker
+                          lease shipping segment descriptors
+                          (workers degrade to pickle shipping)
 ``store.wal.append``      :meth:`~repro.store.wal.DeltaWAL.     ``torn``
                           append`                               ``fsync``
 ``store.snapshot.write``  :func:`~repro.store.snapshot.         ``torn``

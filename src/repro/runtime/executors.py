@@ -19,9 +19,15 @@ backend with three implementations:
   per-fragment :class:`~repro.graph.delta.FragmentDelta` records —
   compact delta shipping keyed by the fragmentation's version sequence —
   and only fall back to a full re-ship when the delta log no longer
-  covers the gap.  CSR snapshots are rebuilt worker-side (they never
-  cross the pipe), and bulk transfers ride
-  ``multiprocessing.shared_memory`` where the platform provides it.
+  covers the gap.  Where the platform provides shared memory, fragments
+  are not even shipped: the coordinator *publishes* each fragment once
+  into a named segment (``repro.runtime.shm``) and workers receive only
+  a compact :class:`~repro.runtime.shm.SegmentDescriptor`, attaching
+  zero-copy CSR views in place — fragment bytes on the pipe drop to
+  near zero and the worker-side CSR rebuild disappears.  Attach or
+  publish failures degrade per fragment to the pickle path (counted in
+  ``shm_fallbacks``); bulk pickled transfers still ride ``/dev/shm``
+  spill files above 1 MiB.
 
 Two execution contracts coexist:
 
@@ -57,8 +63,10 @@ from dataclasses import dataclass, field
 from typing import (Any, Callable, Dict, Hashable, List, Optional, Sequence,
                     Tuple, Union)
 
+from repro.resilience import faults as _fault_plane
 from repro.resilience.errors import DeadlineExceeded, QueryCancelled
 from repro.resilience.faults import FaultAction
+from repro.runtime import shm
 from repro.runtime.fault import FailureInjector, WorkerFailure
 
 __all__ = [
@@ -226,6 +234,14 @@ class ExecutorSession(abc.ABC):
     fragments_shipped: int = 0
     #: fragments brought current worker-side by delta replay instead
     fragments_delta_shipped: int = 0
+    #: serialized bytes of whole-fragment payloads that crossed the pipe
+    #: (zero on the shared-memory descriptor path — workers attach the
+    #: published segments instead of receiving fragment pickles)
+    fragment_bytes_shipped: int = 0
+    #: fragments that fell back to pickle shipping because a segment
+    #: could not be published or attached (permissions, exhausted
+    #: /dev/shm, injected ``exec.shm.attach`` faults)
+    shm_fallbacks: int = 0
     #: hung-worker grace (seconds without a heartbeat before the worker
     #: is declared dead); set by the engine after open, honored by
     #: remote sessions on every exchange, ignored by inline ones
@@ -461,6 +477,23 @@ def _shm_dir() -> Optional[str]:
 _SHM_DIR = _shm_dir()
 
 
+def _pickle_payload(obj: Any) -> bytes:
+    """Pickle a cross-process payload, translating failures into the
+    actionable :class:`UnpicklableProgramError` (used both by the
+    channel framing and by pre-pickled fragment/replay blobs, which are
+    serialized early so their byte size can be accounted)."""
+    try:
+        return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raise UnpicklableProgramError(
+            f"payload cannot cross the process boundary: {exc}\n"
+            "backend='process' requires the PIE program, its query, "
+            "its states and every fragment to be picklable — define "
+            "programs at module level and keep state dataclasses free "
+            "of locks, generators and open handles (see README, "
+            "'Execution backends').") from exc
+
+
 class _Channel:
     """Request/reply framing over a multiprocessing connection.
 
@@ -483,16 +516,7 @@ class _Channel:
         self._pending_shm: List[str] = []
 
     def send(self, obj: Any) -> int:
-        try:
-            blob = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
-        except Exception as exc:
-            raise UnpicklableProgramError(
-                f"payload cannot cross the process boundary: {exc}\n"
-                "backend='process' requires the PIE program, its query, "
-                "its states and every fragment to be picklable — define "
-                "programs at module level and keep state dataclasses free "
-                "of locks, generators and open handles (see README, "
-                "'Execution backends').") from exc
+        blob = _pickle_payload(obj)
         self.bytes_sent += len(blob)
         if _SHM_DIR is not None and len(blob) >= _SHM_THRESHOLD:
             path = None
@@ -555,20 +579,26 @@ class _Channel:
 _WORKER_CACHE_TOKENS = 8
 
 
-def _evict_cached(cache: Dict[Any, Any], token) -> None:
+def _evict_cached(cache: Dict[Any, Any], token) -> List[Any]:
     """Shared LRU policy for the worker fragment cache and its
     coordinator-side mirror: ``token`` becomes most recently used, older
     versions of the same fragmentation go immediately, and the least
     recently used entries are dropped beyond ``_WORKER_CACHE_TOKENS`` —
     a long-running pool must not accumulate every graph it ever served.
+    Returns the evicted tokens so callers can release shared-memory
+    pins tied to them.
     """
+    evicted: List[Any] = []
     for stale in [t for t in cache if t[0] == token[0] and t != token]:
         del cache[stale]
+        evicted.append(stale)
     if token in cache:  # refresh recency (dicts keep insertion order)
         cache[token] = cache.pop(token)
     while len(cache) > _WORKER_CACHE_TOKENS:
         oldest = next(t for t in cache if t != token)
         del cache[oldest]
+        evicted.append(oldest)
+    return evicted
 
 
 #: how often a pooled worker writes its heartbeat (seconds)
@@ -631,6 +661,28 @@ def _worker_main(conn, heartbeat=None) -> None:
     states: Dict[int, Any] = {}
     frag_cache: Dict[Any, Dict[int, Any]] = {}
     build_base: Dict[int, int] = {}
+    # (token_id, fid) -> mapped shared segment backing that fragment's
+    # CSR views; kept pinned for as long as the fragment could be served
+    # from cache (dropping the reference unmaps, and unlinked segments
+    # free their pages only once every mapping is gone)
+    seg_keep: Dict[Tuple[int, int], Any] = {}
+    # set between an "init" whose attaches partially failed and the
+    # coordinator's follow-up "ship" of the failed fragments
+    pending: Optional[Tuple[Any, List[int]]] = None
+
+    def _finalize(token, fids):
+        nonlocal fragments, states, build_base
+        cache = frag_cache[token]
+        fragments = {fid: cache[fid] for fid in fids}
+        states = {}
+        build_base = {fid: frag.csr_builds
+                      for fid, frag in fragments.items()}
+
+    def _drop_dead_pins():
+        live_tids = {t[0] for t in frag_cache}
+        for key in [k for k in seg_keep if k[0] not in live_tids]:
+            del seg_keep[key]
+
     while True:
         try:
             msg = channel.recv()
@@ -639,11 +691,14 @@ def _worker_main(conn, heartbeat=None) -> None:
         try:
             kind = msg[0]
             if kind == "init":
-                (token, program, query, shipped, reuse_fids,
-                 base_token, replay_blob) = msg[1:]
-                # the replay chain arrives pre-pickled (the coordinator
-                # sizes it once for delta_bytes_shipped accounting)
+                (token, program, query, ship_blob, reuse_fids,
+                 base_token, replay_blob, descriptors, patched_fids,
+                 shm_fault) = msg[1:]
+                # fragment and replay payloads arrive pre-pickled (the
+                # coordinator sizes them once for byte accounting)
+                shipped = pickle.loads(ship_blob) if ship_blob else {}
                 replay = pickle.loads(replay_blob) if replay_blob else {}
+                patched = set(patched_fids or ())
                 if base_token is not None and base_token in frag_cache:
                     # Cached copies of an older version: replay the
                     # logged per-fragment deltas to bring them current,
@@ -655,15 +710,53 @@ def _worker_main(conn, heartbeat=None) -> None:
                 for fid, deltas in (replay or {}).items():
                     frag = cache.get(fid)
                     if frag is not None:
+                        # the coordinator vouches (via patched_fids)
+                        # that this fragment's mapped arrays already
+                        # hold the post-delta values — keep the
+                        # zero-copy CSR instead of invalidating it
+                        keep = fid in patched
                         for delta in deltas:
-                            delta.replay(frag)
+                            delta.replay(frag, keep_csr=keep)
+                        if not keep:
+                            seg_keep.pop((token[0], fid), None)
+                # shared-memory attaches: map each published segment and
+                # wrap zero-copy CSR views; any failure falls back to a
+                # coordinator re-ship of that fragment
+                failed: List[int] = []
+                for fid, desc in (descriptors or {}).items():
+                    try:
+                        if shm_fault is not None:
+                            raise OSError(
+                                "injected exec.shm.attach fault")
+                        frag, seg = shm.attach_fragment(desc)
+                    except Exception:
+                        failed.append(fid)
+                        cache.pop(fid, None)
+                        seg_keep.pop((token[0], fid), None)
+                    else:
+                        cache[fid] = frag
+                        seg_keep[(token[0], fid)] = seg
                 cache.update(shipped)
-                _evict_cached(frag_cache, token)
-                fragments = {fid: cache[fid]
-                             for fid in list(shipped) + list(reuse_fids)}
-                states = {}
-                build_base = {fid: frag.csr_builds
-                              for fid, frag in fragments.items()}
+                if _evict_cached(frag_cache, token):
+                    _drop_dead_pins()
+                want = (list(shipped) + list(reuse_fids)
+                        + [f for f in (descriptors or {})
+                           if f not in failed])
+                if failed:
+                    # hold finalization until the pickle fallback lands
+                    fragments = {}
+                    pending = (token, want)
+                else:
+                    pending = None
+                    _finalize(token, want)
+                channel.send(("ok", failed))
+            elif kind == "ship":
+                # pickle fallback for fragments whose attach failed
+                extra = pickle.loads(msg[1]) if msg[1] else {}
+                token, want = pending
+                pending = None
+                frag_cache[token].update(extra)
+                _finalize(token, want + list(extra))
                 channel.send(("ok", None))
             elif kind == "init_states":
                 states = {fid: program.init_state(query, frag)
@@ -728,6 +821,10 @@ class _WorkerHandle:
         self.channel = _Channel(parent)
         #: fragmentation token -> fids this worker holds resident
         self.cached: Dict[Any, set] = {}
+        #: (token_id, fid) -> segment generation this worker has mapped;
+        #: each entry holds one arena refcount, released when the pin is
+        #: dropped (mirrors the worker's ``seg_keep``)
+        self.shm_attached: Dict[Tuple[int, int], int] = {}
         #: set the moment a pipe error is observed: ``is_alive`` can
         #: race True for a few microseconds after a SIGKILL, and a dead
         #: handle slipping back into the idle pool would poison the
@@ -982,13 +1079,19 @@ class ProcessBackend(ExecutorBackend):
         enforced uniformly.
     max_workers:
         Optional hard cap on pool size (default: grow with demand).
+    use_shm:
+        ``True`` forces the shared-memory fragment plane, ``False``
+        disables it (every fragment is pickled through the pipe),
+        ``None`` (default) enables it when the platform supports it
+        (see :func:`repro.runtime.shm.shm_available`).
     """
 
     name = "process"
     inline = False
 
     def __init__(self, start_method: Optional[str] = None,
-                 max_workers: Optional[int] = None):
+                 max_workers: Optional[int] = None,
+                 use_shm: Optional[bool] = None):
         import multiprocessing
         self._ctx = multiprocessing.get_context(start_method)
         self._max_workers = max_workers
@@ -996,6 +1099,12 @@ class ProcessBackend(ExecutorBackend):
         self._spawned = 0
         self._lock = threading.Lock()
         self._closed = False
+        if use_shm is None:
+            use_shm = shm.shm_available()
+        # the arena LRU mirrors the worker fragment-cache bound so a
+        # segment outlives every cache entry that may reference it
+        self._arena = (shm.ShmArena(max_tokens=_WORKER_CACHE_TOKENS)
+                       if use_shm else None)
 
     # ------------------------------------------------------------------
     def open(self, program, query, fragmentation, *, num_workers: int,
@@ -1018,6 +1127,9 @@ class ProcessBackend(ExecutorBackend):
         delta_bytes = 0
         full_shipped = 0
         delta_shipped = 0
+        fragment_bytes = 0
+        shm_fallbacks = 0
+        arena = self._arena
         try:
             placement: Dict[int, _WorkerHandle] = {
                 frag.fid: handles[i % len(handles)]
@@ -1044,19 +1156,55 @@ class ProcessBackend(ExecutorBackend):
                             base_token = candidate
                             replay = chain
                             cached = held
-                ship = {fid: fragmentation[fid]
-                        for fid in sorted(assigned - cached)}
+                need = sorted(assigned - cached)
                 reuse = sorted(assigned & cached)
-                # Pickle the replay chain exactly once: the blob both
-                # crosses the pipe and is the delta_bytes_shipped figure.
+                # Fragments the worker lacks ride shared memory when a
+                # segment can be published; each publish failure counts
+                # as one fallback onto the pickle path.
+                descriptors: Dict[int, Any] = {}
+                ship: Dict[int, Any] = {}
+                for fid in need:
+                    desc = None
+                    if arena is not None:
+                        desc = arena.descriptor_for(
+                            token[0], token[1], fragmentation[fid])
+                        if desc is None:
+                            shm_fallbacks += 1
+                    if desc is not None:
+                        descriptors[fid] = desc
+                    else:
+                        ship[fid] = fragmentation[fid]
+                # Replayed fragments whose mapped arrays already hold
+                # the post-delta values may keep their zero-copy CSR.
+                patched = (arena.keepable_fids(token[0], token[1],
+                                               handle.shm_attached, replay)
+                           if arena is not None and replay else set())
+                # Pickle bulk payloads exactly once: the blobs both
+                # cross the pipe and are the byte-accounting figures.
                 replay_blob = None
                 if replay:
                     replay_blob = pickle.dumps(
                         replay, protocol=pickle.HIGHEST_PROTOCOL)
                     delta_shipped += len(replay)
                     delta_bytes += len(replay_blob)
-                handle.request(("init", token, program, query, ship, reuse,
-                                base_token, replay_blob))
+                ship_blob = None
+                if ship:
+                    ship_blob = _pickle_payload(ship)
+                    fragment_bytes += len(ship_blob)
+                shm_fault = (_fault_plane.check("exec.shm.attach")
+                             if descriptors else None)
+                failed = handle.request((
+                    "init", token, program, query, ship_blob, reuse,
+                    base_token, replay_blob, descriptors,
+                    sorted(patched), shm_fault)) or []
+                if failed:
+                    # the worker could not map these segments: degrade
+                    # to pickle shipping for exactly those fragments
+                    shm_fallbacks += len(failed)
+                    blob = _pickle_payload(
+                        {fid: fragmentation[fid] for fid in failed})
+                    fragment_bytes += len(blob)
+                    handle.request(("ship", blob))
                 # mirror the worker's cache transitions exactly (re-key,
                 # merge, LRU-evict), so the coordinator never assumes a
                 # fragment the worker dropped
@@ -1064,8 +1212,30 @@ class ProcessBackend(ExecutorBackend):
                     handle.cached[token] = handle.cached.pop(base_token)
                 entry = handle.cached.setdefault(token, set())
                 handle.cached[token] = entry | assigned
-                _evict_cached(handle.cached, token)
-                full_shipped += len(ship)
+                if _evict_cached(handle.cached, token):
+                    self._drop_dead_pins(handle)
+                # mirror the worker's segment pins: replayed-without-keep
+                # and failed attaches drop a reference, fresh attaches
+                # take one (republished generations carry their refs)
+                if arena is not None:
+                    failed_set = set(failed)
+                    for fid in replay:
+                        key = (token[0], fid)
+                        if (fid not in patched
+                                and key in handle.shm_attached):
+                            del handle.shm_attached[key]
+                            arena.release(*key)
+                    for fid in descriptors:
+                        key = (token[0], fid)
+                        if fid in failed_set:
+                            if handle.shm_attached.pop(key, None) is not None:
+                                arena.release(*key)
+                        else:
+                            if key not in handle.shm_attached:
+                                arena.retain(*key)
+                            handle.shm_attached[key] = \
+                                descriptors[fid].generation
+                full_shipped += len(need)
         except BaseException:
             self._release(handles)
             raise
@@ -1074,6 +1244,8 @@ class ProcessBackend(ExecutorBackend):
         session.delta_bytes_shipped = delta_bytes
         session.fragments_shipped = full_shipped
         session.fragments_delta_shipped = delta_shipped
+        session.fragment_bytes_shipped = fragment_bytes
+        session.shm_fallbacks = shm_fallbacks
         return session
 
     def run_tasks(self, thunks: Sequence[Callable[[], Any]],
@@ -1085,6 +1257,25 @@ class ProcessBackend(ExecutorBackend):
             "'thread'")
 
     # ------------------------------------------------------------------
+    def _drop_dead_pins(self, handle: _WorkerHandle) -> None:
+        """Release arena references for segment pins whose fragmentation
+        no longer appears anywhere in the handle's cache mirror (the
+        worker dropped its mappings with the evicted cache entries)."""
+        live_tids = {t[0] for t in handle.cached}
+        for key in [k for k in handle.shm_attached
+                    if k[0] not in live_tids]:
+            del handle.shm_attached[key]
+            if self._arena is not None:
+                self._arena.release(*key)
+
+    def _release_handle_refs(self, handle: _WorkerHandle) -> None:
+        """A worker is gone (dead or stopped): its mappings are gone
+        with it, so every arena reference it held is returned."""
+        pins, handle.shm_attached = handle.shm_attached, {}
+        if self._arena is not None:
+            for tid, fid in pins:
+                self._arena.release(tid, fid)
+
     def _acquire(self, count: int, token) -> List[_WorkerHandle]:
         with self._lock:
             if self._closed:
@@ -1103,6 +1294,7 @@ class ProcessBackend(ExecutorBackend):
                     handles.append(handle)
                 else:
                     self._spawned -= 1
+                    self._release_handle_refs(handle)
             while len(handles) < count:
                 if (self._max_workers is not None
                         and self._spawned >= self._max_workers):
@@ -1120,12 +1312,14 @@ class ProcessBackend(ExecutorBackend):
             if self._closed:
                 for handle in handles:
                     handle.stop()
+                    self._release_handle_refs(handle)
                 return
             for handle in handles:
                 if handle.alive:
                     self._idle.append(handle)
                 else:
                     self._spawned -= 1
+                    self._release_handle_refs(handle)
 
     def close(self) -> None:
         with self._lock:
@@ -1133,6 +1327,14 @@ class ProcessBackend(ExecutorBackend):
             handles, self._idle = self._idle, []
         for handle in handles:
             handle.stop()
+            self._release_handle_refs(handle)
+        if self._arena is not None:
+            self._arena.close()
+
+    def shm_stats(self) -> Tuple[int, int]:
+        """(active segments, mapped bytes) owned by this backend's
+        shared-memory arena; ``(0, 0)`` when the plane is disabled."""
+        return self._arena.stats() if self._arena is not None else (0, 0)
 
     @property
     def pool_size(self) -> int:

@@ -130,8 +130,13 @@ _ADDITIVE_FIELDS = (
     "comm_messages", "wall_clock_s", "pipe_bytes", "deltas_applied",
     "incremental_maintained", "fallback_reruns", "partial_resets",
     "affected_vertices", "delta_bytes_shipped",
-    "fragments_shipped", "fragments_delta_shipped", "recoveries",
+    "fragments_shipped", "fragments_delta_shipped",
+    "fragment_bytes_shipped", "shm_fallbacks", "recoveries",
 )
+
+#: RunMetrics gauges (point-in-time readings, not flows): merge()/absorb()
+#: keep the maximum instead of summing
+_GAUGE_FIELDS = ("shm_segments_active", "shm_bytes_mapped")
 
 
 @dataclass
@@ -184,6 +189,17 @@ class RunMetrics:
     fragments_shipped: int = 0
     #: fragments brought current worker-side by delta replay
     fragments_delta_shipped: int = 0
+    #: serialized bytes of whole-fragment payloads that actually crossed
+    #: the pipe — ``pipe_bytes`` minus this (and the delta bytes) is the
+    #: control plane; near zero when fragments ride shared memory
+    fragment_bytes_shipped: int = 0
+    #: fragments that fell back from shared-memory descriptor shipping
+    #: to the pickle path (publish or attach failure)
+    shm_fallbacks: int = 0
+    #: shared-memory plane gauges sampled at the end of the run: named
+    #: segments the backend's arena held, and their mapped bytes
+    shm_segments_active: int = 0
+    shm_bytes_mapped: int = 0
     #: checkpoint restores this run performed (injected worker failures
     #: and real process-backend worker deaths alike)
     recoveries: int = 0
@@ -218,6 +234,14 @@ class RunMetrics:
         return (self.incremental_maintained / self.deltas_applied
                 if self.deltas_applied else 0.0)
 
+    @property
+    def control_plane_bytes(self) -> int:
+        """Pipe traffic that was *not* bulk fragment/delta payload:
+        commands, outcomes, states, descriptors.  This is the floor the
+        shared-memory plane cannot remove."""
+        return max(0, self.pipe_bytes - self.fragment_bytes_shipped
+                   - self.delta_bytes_shipped)
+
     def merge(self, other: "RunMetrics") -> "RunMetrics":
         """Combine metrics of sequential phases (e.g. query batches)."""
         out = RunMetrics()
@@ -226,6 +250,8 @@ class RunMetrics:
         out.per_superstep = self.per_superstep + other.per_superstep
         for name in _ADDITIVE_FIELDS:
             setattr(out, name, getattr(self, name) + getattr(other, name))
+        for name in _GAUGE_FIELDS:
+            setattr(out, name, max(getattr(self, name), getattr(other, name)))
         return out
 
     def absorb(self, other: "RunMetrics") -> None:
@@ -241,6 +267,9 @@ class RunMetrics:
         self.per_superstep.extend(other.per_superstep)
         for name in _ADDITIVE_FIELDS:
             setattr(self, name, getattr(self, name) + getattr(other, name))
+        for name in _GAUGE_FIELDS:
+            setattr(self, name, max(getattr(self, name),
+                                    getattr(other, name)))
 
     def __repr__(self) -> str:
         return (f"RunMetrics(supersteps={self.supersteps}, "
@@ -295,6 +324,15 @@ class ServiceMetrics:
     partial_resets: int = 0
     affected_vertices: int = 0
     delta_bytes_shipped: int = 0
+    #: the shared-memory fragment plane, service-wide: whole-fragment
+    #: pickle bytes that actually crossed pipes (near zero when the
+    #: plane is active), fragments that fell back to pickle shipping,
+    #: and point-in-time gauges of the segments currently published and
+    #: their mapped bytes (synced from the live arenas, not summed)
+    fragment_bytes_shipped: int = 0
+    shm_fallbacks: int = 0
+    shm_segments_active: int = 0
+    shm_bytes_mapped: int = 0
     #: the durability layer (``GrapeService(store_dir=...)``): snapshot
     #: generations committed, WAL records appended, WAL records replayed
     #: during warm start / loads, and graphs recovered from the store at
@@ -342,6 +380,8 @@ class ServiceMetrics:
         self.wall_clock_s_total += metrics.wall_clock_s
         self.pipe_bytes_total += metrics.pipe_bytes
         self.delta_bytes_shipped += metrics.delta_bytes_shipped
+        self.fragment_bytes_shipped += metrics.fragment_bytes_shipped
+        self.shm_fallbacks += metrics.shm_fallbacks
         self.recoveries += metrics.recoveries
         self._observe_cost(metrics.supersteps, metrics.comm_bytes,
                            metrics.comm_messages)

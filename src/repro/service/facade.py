@@ -65,6 +65,7 @@ from repro.replication.admission import (AdmissionController,
                                          AdmissionRejected)
 from repro.resilience import (BackendCircuitBreaker, DeadlineExceeded,
                               QueryCancelled, RetryPolicy, run_with_retry)
+from repro.runtime import shm
 from repro.runtime.executors import ExecutorBackend, WorkerProcessDied
 from repro.runtime.metrics import ServiceMetrics
 from repro.service.tickets import QueryRequest, QueryTicket
@@ -537,9 +538,12 @@ class GrapeService:
 
     def _retire_fragmentation(self, frag: Fragmentation) -> None:
         """Preserve a dropped fragmentation's CSR counters in the stats
-        baseline (its fragments are no longer summed by the sync)."""
+        baseline (its fragments are no longer summed by the sync) and
+        unlink its published shared-memory segments — the cache entry
+        was the last coordinator-side use of the token."""
         self._csr_counter_base[0] += frag.csr_snapshots_built
         self._csr_counter_base[1] += frag.csr_snapshot_invalidations
+        shm.forget_token(frag.cache_token[0])
 
     def _sync_csr_stats(self) -> None:
         """Refresh the CSR snapshot counters from the live cache.
@@ -556,6 +560,9 @@ class GrapeService:
             inv += frag.csr_snapshot_invalidations
         self.stats.csr_snapshots_built = built
         self.stats.csr_snapshot_invalidations = inv
+        segs, mapped = shm.global_stats()
+        self.stats.shm_segments_active = segs
+        self.stats.shm_bytes_mapped = mapped
 
     # ------------------------------------------------------------------
     # play
@@ -1069,6 +1076,13 @@ class GrapeService:
                     self._flush_store(store)
             finally:
                 store.close()
+        # Retire the cached fragmentations *after* the flush (which
+        # still reads them): unlinks their published shared-memory
+        # segments so a closed service leaves nothing in /dev/shm.
+        with self._lock:
+            cache, self._frag_cache = self._frag_cache, {}
+            for frag in cache.values():
+                self._retire_fragmentation(frag)
 
     def __enter__(self) -> "GrapeService":
         return self

@@ -291,8 +291,20 @@ def load_snapshot(path: Union[str, Path]) -> LoadedSnapshot:
             prefix = f"f{fid}_"
             local = _unpack_graph(prefix, arrays, obj_meta)
             fm = obj_meta[prefix]
-            fragments.append(Fragment(fid, local, set(fm["owned"]),
-                                      set(fm["inner"]), set(fm["outer"])))
+            frag = Fragment(fid, local, set(fm["owned"]),
+                            set(fm["inner"]), set(fm["outer"]))
+            gm = fm
+            # The stored arrays *are* a current CSR snapshot: install it
+            # so a warm-started service serves its first kernel query
+            # without re-deriving CSR from the dict graph (installs do
+            # not count as builds — csr_snapshots_built stays honest).
+            frag.install_csr(CSRGraph.from_arrays(
+                directed=gm["directed"],
+                indptr=arrays[f"{prefix}indptr"],
+                indices=arrays[f"{prefix}indices"],
+                weights=arrays[f"{prefix}weights"],
+                node_of=gm["node_of"], labels=gm["labels"]))
+            fragments.append(frag)
         if obj_meta["g_"].get("derived"):
             graph = _derive_base(obj_meta["g_"], fragments)
         else:

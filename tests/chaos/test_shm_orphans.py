@@ -1,0 +1,84 @@
+"""Shared-memory hygiene under chaos: SIGKILLed workers, injected
+attach faults and hard backend teardown must leave no orphan segments
+in ``/dev/shm`` and no outstanding arena references."""
+
+from __future__ import annotations
+
+import glob
+import os
+import signal
+
+import pytest
+
+from repro.core.engine import GrapeEngine
+from repro.graph.generators import grid_road_graph
+from repro.pie_programs import SSSPProgram
+from repro.resilience.faults import FaultPlane, installed
+from repro.runtime import shm
+from repro.runtime.executors import ProcessBackend, WorkerProcessDied
+from repro.sequential import sssp_distances
+
+pytestmark = [
+    pytest.mark.skipif(os.name != "posix",
+                       reason="SIGKILL semantics are POSIX-only"),
+    pytest.mark.skipif(not shm.shm_available(),
+                       reason="no shared-memory provider here"),
+]
+
+
+class KillOwnWorkerSSSP(SSSPProgram):
+    """SSSP whose first IncEval SIGKILLs its own worker (one-shot,
+    guarded by a marker file on the shared filesystem)."""
+
+    def __init__(self, marker: str):
+        super().__init__()
+        self.marker = marker
+
+    def inceval(self, query, fragment, state, message):
+        if not os.path.exists(self.marker):
+            with open(self.marker, "w") as fh:
+                fh.write(str(os.getpid()))
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.kill(os.getpid(), signal.SIGKILL)
+        super().inceval(query, fragment, state, message)
+
+
+def segment_files():
+    return sorted(glob.glob("/dev/shm/repro-shm-*"))
+
+
+def test_killed_workers_and_attach_faults_leave_no_orphans(tmp_path):
+    baseline = set(segment_files())
+    g = grid_road_graph(6, 6, seed=3)
+    backend = ProcessBackend()
+    try:
+        engine = GrapeEngine(4, backend=backend)
+        frag = engine.make_fragmentation(g)
+
+        # cold lease over shared memory, then a worker dies hard while
+        # holding mappings of the published segments
+        clean = engine.run(SSSPProgram(), 0, fragmentation=frag)
+        assert clean.metrics.fragment_bytes_shipped == 0
+        with pytest.raises(WorkerProcessDied):
+            engine.run(KillOwnWorkerSSSP(str(tmp_path / "killed.pid")),
+                       0, fragmentation=frag)
+
+        # the pool replaces the dead worker; a seeded attach fault on
+        # the re-lease forces the pickle fallback — answers still match
+        plane = FaultPlane(seed=7).plan("exec.shm.attach", "error",
+                                        at=1, times=4)
+        with installed(plane):
+            faulted = engine.run(SSSPProgram(), 0, fragmentation=frag)
+        assert faulted.answer == pytest.approx(sssp_distances(g, 0))
+        assert faulted.answer == clean.answer
+    finally:
+        backend.close()
+
+    # nothing leaked: every published segment was unlinked, every
+    # worker reference (including the SIGKILLed worker's) was returned
+    assert backend._arena.ref_leaks == 0
+    assert backend.shm_stats() == (0, 0)
+    assert set(segment_files()) <= baseline
+    # and the stale sweep agrees there is nothing of ours to reclaim
+    assert shm.sweep_stale() == 0

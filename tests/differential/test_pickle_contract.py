@@ -135,3 +135,32 @@ def test_unpicklable_query_fails_fast_too():
 
 def test_abstract_program_documents_the_contract():
     assert "Pickle contract" in PIEProgram.__doc__
+
+
+def test_mapped_fragment_pickles_to_independent_copy():
+    """A fragment serving zero-copy shared-memory CSR views must pickle
+    without carrying segment handles: the clone is a plain deep copy
+    that stays valid after the segment is unlinked."""
+    from repro.runtime import shm
+
+    if not shm.shm_available():
+        pytest.skip("no shared-memory provider here")
+    frag = make_fragmentation()[0]
+    prov = shm.provider()
+    seg, desc = shm.publish_fragment(prov, 7, 0, 0, frag, frag.csr())
+    mapped, _seg = shm.attach_fragment(desc)
+    assert mapped.csr_shared
+    blob = pickle.dumps(mapped, protocol=pickle.HIGHEST_PROTOCOL)
+    # the pickled form dropped the mapped views along with the rest of
+    # the snapshot machinery (it must never capture the segment buffer)
+    clone = pickle.loads(blob)
+    assert not clone.csr_shared
+    assert clone.csr_builds == 0
+    prov.unlink(desc.name)
+    del mapped, seg, _seg  # drop the mappings before touching the clone
+    assert clone.owned == frag.owned
+    assert sorted(clone.graph.edges()) == sorted(frag.graph.edges())
+    # the clone rebuilds its own CSR from its own dict graph
+    snap = clone.csr()
+    assert clone.csr_builds == 1
+    assert snap.n == frag.csr().n

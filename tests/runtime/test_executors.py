@@ -164,11 +164,13 @@ class TestProcessPool:
     def test_mutation_delta_ships_instead_of_reshipping(self):
         """After apply_delta, the next lease brings worker copies
         current by per-fragment delta replay: zero full re-ships, a
-        little delta traffic, identical answers."""
+        little delta traffic, identical answers.  Pinned to the pickle
+        shipping path (use_shm=False) so the byte comparison measures
+        delta replay against a real full ship."""
         from repro.core.updates import apply_delta
         from repro.graph.delta import GraphDelta
 
-        backend = ProcessBackend()
+        backend = ProcessBackend(use_shm=False)
         try:
             graph = uniform_random_graph(60, 200, seed=3)
             engine = GrapeEngine(2, backend=backend)
@@ -270,3 +272,123 @@ class TestMetricsPlumbing:
         assert merged.pipe_bytes == 15
         assert merged.wall_clock_s == 1.5
         assert a.merge(RunMetrics(backend="serial")).backend == "mixed"
+
+
+class TestSharedMemoryPlane:
+    """The zero-copy fragment plane: descriptor shipping, graceful
+    fallback, and arena refcount hygiene."""
+
+    needs_shm = pytest.mark.skipif(
+        not __import__("repro.runtime.shm", fromlist=["shm_available"]
+                       ).shm_available(),
+        reason="no shared-memory provider here")
+
+    @needs_shm
+    def test_cold_lease_ships_descriptors_not_bytes(self):
+        backend = ProcessBackend()
+        try:
+            graph = uniform_random_graph(60, 200, seed=21)
+            engine = GrapeEngine(2, backend=backend)
+            frag = engine.make_fragmentation(graph)
+            result = engine.run(SSSPProgram(), 0, fragmentation=frag)
+            # fragments were transferred (descriptors), but no fragment
+            # pickle bytes crossed the pipe
+            assert result.metrics.fragments_shipped > 0
+            assert result.metrics.fragment_bytes_shipped == 0
+            assert result.metrics.shm_fallbacks == 0
+            assert result.metrics.shm_segments_active > 0
+            assert result.metrics.shm_bytes_mapped > 0
+            # control plane is the whole pipe story
+            assert (result.metrics.control_plane_bytes
+                    == result.metrics.pipe_bytes)
+            serial = GrapeEngine(2).run(SSSPProgram(), 0,
+                                        fragmentation=frag)
+            assert result.answer == serial.answer
+        finally:
+            backend.close()
+
+    def test_use_shm_false_ships_pickled_fragments(self):
+        backend = ProcessBackend(use_shm=False)
+        try:
+            graph = uniform_random_graph(50, 160, seed=22)
+            engine = GrapeEngine(2, backend=backend)
+            result = engine.run(SSSPProgram(), 0, graph=graph)
+            assert result.metrics.fragments_shipped > 0
+            assert result.metrics.fragment_bytes_shipped > 0
+            assert result.metrics.shm_fallbacks == 0
+            assert result.metrics.shm_segments_active == 0
+            assert backend.shm_stats() == (0, 0)
+        finally:
+            backend.close()
+
+    @needs_shm
+    def test_attach_fault_degrades_to_pickle_with_same_answer(self):
+        from repro.resilience.faults import FaultPlane, installed
+
+        backend = ProcessBackend()
+        try:
+            graph = uniform_random_graph(50, 170, seed=23)
+            engine = GrapeEngine(2, backend=backend)
+            frag = engine.make_fragmentation(graph)
+            plane = FaultPlane(seed=3).plan("exec.shm.attach", "error",
+                                            at=1, times=8)
+            with installed(plane):
+                faulted = engine.run(SSSPProgram(), 0, fragmentation=frag)
+            assert faulted.metrics.shm_fallbacks > 0
+            assert faulted.metrics.fragment_bytes_shipped > 0
+            serial = GrapeEngine(2).run(SSSPProgram(), 0,
+                                        fragmentation=frag)
+            assert faulted.answer == serial.answer
+            # the next (fault-free) lease reuses the worker cache: no
+            # re-ship, no new fallbacks
+            clean = engine.run(SSSPProgram(), 0, fragmentation=frag)
+            assert clean.metrics.shm_fallbacks == 0
+            assert clean.metrics.fragment_bytes_shipped == 0
+            assert clean.answer == serial.answer
+        finally:
+            backend.close()
+
+    @needs_shm
+    def test_weight_only_delta_keeps_worker_csr(self):
+        from repro.core.updates import apply_delta
+        from repro.graph.delta import GraphDelta
+
+        backend = ProcessBackend()
+        try:
+            graph = uniform_random_graph(60, 220, seed=24)
+            engine = GrapeEngine(2, backend=backend)
+            frag = engine.make_fragmentation(graph)
+            engine.run(SSSPProgram(), 0, fragmentation=frag)
+            built = frag.csr_snapshots_built
+            publishes = backend._arena.publishes
+            u, v, w = next(iter(graph.edges()))
+            apply_delta(frag, GraphDelta().set_weight(u, v, w + 0.75))
+            assert backend._arena.patches >= 1
+            result = engine.run(SSSPProgram(), 0, fragmentation=frag)
+            # replayed via deltas, arrays patched in place: no re-ship,
+            # no republish, no CSR rebuild anywhere
+            assert result.metrics.fragments_shipped == 0
+            assert result.metrics.fragments_delta_shipped > 0
+            assert result.metrics.fragment_bytes_shipped == 0
+            assert backend._arena.publishes == publishes
+            assert frag.csr_snapshots_built == built
+            serial = GrapeEngine(2).run(SSSPProgram(), 0,
+                                        fragmentation=frag)
+            assert result.answer == serial.answer
+        finally:
+            backend.close()
+
+    @needs_shm
+    def test_arena_refcounts_drain_on_close(self):
+        backend = ProcessBackend(max_workers=1)
+        try:
+            engine = GrapeEngine(2, backend=backend)
+            # churn more fragmentations than the worker cache holds so
+            # LRU eviction must release pins along the way
+            for seed in range(10):
+                graph = uniform_random_graph(25, 70, seed=seed)
+                engine.run(SSSPProgram(), 0, graph=graph)
+        finally:
+            backend.close()
+        assert backend._arena.ref_leaks == 0
+        assert backend.shm_stats() == (0, 0)
