@@ -49,6 +49,8 @@ from typing import Union
 
 from repro.core.monotonic import MonotonicityChecker
 from repro.core.pie import ParamKey, ParamUpdates, PIEProgram
+from repro.obs import events as _events
+from repro.obs.trace import Span
 from repro.graph.graph import Graph
 from repro.partition.base import Fragmentation, PartitionStrategy
 from repro.partition.strategies import HashPartition
@@ -56,7 +58,8 @@ from repro.resilience import faults as fault_plane_mod
 from repro.resilience.errors import DeadlineExceeded, QueryCancelled
 from repro.resilience.faults import FaultPlane
 from repro.runtime.cluster import SimulatedCluster
-from repro.runtime.executors import (PHASE_INC, PHASE_NI, PHASE_PEVAL,
+from repro.runtime.executors import (PHASE_IDLE, PHASE_INC, PHASE_NI,
+                                     PHASE_PEVAL,
                                      ExecutorBackend, StepCommand,
                                      WorkerHung, WorkerProcessDied,
                                      read_report, resolve_backend)
@@ -139,6 +142,10 @@ class GrapeResult:
     fragmentation: Fragmentation
     states: Dict[int, Any]
     recoveries: int = 0
+    #: the span subtree covering this run, when it executed under
+    #: tracing (``GrapeEngine.run(trace=...)`` /
+    #: ``GrapeService(tracing=True)``); ``None`` otherwise
+    trace: Optional[Span] = None
 
     @property
     def supersteps(self) -> int:
@@ -273,7 +280,8 @@ class GrapeEngine:
     def run(self, program: PIEProgram, query: Any,
             graph: Optional[Graph] = None,
             fragmentation: Optional[Fragmentation] = None, *,
-            cancel: Optional[threading.Event] = None) -> GrapeResult:
+            cancel: Optional[threading.Event] = None,
+            trace: Optional[Span] = None) -> GrapeResult:
         """Compute ``Q(G)`` with the given PIE program.
 
         Execution is delegated to the configured backend through the PIE
@@ -296,6 +304,13 @@ class GrapeEngine:
         points; with ``heartbeat_timeout_s`` set, a process worker that
         stops heart-beating is killed and — when checkpoints are
         enabled — replaced, the run continuing with identical answers.
+
+        ``trace`` hangs the run's span tree off the given parent span:
+        session open (with worker-side shm-attach / delta-replay /
+        fragment-load children on the process backend), one
+        ``superstep`` span per round with per-worker children carrying
+        worker-side compute/report timings, and assemble.  ``None``
+        (the default) traces nothing and adds no measurable work.
         """
         if fragmentation is None:
             if graph is None:
@@ -328,9 +343,14 @@ class GrapeEngine:
         # The live session sits in a one-slot box: recovery from a real
         # worker death (process backend) swaps in a fresh session on
         # surviving/new pool workers, and every later use must see it.
+        open_span = (trace.child("session.open", backend=backend.name)
+                     if trace is not None else None)
         session_box = [backend.open(program, query, fragmentation,
                                     num_workers=self.num_workers,
-                                    failure_injector=self.failure_injector)]
+                                    failure_injector=self.failure_injector,
+                                    trace=open_span)]
+        if open_span is not None:
+            open_span.finish()
         session_box[0].hang_timeout = self.heartbeat_timeout_s
 
         def reopen():
@@ -354,7 +374,11 @@ class GrapeEngine:
                         raise
 
         try:
-            session_box[0].init_states()
+            if trace is not None:
+                with trace.child("init_states"):
+                    session_box[0].init_states()
+            else:
+                session_box[0].init_states()
 
             # Optional pre-PEval data shipping (SubIso neighborhoods).
             pre_bytes = 0
@@ -362,7 +386,11 @@ class GrapeEngine:
             if payloads:
                 pre_bytes = sum(message_bytes(p)
                                 for p in payloads.values())
-                session_box[0].apply_preprocess(payloads)
+                if trace is not None:
+                    with trace.child("preprocess"):
+                        session_box[0].apply_preprocess(payloads)
+                else:
+                    session_box[0].apply_preprocess(payloads)
 
             # Coordinator bookkeeping: last values each fragment
             # reported, the per-parameter global table.
@@ -383,12 +411,41 @@ class GrapeEngine:
                 global_table.clear()
                 global_table.update(snap["table"])
 
+            step_seq = [0]
+
+            def traced_step(commands, **kw):
+                """One superstep through ``_step_with_recovery``, under a
+                ``superstep`` span when tracing: the span id rides every
+                command across the pipe, and worker-side measurements
+                come back re-attached as per-worker child spans."""
+                if trace is None:
+                    return self._step_with_recovery(
+                        cluster, session_box, arbitrator, commands, **kw)
+                index = step_seq[0]
+                step_seq[0] += 1
+                phase = next((c.phase for c in commands.values()
+                              if c.phase != PHASE_IDLE), PHASE_IDLE)
+                span = trace.child("superstep", index=index, phase=phase)
+                for command in commands.values():
+                    command.span_id = span.span_id
+                try:
+                    outcomes = self._step_with_recovery(
+                        cluster, session_box, arbitrator, commands, **kw)
+                finally:
+                    span.finish()
+                for fid in sorted(outcomes):
+                    outcome = outcomes[fid]
+                    worker_span = span.record("worker", outcome.elapsed,
+                                              fid=fid)
+                    for name, duration_s, tags in outcome.spans:
+                        worker_span.record(name, duration_s, **tags)
+                return outcomes
+
             # ------------- superstep 1: PEval --------------------------
             if ft_enabled:
                 arbitrator.checkpoint(snapshot_state())
 
-            outcomes = self._step_with_recovery(
-                cluster, session_box, arbitrator,
+            outcomes = traced_step(
                 {f.fid: StepCommand(phase=PHASE_PEVAL) for f in frags},
                 bytes_in=pre_bytes, msgs_in=1 if payloads else 0,
                 restore=restore, reopen=reopen, plane=plane,
@@ -432,8 +489,8 @@ class GrapeEngine:
                             if f.fid in active else StepCommand())
                     for f in frags}
 
-                outcomes = self._step_with_recovery(
-                    cluster, session_box, arbitrator, commands,
+                outcomes = traced_step(
+                    commands,
                     bytes_in=up_bytes + down_bytes,
                     msgs_in=up_msgs + down_msgs,
                     restore=restore, reopen=reopen, plane=plane,
@@ -463,6 +520,8 @@ class GrapeEngine:
             start = time.perf_counter()
             answer = program.assemble(query, fragmentation, states)
             assemble_s = time.perf_counter() - start
+            if trace is not None:
+                trace.record("assemble", assemble_s)
             cluster.metrics.parallel_time_s += assemble_s
             cluster.metrics.total_compute_s += assemble_s
             # Trailing reports of the final round are communication too.
@@ -490,7 +549,8 @@ class GrapeEngine:
 
             return GrapeResult(answer=answer, metrics=cluster.metrics,
                                fragmentation=fragmentation, states=states,
-                               recoveries=arbitrator.recoveries)
+                               recoveries=arbitrator.recoveries,
+                               trace=trace)
         finally:
             session_box[0].close()
             arbitrator.discard()
@@ -588,6 +648,8 @@ class GrapeEngine:
                         attempts += 1
                         if attempts > 25:
                             raise
+                _events.emit("worker.recovered",
+                             error=type(exc).__name__, attempts=attempts)
                 continue
             times = [outcomes[fid].elapsed for fid in sorted(outcomes)]
             cluster.record_superstep(times, bytes_shipped=bytes_in,

@@ -1,0 +1,27 @@
+"""repro.obs — the telemetry plane.
+
+Four pieces, all stdlib-only so any layer of the stack can import them
+without cycles:
+
+* :mod:`repro.obs.trace` — per-query span trees, propagated across the
+  process-backend pipe by span id;
+* :mod:`repro.obs.registry` — counters/gauges/histograms with
+  Prometheus-style text exposition and JSON dump;
+* :mod:`repro.obs.events` — a bounded ring of typed events with JSONL
+  export (``emit()`` from anywhere, read via ``active()``);
+* :mod:`repro.obs.diagnostics` — slow-query log and straggler report.
+"""
+
+from repro.obs.diagnostics import (SlowQueryEntry, SlowQueryLog,
+                                   straggler_report)
+from repro.obs.events import Event, EventLog, active, emit, install, use
+from repro.obs.registry import (TIME_BUCKETS, Counter, Gauge, Histogram,
+                                MetricsRegistry)
+from repro.obs.trace import Span, TraceContext
+
+__all__ = [
+    "Span", "TraceContext",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "TIME_BUCKETS",
+    "Event", "EventLog", "active", "emit", "install", "use",
+    "SlowQueryEntry", "SlowQueryLog", "straggler_report",
+]

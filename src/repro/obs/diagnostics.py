@@ -1,0 +1,120 @@
+"""Straggler and slow-query diagnostics.
+
+Two consumers of the telemetry the rest of the stack produces:
+
+* :class:`SlowQueryLog` — bounded ring of queries whose wall clock
+  crossed a configurable threshold, each entry keeping the full span
+  tree so "where did this one go" is answerable after the fact;
+* :func:`straggler_report` — folds ``RunMetrics.per_superstep`` skew
+  data into a per-worker verdict (who was slowest, how often, how bad).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Dict, List, Optional
+
+from repro.obs.trace import Span
+
+__all__ = ["SlowQueryEntry", "SlowQueryLog", "straggler_report"]
+
+
+class SlowQueryEntry:
+    __slots__ = ("ts", "program", "graph", "query", "duration_s", "trace")
+
+    def __init__(self, program: str, graph: str, query: object,
+                 duration_s: float, trace: Optional[Span]) -> None:
+        self.ts = time.time()
+        self.program = program
+        self.graph = graph
+        self.query = query
+        self.duration_s = duration_s
+        self.trace = trace
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "ts": self.ts,
+            "program": self.program,
+            "graph": self.graph,
+            "query": repr(self.query),
+            "duration_s": self.duration_s,
+            "trace": self.trace.to_dict() if self.trace is not None else None,
+        }
+
+
+class SlowQueryLog:
+    """Bounded, thread-safe ring of slow queries with their span trees."""
+
+    def __init__(self, threshold_s: float, capacity: int = 64) -> None:
+        if threshold_s < 0:
+            raise ValueError("threshold_s must be >= 0")
+        self.threshold_s = threshold_s
+        self._entries: "deque[SlowQueryEntry]" = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._observed = 0
+
+    def offer(self, program: str, graph: str, query: object,
+              duration_s: float,
+              trace: Optional[Span] = None) -> Optional[SlowQueryEntry]:
+        """Record the query iff it crossed the threshold."""
+        with self._lock:
+            self._observed += 1
+            if duration_s < self.threshold_s:
+                return None
+            entry = SlowQueryEntry(program, graph, query, duration_s, trace)
+            self._entries.append(entry)
+            return entry
+
+    def entries(self) -> List[SlowQueryEntry]:
+        with self._lock:
+            return list(self._entries)
+
+    def to_dicts(self) -> List[Dict[str, object]]:
+        return [e.to_dict() for e in self.entries()]
+
+    @property
+    def observed(self) -> int:
+        with self._lock:
+            return self._observed
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+
+def straggler_report(metrics) -> Dict[str, object]:
+    """Summarize per-superstep skew from a ``RunMetrics``.
+
+    Returns supersteps seen, max/mean skew (max worker time over mean
+    worker time per step), how many steps crossed the straggler
+    threshold, per-worker slowest-counts, and the prime suspect — the
+    worker that was slowest most often (None when nothing is skewed).
+    """
+    steps = getattr(metrics, "per_superstep", None) or []
+    skews: List[float] = []
+    slowest_counts: Dict[int, int] = {}
+    for entry in steps:
+        skew = entry.get("skew")
+        if skew is not None:
+            skews.append(float(skew))
+        slowest = entry.get("slowest_worker")
+        if slowest is not None and slowest >= 0:
+            key = int(slowest)
+            slowest_counts[key] = slowest_counts.get(key, 0) + 1
+    suspect: Optional[int] = None
+    if slowest_counts and max(skews, default=1.0) > 1.0:
+        suspect = max(slowest_counts, key=lambda w: slowest_counts[w])
+    return {
+        "supersteps": len(steps),
+        "max_skew": max(skews, default=1.0),
+        "mean_skew": (sum(skews) / len(skews)) if skews else 1.0,
+        "straggler_steps": int(getattr(metrics, "straggler_steps", 0)),
+        "slowest_counts": slowest_counts,
+        "suspect": suspect,
+    }

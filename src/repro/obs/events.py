@@ -1,0 +1,140 @@
+"""Structured event log: a bounded ring buffer of typed events.
+
+Emission sites across the stack (admission shedding, retries, breaker
+transitions, shm fallbacks, WAL appends, replica syncs, failover
+epochs) call the module-level :func:`emit`, which lands in the active
+:class:`EventLog`.  The log is a fixed-capacity deque — old events
+rotate out, but per-kind totals survive rotation so counts stay honest.
+
+The install/active pattern mirrors ``repro.resilience.faults``: the
+default process-wide log is always present (emitting is never an
+error), and tests swap in a private log via :func:`use`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import threading
+import time
+from collections import deque
+from typing import Dict, List, Optional
+
+__all__ = ["Event", "EventLog", "active", "install", "use", "emit"]
+
+
+class Event:
+    __slots__ = ("ts", "kind", "fields")
+
+    def __init__(self, ts: float, kind: str, fields: Dict[str, object]):
+        self.ts = ts
+        self.kind = kind
+        self.fields = fields
+
+    def to_dict(self) -> Dict[str, object]:
+        out = {"ts": self.ts, "kind": self.kind}
+        out.update(self.fields)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Event({self.kind!r}, {self.fields!r})"
+
+
+class EventLog:
+    """Thread-safe bounded ring of :class:`Event` with JSONL export."""
+
+    def __init__(self, capacity: int = 2048) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._events: "deque[Event]" = deque(maxlen=capacity)
+        self._counts: Dict[str, int] = {}
+        self._total = 0
+        self._lock = threading.Lock()
+
+    def emit(self, kind: str, /, **fields) -> Event:
+        event = Event(time.time(), kind, fields)
+        with self._lock:
+            self._events.append(event)
+            self._counts[kind] = self._counts.get(kind, 0) + 1
+            self._total += 1
+        return event
+
+    # -- reads --------------------------------------------------------
+
+    def events(self, kind: Optional[str] = None,
+               limit: Optional[int] = None) -> List[Event]:
+        with self._lock:
+            out = [e for e in self._events
+                   if kind is None or e.kind == kind]
+        if limit is not None:
+            out = out[-limit:]
+        return out
+
+    def tail(self, n: int) -> List[Event]:
+        return self.events(limit=n)
+
+    def counts(self) -> Dict[str, int]:
+        """Per-kind totals since creation (survive ring rotation)."""
+        with self._lock:
+            return dict(self._counts)
+
+    @property
+    def total(self) -> int:
+        with self._lock:
+            return self._total
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    # -- export / lifecycle -------------------------------------------
+
+    def export_jsonl(self, path: Optional[str] = None) -> str:
+        """Serialize buffered events as JSON Lines; optionally write out."""
+        lines = [json.dumps(e.to_dict(), sort_keys=True, default=repr)
+                 for e in self.events()]
+        blob = "\n".join(lines) + ("\n" if lines else "")
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(blob)
+        return blob
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+            self._counts.clear()
+            self._total = 0
+
+
+_active = EventLog()
+_swap_lock = threading.Lock()
+
+
+def active() -> EventLog:
+    """The process-wide event log receiving :func:`emit` calls."""
+    return _active
+
+
+def install(log: EventLog) -> EventLog:
+    """Swap the active log; returns the previous one."""
+    global _active
+    with _swap_lock:
+        previous = _active
+        _active = log
+        return previous
+
+
+@contextlib.contextmanager
+def use(log: EventLog):
+    """Scoped install (for tests): the previous log is restored on exit."""
+    previous = install(log)
+    try:
+        yield log
+    finally:
+        install(previous)
+
+
+def emit(kind: str, /, **fields) -> Event:
+    """Emit onto the active log (never raises on a full ring)."""
+    return _active.emit(kind, **fields)

@@ -1,0 +1,319 @@
+"""Metrics registry: counters, gauges, histograms, and exposition.
+
+This module unifies the ad-hoc counters scattered across ``RunMetrics``,
+``ServiceMetrics`` and the shm gauges into one snapshotable registry with
+two export formats:
+
+* ``expose_text()`` — Prometheus-style plain text, one sample per line
+  (histograms expand into ``_bucket{le=...}`` / ``_sum`` / ``_count``);
+* ``to_json()`` — a nested dict safe for ``json.dumps``.
+
+The registry never becomes the source of truth: the dataclasses keep
+their attribute API, and ``MetricsRegistry.from_object`` snapshots any
+dataclass of numeric fields by reflection.  That way a new counter added
+to ``ServiceMetrics`` shows up in the exposition without touching this
+file.
+
+Only the standard library is used here (``repro.obs`` must stay
+import-cycle-free: ``runtime.metrics`` imports ``Histogram`` from it).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import threading
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "TIME_BUCKETS", "Counter", "Gauge", "Histogram", "MetricsRegistry",
+]
+
+# Default latency buckets (seconds): spans ~1ms to 10s, which covers a
+# worker superstep on the small end and a cold whole-graph recompute on
+# the large end.
+TIME_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0,
+)
+
+
+def _fmt(value: float) -> str:
+    """Format a sample value the way Prometheus text format expects."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if value != value:  # NaN
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+class Counter:
+    """A monotonically increasing sample."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        self.value += amount
+
+    def set(self, value: float) -> None:
+        """Snapshot-style assignment (used by ``from_object``)."""
+        self.value = value
+
+    def to_json(self):
+        return self.value
+
+    def expose(self) -> List[str]:
+        return [f"{self.name} {_fmt(self.value)}"]
+
+
+class Gauge:
+    """A sample that can go up and down."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def to_json(self):
+        return self.value
+
+    def expose(self) -> List[str]:
+        return [f"{self.name} {_fmt(self.value)}"]
+
+
+class Histogram:
+    """Fixed-bucket histogram with cumulative-bucket exposition.
+
+    Picklable and mergeable: process-backend workers can observe into a
+    histogram and ship it back, and ``ServiceMetrics`` folds per-run
+    histograms into service-lifetime ones via :meth:`merge`.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, buckets: Sequence[float] = TIME_BUCKETS,
+                 name: str = "", help: str = "") -> None:
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.name = name
+        self.help = help
+        self.bounds = bounds
+        # counts[i] is the number of samples <= bounds[i]; the final slot
+        # counts samples above every bound (the +Inf bucket).
+        self.counts: List[int] = [0] * (len(bounds) + 1)
+        self.sum: float = 0.0
+        self.count: int = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.sum += value
+        self.count += 1
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def merge(self, other: "Histogram") -> None:
+        if other.bounds != self.bounds:
+            # Re-observe through the sum/count only: bucket layouts that
+            # disagree cannot be added bin-wise.  In practice every
+            # histogram in the tree uses TIME_BUCKETS, so this path is a
+            # safety net, not a hot path.
+            self.sum += other.sum
+            self.count += other.count
+            self.counts[-1] += other.count
+            return
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.sum += other.sum
+        self.count += other.count
+
+    def copy(self) -> "Histogram":
+        dup = Histogram(self.bounds, name=self.name, help=self.help)
+        dup.counts = list(self.counts)
+        dup.sum = self.sum
+        dup.count = self.count
+        return dup
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile from bucket boundaries (upper bound)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for i, c in enumerate(self.counts[:-1]):
+            seen += c
+            if seen >= target:
+                return self.bounds[i]
+        return float("inf")
+
+    def to_json(self):
+        return {
+            "buckets": {_fmt(b): c
+                        for b, c in zip(self.bounds, self.counts[:-1])},
+            "inf": self.counts[-1],
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+    def expose(self) -> List[str]:
+        lines: List[str] = []
+        cumulative = 0
+        for bound, c in zip(self.bounds, self.counts[:-1]):
+            cumulative += c
+            lines.append(
+                f'{self.name}_bucket{{le="{_fmt(bound)}"}} {cumulative}')
+        cumulative += self.counts[-1]
+        lines.append(f'{self.name}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{self.name}_sum {_fmt(self.sum)}")
+        lines.append(f"{self.name}_count {self.count}")
+        return lines
+
+
+class MetricsRegistry:
+    """An ordered, thread-safe collection of named metrics."""
+
+    def __init__(self) -> None:
+        self._metrics: "Dict[str, object]" = {}
+        self._lock = threading.Lock()
+
+    # -- get-or-create accessors ------------------------------------
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(name, Counter, help=help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(name, Gauge, help=help)
+
+    def histogram(self, name: str,
+                  buckets: Sequence[float] = TIME_BUCKETS,
+                  help: str = "") -> Histogram:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = Histogram(buckets, name=name, help=help)
+                self._metrics[name] = metric
+            elif not isinstance(metric, Histogram):
+                raise TypeError(
+                    f"metric {name!r} already registered as {metric.kind}")
+            return metric
+
+    def register(self, metric) -> None:
+        with self._lock:
+            existing = self._metrics.get(metric.name)
+            if existing is not None and existing is not metric:
+                raise ValueError(f"metric {metric.name!r} already registered")
+            self._metrics[metric.name] = metric
+
+    def _get_or_create(self, name: str, cls, help: str = ""):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, help=help)
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as {metric.kind}")
+            return metric
+
+    # -- introspection ----------------------------------------------
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return list(self._metrics)
+
+    def get(self, name: str):
+        with self._lock:
+            return self._metrics.get(name)
+
+    # -- export ------------------------------------------------------
+
+    def expose_text(self) -> str:
+        """Prometheus-style text exposition (one trailing newline)."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        lines: List[str] = []
+        for metric in metrics:
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            lines.extend(metric.expose())
+        return "\n".join(lines) + "\n"
+
+    def to_json(self) -> Dict[str, object]:
+        with self._lock:
+            return {name: metric.to_json()
+                    for name, metric in self._metrics.items()}
+
+    def dump_json(self) -> str:
+        return json.dumps(self.to_json(), sort_keys=True)
+
+    # -- reflection snapshot -----------------------------------------
+
+    @classmethod
+    def from_object(cls, obj, prefix: str = "repro_",
+                    gauge_fields: Iterable[str] = (),
+                    skip: Iterable[str] = (),
+                    help_map: Optional[Mapping[str, str]] = None,
+                    ) -> "MetricsRegistry":
+        """Snapshot a dataclass's numeric fields into a fresh registry.
+
+        int/float fields become counters (or gauges when named in
+        ``gauge_fields``); ``Histogram`` fields are copied in whole;
+        strings, lists and other shapes are skipped.  Reflection means a
+        field added to the dataclass later is exported automatically.
+        """
+        gauges = set(gauge_fields)
+        skipped = set(skip)
+        helps = dict(help_map or {})
+        reg = cls()
+        for f in dataclasses.fields(obj):
+            if f.name in skipped:
+                continue
+            value = getattr(obj, f.name)
+            name = prefix + f.name
+            note = helps.get(f.name, "")
+            if isinstance(value, Histogram):
+                dup = value.copy()
+                dup.name = name
+                if note:
+                    dup.help = note
+                reg.register(dup)
+            elif isinstance(value, bool):
+                reg.gauge(name, help=note).set(1.0 if value else 0.0)
+            elif isinstance(value, (int, float)):
+                if f.name in gauges:
+                    reg.gauge(name, help=note).set(float(value))
+                else:
+                    reg.counter(name, help=note).set(float(value))
+        return reg

@@ -1,0 +1,144 @@
+"""Per-query trace spans.
+
+A :class:`Span` is a named, tagged timer with children; a
+:class:`TraceContext` owns the root of one query's tree.  Spans are
+deliberately minimal — a dict-free hot path would buy nothing here
+because tracing is opt-in and the engine guards every touch with
+``if trace is not None``.
+
+Cross-process propagation works by value, not by reference: the
+coordinator stamps ``StepCommand.span_id`` before shipping a step, the
+worker measures its phases with bare ``perf_counter`` calls and returns
+``(name, duration_s, tags)`` tuples on ``StepOutcome.spans``, and the
+coordinator re-attaches them as finished child spans.  Workers never see
+a Span object, so the pipe cost of tracing is a short string per command
+and a few tuples per outcome.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+from typing import Dict, Iterator, List, Optional
+
+__all__ = ["Span", "TraceContext"]
+
+_ids = itertools.count(1)
+
+
+def new_span_id() -> str:
+    """Process-unique span id (pid-prefixed so worker ids can't collide)."""
+    return f"{os.getpid():x}.{next(_ids):x}"
+
+
+class Span:
+    __slots__ = ("span_id", "name", "tags", "parent_id", "started_at",
+                 "_t0", "duration_s", "children")
+
+    def __init__(self, name: str, tags: Optional[Dict[str, object]] = None,
+                 parent_id: Optional[str] = None) -> None:
+        self.span_id = new_span_id()
+        self.name = name
+        self.tags: Dict[str, object] = dict(tags or {})
+        self.parent_id = parent_id
+        self.started_at = time.time()
+        self._t0: Optional[float] = time.perf_counter()
+        self.duration_s: float = 0.0
+        self.children: List["Span"] = []
+
+    # -- construction -------------------------------------------------
+
+    def child(self, name: str, **tags) -> "Span":
+        """Open a live child span (finish it yourself or via ``with``)."""
+        span = Span(name, tags, parent_id=self.span_id)
+        self.children.append(span)
+        return span
+
+    def record(self, name: str, duration_s: float, **tags) -> "Span":
+        """Attach an already-measured child (used for worker-side spans)."""
+        span = Span(name, tags, parent_id=self.span_id)
+        span._t0 = None
+        span.duration_s = float(duration_s)
+        self.children.append(span)
+        return span
+
+    def finish(self) -> "Span":
+        if self._t0 is not None:
+            self.duration_s = time.perf_counter() - self._t0
+            self._t0 = None
+        return self
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.finish()
+
+    # -- introspection ------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        return self._t0 is None
+
+    def walk(self) -> Iterator["Span"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> List["Span"]:
+        return [span for span in self.walk() if span.name == name]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "span_id": self.span_id,
+            "name": self.name,
+            "tags": dict(self.tags),
+            "started_at": self.started_at,
+            "duration_s": self.duration_s,
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def format(self, indent: int = 0) -> str:
+        """Human-readable one-span-per-line rendering of the subtree."""
+        tag_str = ""
+        if self.tags:
+            tag_str = " " + " ".join(f"{k}={v}" for k, v in self.tags.items())
+        lines = [f"{'  ' * indent}{self.name} "
+                 f"{self.duration_s * 1e3:.3f}ms{tag_str}"]
+        for child in self.children:
+            lines.append(child.format(indent + 1))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span({self.name!r}, id={self.span_id}, "
+                f"dur={self.duration_s:.6f}s, "
+                f"children={len(self.children)})")
+
+
+class TraceContext:
+    """Owns the root span of one traced query."""
+
+    __slots__ = ("root",)
+
+    def __init__(self, name: str = "query", **tags) -> None:
+        self.root = Span(name, tags)
+
+    def span(self, name: str, **tags) -> Span:
+        return self.root.child(name, **tags)
+
+    def finish(self) -> Span:
+        return self.root.finish()
+
+    @property
+    def duration_s(self) -> float:
+        return self.root.duration_s
+
+    def to_dict(self) -> Dict[str, object]:
+        return self.root.to_dict()
+
+    def __enter__(self) -> "TraceContext":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.finish()

@@ -34,6 +34,7 @@ from pathlib import Path
 from typing import Optional, Sequence, Tuple, Union
 
 from repro.ioutil import atomic_write_bytes
+from repro.obs import events as _events
 from repro.replication.replica import ReplicaService
 from repro.resilience import faults as _faults
 from repro.resilience.errors import FailoverInterrupted
@@ -78,6 +79,7 @@ class FailoverCoordinator:
         epoch, _leader = read_epoch(self.root)
         new_epoch = epoch + 1
         write_epoch(self.root, new_epoch, None)
+        _events.emit("failover.fence", epoch=new_epoch)
         return new_epoch
 
     def promote(self, replicas: Sequence[ReplicaService]
@@ -114,6 +116,8 @@ class FailoverCoordinator:
                      key=lambda r: (r.position_vector(), r.replica_id))
         write_epoch(self.root, new_epoch, winner.replica_id)
         winner.promote(epoch=new_epoch)
+        _events.emit("failover.promote", epoch=new_epoch,
+                     leader=winner.replica_id)
         return winner
 
     def __repr__(self) -> str:

@@ -39,6 +39,7 @@ from repro.core.engine import EngineConfig, GrapeEngine
 from repro.core.updates import ContinuousQuerySession
 from repro.graph.delta import GraphDelta
 from repro.graph.graph import Graph
+from repro.obs import events as _events
 from repro.replication.admission import AdmissionController
 from repro.runtime.executors import ExecutorBackend
 from repro.service.facade import GrapeService
@@ -141,6 +142,8 @@ class ReplicaService(GrapeService):
         its identity and simply starts answering from the new state.
         """
         self._bootstrap(name)
+        _events.emit("replica.resnapshot", graph=name,
+                     replica=self.replica_id)
         with self._lock:
             handles = self._active_watches(name)
             self.stats.replica_resnapshots += 1
@@ -209,6 +212,11 @@ class ReplicaService(GrapeService):
                 self.stats.replica_batches_applied += applied
                 if rollovers > 0:
                     self.stats.replica_rollovers += rollovers
+            if applied or rollovers:
+                _events.emit("replica.sync", graph=name,
+                             replica=self.replica_id, batches=applied,
+                             rollovers=rollovers,
+                             lag_bytes=follower.lag_bytes())
             return applied
 
     # ------------------------------------------------------------------

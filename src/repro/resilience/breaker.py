@@ -28,6 +28,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.obs import events as _events
+
 __all__ = ["BackendCircuitBreaker", "DEGRADATION_CHAIN"]
 
 #: default degradation order, fastest/most-fragile first
@@ -148,7 +150,12 @@ class BackendCircuitBreaker:
         self.transitions.append((kind, graph, src, dst, self.clock()))
 
     def _emit(self, event) -> None:
-        if event is not None and self.on_transition is not None:
+        if event is None:
+            return
+        kind, graph, src, dst = event
+        # kinds are "degrade"/"probe"/"restore" → backend.degraded etc.
+        _events.emit(f"backend.{kind}", graph=graph, src=src, dst=dst)
+        if self.on_transition is not None:
             self.on_transition(*event)
 
     def __repr__(self) -> str:

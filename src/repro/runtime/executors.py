@@ -63,6 +63,7 @@ from dataclasses import dataclass, field
 from typing import (Any, Callable, Dict, Hashable, List, Optional, Sequence,
                     Tuple, Union)
 
+from repro.obs import events as _events
 from repro.resilience import faults as _fault_plane
 from repro.resilience.errors import DeadlineExceeded, QueryCancelled
 from repro.resilience.faults import FaultAction
@@ -144,6 +145,10 @@ class StepCommand:
     #: engine — and stripped before any replay, so a recovered step
     #: never re-fires the same fault
     fault: Optional[FaultAction] = None
+    #: tracing: id of the coordinator-side superstep span this command
+    #: belongs to.  ``None`` (the default) means tracing is off and the
+    #: worker measures nothing beyond ``elapsed``.
+    span_id: Optional[str] = None
 
 
 @dataclass
@@ -160,6 +165,11 @@ class StepOutcome:
     designated: Dict[int, list] = field(default_factory=dict)
     keyvalue: list = field(default_factory=list)
     failed: Optional[WorkerFailure] = None
+    #: tracing: worker-side measurements as ``(name, duration_s, tags)``
+    #: tuples — spans travel the pipe by value, never as Span objects —
+    #: re-attached by the engine under the superstep span whose id the
+    #: command carried.  Empty when tracing is off.
+    spans: List[Tuple[str, float, Dict]] = field(default_factory=list)
 
 
 def run_phase(program, query, fragment, state, command: StepCommand) -> None:
@@ -207,11 +217,22 @@ def _execute_command(program, query, fragment, state,
     start = time.perf_counter()
     run_phase(program, query, fragment, state, command)
     elapsed = time.perf_counter() - start
+    if command.span_id is None:
+        report = read_report(program, query, fragment, state,
+                             command.full_report)
+        designated, keyvalue = program.drain_messages(query, fragment, state)
+        return StepOutcome(elapsed=elapsed, report=report,
+                           designated=designated, keyvalue=keyvalue)
+    t0 = time.perf_counter()
     report = read_report(program, query, fragment, state,
                          command.full_report)
     designated, keyvalue = program.drain_messages(query, fragment, state)
+    report_s = time.perf_counter() - t0
     return StepOutcome(elapsed=elapsed, report=report,
-                       designated=designated, keyvalue=keyvalue)
+                       designated=designated, keyvalue=keyvalue,
+                       spans=[("worker.compute", elapsed,
+                               {"phase": command.phase}),
+                              ("worker.report", report_s, {})])
 
 
 # ---------------------------------------------------------------------------
@@ -297,8 +318,14 @@ class ExecutorBackend(abc.ABC):
     @abc.abstractmethod
     def open(self, program, query, fragmentation, *, num_workers: int,
              failure_injector: Optional[FailureInjector] = None,
-             ) -> ExecutorSession:
-        """Bind a session for one engine run."""
+             trace=None) -> ExecutorSession:
+        """Bind a session for one engine run.
+
+        ``trace`` is an optional :class:`repro.obs.trace.Span` the
+        backend may hang session-setup child spans off (fragment
+        shipping, shm attaches, delta replay).  Inline backends have no
+        setup work and ignore it.
+        """
 
     @abc.abstractmethod
     def run_tasks(self, thunks: Sequence[Callable[[], Any]],
@@ -390,7 +417,7 @@ class SerialBackend(ExecutorBackend):
 
     def open(self, program, query, fragmentation, *, num_workers: int,
              failure_injector: Optional[FailureInjector] = None,
-             ) -> ExecutorSession:
+             trace=None) -> ExecutorSession:
         return _InlineSession(self, program, query, fragmentation,
                               num_workers, failure_injector)
 
@@ -429,7 +456,7 @@ class ThreadBackend(ExecutorBackend):
 
     def open(self, program, query, fragmentation, *, num_workers: int,
              failure_injector: Optional[FailureInjector] = None,
-             ) -> ExecutorSession:
+             trace=None) -> ExecutorSession:
         return _InlineSession(self, program, query, fragmentation,
                               num_workers, failure_injector)
 
@@ -693,10 +720,18 @@ def _worker_main(conn, heartbeat=None) -> None:
             if kind == "init":
                 (token, program, query, ship_blob, reuse_fids,
                  base_token, replay_blob, descriptors, patched_fids,
-                 shm_fault) = msg[1:]
+                 shm_fault, want_trace) = msg[1:]
+                # tracing: worker-side setup measurements shipped back
+                # by value as (name, duration_s, tags) tuples
+                wspans: List[Tuple[str, float, Dict]] = []
                 # fragment and replay payloads arrive pre-pickled (the
                 # coordinator sizes them once for byte accounting)
+                t0 = time.perf_counter()
                 shipped = pickle.loads(ship_blob) if ship_blob else {}
+                if want_trace and ship_blob:
+                    wspans.append(("fragment.load",
+                                   time.perf_counter() - t0,
+                                   {"fragments": len(shipped)}))
                 replay = pickle.loads(replay_blob) if replay_blob else {}
                 patched = set(patched_fids or ())
                 if base_token is not None and base_token in frag_cache:
@@ -715,8 +750,14 @@ def _worker_main(conn, heartbeat=None) -> None:
                         # hold the post-delta values — keep the
                         # zero-copy CSR instead of invalidating it
                         keep = fid in patched
+                        t0 = time.perf_counter()
                         for delta in deltas:
                             delta.replay(frag, keep_csr=keep)
+                        if want_trace:
+                            wspans.append(("delta.replay",
+                                           time.perf_counter() - t0,
+                                           {"fid": fid,
+                                            "deltas": len(deltas)}))
                         if not keep:
                             seg_keep.pop((token[0], fid), None)
                 # shared-memory attaches: map each published segment and
@@ -724,11 +765,13 @@ def _worker_main(conn, heartbeat=None) -> None:
                 # coordinator re-ship of that fragment
                 failed: List[int] = []
                 for fid, desc in (descriptors or {}).items():
+                    timings = {} if want_trace else None
                     try:
                         if shm_fault is not None:
                             raise OSError(
                                 "injected exec.shm.attach fault")
-                        frag, seg = shm.attach_fragment(desc)
+                        frag, seg = shm.attach_fragment(desc,
+                                                        timings=timings)
                     except Exception:
                         failed.append(fid)
                         cache.pop(fid, None)
@@ -736,6 +779,13 @@ def _worker_main(conn, heartbeat=None) -> None:
                     else:
                         cache[fid] = frag
                         seg_keep[(token[0], fid)] = seg
+                        if want_trace:
+                            wspans.append(("shm.attach",
+                                           timings.get("attach_s", 0.0),
+                                           {"fid": fid}))
+                            wspans.append(("csr.install",
+                                           timings.get("install_s", 0.0),
+                                           {"fid": fid}))
                 cache.update(shipped)
                 if _evict_cached(frag_cache, token):
                     _drop_dead_pins()
@@ -749,7 +799,7 @@ def _worker_main(conn, heartbeat=None) -> None:
                 else:
                     pending = None
                     _finalize(token, want)
-                channel.send(("ok", failed))
+                channel.send(("ok", (failed, wspans)))
             elif kind == "ship":
                 # pickle fallback for fragments whose attach failed
                 extra = pickle.loads(msg[1]) if msg[1] else {}
@@ -1109,7 +1159,7 @@ class ProcessBackend(ExecutorBackend):
     # ------------------------------------------------------------------
     def open(self, program, query, fragmentation, *, num_workers: int,
              failure_injector: Optional[FailureInjector] = None,
-             ) -> ExecutorSession:
+             trace=None) -> ExecutorSession:
         if failure_injector is not None:
             raise ValueError(
                 "fault injection requires an inline backend "
@@ -1135,6 +1185,9 @@ class ProcessBackend(ExecutorBackend):
                 frag.fid: handles[i % len(handles)]
                 for i, frag in enumerate(fragments)}
             for handle in handles:
+                init_span = (trace.child("worker.init",
+                                         worker=handle.process.name)
+                             if trace is not None else None)
                 assigned = {fid for fid, h in placement.items()
                             if h is handle}
                 cached = set(handle.cached.get(token, set()))
@@ -1170,6 +1223,8 @@ class ProcessBackend(ExecutorBackend):
                             token[0], token[1], fragmentation[fid])
                         if desc is None:
                             shm_fallbacks += 1
+                            _events.emit("shm.fallback", stage="publish",
+                                         fid=fid)
                     if desc is not None:
                         descriptors[fid] = desc
                     else:
@@ -1193,14 +1248,22 @@ class ProcessBackend(ExecutorBackend):
                     fragment_bytes += len(ship_blob)
                 shm_fault = (_fault_plane.check("exec.shm.attach")
                              if descriptors else None)
-                failed = handle.request((
+                failed, init_spans = handle.request((
                     "init", token, program, query, ship_blob, reuse,
                     base_token, replay_blob, descriptors,
-                    sorted(patched), shm_fault)) or []
+                    sorted(patched), shm_fault,
+                    init_span is not None))
+                failed = failed or []
+                if init_span is not None:
+                    for name, duration_s, tags in init_spans or ():
+                        init_span.record(name, duration_s, **tags)
                 if failed:
                     # the worker could not map these segments: degrade
                     # to pickle shipping for exactly those fragments
                     shm_fallbacks += len(failed)
+                    _events.emit("shm.fallback", stage="attach",
+                                 worker=handle.process.name,
+                                 fragments=len(failed))
                     blob = _pickle_payload(
                         {fid: fragmentation[fid] for fid in failed})
                     fragment_bytes += len(blob)
@@ -1236,6 +1299,8 @@ class ProcessBackend(ExecutorBackend):
                             handle.shm_attached[key] = \
                                 descriptors[fid].generation
                 full_shipped += len(need)
+                if init_span is not None:
+                    init_span.finish()
         except BaseException:
             self._release(handles)
             raise

@@ -16,12 +16,15 @@ allows honest parallel wall-clock speedups.
 
 from __future__ import annotations
 
+import dataclasses
 import pickle
 from dataclasses import dataclass, field
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Tuple
+
+from repro.obs.registry import TIME_BUCKETS, Histogram
 
 __all__ = ["CostModel", "ParamSizeCache", "RunMetrics", "ServiceMetrics",
-           "message_bytes"]
+           "message_bytes", "STRAGGLER_SKEW"]
 
 
 def message_bytes(payload: Any) -> int:
@@ -124,19 +127,39 @@ class CostModel:
                 + bytes_shipped * self.seconds_per_byte)
 
 
-#: RunMetrics fields combined by simple addition in merge()/absorb()
-_ADDITIVE_FIELDS = (
-    "supersteps", "parallel_time_s", "total_compute_s", "comm_bytes",
-    "comm_messages", "wall_clock_s", "pipe_bytes", "deltas_applied",
-    "incremental_maintained", "fallback_reruns", "partial_resets",
-    "affected_vertices", "delta_bytes_shipped",
-    "fragments_shipped", "fragments_delta_shipped",
-    "fragment_bytes_shipped", "shm_fallbacks", "recoveries",
-)
-
 #: RunMetrics gauges (point-in-time readings, not flows): merge()/absorb()
 #: keep the maximum instead of summing
-_GAUGE_FIELDS = ("shm_segments_active", "shm_bytes_mapped")
+_GAUGE_FIELDS = ("shm_segments_active", "shm_bytes_mapped",
+                 "skew_ratio_max")
+
+#: RunMetrics fields merge()/absorb() handle by hand
+_SPECIAL_FIELDS = ("backend", "per_superstep")
+
+#: A superstep whose slowest worker ran at >= this multiple of the mean
+#: worker time counts as a straggler step (needs >= 2 workers to mean
+#: anything).
+STRAGGLER_SKEW = 2.0
+
+
+def _time_hist() -> Histogram:
+    return Histogram(TIME_BUCKETS)
+
+
+def _classify_fields(cls) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+    """Split a metrics dataclass's fields into additive and histogram
+    groups by reflection, so merge()/absorb() can never silently drop a
+    newly added counter: every field is either special-cased by name,
+    declared a gauge, or combined automatically."""
+    probe = cls()
+    additive, hists = [], []
+    for f in dataclasses.fields(cls):
+        if f.name in _SPECIAL_FIELDS or f.name in _GAUGE_FIELDS:
+            continue
+        if isinstance(getattr(probe, f.name), Histogram):
+            hists.append(f.name)
+        else:
+            additive.append(f.name)
+    return tuple(additive), tuple(hists)
 
 
 @dataclass
@@ -203,6 +226,13 @@ class RunMetrics:
     #: checkpoint restores this run performed (injected worker failures
     #: and real process-backend worker deaths alike)
     recoveries: int = 0
+    #: straggler diagnostics: the worst per-superstep skew ratio seen
+    #: (max worker time / mean worker time; 1.0 when balanced), and how
+    #: many supersteps crossed :data:`STRAGGLER_SKEW`
+    skew_ratio_max: float = 0.0
+    straggler_steps: int = 0
+    #: distribution of individual worker superstep times
+    worker_time_hist: Histogram = field(default_factory=_time_hist)
     per_superstep: List[Dict[str, float]] = field(default_factory=list)
 
     def record_superstep(self, worker_times: List[float],
@@ -210,18 +240,35 @@ class RunMetrics:
                          cost_model: CostModel) -> None:
         """Close one superstep: fold worker times and traffic into totals."""
         max_t = max(worker_times) if worker_times else 0.0
+        sum_t = sum(worker_times)
         self.supersteps += 1
-        self.total_compute_s += sum(worker_times)
+        self.total_compute_s += sum_t
         self.comm_bytes += bytes_shipped
         self.comm_messages += num_messages
         step_time = cost_model.superstep_time(max_t, bytes_shipped)
         self.parallel_time_s += step_time
+        skew = 1.0
+        slowest = -1
+        if worker_times:
+            slowest = max(range(len(worker_times)),
+                          key=worker_times.__getitem__)
+            mean_t = sum_t / len(worker_times)
+            if len(worker_times) > 1 and mean_t > 0.0:
+                skew = max_t / mean_t
+            for t in worker_times:
+                self.worker_time_hist.observe(t)
+        if skew > self.skew_ratio_max:
+            self.skew_ratio_max = skew
+        if len(worker_times) > 1 and skew >= STRAGGLER_SKEW:
+            self.straggler_steps += 1
         self.per_superstep.append({
             "max_worker_s": max_t,
-            "sum_worker_s": sum(worker_times),
+            "sum_worker_s": sum_t,
             "bytes": float(bytes_shipped),
             "messages": float(num_messages),
             "step_time_s": step_time,
+            "skew": skew,
+            "slowest_worker": float(slowest),
         })
 
     @property
@@ -243,15 +290,25 @@ class RunMetrics:
                    - self.delta_bytes_shipped)
 
     def merge(self, other: "RunMetrics") -> "RunMetrics":
-        """Combine metrics of sequential phases (e.g. query batches)."""
+        """Combine metrics of sequential phases (e.g. query batches).
+
+        Field handling is reflection-driven (see ``_classify_fields``):
+        every dataclass field is special-cased by name, declared a
+        gauge, or combined automatically — a new counter cannot be
+        silently dropped.
+        """
         out = RunMetrics()
         out.backend = (self.backend if self.backend == other.backend
                        else "mixed")
         out.per_superstep = self.per_superstep + other.per_superstep
-        for name in _ADDITIVE_FIELDS:
+        for name in _RUN_ADDITIVE_FIELDS:
             setattr(out, name, getattr(self, name) + getattr(other, name))
         for name in _GAUGE_FIELDS:
             setattr(out, name, max(getattr(self, name), getattr(other, name)))
+        for name in _RUN_HISTOGRAM_FIELDS:
+            hist = getattr(self, name).copy()
+            hist.merge(getattr(other, name))
+            setattr(out, name, hist)
         return out
 
     def absorb(self, other: "RunMetrics") -> None:
@@ -265,17 +322,25 @@ class RunMetrics:
         if other.backend != self.backend:
             self.backend = "mixed"
         self.per_superstep.extend(other.per_superstep)
-        for name in _ADDITIVE_FIELDS:
+        for name in _RUN_ADDITIVE_FIELDS:
             setattr(self, name, getattr(self, name) + getattr(other, name))
         for name in _GAUGE_FIELDS:
             setattr(self, name, max(getattr(self, name),
                                     getattr(other, name)))
+        for name in _RUN_HISTOGRAM_FIELDS:
+            getattr(self, name).merge(getattr(other, name))
 
     def __repr__(self) -> str:
         return (f"RunMetrics(supersteps={self.supersteps}, "
                 f"time={self.parallel_time_s:.4f}s, "
                 f"comm={self.comm_megabytes:.4f}MB, "
                 f"msgs={self.comm_messages})")
+
+
+_RUN_ADDITIVE_FIELDS, _RUN_HISTOGRAM_FIELDS = _classify_fields(RunMetrics)
+
+#: kept as the historical name some callers/tests may rely on
+_ADDITIVE_FIELDS = _RUN_ADDITIVE_FIELDS
 
 
 @dataclass
@@ -373,6 +438,16 @@ class ServiceMetrics:
     backend_degradations: int = 0
     backend_probes: int = 0
     backend_restorations: int = 0
+    #: the telemetry plane: queries that crossed the service's
+    #: slow-query threshold, the worst per-superstep skew ratio seen
+    #: across served runs, supersteps that crossed the straggler
+    #: threshold, and latency distributions (per-query wall clock and
+    #: per-worker superstep times)
+    queries_slow: int = 0
+    skew_ratio_max: float = 0.0
+    straggler_steps: int = 0
+    query_wall_s: Histogram = field(default_factory=_time_hist)
+    worker_time_hist: Histogram = field(default_factory=_time_hist)
 
     def observe_run(self, metrics: "RunMetrics") -> None:
         """Fold one completed query run into the aggregates."""
@@ -383,6 +458,11 @@ class ServiceMetrics:
         self.fragment_bytes_shipped += metrics.fragment_bytes_shipped
         self.shm_fallbacks += metrics.shm_fallbacks
         self.recoveries += metrics.recoveries
+        self.query_wall_s.observe(metrics.wall_clock_s)
+        self.worker_time_hist.merge(metrics.worker_time_hist)
+        self.straggler_steps += metrics.straggler_steps
+        if metrics.skew_ratio_max > self.skew_ratio_max:
+            self.skew_ratio_max = metrics.skew_ratio_max
         self._observe_cost(metrics.supersteps, metrics.comm_bytes,
                            metrics.comm_messages)
 

@@ -43,6 +43,7 @@ import mmap
 import os
 import pickle
 import threading
+import time
 import weakref
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
@@ -253,11 +254,16 @@ def publish_fragment(prov, token_id: int, version: int, generation: int,
     return seg, desc
 
 
-def attach_fragment(desc: SegmentDescriptor):
+def attach_fragment(desc: SegmentDescriptor, timings=None):
     """Map a published fragment (worker side): unpickle the dict-graph
     state from the segment's meta region and install zero-copy CSR views
     over its array regions.  Returns ``(fragment, segment)``; the caller
-    must pin the segment for as long as the views may be used."""
+    must pin the segment for as long as the views may be used.
+
+    ``timings``, when a dict, receives ``attach_s`` (map + meta
+    unpickle) and ``install_s`` (CSR view construction + install) for
+    the telemetry plane's worker-side spans."""
+    t0 = time.perf_counter() if timings is not None else 0.0
     prov = provider()
     if prov is None:
         raise OSError("no shared-memory provider available")
@@ -266,6 +272,9 @@ def attach_fragment(desc: SegmentDescriptor):
               for name, dtype, count, off in desc.layout}
     _dt, mcount, moff = fields["meta"]
     frag = pickle.loads(bytes(seg.buf[moff:moff + mcount]))
+    if timings is not None:
+        t1 = time.perf_counter()
+        timings["attach_s"] = t1 - t0
     # Rebuild the identity maps from the dict graph: pickle preserves
     # insertion order, and a descriptor is only ever served for a CSR
     # that is current for the published graph, so the dict order here is
@@ -280,6 +289,8 @@ def attach_fragment(desc: SegmentDescriptor):
                                directed=desc.directed, id_of=id_of,
                                node_of=node_of, labels=labels)
     frag.install_csr(csr, shared=True)
+    if timings is not None:
+        timings["install_s"] = time.perf_counter() - t1
     return frag, seg
 
 

@@ -58,6 +58,10 @@ from repro.core.updates import (ContinuousQuerySession, EdgeInsertion,
 from repro.graph.delta import FragmentDelta, GraphDelta, NormalizedDelta
 from repro.graph.graph import Graph, Node
 from repro.graph.io import read_edge_list
+from repro.obs import events as obs_events
+from repro.obs.diagnostics import SlowQueryLog, straggler_report
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import TraceContext
 from repro.optim.grouping import QueryGrouper
 from repro.partition.base import Fragmentation, PartitionStrategy
 from repro.partition.strategies import HashPartition
@@ -172,6 +176,11 @@ class WatchHandle:
     def metrics(self):
         """Cumulative cost: initial run plus all maintenance rounds."""
         return self.session.metrics
+
+    def straggler_report(self) -> Dict[str, Any]:
+        """Per-worker skew verdict over this watch's recorded supersteps
+        (see :func:`repro.obs.diagnostics.straggler_report`)."""
+        return straggler_report(self.session.metrics)
 
     def cancel(self) -> None:
         """Stop maintaining this query; later updates skip it."""
@@ -307,7 +316,9 @@ class GrapeService:
                  retry: Optional[RetryPolicy] = None,
                  degradation: Union[bool, BackendCircuitBreaker] = False,
                  deadline_s: Optional[float] = None,
-                 heartbeat_timeout_s: Optional[float] = None):
+                 heartbeat_timeout_s: Optional[float] = None,
+                 tracing: bool = False,
+                 slow_query_s: Optional[float] = None):
         if isinstance(engine, GrapeEngine):
             engine = engine.config
         self.engine_config = engine or EngineConfig()
@@ -330,6 +341,15 @@ class GrapeService:
                          else default_registry().copy())
         self.concurrency = max(1, concurrency)
         self.stats = ServiceMetrics()
+        #: telemetry plane: ``tracing=True`` builds a span tree per
+        #: query (reachable as ``ticket.grape_result.trace``);
+        #: ``slow_query_s`` additionally keeps queries slower than the
+        #: threshold — with their full span trees — in ``slow_queries``
+        self.tracing = bool(tracing)
+        self.slow_query_s = slow_query_s
+        self.slow_queries: Optional[SlowQueryLog] = (
+            SlowQueryLog(slow_query_s) if slow_query_s is not None
+            else None)
         self.admission = admission
         self._grouper: Optional[QueryGrouper] = (QueryGrouper()
                                                  if grouping else None)
@@ -652,10 +672,17 @@ class GrapeService:
             with self._lock:
                 if isinstance(exc, AdmissionRejected):
                     self.stats.queries_shed += 1
+                    obs_events.emit("query.shed", graph=ticket.graph,
+                                    program=ticket.program)
                 elif isinstance(exc, DeadlineExceeded):
                     self.stats.deadlines_exceeded += 1
+                    obs_events.emit("query.deadline", graph=ticket.graph,
+                                    program=ticket.program,
+                                    budget_s=exc.budget_s)
                 elif isinstance(exc, QueryCancelled):
                     self.stats.queries_cancelled += 1
+                    obs_events.emit("query.cancelled", graph=ticket.graph,
+                                    program=ticket.program)
                 self.stats.queries_failed += 1
             ticket._fail(exc)
             return
@@ -709,8 +736,12 @@ class GrapeService:
     def _admit_and_execute(self, ticket: QueryTicket,
                            config: EngineConfig):
         if self.admission is None:
+            obs_events.emit("query.admitted", graph=ticket.graph,
+                            program=ticket.program)
             return self._execute(ticket, config)
         with self.admission.admit(ticket.graph):
+            obs_events.emit("query.admitted", graph=ticket.graph,
+                            program=ticket.program)
             return self._execute(ticket, config)
 
     def _execute(self, ticket: QueryTicket, config: EngineConfig):
@@ -719,6 +750,12 @@ class GrapeService:
         frag = self._fragmentation_for(ticket.graph, config)
         glock = self._graph_lock(ticket.graph)
         cancel = ticket._cancel_event
+        # A slow-query threshold implies tracing: a slow-log entry
+        # without its span tree could not answer "where did it go".
+        ctx = (TraceContext("query", program=ticket.program,
+                            graph=ticket.graph,
+                            ticket=ticket.ticket_id)
+               if self.tracing or self.slow_queries is not None else None)
 
         def attempt():
             run_config, used = config, None
@@ -727,11 +764,16 @@ class GrapeService:
                 used = self.breaker.resolve(ticket.graph, configured)
                 if used != configured:
                     run_config = config.replace(backend=used)
+            span = None
+            if ctx is not None:
+                span = ctx.root.child("engine.run")
+                if used is not None:
+                    span.tags["backend"] = used
             try:
                 with glock.read():
                     result = run_config.build().run(
                         prog, ticket.query, fragmentation=frag,
-                        cancel=cancel)
+                        cancel=cancel, trace=span)
             except WorkerProcessDied:
                 # Infrastructure, not logic: feed the breaker.  Other
                 # failures (bad queries, deadline misses) say nothing
@@ -739,20 +781,47 @@ class GrapeService:
                 if used is not None:
                     self.breaker.record_failure(ticket.graph, used)
                 raise
+            finally:
+                if span is not None:
+                    span.finish()
             if used is not None:
                 self.breaker.record_success(ticket.graph, used)
             return result
 
         if self.retry is None:
-            return attempt()
+            result = attempt()
+        else:
+            def on_retry(attempt_index, exc):
+                with self._lock:
+                    self.stats.retries_total += 1
+                    if attempt_index == 0:
+                        self.stats.queries_retried += 1
+                obs_events.emit("query.retried", graph=ticket.graph,
+                                program=ticket.program,
+                                attempt=attempt_index + 1,
+                                error=type(exc).__name__)
 
-        def on_retry(attempt_index, exc):
+            result = run_with_retry(attempt, self.retry, on_retry=on_retry)
+        if ctx is not None:
+            ctx.finish()
+            result.trace = ctx.root
+            self._note_slow(ticket, ctx.root)
+        return result
+
+    def _note_slow(self, ticket: QueryTicket, root) -> None:
+        """Feed the slow-query log; counts and emits on threshold."""
+        if self.slow_queries is None:
+            return
+        entry = self.slow_queries.offer(ticket.program, ticket.graph,
+                                        ticket.query, root.duration_s,
+                                        trace=root)
+        if entry is not None:
             with self._lock:
-                self.stats.retries_total += 1
-                if attempt_index == 0:
-                    self.stats.queries_retried += 1
-
-        return run_with_retry(attempt, self.retry, on_retry=on_retry)
+                self.stats.queries_slow += 1
+            obs_events.emit("query.slow", graph=ticket.graph,
+                            program=ticket.program,
+                            duration_s=root.duration_s,
+                            threshold_s=self.slow_query_s)
 
     # ------------------------------------------------------------------
     # standing queries and updates
@@ -1053,6 +1122,64 @@ class GrapeService:
             self.stats.snapshots_written = store.metrics.snapshots_written
             self.stats.wal_appends = store.metrics.wal_appends
             self.stats.wal_replayed = store.metrics.wal_replayed
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+    def metrics_registry(self) -> MetricsRegistry:
+        """Snapshot every :class:`ServiceMetrics` field into a
+        :class:`~repro.obs.registry.MetricsRegistry`, plus derived
+        rates and live gauges.  The snapshot is reflection-driven, so a
+        counter added to ``ServiceMetrics`` later is exported without
+        touching this method."""
+        with self._lock:
+            self._sync_csr_stats()
+            self._sync_store_stats()
+            reg = MetricsRegistry.from_object(
+                self.stats,
+                gauge_fields=("shm_segments_active", "shm_bytes_mapped",
+                              "skew_ratio_max"))
+            reg.gauge("repro_cache_hit_rate").set(self.stats.cache_hit_rate)
+            reg.gauge("repro_maintained_ratio").set(
+                self.stats.maintained_ratio)
+            reg.gauge("repro_graphs_loaded").set(float(len(self._graphs)))
+            reg.gauge("repro_watches_active").set(float(
+                sum(len(v) for v in self._watches.values())))
+        return reg
+
+    def expose_metrics(self) -> str:
+        """Prometheus-style text exposition of the service's metrics."""
+        return self.metrics_registry().expose_text()
+
+    def debug_report(self) -> Dict[str, Any]:
+        """One-call, JSON-serializable operational dump: graphs and
+        watches, the full metrics snapshot, recent structured events
+        (with per-kind totals), the slow-query log with span trees,
+        straggler diagnostics, and breaker transitions."""
+        registry = self.metrics_registry()
+        log = obs_events.active()
+        with self._lock:
+            graphs = {name: {"nodes": g.num_nodes, "edges": g.num_edges,
+                             "watches": len(self._watches.get(name, ()))}
+                      for name, g in self._graphs.items()}
+            breaker_transitions = (list(self.breaker.transitions)
+                                   if self.breaker is not None else [])
+        hist = self.stats.worker_time_hist
+        return {
+            "graphs": graphs,
+            "metrics": registry.to_json(),
+            "events": {"counts": log.counts(),
+                       "recent": [e.to_dict() for e in log.tail(50)]},
+            "slow_queries": (self.slow_queries.to_dicts()
+                             if self.slow_queries is not None else []),
+            "stragglers": {
+                "skew_ratio_max": self.stats.skew_ratio_max,
+                "straggler_steps": self.stats.straggler_steps,
+                "worker_time_p50_s": hist.quantile(0.5),
+                "worker_time_p99_s": hist.quantile(0.99),
+            },
+            "breaker_transitions": breaker_transitions,
+        }
 
     def close(self, *, flush: bool = True) -> None:
         """Drain the engine pool, checkpoint the store (fold pending

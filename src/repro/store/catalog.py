@@ -54,6 +54,7 @@ from typing import Dict, Iterable, List, Optional, Tuple, Union
 from repro.graph.delta import NormalizedDelta
 from repro.graph.graph import Graph
 from repro.ioutil import atomic_write_bytes
+from repro.obs import events as _events
 from repro.partition.base import Fragmentation
 from repro.resilience import faults as _faults
 from repro.store.snapshot import load_snapshot, save_snapshot
@@ -410,6 +411,7 @@ class GraphStore:
             written = self._wal_for(name).append(seq, delta)
             with self._lock:
                 self.metrics.wal_appends += 1
+            _events.emit("wal.append", graph=name, seq=seq, bytes=written)
             return written
 
     def wal_size(self, name: str) -> int:

@@ -1,0 +1,87 @@
+"""EventLog: bounded ring, rotation-proof counts, JSONL, scoping."""
+
+import json
+
+import pytest
+
+from repro.obs import events
+
+
+class TestEventLog:
+    def test_emit_and_read_back(self):
+        log = events.EventLog()
+        log.emit("query.admitted", graph="g", program="sssp")
+        log.emit("query.shed", graph="g")
+        assert log.total == 2
+        assert [e.kind for e in log.events()] == ["query.admitted",
+                                                  "query.shed"]
+        assert [e.kind for e in log.events("query.shed")] == ["query.shed"]
+        assert log.events()[0].fields["program"] == "sssp"
+
+    def test_ring_rotates_but_counts_survive(self):
+        log = events.EventLog(capacity=4)
+        for i in range(10):
+            log.emit("tick", i=i)
+        assert len(log) == 4
+        assert log.total == 10
+        assert log.counts() == {"tick": 10}
+        assert [e.fields["i"] for e in log.events()] == [6, 7, 8, 9]
+
+    def test_tail_and_limit(self):
+        log = events.EventLog()
+        for i in range(5):
+            log.emit("tick", i=i)
+        assert [e.fields["i"] for e in log.tail(2)] == [3, 4]
+        assert [e.fields["i"] for e in log.events(limit=3)] == [2, 3, 4]
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError, match="capacity"):
+            events.EventLog(capacity=0)
+
+    def test_export_jsonl(self, tmp_path):
+        log = events.EventLog()
+        log.emit("wal.append", graph="g", seq=1, bytes=64)
+        log.emit("odd", payload=object())  # non-JSON value → repr()
+        path = tmp_path / "events.jsonl"
+        blob = log.export_jsonl(str(path))
+        assert path.read_text(encoding="utf-8") == blob
+        lines = [json.loads(line) for line in blob.splitlines()]
+        assert lines[0]["kind"] == "wal.append"
+        assert lines[0]["seq"] == 1
+        assert "object" in lines[1]["payload"]
+
+    def test_clear(self):
+        log = events.EventLog()
+        log.emit("tick")
+        log.clear()
+        assert len(log) == 0 and log.total == 0 and log.counts() == {}
+
+    def test_kind_field_does_not_collide(self):
+        # emit()'s first parameter is positional-only, so events may
+        # carry their own "kind" field (it wins in to_dict's flattening
+        # only for the event kind key — field is kept under "kind").
+        log = events.EventLog()
+        event = log.emit("worker.recovered", error="WorkerProcessDied")
+        assert event.fields["error"] == "WorkerProcessDied"
+
+
+class TestModuleLevelLog:
+    def test_emit_lands_in_active_log(self):
+        with events.use(events.EventLog()) as log:
+            events.emit("tick", n=1)
+            assert log.total == 1
+            assert events.active() is log
+
+    def test_use_restores_previous(self):
+        before = events.active()
+        with events.use(events.EventLog()):
+            assert events.active() is not before
+        assert events.active() is before
+
+    def test_install_returns_previous(self):
+        fresh = events.EventLog()
+        previous = events.install(fresh)
+        try:
+            assert events.active() is fresh
+        finally:
+            events.install(previous)

@@ -1,0 +1,175 @@
+"""MetricsRegistry: counters, gauges, histograms, exposition formats."""
+
+import dataclasses
+import json
+import pickle
+
+import pytest
+
+from repro.obs.registry import (TIME_BUCKETS, Counter, Gauge, Histogram,
+                                MetricsRegistry)
+from repro.runtime.metrics import ServiceMetrics
+
+
+class TestCounter:
+    def test_inc_and_expose(self):
+        c = Counter("hits")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        assert c.expose() == ["hits 5"]
+
+    def test_negative_inc_rejected(self):
+        with pytest.raises(ValueError, match="only go up"):
+            Counter("hits").inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("depth")
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert g.value == 7
+
+
+class TestHistogram:
+    def test_observe_buckets_and_inf(self):
+        h = Histogram((0.1, 1.0), name="lat")
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(5.0)
+        assert h.counts == [1, 1, 1]
+        assert h.count == 3
+        assert h.sum == pytest.approx(5.55)
+
+    def test_expose_is_cumulative(self):
+        h = Histogram((0.1, 1.0), name="lat")
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        lines = h.expose()
+        assert 'lat_bucket{le="0.1"} 1' in lines
+        assert 'lat_bucket{le="1"} 2' in lines
+        assert 'lat_bucket{le="+Inf"} 3' in lines
+        assert "lat_count 3" in lines
+
+    def test_merge_same_bounds_is_binwise(self):
+        a, b = Histogram((0.1, 1.0)), Histogram((0.1, 1.0))
+        a.observe(0.05)
+        b.observe(0.5)
+        a.merge(b)
+        assert a.counts == [1, 1, 0]
+        assert a.count == 2
+
+    def test_merge_mismatched_bounds_keeps_totals(self):
+        a, b = Histogram((0.1,)), Histogram((0.5,))
+        b.observe(0.2)
+        b.observe(0.7)
+        a.merge(b)
+        assert a.count == 2
+        assert a.sum == pytest.approx(0.9)
+
+    def test_quantile_upper_bounds(self):
+        h = Histogram((0.1, 1.0, 10.0))
+        for _ in range(9):
+            h.observe(0.05)
+        h.observe(5.0)
+        assert h.quantile(0.5) == 0.1
+        assert h.quantile(1.0) == 10.0
+        assert Histogram((1.0,)).quantile(0.5) == 0.0
+
+    def test_copy_is_independent(self):
+        h = Histogram((1.0,))
+        h.observe(0.5)
+        dup = h.copy()
+        dup.observe(0.5)
+        assert h.count == 1 and dup.count == 2
+
+    def test_picklable(self):
+        h = Histogram(TIME_BUCKETS, name="lat")
+        h.observe(0.01)
+        clone = pickle.loads(pickle.dumps(h))
+        assert clone.count == 1 and clone.bounds == h.bounds
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_metric(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.gauge("a")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.histogram("a")
+
+    def test_expose_text_has_type_lines(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", help="cache hits").inc(3)
+        reg.gauge("depth").set(2)
+        text = reg.expose_text()
+        assert "# HELP hits cache hits" in text
+        assert "# TYPE hits counter" in text
+        assert "# TYPE depth gauge" in text
+        assert "hits 3" in text.splitlines()
+        assert text.endswith("\n")
+
+    def test_json_dump_round_trips(self):
+        reg = MetricsRegistry()
+        reg.counter("hits").inc(3)
+        reg.histogram("lat", buckets=(1.0,)).observe(0.5)
+        data = json.loads(reg.dump_json())
+        assert data["hits"] == 3
+        assert data["lat"]["count"] == 1
+
+
+def _parse_exposition(text):
+    """name → value for every non-comment sample line."""
+    out = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name, value = line.rsplit(" ", 1)
+        out[name] = float(value)
+    return out
+
+
+class TestFromObjectRoundTrip:
+    def test_every_service_metrics_field_survives_exposition(self):
+        """The acceptance check: expose_text() round-trips ALL numeric
+        ServiceMetrics fields — a new counter cannot be silently lost."""
+        stats = ServiceMetrics()
+        # Give every plain numeric field a distinct nonzero value.
+        expected = {}
+        for i, f in enumerate(dataclasses.fields(stats)):
+            value = getattr(stats, f.name)
+            if isinstance(value, Histogram):
+                value.observe(0.01 * (i + 1))
+            elif isinstance(value, bool):
+                pass
+            elif isinstance(value, int):
+                setattr(stats, f.name, i + 1)
+                expected["repro_" + f.name] = float(i + 1)
+            elif isinstance(value, float):
+                setattr(stats, f.name, float(i) + 0.5)
+                expected["repro_" + f.name] = float(i) + 0.5
+        assert len(expected) > 30  # the reflection really saw the fields
+
+        reg = MetricsRegistry.from_object(
+            stats, gauge_fields=("shm_segments_active", "shm_bytes_mapped",
+                                 "skew_ratio_max"))
+        samples = _parse_exposition(reg.expose_text())
+        for name, value in expected.items():
+            assert samples[name] == value, name
+        # Histogram fields expand into _count/_sum series.
+        assert samples["repro_query_wall_s_count"] == 1
+        assert samples["repro_worker_time_hist_count"] == 1
+
+    def test_gauge_fields_typed_as_gauges(self):
+        reg = MetricsRegistry.from_object(
+            ServiceMetrics(), gauge_fields=("shm_segments_active",))
+        assert isinstance(reg.get("repro_shm_segments_active"), Gauge)
+        assert isinstance(reg.get("repro_queries_served"), Counter)

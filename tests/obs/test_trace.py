@@ -1,0 +1,95 @@
+"""Span / TraceContext: the in-process trace tree."""
+
+import pickle
+import time
+
+from repro.obs.trace import Span, TraceContext, new_span_id
+
+
+class TestSpan:
+    def test_ids_are_unique_and_pid_prefixed(self):
+        a, b = new_span_id(), new_span_id()
+        assert a != b
+        assert "." in a
+
+    def test_finish_measures_elapsed_time(self):
+        span = Span("work")
+        assert not span.finished
+        time.sleep(0.002)
+        span.finish()
+        assert span.finished
+        assert span.duration_s > 0
+
+    def test_finish_is_idempotent(self):
+        span = Span("work")
+        time.sleep(0.002)
+        span.finish()
+        first = span.duration_s
+        time.sleep(0.002)
+        span.finish()
+        assert span.duration_s == first
+
+    def test_context_manager_finishes(self):
+        with Span("work") as span:
+            time.sleep(0.001)
+        assert span.finished
+        assert span.duration_s > 0
+
+    def test_child_links_parent(self):
+        root = Span("root")
+        kid = root.child("kid", fid=3)
+        assert kid.parent_id == root.span_id
+        assert kid.tags == {"fid": 3}
+        assert root.children == [kid]
+
+    def test_record_attaches_pre_measured_child(self):
+        root = Span("root")
+        kid = root.record("worker.compute", 0.125, phase="eval")
+        assert kid.finished
+        assert kid.duration_s == 0.125
+        assert kid.tags["phase"] == "eval"
+
+    def test_walk_and_find(self):
+        root = Span("root")
+        a = root.child("step")
+        a.record("worker", 0.01)
+        root.child("step")
+        assert len(list(root.walk())) == 4
+        assert len(root.find("step")) == 2
+        assert len(root.find("worker")) == 1
+        assert root.find("missing") == []
+
+    def test_to_dict_round_trips_the_tree(self):
+        root = Span("root", {"graph": "g"})
+        root.child("step", index=0).finish()
+        root.finish()
+        d = root.to_dict()
+        assert d["name"] == "root"
+        assert d["tags"] == {"graph": "g"}
+        assert d["children"][0]["name"] == "step"
+        assert d["children"][0]["tags"] == {"index": 0}
+
+    def test_format_renders_one_line_per_span(self):
+        root = Span("root")
+        root.child("step").finish()
+        root.finish()
+        text = root.format()
+        assert len(text.splitlines()) == 2
+        assert "root" in text and "step" in text
+
+    def test_finished_span_tree_pickles(self):
+        root = Span("root")
+        root.record("worker", 0.5, fid=1)
+        root.finish()
+        clone = pickle.loads(pickle.dumps(root))
+        assert clone.name == "root"
+        assert clone.children[0].duration_s == 0.5
+
+
+class TestTraceContext:
+    def test_owns_root_and_finishes(self):
+        with TraceContext("query", graph="g") as ctx:
+            ctx.span("engine.run").finish()
+        assert ctx.root.finished
+        assert ctx.duration_s == ctx.root.duration_s
+        assert ctx.to_dict()["children"][0]["name"] == "engine.run"

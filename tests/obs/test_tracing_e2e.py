@@ -1,0 +1,149 @@
+"""End-to-end tracing: engine span trees and the service telemetry API.
+
+The acceptance check for the telemetry plane: a traced query on the
+process backend yields a span tree with superstep spans and per-worker
+child spans (including worker-side compute spans shipped back over the
+pipe), all with nonzero durations.
+"""
+
+import json
+
+import pytest
+
+from repro.core.engine import EngineConfig, GrapeEngine
+from repro.obs import events
+from repro.obs.trace import Span
+from repro.pie_programs import SSSPProgram
+from repro.sequential import sssp_distances
+from repro.service import GrapeService
+
+
+def _run_traced(small_road, backend):
+    engine = GrapeEngine(num_workers=4, backend=backend)
+    trace = Span("query", {"backend": backend})
+    result = engine.run(SSSPProgram(), 0, small_road, trace=trace)
+    trace.finish()
+    assert result.answer == sssp_distances(small_road, 0)
+    assert result.trace is trace
+    return trace
+
+
+class TestEngineTracing:
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    def test_span_tree_inline_backends(self, small_road, backend):
+        trace = _run_traced(small_road, backend)
+        steps = trace.find("superstep")
+        assert len(steps) >= 2  # PEval + at least one IncEval
+        for step in steps:
+            workers = [c for c in step.children if c.name == "worker"]
+            assert len(workers) == 4
+            assert all(w.duration_s > 0 for w in workers)
+        assert trace.find("assemble")
+        assert trace.find("session.open")
+
+    def test_process_backend_ships_worker_side_spans(self, small_road):
+        trace = _run_traced(small_road, "process")
+        # Superstep spans carry one per-worker child per fragment, each
+        # with the worker-side compute span measured in the worker
+        # process and shipped back by value.
+        steps = trace.find("superstep")
+        assert len(steps) >= 2
+        for step in steps:
+            workers = [c for c in step.children if c.name == "worker"]
+            assert len(workers) == 4
+            for w in workers:
+                assert w.duration_s > 0
+                compute = [c for c in w.children
+                           if c.name == "worker.compute"]
+                assert len(compute) == 1
+                assert compute[0].duration_s > 0
+                assert "phase" in compute[0].tags
+        # Worker bring-up is traced too: per-process init spans with
+        # fragment install children (shm attach + CSR install, or a
+        # pickle fragment.load on the fallback path).
+        inits = trace.find("worker.init")
+        assert len(inits) == 4
+        installs = [c for init in inits for c in init.children]
+        assert installs
+        assert {c.name for c in installs} <= {
+            "shm.attach", "csr.install", "fragment.load", "delta.replay"}
+        # The whole tree is JSON-serializable for the slow-query log.
+        json.dumps(trace.to_dict())
+
+    def test_untraced_run_has_no_trace(self, small_road):
+        engine = GrapeEngine(num_workers=4, backend="serial")
+        result = engine.run(SSSPProgram(), 0, small_road)
+        assert result.trace is None
+
+
+class TestServiceTelemetry:
+    def test_play_attaches_trace_when_enabled(self, small_road):
+        with GrapeService(engine=EngineConfig(num_workers=4),
+                          tracing=True) as svc:
+            svc.load_graph("roads", small_road)
+            ticket = svc.play("sssp", 0, graph="roads")
+            trace = ticket.grape_result.trace
+            assert trace is not None and trace.finished
+            assert trace.name == "query"
+            assert trace.find("engine.run")
+            assert trace.find("superstep")
+
+    def test_tracing_off_by_default(self, small_road):
+        with GrapeService(engine=EngineConfig(num_workers=4)) as svc:
+            svc.load_graph("roads", small_road)
+            ticket = svc.play("sssp", 0, graph="roads")
+            assert ticket.grape_result.trace is None
+
+    def test_slow_query_log_captures_span_tree(self, small_road):
+        with GrapeService(engine=EngineConfig(num_workers=4),
+                          slow_query_s=0.0) as svc:
+            svc.load_graph("roads", small_road)
+            svc.play("sssp", 0, graph="roads")
+            assert svc.stats.queries_slow == 1
+            entries = svc.slow_queries.entries()
+            assert len(entries) == 1
+            assert entries[0].program == "sssp"
+            assert entries[0].trace.find("superstep")
+
+    def test_slow_query_threshold_filters(self, small_road):
+        with GrapeService(engine=EngineConfig(num_workers=4),
+                          slow_query_s=3600.0) as svc:
+            svc.load_graph("roads", small_road)
+            svc.play("sssp", 0, graph="roads")
+            assert svc.stats.queries_slow == 0
+            assert len(svc.slow_queries) == 0
+            assert svc.slow_queries.observed == 1
+
+    def test_query_lifecycle_events(self, small_road):
+        with events.use(events.EventLog()) as log:
+            with GrapeService(engine=EngineConfig(num_workers=4)) as svc:
+                svc.load_graph("roads", small_road)
+                svc.play("sssp", 0, graph="roads")
+            assert log.counts().get("query.admitted") == 1
+
+    def test_expose_metrics_text(self, small_road):
+        with GrapeService(engine=EngineConfig(num_workers=4)) as svc:
+            svc.load_graph("roads", small_road)
+            svc.play("sssp", 0, graph="roads")
+            text = svc.expose_metrics()
+            assert "repro_queries_served 1" in text.splitlines()
+            assert "# TYPE repro_query_wall_s histogram" in text
+            assert "repro_query_wall_s_count 1" in text.splitlines()
+            assert "repro_graphs_loaded 1" in text.splitlines()
+
+    def test_debug_report_is_json_serializable(self, small_road):
+        with events.use(events.EventLog()):
+            with GrapeService(engine=EngineConfig(num_workers=4),
+                              slow_query_s=0.0) as svc:
+                svc.load_graph("roads", small_road)
+                svc.play("sssp", 0, graph="roads")
+                handle = svc.watch("sssp", 0, graph="roads")
+                report = svc.debug_report()
+        json.dumps(report)
+        assert report["graphs"]["roads"]["watches"] == 1
+        # play() plus the watch's initial run both count as served
+        assert report["metrics"]["repro_queries_served"] == 2
+        assert report["events"]["counts"]["query.admitted"] >= 1
+        assert report["slow_queries"]
+        assert report["stragglers"]["worker_time_p50_s"] >= 0
+        assert handle.straggler_report()["supersteps"] > 0
